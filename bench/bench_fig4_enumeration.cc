@@ -1,0 +1,61 @@
+// Reproduces Figure 4 (Dataset Slice Enumeration): per-level candidate and
+// valid slice counts with all pruning enabled, for Adult (full depth,
+// expecting early termination) and the correlated datasets Covtype, KDD98,
+// and USCensus (capped at ceil(L) = 3 or 4 as in the paper).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/sliceline.h"
+
+namespace {
+
+void RunOne(const sliceline::data::EncodedDataset& ds, int max_level) {
+  using namespace sliceline;
+  core::SliceLineConfig config;
+  config.alpha = 0.95;
+  config.k = 4;
+  config.max_level = max_level;
+  auto result = core::RunSliceLine(ds, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", ds.name.c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("%s (n=%s, m=%lld, ceil(L)=%s):\n", ds.name.c_str(),
+              FormatWithCommas(ds.n()).c_str(),
+              static_cast<long long>(ds.m()),
+              max_level > 0 ? std::to_string(max_level).c_str() : "inf");
+  std::printf("  %-8s %14s %14s %10s\n", "level", "candidates", "valid",
+              "time[s]");
+  for (const core::LevelStats& level : result->levels) {
+    std::printf("  %-8d %14s %14s %10s\n", level.level,
+                FormatWithCommas(level.candidates).c_str(),
+                FormatWithCommas(level.valid).c_str(),
+                FormatDouble(level.seconds, 3).c_str());
+  }
+  std::printf("  terminated after level %d of %lld; total %s slices, %ss\n\n",
+              result->levels.empty() ? 0 : result->levels.back().level,
+              static_cast<long long>(ds.m()),
+              FormatWithCommas(result->total_evaluated).c_str(),
+              FormatDouble(result->total_seconds, 3).c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace sliceline;
+  bench::Banner("Figure 4: Dataset Slice Enumeration (# slices per level)",
+                "SliceLine Figure 4(a) Adult, 4(b) Covtype/KDD98/USCensus");
+  RunOne(bench::Load("adult"), 0);       // Fig 4(a): full depth
+  RunOne(bench::Load("covtype"), 4);     // Fig 4(b)
+  RunOne(bench::Load("kdd98"), 3);
+  RunOne(bench::Load("uscensus"), 3);
+  std::printf(
+      "Expected shape (paper): Adult terminates early well before m;\n"
+      "correlated datasets keep producing large valid slices at depth,\n"
+      "and candidates stay close to valid counts (effective pruning).\n");
+  return 0;
+}

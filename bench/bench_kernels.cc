@@ -1,0 +1,132 @@
+// Microbenchmarks (google-benchmark) of the linear-algebra kernels the
+// SliceLine enumeration is built from: one-hot encoding, colSums, the
+// vector-matrix error aggregation e^T X, the S*S^T pair join, the X*S^T
+// evaluation product, and table()-based selection-matrix construction.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "data/generators/generators.h"
+#include "data/onehot.h"
+#include "linalg/kernels.h"
+
+namespace {
+
+using namespace sliceline;
+
+const data::EncodedDataset& AdultDataset() {
+  static const data::EncodedDataset* ds = [] {
+    data::DatasetOptions options;
+    options.rows = 20000;
+    return new data::EncodedDataset(data::MakeAdult(options));
+  }();
+  return *ds;
+}
+
+void BM_OneHotEncode(benchmark::State& state) {
+  const data::EncodedDataset& ds = AdultDataset();
+  const data::FeatureOffsets offsets = data::ComputeOffsets(ds.x0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::OneHotEncode(ds.x0, offsets));
+  }
+  state.SetItemsProcessed(state.iterations() * ds.n());
+}
+BENCHMARK(BM_OneHotEncode);
+
+void BM_OneHotEncodeViaTable(benchmark::State& state) {
+  const data::EncodedDataset& ds = AdultDataset();
+  const data::FeatureOffsets offsets = data::ComputeOffsets(ds.x0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::OneHotEncodeViaTable(ds.x0, offsets));
+  }
+  state.SetItemsProcessed(state.iterations() * ds.n());
+}
+BENCHMARK(BM_OneHotEncodeViaTable);
+
+void BM_ColSums(benchmark::State& state) {
+  const data::EncodedDataset& ds = AdultDataset();
+  const data::FeatureOffsets offsets = data::ComputeOffsets(ds.x0);
+  const linalg::CsrMatrix x = data::OneHotEncode(ds.x0, offsets);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::ColSums(x));
+  }
+  state.SetItemsProcessed(state.iterations() * x.nnz());
+}
+BENCHMARK(BM_ColSums);
+
+void BM_ErrorAggregation(benchmark::State& state) {
+  // se0 = (e^T X)^T, Equation 4.
+  const data::EncodedDataset& ds = AdultDataset();
+  const data::FeatureOffsets offsets = data::ComputeOffsets(ds.x0);
+  const linalg::CsrMatrix x = data::OneHotEncode(ds.x0, offsets);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::TransposeMatVec(x, ds.errors));
+  }
+  state.SetItemsProcessed(state.iterations() * x.nnz());
+}
+BENCHMARK(BM_ErrorAggregation);
+
+linalg::CsrMatrix RandomSliceMatrix(int64_t slices, int64_t cols, int level,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  linalg::CooBuilder builder(slices, cols);
+  for (int64_t s = 0; s < slices; ++s) {
+    for (int k = 0; k < level; ++k) {
+      builder.Add(s, rng.NextUint64(cols), 1.0);
+    }
+  }
+  return builder.Build();
+}
+
+void BM_PairJoinSSt(benchmark::State& state) {
+  const linalg::CsrMatrix s =
+      RandomSliceMatrix(state.range(0), 162, 2, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::MultiplyABt(s, s));
+  }
+}
+BENCHMARK(BM_PairJoinSSt)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_EvalProductXSt(benchmark::State& state) {
+  const data::EncodedDataset& ds = AdultDataset();
+  const data::FeatureOffsets offsets = data::ComputeOffsets(ds.x0);
+  const linalg::CsrMatrix x = data::OneHotEncode(ds.x0, offsets);
+  const linalg::CsrMatrix s =
+      RandomSliceMatrix(state.range(0), offsets.total, 2, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        linalg::FilterEquals(linalg::MultiplyABt(x, s), 2.0));
+  }
+  state.SetItemsProcessed(state.iterations() * x.rows() * state.range(0));
+}
+BENCHMARK(BM_EvalProductXSt)->Arg(16)->Arg(64);
+
+void BM_TableConstruction(benchmark::State& state) {
+  Rng rng(13);
+  const int64_t n = state.range(0);
+  std::vector<int64_t> rix(n);
+  std::vector<int64_t> cix(n);
+  for (int64_t i = 0; i < n; ++i) {
+    rix[i] = i;
+    cix[i] = static_cast<int64_t>(rng.NextUint64(n));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::Table(rix, cix, n, n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TableConstruction)->Arg(10000)->Arg(100000);
+
+void BM_SpGemmTranspose(benchmark::State& state) {
+  const data::EncodedDataset& ds = AdultDataset();
+  const data::FeatureOffsets offsets = data::ComputeOffsets(ds.x0);
+  const linalg::CsrMatrix x = data::OneHotEncode(ds.x0, offsets);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::Transpose(x));
+  }
+  state.SetItemsProcessed(state.iterations() * x.nnz());
+}
+BENCHMARK(BM_SpGemmTranspose);
+
+}  // namespace
+
+BENCHMARK_MAIN();

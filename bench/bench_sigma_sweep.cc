@@ -1,0 +1,57 @@
+// Reproduces the Section 5.3 sigma experiment ("Varying the sigma
+// Constraint"): top-K scores and runtime for sigma in [1e-4 n, 1e-1 n] with
+// alpha = 0.95, K = 10, ceil(L) = 3. The paper observed that scores change
+// little, but runtime grows by over an order of magnitude as sigma shrinks.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/sliceline.h"
+
+int main() {
+  using namespace sliceline;
+  bench::Banner("Section 5.3: Varying the sigma Constraint",
+                "SliceLine Section 5.3 (text experiment)");
+  const std::vector<double> fractions = {1e-4, 1e-3, 1e-2, 1e-1};
+  const std::vector<const char*> names = {"adult", "uscensus"};
+
+  for (const char* name : names) {
+    data::EncodedDataset ds =
+        bench::Load(name, std::string(name) == "uscensus" ? 8000 : 0);
+    std::printf("%s (n=%s):\n", name, FormatWithCommas(ds.n()).c_str());
+    std::printf("  %-12s %10s %12s %12s %12s\n", "sigma", "top1", "top10",
+                "evaluated", "time[s]");
+    for (double fraction : fractions) {
+      int64_t sigma = static_cast<int64_t>(fraction * ds.n());
+      if (sigma < 1) sigma = 1;
+      core::SliceLineConfig config;
+      config.alpha = 0.95;
+      config.k = 10;
+      config.max_level = 3;
+      config.min_support = sigma;
+      auto result = core::RunSliceLine(ds, config);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", name,
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      const double top1 =
+          result->top_k.empty() ? 0.0 : result->top_k[0].stats.score;
+      const double topk =
+          result->top_k.empty() ? 0.0 : result->top_k.back().stats.score;
+      std::printf("  %-12s %10s %12s %12s %12s\n",
+                  FormatWithCommas(sigma).c_str(),
+                  FormatDouble(top1, 4).c_str(), FormatDouble(topk, 4).c_str(),
+                  FormatWithCommas(result->total_evaluated).c_str(),
+                  FormatDouble(result->total_seconds, 3).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (paper): scores are insensitive to sigma (the size\n"
+      "term already counteracts tiny slices), while runtime and enumerated\n"
+      "slices grow sharply as sigma decreases.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces the Section 5.4 "ML Systems Comparison": the paper compares
+// its SystemDS DML implementation (5.6s on Adult) against an R
+// implementation (200.4s) and the original SliceFinder's hand-crafted
+// lattice search (>100s reported). The analogous comparison here is the
+// linear-algebra transliteration engine vs. the native engine vs. the
+// reimplemented SliceFinder heuristic baseline, on identical inputs.
+#include <cstdio>
+
+#include "baseline/slicefinder.h"
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/sliceline.h"
+#include "core/sliceline_la.h"
+
+int main() {
+  using namespace sliceline;
+  bench::Banner("Section 5.4: ML Systems Comparison (Adult)",
+                "SliceLine Section 5.4 (SystemDS vs R vs SliceFinder)");
+  data::EncodedDataset ds = bench::Load("adult");
+  std::printf("dataset: %s n=%s (ceil(L)=3, alpha=0.95, K=4)\n\n",
+              ds.name.c_str(), FormatWithCommas(ds.n()).c_str());
+
+  core::SliceLineConfig config;
+  config.alpha = 0.95;
+  config.k = 4;
+  config.max_level = 3;
+
+  auto native = core::RunSliceLine(ds, config);
+  auto la = core::RunSliceLineLA(ds, config);
+  if (!native.ok() || !la.ok()) {
+    std::fprintf(stderr, "engine run failed\n");
+    return 1;
+  }
+
+  baseline::SliceFinderConfig sf_config;
+  sf_config.k = 4;
+  sf_config.max_level = 3;
+  auto heuristic = baseline::RunSliceFinder(ds.x0, ds.errors, sf_config);
+  if (!heuristic.ok()) {
+    std::fprintf(stderr, "baseline failed: %s\n",
+                 heuristic.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-34s %12s %14s\n", "implementation", "time[s]", "evaluated");
+  std::printf("%-34s %12s %14s\n", "SliceLine native (cf. SystemDS)",
+              FormatDouble(native->total_seconds, 3).c_str(),
+              FormatWithCommas(native->total_evaluated).c_str());
+  std::printf("%-34s %12s %14s\n", "SliceLine LA-kernels (cf. R)",
+              FormatDouble(la->total_seconds, 3).c_str(),
+              FormatWithCommas(la->total_evaluated).c_str());
+  std::printf("%-34s %12s %14s\n", "SliceFinder heuristic baseline",
+              FormatDouble(heuristic->total_seconds, 3).c_str(),
+              FormatWithCommas(heuristic->evaluated).c_str());
+
+  std::printf("\ntop-1 agreement: native=%s\n",
+              native->top_k.empty()
+                  ? "(none)"
+                  : native->top_k[0].ToString(ds.feature_names).c_str());
+  std::printf("                 la    =%s\n",
+              la->top_k.empty()
+                  ? "(none)"
+                  : la->top_k[0].ToString(ds.feature_names).c_str());
+  if (!heuristic->slices.empty()) {
+    std::printf("baseline first reported slice: %s (effect size %.3f)\n",
+                heuristic->slices[0].ToString(ds.feature_names).c_str(),
+                heuristic->slices[0].stats.score);
+  }
+  std::printf(
+      "\nExpected shape (paper): both SliceLine engines return identical\n"
+      "top-K; the generic-kernel (LA) engine is slower than the native\n"
+      "engine (SystemDS-vs-R gap), and the heuristic baseline terminates\n"
+      "level-wise without exactness guarantees.\n");
+  return 0;
+}

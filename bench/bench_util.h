@@ -1,0 +1,60 @@
+#ifndef SLICELINE_BENCH_BENCH_UTIL_H_
+#define SLICELINE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "data/generators/generators.h"
+
+namespace sliceline::bench {
+
+/// Global row-count multiplier for the whole harness, set via the
+/// SLICELINE_BENCH_SCALE environment variable (default 1.0). Benchmarks
+/// print the effective dataset sizes so results are self-describing.
+inline double Scale() {
+  if (const char* env = std::getenv("SLICELINE_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0) return s;
+  }
+  return 1.0;
+}
+
+/// Loads a generator dataset with the harness scale applied.
+inline data::EncodedDataset Load(const std::string& name,
+                                 int64_t base_rows = 0) {
+  data::DatasetOptions options;
+  if (base_rows > 0) {
+    options.rows = static_cast<int64_t>(base_rows * Scale());
+    if (options.rows < 256) options.rows = 256;
+  } else if (Scale() != 1.0) {
+    // Apply the scale to the generator default.
+    for (const data::DatasetInfo& info : data::ListDatasets()) {
+      if (info.name == name) {
+        options.rows =
+            static_cast<int64_t>(info.default_rows * Scale());
+        if (options.rows < 256) options.rows = 256;
+      }
+    }
+  }
+  auto ds = data::MakeDatasetByName(name, options);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "failed to load %s: %s\n", name.c_str(),
+                 ds.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(ds).value();
+}
+
+/// Prints a benchmark banner with the paper reference.
+inline void Banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("=====================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("scale=%.3g (set SLICELINE_BENCH_SCALE to change)\n", Scale());
+  std::printf("=====================================================\n");
+}
+
+}  // namespace sliceline::bench
+
+#endif  // SLICELINE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,84 @@
+// Regression debugging via the CSV workflow: write a raw CSV, read it back,
+// preprocess (recode categoricals, bin continuous features into 10
+// equi-width bins, exactly as the paper's Section 5.1), train a linear
+// model, and debug its squared-loss errors with SliceLine.
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "core/report.h"
+#include "core/sliceline.h"
+#include "data/csv.h"
+#include "data/preprocess.h"
+#include "ml/pipeline.h"
+
+int main() {
+  using namespace sliceline;
+
+  // Synthesize a salaries-style CSV: the model will underfit the
+  // "consulting" department whose pay scale follows different rules.
+  std::string csv = "department,seniority,city,years,salary\n";
+  Rng rng(7);
+  const char* departments[4] = {"engineering", "sales", "consulting", "hr"};
+  const char* cities[3] = {"vienna", "graz", "linz"};
+  for (int i = 0; i < 8000; ++i) {
+    const char* dept = departments[rng.NextUint64(4)];
+    const int seniority = static_cast<int>(rng.NextUint64(5)) + 1;
+    const char* city = cities[rng.NextUint64(3)];
+    const double years = rng.NextDouble(0.0, 30.0);
+    double salary = 40000.0 + 8000.0 * seniority + 600.0 * years;
+    if (dept == departments[2]) {
+      // Consulting pay is dominated by (unobserved) billed hours.
+      salary += rng.NextGaussian() * 25000.0;
+    } else {
+      salary += rng.NextGaussian() * 2500.0;
+    }
+    csv += std::string(dept) + "," + std::to_string(seniority) + "," + city +
+           "," + std::to_string(years) + "," + std::to_string(salary) + "\n";
+  }
+
+  auto frame = data::ParseCsv(csv);
+  if (!frame.ok()) {
+    std::fprintf(stderr, "CSV parse failed: %s\n",
+                 frame.status().ToString().c_str());
+    return 1;
+  }
+  data::PreprocessOptions popts;
+  popts.label_column = "salary";
+  popts.task = data::Task::kRegression;
+  popts.num_bins = 10;
+  auto ds = data::Preprocess(*frame, popts);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "preprocess failed: %s\n",
+                 ds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("encoded %lld rows x %lld features (l=%lld one-hot)\n",
+              static_cast<long long>(ds->n()),
+              static_cast<long long>(ds->m()),
+              static_cast<long long>(ds->OneHotWidth()));
+
+  auto mse = ml::TrainAndMaterializeErrors(&*ds);
+  if (!mse.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 mse.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("trained lm; mean squared error = %.1f\n\n", *mse);
+
+  core::SliceLineConfig config;
+  config.k = 4;
+  config.alpha = 0.9;
+  auto result = core::RunSliceLine(*ds, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "SliceLine failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", core::FormatResult(*result, ds->feature_names).c_str());
+  std::printf(
+      "The top slice should isolate department=consulting (category code\n"
+      "3 under first-occurrence recoding depends on the data order) --\n"
+      "the subgroup whose salaries the linear model cannot explain.\n");
+  return 0;
+}

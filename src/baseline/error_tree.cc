@@ -1,0 +1,183 @@
+#include "baseline/error_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+
+namespace sliceline::baseline {
+
+namespace {
+
+struct Node {
+  std::vector<std::pair<int, int32_t>> predicates;  ///< path from the root
+  std::vector<int32_t> rows;
+  double error_sum = 0.0;
+  double error_sq_sum = 0.0;
+  double max_error = 0.0;
+
+  double Mean() const {
+    return rows.empty() ? 0.0
+                        : error_sum / static_cast<double>(rows.size());
+  }
+  double Sse() const {
+    if (rows.empty()) return 0.0;
+    const double mean = Mean();
+    return error_sq_sum - mean * error_sum;
+  }
+};
+
+Node MakeNode(const std::vector<int32_t>& rows,
+              const std::vector<double>& errors,
+              std::vector<std::pair<int, int32_t>> predicates) {
+  Node node;
+  node.predicates = std::move(predicates);
+  node.rows = rows;
+  for (int32_t r : rows) {
+    const double e = errors[r];
+    node.error_sum += e;
+    node.error_sq_sum += e * e;
+    node.max_error = std::max(node.max_error, e);
+  }
+  return node;
+}
+
+/// Best (feature = value) vs rest split of `node` by error-variance
+/// reduction; returns the gain and writes the chosen predicate. A split is
+/// admissible when the matching side satisfies the support threshold (the
+/// complement keeps flowing down the "rest" branch).
+double BestSplit(const Node& node, const data::IntMatrix& x0,
+                 const std::vector<double>& errors, int64_t sigma,
+                 int* best_feature, int32_t* best_code) {
+  const double parent_sse = node.Sse();
+  double best_gain = 0.0;
+  *best_feature = -1;
+  for (int f = 0; f < static_cast<int>(x0.cols()); ++f) {
+    // Skip features already bound on this path.
+    bool bound = false;
+    for (const auto& [bf, bc] : node.predicates) bound |= bf == f;
+    if (bound) continue;
+    int32_t dom = 0;
+    for (int32_t r : node.rows) dom = std::max(dom, x0.At(r, f));
+    if (dom <= 1) continue;
+    // Per-code error statistics in one pass.
+    std::vector<double> sum(static_cast<size_t>(dom), 0.0);
+    std::vector<double> sq(static_cast<size_t>(dom), 0.0);
+    std::vector<int64_t> count(static_cast<size_t>(dom), 0);
+    for (int32_t r : node.rows) {
+      const int32_t c = x0.At(r, f) - 1;
+      const double e = errors[r];
+      sum[c] += e;
+      sq[c] += e * e;
+      ++count[c];
+    }
+    const int64_t total = static_cast<int64_t>(node.rows.size());
+    for (int32_t code = 0; code < dom; ++code) {
+      if (count[code] < sigma || total - count[code] < sigma) continue;
+      const double in_mean = sum[code] / static_cast<double>(count[code]);
+      const double in_sse = sq[code] - in_mean * sum[code];
+      const double out_sum = node.error_sum - sum[code];
+      const double out_sq = node.error_sq_sum - sq[code];
+      const double out_mean =
+          out_sum / static_cast<double>(total - count[code]);
+      const double out_sse = out_sq - out_mean * out_sum;
+      const double gain = parent_sse - in_sse - out_sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        *best_feature = f;
+        *best_code = code + 1;
+      }
+    }
+  }
+  return best_gain;
+}
+
+}  // namespace
+
+StatusOr<ErrorTreeResult> RunErrorTree(const data::IntMatrix& x0,
+                                       const std::vector<double>& errors,
+                                       const ErrorTreeConfig& config) {
+  const int64_t n = x0.rows();
+  if (n == 0 || x0.cols() == 0) {
+    return Status::InvalidArgument("empty feature matrix");
+  }
+  if (static_cast<int64_t>(errors.size()) != n) {
+    return Status::InvalidArgument("error vector size mismatch");
+  }
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (config.max_depth < 1) {
+    return Status::InvalidArgument("max_depth must be >= 1");
+  }
+  Stopwatch watch;
+  core::SliceLineConfig sigma_config;
+  sigma_config.min_support = config.min_support;
+  const int64_t sigma = core::ResolveMinSupport(sigma_config, n);
+
+  ErrorTreeResult result;
+  std::vector<Node> leaves;
+  {
+    std::vector<int32_t> all(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) all[i] = static_cast<int32_t>(i);
+    leaves.push_back(MakeNode(all, errors, {}));
+    result.nodes = 1;
+  }
+
+  // Breadth-first greedy growth: each expandable leaf is split into the
+  // (feature = value) side -- which gains one predicate -- and the rest side
+  // -- which keeps the same predicates (an implicit negation, so leaf
+  // predicates remain pure conjunctions as in slice finding).
+  std::vector<Node> final_leaves;
+  for (int depth = 0; depth < config.max_depth && !leaves.empty(); ++depth) {
+    std::vector<Node> next;
+    for (Node& node : leaves) {
+      int feature = -1;
+      int32_t code = 0;
+      const double gain = BestSplit(node, x0, errors, sigma, &feature, &code);
+      // A node with (numerically) zero error variance has nothing to
+      // separate; guard against splitting on floating-point dust.
+      const double denom = node.Sse();
+      const bool splittable =
+          feature >= 0 && denom > 1e-9 * std::max(node.error_sq_sum, 1e-300) &&
+          gain / denom >= config.min_gain;
+      if (!splittable) {
+        final_leaves.push_back(std::move(node));
+        continue;
+      }
+      std::vector<int32_t> in_rows;
+      std::vector<int32_t> out_rows;
+      for (int32_t r : node.rows) {
+        (x0.At(r, feature) == code ? in_rows : out_rows).push_back(r);
+      }
+      auto in_preds = node.predicates;
+      in_preds.emplace_back(feature, code);
+      next.push_back(MakeNode(in_rows, errors, std::move(in_preds)));
+      next.push_back(MakeNode(out_rows, errors, node.predicates));
+      result.nodes += 2;
+    }
+    leaves = std::move(next);
+  }
+  for (Node& node : leaves) final_leaves.push_back(std::move(node));
+  result.leaves = static_cast<int>(final_leaves.size());
+
+  // Report the K highest-mean-error leaves that are genuine slices (at
+  // least one predicate; the "rest" root leaf is not a conjunction).
+  std::stable_sort(final_leaves.begin(), final_leaves.end(),
+                   [](const Node& a, const Node& b) {
+                     return a.Mean() > b.Mean();
+                   });
+  for (const Node& node : final_leaves) {
+    if (static_cast<int>(result.slices.size()) >= config.k) break;
+    if (node.predicates.empty()) continue;
+    if (static_cast<int64_t>(node.rows.size()) < sigma) continue;
+    core::Slice slice;
+    slice.predicates = node.predicates;
+    std::sort(slice.predicates.begin(), slice.predicates.end());
+    slice.stats = {node.Mean(), node.error_sum, node.max_error,
+                   static_cast<int64_t>(node.rows.size())};
+    result.slices.push_back(std::move(slice));
+  }
+  result.total_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace sliceline::baseline

@@ -1,0 +1,209 @@
+#include "baseline/slicefinder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+
+namespace sliceline::baseline {
+
+namespace {
+
+struct Node {
+  std::vector<std::pair<int, int32_t>> predicates;
+  std::vector<int32_t> rows;
+};
+
+struct ErrorMoments {
+  double mean = 0.0;
+  double variance = 0.0;
+  int64_t count = 0;
+};
+
+ErrorMoments MomentsOf(const std::vector<double>& errors,
+                       const std::vector<int32_t>& rows) {
+  ErrorMoments m;
+  m.count = static_cast<int64_t>(rows.size());
+  if (m.count == 0) return m;
+  double sum = 0.0;
+  for (int32_t r : rows) sum += errors[r];
+  m.mean = sum / static_cast<double>(m.count);
+  double sq = 0.0;
+  for (int32_t r : rows) {
+    const double d = errors[r] - m.mean;
+    sq += d * d;
+  }
+  m.variance = m.count > 1 ? sq / static_cast<double>(m.count - 1) : 0.0;
+  return m;
+}
+
+/// Cohen's-d style effect size between slice and complement.
+double EffectSize(const ErrorMoments& s, const ErrorMoments& rest) {
+  const double pooled = std::sqrt((s.variance + rest.variance) / 2.0);
+  if (pooled <= 0.0) return s.mean > rest.mean ? 1e9 : 0.0;
+  return (s.mean - rest.mean) / pooled;
+}
+
+/// Welch's t-statistic for "slice errors larger than complement errors".
+double WelchT(const ErrorMoments& s, const ErrorMoments& rest) {
+  const double denom = std::sqrt(
+      s.variance / std::max<int64_t>(s.count, 1) +
+      rest.variance / std::max<int64_t>(rest.count, 1));
+  if (denom <= 0.0) return s.mean > rest.mean ? 1e9 : 0.0;
+  return (s.mean - rest.mean) / denom;
+}
+
+/// True if `fine` contains every predicate of `coarse`.
+bool Dominates(const std::vector<std::pair<int, int32_t>>& coarse,
+               const std::vector<std::pair<int, int32_t>>& fine) {
+  for (const auto& pred : coarse) {
+    if (std::find(fine.begin(), fine.end(), pred) == fine.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<SliceFinderResult> RunSliceFinder(const data::IntMatrix& x0,
+                                           const std::vector<double>& errors,
+                                           const SliceFinderConfig& config) {
+  const int64_t n = x0.rows();
+  const int m = static_cast<int>(x0.cols());
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument("empty feature matrix");
+  }
+  if (static_cast<int64_t>(errors.size()) != n) {
+    return Status::InvalidArgument("error vector size mismatch");
+  }
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  Stopwatch watch;
+
+  core::SliceLineConfig sigma_config;
+  sigma_config.min_support = config.min_support;
+  const int64_t sigma = core::ResolveMinSupport(sigma_config, n);
+  const int max_level =
+      config.max_level > 0 ? std::min(config.max_level, m) : m;
+
+  // Global error moments; complement moments are derived incrementally from
+  // totals to avoid a second scan per slice.
+  double total_sum = 0.0;
+  double total_sq = 0.0;
+  for (double e : errors) {
+    total_sum += e;
+    total_sq += e * e;
+  }
+
+  SliceFinderResult result;
+
+  // Level-1 frontier: every (feature, code) with its row list.
+  std::vector<Node> frontier;
+  {
+    const std::vector<int32_t> domains = x0.ColMaxs();
+    for (int f = 0; f < m; ++f) {
+      std::vector<std::vector<int32_t>> buckets(
+          static_cast<size_t>(domains[f]));
+      for (int64_t i = 0; i < n; ++i) {
+        buckets[x0.At(i, f) - 1].push_back(static_cast<int32_t>(i));
+      }
+      for (int32_t code = 1; code <= domains[f]; ++code) {
+        if (static_cast<int64_t>(buckets[code - 1].size()) < sigma) continue;
+        Node node;
+        node.predicates = {{f, code}};
+        node.rows = std::move(buckets[code - 1]);
+        frontier.push_back(std::move(node));
+      }
+    }
+  }
+
+  for (int level = 1; level <= max_level && !frontier.empty(); ++level) {
+    ++result.levels_expanded;
+    // "decreasing slice size" ordering within the level.
+    std::stable_sort(frontier.begin(), frontier.end(),
+                     [](const Node& a, const Node& b) {
+                       return a.rows.size() > b.rows.size();
+                     });
+    std::vector<Node> expandable;
+    for (Node& node : frontier) {
+      ++result.evaluated;
+      const ErrorMoments s = MomentsOf(errors, node.rows);
+      ErrorMoments rest;
+      rest.count = n - s.count;
+      if (rest.count > 0) {
+        const double rest_sum =
+            total_sum - s.mean * static_cast<double>(s.count);
+        rest.mean = rest_sum / static_cast<double>(rest.count);
+        double s_sq = 0.0;
+        for (int32_t r : node.rows) s_sq += errors[r] * errors[r];
+        const double rest_sq = total_sq - s_sq;
+        const double rest_var =
+            rest.count > 1
+                ? (rest_sq - rest.mean * rest_sum) /
+                      static_cast<double>(rest.count - 1)
+                : 0.0;
+        rest.variance = std::max(rest_var, 0.0);
+      }
+      const double effect = EffectSize(s, rest);
+      const double t = WelchT(s, rest);
+      const bool problematic =
+          effect >= config.effect_size_min && t >= config.t_critical;
+      if (problematic) {
+        // Dominance: skip if a reported coarser slice covers this one.
+        bool dominated = false;
+        for (const core::Slice& reported : result.slices) {
+          if (Dominates(reported.predicates, node.predicates)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) {
+          core::Slice slice;
+          slice.predicates = node.predicates;
+          std::sort(slice.predicates.begin(), slice.predicates.end());
+          double err_sum = 0.0;
+          double err_max = 0.0;
+          for (int32_t r : node.rows) {
+            err_sum += errors[r];
+            err_max = std::max(err_max, errors[r]);
+          }
+          slice.stats = {effect, err_sum, err_max,
+                         static_cast<int64_t>(node.rows.size())};
+          result.slices.push_back(std::move(slice));
+        }
+      } else {
+        expandable.push_back(std::move(node));
+      }
+    }
+    // Heuristic level-wise termination (the paper's critique: this can stop
+    // before the globally worst slices are found).
+    if (static_cast<int>(result.slices.size()) >= config.k) break;
+    if (level == max_level) break;
+
+    // Expand the non-problematic frontier by one predicate on a feature
+    // strictly after the node's last bound feature (each slice generated
+    // exactly once).
+    std::vector<Node> next;
+    for (const Node& node : expandable) {
+      const int last_feature = node.predicates.back().first;
+      for (int f = last_feature + 1; f < m; ++f) {
+        int32_t dom = 0;
+        for (int32_t r : node.rows) dom = std::max(dom, x0.At(r, f));
+        std::vector<std::vector<int32_t>> buckets(static_cast<size_t>(dom));
+        for (int32_t r : node.rows) buckets[x0.At(r, f) - 1].push_back(r);
+        for (int32_t code = 1; code <= dom; ++code) {
+          if (static_cast<int64_t>(buckets[code - 1].size()) < sigma) continue;
+          Node child;
+          child.predicates = node.predicates;
+          child.predicates.emplace_back(f, code);
+          child.rows = std::move(buckets[code - 1]);
+          next.push_back(std::move(child));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  result.total_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace sliceline::baseline

@@ -1,0 +1,86 @@
+#ifndef SLICELINE_COMMON_LOGGING_H_
+#define SLICELINE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sliceline {
+
+/// Severity for the minimal logging facility. kFatal aborts after logging.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the global minimum severity that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; message is flushed (and kFatal aborts) on
+/// destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Sink that swallows the streamed message (used for disabled levels).
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define LOG_DEBUG ::sliceline::internal::LogMessage(::sliceline::LogLevel::kDebug, __FILE__, __LINE__)
+#define LOG_INFO ::sliceline::internal::LogMessage(::sliceline::LogLevel::kInfo, __FILE__, __LINE__)
+#define LOG_WARNING ::sliceline::internal::LogMessage(::sliceline::LogLevel::kWarning, __FILE__, __LINE__)
+#define LOG_ERROR ::sliceline::internal::LogMessage(::sliceline::LogLevel::kError, __FILE__, __LINE__)
+#define LOG_FATAL ::sliceline::internal::LogMessage(::sliceline::LogLevel::kFatal, __FILE__, __LINE__)
+
+/// Internal invariant check; aborts with a message when violated. These guard
+/// programming errors, not user input (user input errors return Status).
+#define SLICELINE_CHECK(cond)                                        \
+  if (!(cond))                                                       \
+  ::sliceline::internal::LogMessage(::sliceline::LogLevel::kFatal,   \
+                                    __FILE__, __LINE__)              \
+      << "Check failed: " #cond " "
+
+#define SLICELINE_CHECK_EQ(a, b) SLICELINE_CHECK((a) == (b))
+#define SLICELINE_CHECK_NE(a, b) SLICELINE_CHECK((a) != (b))
+#define SLICELINE_CHECK_LT(a, b) SLICELINE_CHECK((a) < (b))
+#define SLICELINE_CHECK_LE(a, b) SLICELINE_CHECK((a) <= (b))
+#define SLICELINE_CHECK_GT(a, b) SLICELINE_CHECK((a) > (b))
+#define SLICELINE_CHECK_GE(a, b) SLICELINE_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define SLICELINE_DCHECK(cond) SLICELINE_CHECK(cond)
+#else
+#define SLICELINE_DCHECK(cond) \
+  while (false) SLICELINE_CHECK(cond)
+#endif
+
+}  // namespace sliceline
+
+#endif  // SLICELINE_COMMON_LOGGING_H_

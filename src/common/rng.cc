@@ -1,0 +1,117 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sliceline {
+
+namespace {
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97f4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  SLICELINE_CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  SLICELINE_CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  NextUint64(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (have_gaussian_) {
+    have_gaussian_ = false;
+    return next_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  next_gaussian_ = r * std::sin(theta);
+  have_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+size_t Rng::NextCategorical(const std::vector<double>& weights) {
+  SLICELINE_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    SLICELINE_DCHECK(w >= 0.0);
+    total += w;
+  }
+  SLICELINE_CHECK_GT(total, 0.0);
+  double u = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+size_t Rng::NextZipf(size_t n, double exponent) {
+  SLICELINE_CHECK_GT(n, 0u);
+  // Inverse-CDF on the normalized harmonic weights would be O(n) per draw;
+  // instead use rejection-free bucketed approximation: draw u and invert the
+  // continuous zipf CDF, clamping to [0, n).
+  const double u = NextDouble();
+  if (exponent == 1.0) {
+    const double h = std::log(static_cast<double>(n) + 1.0);
+    const double x = std::exp(u * h) - 1.0;
+    size_t r = static_cast<size_t>(x);
+    return r < n ? r : n - 1;
+  }
+  const double one_minus = 1.0 - exponent;
+  const double h = (std::pow(static_cast<double>(n) + 1.0, one_minus) - 1.0) /
+                   one_minus;
+  const double x = std::pow(u * h * one_minus + 1.0, 1.0 / one_minus) - 1.0;
+  size_t r = static_cast<size_t>(x);
+  return r < n ? r : n - 1;
+}
+
+}  // namespace sliceline

@@ -1,0 +1,66 @@
+#ifndef SLICELINE_COMMON_RNG_H_
+#define SLICELINE_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sliceline {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via
+/// splitmix64). All synthetic data in this repo is generated through this
+/// class so experiments are reproducible bit-for-bit across runs and
+/// platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound), bound > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Bernoulli draw with probability p of true.
+  bool NextBool(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to the
+  /// (non-negative) weights. Weights need not be normalized.
+  size_t NextCategorical(const std::vector<double>& weights);
+
+  /// Zipf-like draw in [0, n): probability of rank r proportional to
+  /// 1/(r+1)^exponent. Used for heavy-tailed category frequencies
+  /// (Criteo-like generators).
+  size_t NextZipf(size_t n, double exponent);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextUint64(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  bool have_gaussian_ = false;
+  double next_gaussian_ = 0.0;
+};
+
+}  // namespace sliceline
+
+#endif  // SLICELINE_COMMON_RNG_H_

@@ -1,0 +1,32 @@
+#ifndef SLICELINE_COMMON_STOPWATCH_H_
+#define SLICELINE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace sliceline {
+
+/// Wall-clock stopwatch used by the benchmark harness and per-level timing
+/// statistics. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sliceline
+
+#endif  // SLICELINE_COMMON_STOPWATCH_H_

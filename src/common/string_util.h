@@ -1,0 +1,38 @@
+#ifndef SLICELINE_COMMON_STRING_UTIL_H_
+#define SLICELINE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sliceline {
+
+/// Splits `s` on `delim`, keeping empty fields (CSV semantics).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins the elements with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parses a double; rejects trailing garbage.
+StatusOr<double> ParseDouble(std::string_view s);
+
+/// Parses a 64-bit integer; rejects trailing garbage.
+StatusOr<int64_t> ParseInt64(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a double with a fixed number of decimals (benchmark tables).
+std::string FormatDouble(double v, int decimals);
+
+/// Formats an integer with thousands separators ("1,234,567").
+std::string FormatWithCommas(int64_t v);
+
+}  // namespace sliceline
+
+#endif  // SLICELINE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,103 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace sliceline {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  if (num_threads <= 1) return;  // inline mode
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& body) {
+  ParallelForRange(count, [&body](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+void ThreadPool::ParallelForRange(
+    size_t count, const std::function<void(size_t, size_t)>& body) {
+  if (count == 0) return;
+  const size_t workers = num_threads();
+  if (workers <= 1 || count == 1) {
+    body(0, count);
+    return;
+  }
+  const size_t num_chunks = std::min(count, workers * 4);
+  const size_t chunk = (count + num_chunks - 1) / num_chunks;
+  std::atomic<size_t> remaining{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  size_t launched = 0;
+  for (size_t begin = 0; begin < count; begin += chunk) {
+    ++launched;
+  }
+  remaining.store(launched, std::memory_order_relaxed);
+  for (size_t begin = 0; begin < count; begin += chunk) {
+    const size_t end = std::min(begin + chunk, count);
+    Submit([&, begin, end] {
+      body(begin, end);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool* pool = [] {
+    size_t n = 0;
+    if (const char* env = std::getenv("SLICELINE_NUM_THREADS")) {
+      n = static_cast<size_t>(std::atoll(env));
+    }
+    return new ThreadPool(n);
+  }();
+  return *pool;
+}
+
+}  // namespace sliceline

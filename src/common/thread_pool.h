@@ -1,0 +1,56 @@
+#ifndef SLICELINE_COMMON_THREAD_POOL_H_
+#define SLICELINE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sliceline {
+
+/// Fixed-size worker pool for the task-parallel slice evaluation ("parfor"
+/// in Algorithm 1 line 17) and for data-parallel kernels. Degrades to inline
+/// execution with num_threads <= 1 so single-core machines pay no
+/// synchronization cost.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers; 0 means
+  /// hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.empty() ? 1 : threads_.size(); }
+
+  /// Runs body(i) for i in [0, count), blocking until all iterations finish.
+  /// Iterations are chunked to amortize dispatch overhead.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& body);
+
+  /// Runs body(begin, end) over disjoint ranges covering [0, count).
+  void ParallelForRange(
+      size_t count,
+      const std::function<void(size_t begin, size_t end)>& body);
+
+ private:
+  void Submit(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Shared process-wide pool sized from SLICELINE_NUM_THREADS (default:
+/// hardware concurrency).
+ThreadPool& GlobalThreadPool();
+
+}  // namespace sliceline
+
+#endif  // SLICELINE_COMMON_THREAD_POOL_H_

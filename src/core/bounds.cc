@@ -1,0 +1,54 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sliceline::core {
+
+namespace {
+
+/// Score upper bound at a specific hypothetical size s, using the
+/// size-dependent error bound se(s) = min(error_ub, s * max_error_ub).
+double BoundAt(const ScoringContext& context, const ParentBounds& bounds,
+               double s) {
+  if (s <= 0.0) return ScoringContext::kMinusInfinity;
+  const double se = std::min(bounds.error_ub, s * bounds.max_error_ub);
+  const double nd = static_cast<double>(context.n());
+  const double avg = context.average_error();
+  if (avg <= 0.0) return ScoringContext::kMinusInfinity;
+  return context.alpha() * ((se / s) / avg - 1.0) -
+         (1.0 - context.alpha()) * (nd / s - 1.0);
+}
+
+}  // namespace
+
+double UpperBoundScore(const ScoringContext& context, int64_t sigma,
+                       const ParentBounds& bounds) {
+  SLICELINE_DCHECK(sigma >= 1);
+  if (bounds.parents == 0) return ScoringContext::kMinusInfinity;
+  const double lo = static_cast<double>(sigma);
+  const double hi = static_cast<double>(bounds.size_ub);
+  if (hi < lo) return ScoringContext::kMinusInfinity;
+  if (bounds.error_ub <= 0.0) {
+    // No error mass can reach any child; only the size term remains, which
+    // is maximized at the largest feasible size.
+    return BoundAt(context, bounds, hi);
+  }
+  // The bound is piecewise monotone in s with a knee where the two error
+  // bounds cross (se_ub == s * sm_ub); evaluate the interval endpoints and
+  // the knee (clamped into [lo, hi], rounded both ways for safety).
+  double best = std::max(BoundAt(context, bounds, lo),
+                         BoundAt(context, bounds, hi));
+  if (bounds.max_error_ub > 0.0) {
+    const double knee = bounds.error_ub / bounds.max_error_ub;
+    for (double s : {std::floor(knee), std::ceil(knee)}) {
+      s = std::clamp(s, lo, hi);
+      best = std::max(best, BoundAt(context, bounds, s));
+    }
+  }
+  return best;
+}
+
+}  // namespace sliceline::core

@@ -1,0 +1,241 @@
+#include "core/candidates.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace sliceline::core {
+
+namespace {
+
+/// FNV-1a over the column ids; used as the dedup slice identity. This plays
+/// the role of the paper's ND-array-index slice IDs plus frame recoding
+/// (Section 4.3): the map compares full column vectors, so hash collisions
+/// cannot merge distinct slices.
+struct ColumnsVecHash {
+  size_t operator()(const std::vector<int64_t>& key) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (int64_t c : key) {
+      h ^= static_cast<uint64_t>(c);
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// A candidate being accumulated across generating parent pairs.
+struct Candidate {
+  ParentBounds bounds;
+  /// Distinct parent slice row ids seen so far (np of Equation 8 counts
+  /// distinct parents, while each pair contributes two).
+  std::vector<int32_t> parent_ids;
+};
+
+}  // namespace
+
+SliceSet GeneratePairCandidates(const SliceSet& prev,
+                                const EvalResult& prev_stats, int level,
+                                const ScoringContext& context, int64_t sigma,
+                                double score_threshold,
+                                const SliceLineConfig& config,
+                                const data::FeatureOffsets& offsets,
+                                std::vector<ParentBounds>* bounds_out,
+                                CandidateGenStats* gen_stats) {
+  SLICELINE_CHECK_GE(level, 2);
+  const int64_t parent_len = level - 1;
+  CandidateGenStats stats;
+
+  // Step 1: keep only valid parents (minimum support unless size pruning is
+  // ablated away, and non-zero error -- a zero-error parent cannot produce a
+  // positive-scoring child but the se > 0 filter is part of the problem
+  // definition and stays on in every ablation configuration).
+  std::vector<int32_t> valid;
+  for (int64_t i = 0; i < prev.size(); ++i) {
+    if (prev.Length(i) != parent_len) continue;
+    const bool size_ok =
+        !config.prune_size || prev_stats.sizes[i] >= static_cast<double>(sigma);
+    if (size_ok && prev_stats.error_sums[i] > 0.0) {
+      valid.push_back(static_cast<int32_t>(i));
+    }
+  }
+  const int64_t p = static_cast<int64_t>(valid.size());
+
+  // Accumulation state. Pairs are *streamed* (never materialized): each
+  // compatible pair is merged, validity-checked, and folded into its
+  // candidate immediately, so memory scales with surviving candidates, not
+  // with the O(p^2) pair count.
+  std::unordered_map<std::vector<int64_t>, Candidate, ColumnsVecHash> dedup;
+  std::vector<std::pair<std::vector<int64_t>, Candidate>> nodedup;
+  std::vector<int64_t> merged(static_cast<size_t>(level));
+
+  auto pair_bounds = [&](int32_t s1, int32_t s2) {
+    ParentBounds bounds;
+    bounds.AddParent(static_cast<int64_t>(prev_stats.sizes[s1]),
+                     prev_stats.error_sums[s1], prev_stats.max_errors[s1]);
+    bounds.AddParent(static_cast<int64_t>(prev_stats.sizes[s2]),
+                     prev_stats.error_sums[s2], prev_stats.max_errors[s2]);
+    return bounds;
+  };
+
+  // Early pruning at candidate creation: the Equation 3 bound is a minimum
+  // over parents, so it only tightens as more parents are folded in -- a
+  // candidate whose *pair* bound already fails the size or score test fails
+  // the final test as well and can be dropped without creating an entry.
+  auto pair_fails_forever = [&](const ParentBounds& bounds) {
+    if (config.prune_size && bounds.size_ub < sigma) return true;
+    if (config.prune_score) {
+      const double ub = UpperBoundScore(context, sigma, bounds);
+      if (!(ub > score_threshold && ub >= 0.0)) return true;
+    }
+    return false;
+  };
+
+  auto add_parent_once = [&](Candidate* cand, int32_t parent) {
+    if (std::find(cand->parent_ids.begin(), cand->parent_ids.end(), parent) !=
+        cand->parent_ids.end()) {
+      return;
+    }
+    cand->parent_ids.push_back(parent);
+    cand->bounds.AddParent(static_cast<int64_t>(prev_stats.sizes[parent]),
+                           prev_stats.error_sums[parent],
+                           prev_stats.max_errors[parent]);
+  };
+
+  // Processes one compatible parent pair (s1 < s2 as prev-row indices).
+  auto process_pair = [&](int32_t s1, int32_t s2) {
+    ++stats.pairs;
+    // Cheap pre-check before the merge: a pair whose own bound already
+    // fails can at most add parent information to an existing candidate,
+    // and that candidate's full-parent bound fails through this pair's
+    // minima as well, so the final filter removes it regardless.
+    if (pair_fails_forever(pair_bounds(s1, s2))) {
+      ++stats.pruned;
+      return;
+    }
+    // Sorted union of the two parents.
+    const int64_t* c1 = prev.Columns(s1);
+    const int64_t* c2 = prev.Columns(s2);
+    int64_t i1 = 0;
+    int64_t i2 = 0;
+    int64_t out = 0;
+    while (i1 < parent_len && i2 < parent_len && out < level) {
+      if (c1[i1] == c2[i2]) {
+        merged[out++] = c1[i1];
+        ++i1;
+        ++i2;
+      } else if (c1[i1] < c2[i2]) {
+        merged[out++] = c1[i1++];
+      } else {
+        merged[out++] = c2[i2++];
+      }
+    }
+    while (i1 < parent_len && out < level) merged[out++] = c1[i1++];
+    while (i2 < parent_len && out < level) merged[out++] = c2[i2++];
+    if (out != level || i1 != parent_len || i2 != parent_len) return;
+
+    // One predicate per feature: parents agree on the shared columns, so
+    // only the two differing columns can collide on a feature.
+    for (int64_t k = 1; k < level; ++k) {
+      if (offsets.FeatureOfColumn(merged[k - 1]) ==
+          offsets.FeatureOfColumn(merged[k])) {
+        return;
+      }
+    }
+
+    if (config.deduplicate) {
+      auto [it, inserted] = dedup.try_emplace(merged);
+      if (!inserted) ++stats.duplicates;
+      add_parent_once(&it->second, s1);
+      add_parent_once(&it->second, s2);
+    } else {
+      Candidate cand;
+      add_parent_once(&cand, s1);
+      add_parent_once(&cand, s2);
+      nodedup.emplace_back(merged, std::move(cand));
+    }
+  };
+
+  // Step 2+3: enumerate compatible pairs (|intersection| == L-2) and fold
+  // them in. For L == 2 every cross-feature pair of basic slices is
+  // compatible; for deeper levels column co-occurrences are counted through
+  // an inverted index, which touches exactly the non-zero entries of the
+  // S*S^T self-join product (Equation 6).
+  if (level == 2) {
+    for (int64_t a = 0; a < p; ++a) {
+      for (int64_t b = a + 1; b < p; ++b) {
+        process_pair(valid[a], valid[b]);
+      }
+    }
+  } else {
+    // Flat per-column inverted index over the one-hot column space (the
+    // non-zero structure of S^T); entries are ascending by construction.
+    std::vector<std::vector<int32_t>> column_index(
+        static_cast<size_t>(offsets.total));
+    for (int64_t a = 0; a < p; ++a) {
+      const int32_t s = valid[a];
+      for (int64_t k = 0; k < prev.Length(s); ++k) {
+        column_index[prev.Columns(s)[k]].push_back(static_cast<int32_t>(a));
+      }
+    }
+    std::vector<int32_t> overlap(static_cast<size_t>(p), 0);
+    std::vector<int32_t> touched;
+    for (int64_t a = 0; a < p; ++a) {
+      touched.clear();
+      const int32_t s = valid[a];
+      for (int64_t k = 0; k < prev.Length(s); ++k) {
+        const auto& list = column_index[prev.Columns(s)[k]];
+        // Only count positions after a (upper triangle of S S^T).
+        auto it = std::upper_bound(list.begin(), list.end(),
+                                   static_cast<int32_t>(a));
+        for (; it != list.end(); ++it) {
+          if (overlap[*it]++ == 0) touched.push_back(*it);
+        }
+      }
+      for (int32_t b : touched) {
+        if (overlap[b] == level - 2) process_pair(s, valid[b]);
+        overlap[b] = 0;
+      }
+    }
+  }
+
+  // Step 4: final Equation 9 pruning over the accumulated candidates.
+  SliceSet out;
+  bounds_out->clear();
+  auto finalize = [&](const std::vector<int64_t>& columns,
+                      const Candidate& cand) {
+    bool keep = true;
+    if (config.prune_size && cand.bounds.size_ub < sigma) keep = false;
+    if (keep && config.prune_parents && cand.bounds.parents != level) {
+      keep = false;
+    }
+    if (keep && config.prune_score) {
+      const double ub = UpperBoundScore(context, sigma, cand.bounds);
+      if (!(ub > score_threshold && ub >= 0.0)) keep = false;
+    }
+    if (!keep) {
+      ++stats.pruned;
+      return;
+    }
+    out.Add(columns);
+    bounds_out->push_back(cand.bounds);
+  };
+  if (config.deduplicate) {
+    // Hash-map iteration order is not deterministic across platforms; emit
+    // candidates in lexicographic column order so runs (and the two
+    // engines) agree on candidate order and top-K tie-breaking.
+    std::vector<const std::pair<const std::vector<int64_t>, Candidate>*>
+        ordered;
+    ordered.reserve(dedup.size());
+    for (const auto& entry : dedup) ordered.push_back(&entry);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+    for (const auto* entry : ordered) finalize(entry->first, entry->second);
+  } else {
+    for (const auto& [columns, cand] : nodedup) finalize(columns, cand);
+  }
+  if (gen_stats != nullptr) *gen_stats = stats;
+  return out;
+}
+
+}  // namespace sliceline::core

@@ -1,0 +1,47 @@
+#ifndef SLICELINE_CORE_CANDIDATES_H_
+#define SLICELINE_CORE_CANDIDATES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/evaluator.h"
+#include "core/scoring.h"
+#include "core/slice.h"
+#include "data/onehot.h"
+
+namespace sliceline::core {
+
+/// Counters describing one level's candidate generation.
+struct CandidateGenStats {
+  int64_t pairs = 0;        ///< compatible parent pairs joined
+  int64_t duplicates = 0;   ///< pair-products merged by deduplication
+  int64_t pruned = 0;       ///< candidates removed by Equation 9 pruning
+};
+
+/// Generates the level-L slice candidates from the evaluated level-(L-1)
+/// slices (Section 4.3): filters valid parents (ss >= sigma, se > 0), joins
+/// compatible pairs (overlap L-2, the S*S^T == L-2 self-join), discards
+/// slices with two predicates on one feature, deduplicates via slice
+/// identity, aggregates parent bounds as minima over all enumerated parents,
+/// and applies the Equation 9 pruning filter
+///   ss_ub >= sigma  &&  sc_ub > sc_k  &&  sc_ub >= 0  &&  np == L,
+/// with each conjunct controlled by the corresponding SliceLineConfig toggle
+/// (the Figure 3 ablation).
+///
+/// `prev` / `prev_stats` hold the evaluated slices of level L-1 (for L == 2,
+/// the valid basic slices). Returns the surviving candidates; their parent
+/// bounds are written to `bounds_out` (aligned), generation counters to
+/// `gen_stats` if non-null.
+SliceSet GeneratePairCandidates(const SliceSet& prev,
+                                const EvalResult& prev_stats, int level,
+                                const ScoringContext& context, int64_t sigma,
+                                double score_threshold,
+                                const SliceLineConfig& config,
+                                const data::FeatureOffsets& offsets,
+                                std::vector<ParentBounds>* bounds_out,
+                                CandidateGenStats* gen_stats);
+
+}  // namespace sliceline::core
+
+#endif  // SLICELINE_CORE_CANDIDATES_H_

@@ -1,0 +1,306 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace sliceline::core {
+
+void SliceSet::Add(const int64_t* begin, const int64_t* end) {
+  SLICELINE_DCHECK(std::is_sorted(begin, end));
+  columns_.insert(columns_.end(), begin, end);
+  offsets_.push_back(static_cast<int64_t>(columns_.size()));
+}
+
+void SliceSet::Reserve(int64_t slices, int64_t total_columns) {
+  offsets_.reserve(offsets_.size() + slices);
+  columns_.reserve(columns_.size() + total_columns);
+}
+
+SliceEvaluator::SliceEvaluator(const data::IntMatrix& x0,
+                               const data::FeatureOffsets& offsets,
+                               const std::vector<double>& errors)
+    : x0_(&x0), offsets_(&offsets), errors_(&errors) {
+  const int64_t n = x0.rows();
+  const int64_t m = x0.cols();
+  const int64_t l = offsets.total;
+  SLICELINE_CHECK_EQ(static_cast<int64_t>(errors.size()), n);
+  SLICELINE_CHECK_LT(n, std::numeric_limits<int32_t>::max());
+  for (double e : errors) {
+    SLICELINE_CHECK_GE(e, 0.0);
+    total_error_ += e;
+  }
+
+  // Build the CSC inverted index and the level-1 statistics in two passes.
+  basic_sizes_.assign(static_cast<size_t>(l), 0);
+  basic_error_sums_.assign(static_cast<size_t>(l), 0.0);
+  basic_max_errors_.assign(static_cast<size_t>(l), 0.0);
+  col_ptr_.assign(static_cast<size_t>(l) + 1, 0);
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t* row = x0.row(i);
+    const double e = errors[i];
+    for (int64_t j = 0; j < m; ++j) {
+      SLICELINE_CHECK(row[j] >= 1 && row[j] <= offsets.fdom[j])
+          << "X0 code out of domain at (" << i << "," << j << ")";
+      const int64_t c = offsets.fb[j] + row[j] - 1;
+      ++basic_sizes_[c];
+      basic_error_sums_[c] += e;
+      if (e > basic_max_errors_[c]) basic_max_errors_[c] = e;
+      ++col_ptr_[c + 1];
+    }
+  }
+  for (int64_t c = 0; c < l; ++c) col_ptr_[c + 1] += col_ptr_[c];
+  rows_.resize(static_cast<size_t>(n * m));
+  std::vector<int64_t> cursor(col_ptr_.begin(), col_ptr_.end() - 1);
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t* row = x0.row(i);
+    for (int64_t j = 0; j < m; ++j) {
+      const int64_t c = offsets_->fb[j] + row[j] - 1;
+      rows_[cursor[c]++] = static_cast<int32_t>(i);
+    }
+  }
+}
+
+void SliceEvaluator::EvaluateOne(const int64_t* cols, int64_t len,
+                                 double* size, double* error_sum,
+                                 double* max_error) const {
+  SLICELINE_DCHECK(len >= 1);
+  // Drive the scan from the rarest predicate's inverted list and verify the
+  // remaining predicates with O(1) probes into X0.
+  int64_t best = 0;
+  for (int64_t k = 1; k < len; ++k) {
+    if (col_ptr_[cols[k] + 1] - col_ptr_[cols[k]] <
+        col_ptr_[cols[best] + 1] - col_ptr_[cols[best]]) {
+      best = k;
+    }
+  }
+  struct Predicate {
+    int feature;
+    int32_t code;
+  };
+  // Small inline buffer for the common shallow-lattice case.
+  Predicate inline_preds[16];
+  std::vector<Predicate> heap_preds;
+  Predicate* preds = inline_preds;
+  if (len - 1 > 16) {
+    heap_preds.resize(static_cast<size_t>(len - 1));
+    preds = heap_preds.data();
+  }
+  int64_t num_preds = 0;
+  for (int64_t k = 0; k < len; ++k) {
+    if (k == best) continue;
+    const int f = offsets_->FeatureOfColumn(cols[k]);
+    preds[num_preds++] = {f, offsets_->CodeOfColumn(cols[k])};
+  }
+  double ss = 0.0;
+  double se = 0.0;
+  double sm = 0.0;
+  const int64_t drive = cols[best];
+  for (int64_t p = col_ptr_[drive]; p < col_ptr_[drive + 1]; ++p) {
+    const int32_t r = rows_[p];
+    bool match = true;
+    for (int64_t k = 0; k < num_preds; ++k) {
+      if (x0_->At(r, preds[k].feature) != preds[k].code) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      const double e = (*errors_)[r];
+      ss += 1.0;
+      se += e;
+      if (e > sm) sm = e;
+    }
+  }
+  *size = ss;
+  *error_sum = se;
+  *max_error = sm;
+}
+
+void SliceEvaluator::EvaluateIndex(const SliceSet& set, bool parallel,
+                                   EvalResult* out) const {
+  const int64_t count = set.size();
+  auto body = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      EvaluateOne(set.Columns(i), set.Length(i), &out->sizes[i],
+                  &out->error_sums[i], &out->max_errors[i]);
+    }
+  };
+  if (parallel) {
+    GlobalThreadPool().ParallelForRange(static_cast<size_t>(count), body);
+  } else {
+    body(0, static_cast<size_t>(count));
+  }
+}
+
+void SliceEvaluator::EvaluateScanBlock(const SliceSet& set, int block_size,
+                                       bool parallel, EvalResult* out) const {
+  const int64_t count = set.size();
+  const int64_t n = x0_->rows();
+  const int64_t m = x0_->cols();
+  const int b = std::max(1, block_size);
+
+  for (int64_t block_begin = 0; block_begin < count; block_begin += b) {
+    const int64_t block_end = std::min<int64_t>(block_begin + b, count);
+    const int64_t bs = block_end - block_begin;
+    // Column -> slices-in-block adjacency, plus required match counts.
+    // (This mirrors the paper's X * S_b^T product: each row contributes one
+    // count per matching predicate; a row is in slice s iff count == L_s.)
+    std::vector<std::vector<int32_t>> col_slices(
+        static_cast<size_t>(offsets_->total));
+    std::vector<int32_t> lengths(static_cast<size_t>(bs));
+    for (int64_t s = block_begin; s < block_end; ++s) {
+      lengths[s - block_begin] = static_cast<int32_t>(set.Length(s));
+      for (int64_t k = 0; k < set.Length(s); ++k) {
+        col_slices[set.Columns(s)[k]].push_back(
+            static_cast<int32_t>(s - block_begin));
+      }
+    }
+
+    struct Partial {
+      std::vector<double> ss, se, sm;
+    };
+    auto scan = [&](int64_t row_begin, int64_t row_end, Partial* acc) {
+      std::vector<int32_t> counts(static_cast<size_t>(bs), 0);
+      std::vector<int32_t> touched;
+      touched.reserve(static_cast<size_t>(bs));
+      for (int64_t i = row_begin; i < row_end; ++i) {
+        const int32_t* row = x0_->row(i);
+        touched.clear();
+        for (int64_t j = 0; j < m; ++j) {
+          const int64_t c = offsets_->fb[j] + row[j] - 1;
+          for (int32_t s : col_slices[c]) {
+            if (counts[s]++ == 0) touched.push_back(s);
+          }
+        }
+        const double e = (*errors_)[i];
+        for (int32_t s : touched) {
+          if (counts[s] == lengths[s]) {
+            acc->ss[s] += 1.0;
+            acc->se[s] += e;
+            if (e > acc->sm[s]) acc->sm[s] = e;
+          }
+          counts[s] = 0;
+        }
+      }
+    };
+
+    auto merge_into = [&](const Partial& acc) {
+      for (int64_t s = 0; s < bs; ++s) {
+        out->sizes[block_begin + s] += acc.ss[s];
+        out->error_sums[block_begin + s] += acc.se[s];
+        out->max_errors[block_begin + s] =
+            std::max(out->max_errors[block_begin + s], acc.sm[s]);
+      }
+    };
+
+    if (parallel && GlobalThreadPool().num_threads() > 1) {
+      std::mutex merge_mutex;
+      GlobalThreadPool().ParallelForRange(
+          static_cast<size_t>(n), [&](size_t rb, size_t re) {
+            Partial acc;
+            acc.ss.assign(static_cast<size_t>(bs), 0.0);
+            acc.se.assign(static_cast<size_t>(bs), 0.0);
+            acc.sm.assign(static_cast<size_t>(bs), 0.0);
+            scan(static_cast<int64_t>(rb), static_cast<int64_t>(re), &acc);
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            merge_into(acc);
+          });
+    } else {
+      Partial acc;
+      acc.ss.assign(static_cast<size_t>(bs), 0.0);
+      acc.se.assign(static_cast<size_t>(bs), 0.0);
+      acc.sm.assign(static_cast<size_t>(bs), 0.0);
+      scan(0, n, &acc);
+      merge_into(acc);
+    }
+  }
+}
+
+void SliceEvaluator::EvaluateBitset(const SliceSet& set, bool parallel,
+                                    EvalResult* out) const {
+  const int64_t n = x0_->rows();
+  const size_t words = static_cast<size_t>((n + 63) / 64);
+
+  // Serial pre-pass: materialize bitmaps for every distinct column that is
+  // not cached yet (lazy, so ultra-wide one-hot spaces only pay for the
+  // columns candidate slices actually touch).
+  {
+    std::lock_guard<std::mutex> lock(bitmap_mutex_);
+    for (int64_t s = 0; s < set.size(); ++s) {
+      for (int64_t k = 0; k < set.Length(s); ++k) {
+        const int64_t c = set.Columns(s)[k];
+        auto [it, inserted] = bitmaps_.try_emplace(c);
+        if (!inserted) continue;
+        it->second.assign(words, 0);
+        for (int64_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
+          const int32_t r = rows_[p];
+          it->second[r >> 6] |= uint64_t{1} << (r & 63);
+        }
+      }
+    }
+  }
+
+  auto body = [&](size_t begin, size_t end) {
+    std::vector<uint64_t> acc(words);
+    for (size_t s = begin; s < end; ++s) {
+      const int64_t len = set.Length(s);
+      const int64_t* cols = set.Columns(s);
+      const std::vector<uint64_t>& first = bitmaps_.at(cols[0]);
+      std::copy(first.begin(), first.end(), acc.begin());
+      for (int64_t k = 1; k < len; ++k) {
+        const std::vector<uint64_t>& bm = bitmaps_.at(cols[k]);
+        for (size_t w = 0; w < words; ++w) acc[w] &= bm[w];
+      }
+      double ss = 0.0;
+      double se = 0.0;
+      double sm = 0.0;
+      for (size_t w = 0; w < words; ++w) {
+        uint64_t bits = acc[w];
+        while (bits != 0) {
+          const int bit = __builtin_ctzll(bits);
+          bits &= bits - 1;
+          const int64_t r = static_cast<int64_t>(w) * 64 + bit;
+          const double e = (*errors_)[r];
+          ss += 1.0;
+          se += e;
+          if (e > sm) sm = e;
+        }
+      }
+      out->sizes[s] = ss;
+      out->error_sums[s] = se;
+      out->max_errors[s] = sm;
+    }
+  };
+  if (parallel) {
+    GlobalThreadPool().ParallelForRange(static_cast<size_t>(set.size()), body);
+  } else {
+    body(0, static_cast<size_t>(set.size()));
+  }
+}
+
+EvalResult SliceEvaluator::Evaluate(const SliceSet& set,
+                                    const SliceLineConfig& config) const {
+  EvalResult out;
+  const size_t count = static_cast<size_t>(set.size());
+  out.sizes.assign(count, 0.0);
+  out.error_sums.assign(count, 0.0);
+  out.max_errors.assign(count, 0.0);
+  if (count == 0) return out;
+  switch (config.eval_strategy) {
+    case SliceLineConfig::EvalStrategy::kIndex:
+      EvaluateIndex(set, config.parallel, &out);
+      break;
+    case SliceLineConfig::EvalStrategy::kScanBlock:
+      EvaluateScanBlock(set, config.eval_block_size, config.parallel, &out);
+      break;
+    case SliceLineConfig::EvalStrategy::kBitset:
+      EvaluateBitset(set, config.parallel, &out);
+      break;
+  }
+  return out;
+}
+
+}  // namespace sliceline::core

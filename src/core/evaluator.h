@@ -1,0 +1,134 @@
+#ifndef SLICELINE_CORE_EVALUATOR_H_
+#define SLICELINE_CORE_EVALUATOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/slice.h"
+#include "data/int_matrix.h"
+#include "data/onehot.h"
+
+namespace sliceline::core {
+
+/// A flat set of candidate slices, each a sorted list of one-hot column ids
+/// (the rows of the paper's S matrix).
+class SliceSet {
+ public:
+  SliceSet() : offsets_{0} {}
+
+  /// Appends a slice given as sorted, distinct one-hot columns.
+  void Add(const int64_t* begin, const int64_t* end);
+  void Add(const std::vector<int64_t>& columns) {
+    Add(columns.data(), columns.data() + columns.size());
+  }
+
+  int64_t size() const { return static_cast<int64_t>(offsets_.size()) - 1; }
+  int64_t Length(int64_t i) const { return offsets_[i + 1] - offsets_[i]; }
+  const int64_t* Columns(int64_t i) const {
+    return columns_.data() + offsets_[i];
+  }
+
+  void Reserve(int64_t slices, int64_t total_columns);
+
+ private:
+  std::vector<int64_t> offsets_;
+  std::vector<int64_t> columns_;
+};
+
+/// Evaluation output, aligned with the slice set (the paper's ss, se, sm).
+struct EvalResult {
+  std::vector<double> sizes;
+  std::vector<double> error_sums;
+  std::vector<double> max_errors;
+};
+
+/// Abstract slice-evaluation backend: everything the enumeration driver
+/// needs from the data side. Implemented by the local SliceEvaluator and by
+/// the simulated distributed evaluator in dist/.
+class EvaluatorBackend {
+ public:
+  virtual ~EvaluatorBackend() = default;
+
+  /// Evaluates every slice of `set` (sizes, error sums, max errors).
+  virtual EvalResult Evaluate(const SliceSet& set,
+                              const SliceLineConfig& config) const = 0;
+
+  /// Level-1 statistics per one-hot column (Equation 4).
+  virtual const std::vector<int64_t>& basic_sizes() const = 0;
+  virtual const std::vector<double>& basic_error_sums() const = 0;
+  virtual const std::vector<double>& basic_max_errors() const = 0;
+
+  virtual int64_t n() const = 0;
+  virtual double total_error() const = 0;
+  virtual const data::FeatureOffsets& offsets() const = 0;
+};
+
+/// Evaluates slice candidates against a dataset (Section 4.4's
+/// I = (X * S^T == L) with ss/se/sm aggregations). Holds the inverted
+/// one-hot index (the CSC view of X) plus the raw codes for O(1) predicate
+/// checks, and implements both the per-slice intersection strategy and the
+/// scan-shared block strategy whose block size b Figure 6(b) sweeps.
+class SliceEvaluator : public EvaluatorBackend {
+ public:
+  SliceEvaluator(const data::IntMatrix& x0,
+                 const data::FeatureOffsets& offsets,
+                 const std::vector<double>& errors);
+
+  /// Evaluates every slice of `set` using config's strategy/block size.
+  EvalResult Evaluate(const SliceSet& set,
+                      const SliceLineConfig& config) const override;
+
+  /// Level-1 statistics per one-hot column (Equation 4): sizes ss0,
+  /// error sums se0, and maximum tuple errors sm0.
+  const std::vector<int64_t>& basic_sizes() const override {
+    return basic_sizes_;
+  }
+  const std::vector<double>& basic_error_sums() const override {
+    return basic_error_sums_;
+  }
+  const std::vector<double>& basic_max_errors() const override {
+    return basic_max_errors_;
+  }
+
+  int64_t n() const override { return x0_->rows(); }
+  double total_error() const override { return total_error_; }
+  const data::FeatureOffsets& offsets() const override { return *offsets_; }
+
+ private:
+  void EvaluateIndex(const SliceSet& set, bool parallel, EvalResult* out) const;
+  void EvaluateScanBlock(const SliceSet& set, int block_size, bool parallel,
+                         EvalResult* out) const;
+  void EvaluateBitset(const SliceSet& set, bool parallel,
+                      EvalResult* out) const;
+  /// Evaluates one slice by scanning the shortest inverted list and probing
+  /// the remaining predicates in X0.
+  void EvaluateOne(const int64_t* cols, int64_t len, double* size,
+                   double* error_sum, double* max_error) const;
+
+  const data::IntMatrix* x0_;
+  const data::FeatureOffsets* offsets_;
+  const std::vector<double>* errors_;
+  double total_error_ = 0.0;
+
+  // CSC inverted index of the one-hot matrix: rows_[col_ptr_[c]..col_ptr_[c+1])
+  // lists the rows whose one-hot encoding contains column c, ascending.
+  std::vector<int64_t> col_ptr_;
+  std::vector<int32_t> rows_;
+
+  // Lazily materialized per-column row bitmaps for the kBitset strategy
+  // (only columns that appear in evaluated slices are built, which keeps
+  // ultra-wide datasets affordable). Guarded by bitmap_mutex_ during the
+  // serial fill pass at the start of each Evaluate call.
+  mutable std::unordered_map<int64_t, std::vector<uint64_t>> bitmaps_;
+  mutable std::mutex bitmap_mutex_;
+
+  std::vector<int64_t> basic_sizes_;
+  std::vector<double> basic_error_sums_;
+  std::vector<double> basic_max_errors_;
+};
+
+}  // namespace sliceline::core
+
+#endif  // SLICELINE_CORE_EVALUATOR_H_

@@ -1,0 +1,110 @@
+#include "core/exhaustive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "core/scoring.h"
+#include "core/topk.h"
+
+namespace sliceline::core {
+
+namespace {
+
+struct DfsState {
+  const data::IntMatrix* x0;
+  const std::vector<double>* errors;
+  const ScoringContext* context;
+  int64_t sigma;
+  int max_level;
+  TopK* topk;
+  int64_t enumerated = 0;
+  std::vector<std::pair<int, int32_t>> predicates;
+};
+
+/// Extends the current slice with one predicate on each feature >= `feature`,
+/// recursing on the filtered row set.
+void Dfs(DfsState& state, int feature, const std::vector<int32_t>& rows) {
+  const data::IntMatrix& x0 = *state.x0;
+  const int m = static_cast<int>(x0.cols());
+  if (static_cast<int>(state.predicates.size()) >= state.max_level) return;
+  for (int f = feature; f < m; ++f) {
+    // Partition the candidate rows by this feature's code.
+    int32_t dom = 0;
+    for (int32_t r : rows) dom = std::max(dom, x0.At(r, f));
+    std::vector<std::vector<int32_t>> buckets(static_cast<size_t>(dom));
+    for (int32_t r : rows) buckets[x0.At(r, f) - 1].push_back(r);
+    for (int32_t code = 1; code <= dom; ++code) {
+      const std::vector<int32_t>& subset = buckets[code - 1];
+      if (static_cast<int64_t>(subset.size()) < state.sigma) continue;
+      double se = 0.0;
+      double sm = 0.0;
+      for (int32_t r : subset) {
+        const double e = (*state.errors)[r];
+        se += e;
+        if (e > sm) sm = e;
+      }
+      ++state.enumerated;
+      state.predicates.emplace_back(f, code);
+      const double score =
+          state.context->Score(static_cast<int64_t>(subset.size()), se);
+      if (score > 0.0) {
+        Slice slice;
+        slice.predicates = state.predicates;
+        slice.stats = {score, se, sm, static_cast<int64_t>(subset.size())};
+        state.topk->Offer(std::move(slice));
+      }
+      Dfs(state, f + 1, subset);
+      state.predicates.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<SliceLineResult> RunExhaustive(const data::IntMatrix& x0,
+                                        const std::vector<double>& errors,
+                                        const SliceLineConfig& config) {
+  if (x0.rows() == 0 || x0.cols() == 0) {
+    return Status::InvalidArgument("empty feature matrix");
+  }
+  if (static_cast<int64_t>(errors.size()) != x0.rows()) {
+    return Status::InvalidArgument("error vector size mismatch");
+  }
+  Stopwatch watch;
+  const int64_t n = x0.rows();
+  double total_error = 0.0;
+  for (double e : errors) total_error += e;
+
+  SliceLineResult result;
+  result.min_support = ResolveMinSupport(config, n);
+  result.average_error = total_error / static_cast<double>(n);
+  if (total_error <= 0.0) {
+    result.total_seconds = watch.ElapsedSeconds();
+    return result;
+  }
+  const ScoringContext context(n, total_error, config.alpha);
+  TopK topk(config.k, result.min_support);
+
+  DfsState state;
+  state.x0 = &x0;
+  state.errors = &errors;
+  state.context = &context;
+  state.sigma = result.min_support;
+  state.max_level = config.max_level > 0
+                        ? std::min<int>(config.max_level,
+                                        static_cast<int>(x0.cols()))
+                        : static_cast<int>(x0.cols());
+  state.topk = &topk;
+
+  std::vector<int32_t> all_rows(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) all_rows[i] = static_cast<int32_t>(i);
+  Dfs(state, 0, all_rows);
+
+  result.top_k = topk.Slices();
+  result.total_evaluated = state.enumerated;
+  result.total_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace sliceline::core

@@ -1,0 +1,24 @@
+#ifndef SLICELINE_CORE_EXHAUSTIVE_H_
+#define SLICELINE_CORE_EXHAUSTIVE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/slice.h"
+#include "data/int_matrix.h"
+
+namespace sliceline::core {
+
+/// Brute-force exact slice finder: depth-first enumeration of every
+/// conjunction with support >= sigma (support monotonicity is the only
+/// pruning, so it cannot miss any feasible slice). Used as the correctness
+/// oracle in tests -- SliceLine's exactness claim means its top-K scores must
+/// match this enumerator's on every input -- and as a naive baseline in the
+/// ablation benchmarks. Exponential; intended for small datasets only.
+StatusOr<SliceLineResult> RunExhaustive(const data::IntMatrix& x0,
+                                        const std::vector<double>& errors,
+                                        const SliceLineConfig& config);
+
+}  // namespace sliceline::core
+
+#endif  // SLICELINE_CORE_EXHAUSTIVE_H_

@@ -1,0 +1,50 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace sliceline::core {
+
+std::string FormatResult(const SliceLineResult& result,
+                         const std::vector<std::string>& feature_names) {
+  std::ostringstream os;
+  os << "Top-" << result.top_k.size() << " slices (sigma="
+     << result.min_support
+     << ", avg error=" << FormatDouble(result.average_error, 4) << "):\n";
+  if (result.top_k.empty()) {
+    os << "  (no slice satisfies score > 0 and |S| >= sigma)\n";
+  }
+  for (size_t i = 0; i < result.top_k.size(); ++i) {
+    os << "  #" << (i + 1) << "  " << result.top_k[i].ToString(feature_names)
+       << "\n";
+  }
+  os << "Enumeration:\n";
+  for (const LevelStats& level : result.levels) {
+    os << "  level " << level.level << ": candidates="
+       << FormatWithCommas(level.candidates)
+       << " valid=" << FormatWithCommas(level.valid)
+       << " pruned=" << FormatWithCommas(level.pruned)
+       << " time=" << FormatDouble(level.seconds, 3) << "s\n";
+  }
+  os << "Total: " << FormatWithCommas(result.total_evaluated)
+     << " slices evaluated in " << FormatDouble(result.total_seconds, 3)
+     << "s\n";
+  return os.str();
+}
+
+std::string SummarizeResult(const SliceLineResult& result) {
+  std::ostringstream os;
+  if (result.top_k.empty()) {
+    os << "top-1: none";
+  } else {
+    os << "top-1 score=" << FormatDouble(result.top_k[0].stats.score, 4)
+       << " size=" << result.top_k[0].stats.size;
+  }
+  os << " | levels=" << result.levels.size()
+     << " evaluated=" << FormatWithCommas(result.total_evaluated)
+     << " time=" << FormatDouble(result.total_seconds, 3) << "s";
+  return os.str();
+}
+
+}  // namespace sliceline::core

@@ -1,0 +1,22 @@
+#ifndef SLICELINE_CORE_REPORT_H_
+#define SLICELINE_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/slice.h"
+#include "data/encoded_dataset.h"
+
+namespace sliceline::core {
+
+/// Renders the top-K table (rank, predicates, score, size, errors) plus the
+/// per-level enumeration statistics, using the dataset's feature names when
+/// available. This is the human-facing output of the examples.
+std::string FormatResult(const SliceLineResult& result,
+                         const std::vector<std::string>& feature_names = {});
+
+/// One-line summary: "top-1 score=... size=... | levels=... evaluated=...".
+std::string SummarizeResult(const SliceLineResult& result);
+
+}  // namespace sliceline::core
+
+#endif  // SLICELINE_CORE_REPORT_H_

@@ -1,0 +1,93 @@
+#ifndef SLICELINE_CORE_SLICE_H_
+#define SLICELINE_CORE_SLICE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/encoded_dataset.h"
+#include "data/onehot.h"
+
+namespace sliceline::core {
+
+/// Statistics of an evaluated slice (the columns of the paper's R matrix:
+/// score, total error, maximum tuple error, size).
+struct SliceStats {
+  double score = 0.0;
+  double error_sum = 0.0;  ///< se: sum of tuple errors in the slice
+  double max_error = 0.0;  ///< sm: maximum tuple error in the slice
+  int64_t size = 0;        ///< |S|: number of matching rows
+};
+
+/// A decoded slice: conjunction of (feature index, 1-based code) predicates,
+/// sorted by feature index, plus its statistics. This mirrors one row of the
+/// paper's TS (integer-encoded, zeros = free features) and TR outputs.
+struct Slice {
+  std::vector<std::pair<int, int32_t>> predicates;
+  SliceStats stats;
+
+  int level() const { return static_cast<int>(predicates.size()); }
+
+  /// Renders e.g. "sex=2 ∧ degree=16 [score=0.35 size=120 err=57.0]";
+  /// feature names are optional.
+  std::string ToString(const std::vector<std::string>& feature_names = {}) const;
+
+  /// True if `row` of x0 satisfies all predicates.
+  bool Matches(const data::IntMatrix& x0, int64_t row) const;
+};
+
+/// Parameters of the slice-finding problem and of the enumeration engine.
+struct SliceLineConfig {
+  // -- problem parameters (Definition 2) --
+  int k = 4;               ///< top-K slices to return
+  double alpha = 0.95;     ///< error/size weight in (0, 1]; paper's default
+  int64_t min_support = 0; ///< sigma; 0 = max(32, ceil(n/100))
+  int max_level = 0;       ///< ceil(L); 0 = unbounded (i.e. m)
+
+  // -- pruning toggles (Section 3.2; the Figure 3 ablation switches these) --
+  bool prune_size = true;     ///< upper-bound size pruning (|S|_ub >= sigma)
+  bool prune_score = true;    ///< upper-bound score pruning (vs 0 and sc_k)
+  bool prune_parents = true;  ///< missing-parent handling (np == L)
+  bool deduplicate = true;    ///< merge duplicate pair-generated candidates
+
+  // -- execution (Section 4.4) --
+  /// Block size b of the hybrid scan-shared evaluation; only used by the
+  /// kScanBlock strategy. b=1 degenerates to task-parallel per-slice scans,
+  /// huge b to one data-parallel scan.
+  int eval_block_size = 16;
+  enum class EvalStrategy {
+    kIndex,      ///< per-slice sorted inverted-list intersection (default)
+    kScanBlock,  ///< scan-shared row sweep over blocks of b slices
+    kBitset,     ///< per-slice AND of lazily built per-column row bitmaps
+  };
+  EvalStrategy eval_strategy = EvalStrategy::kIndex;
+  bool parallel = true;  ///< use the global thread pool for evaluation
+};
+
+/// Per-level enumeration statistics (Figures 3/4 and Table 2 report these).
+struct LevelStats {
+  int level = 0;
+  int64_t candidates = 0;  ///< slices evaluated at this level
+  int64_t valid = 0;       ///< evaluated slices with ss >= sigma && se > 0
+  int64_t pruned = 0;      ///< generated candidates removed before evaluation
+  double seconds = 0.0;    ///< elapsed wall-clock for the level
+};
+
+/// Full output of a SliceLine run.
+struct SliceLineResult {
+  std::vector<Slice> top_k;  ///< sorted by descending score
+  std::vector<LevelStats> levels;
+  double total_seconds = 0.0;
+  double average_error = 0.0;  ///< e-bar over the full dataset
+  int64_t min_support = 0;     ///< resolved sigma
+  int64_t total_evaluated = 0; ///< sum of per-level candidates
+};
+
+/// Resolves the effective minimum support: config value, or the paper's
+/// default max(32, ceil(n/100)) when unset.
+int64_t ResolveMinSupport(const SliceLineConfig& config, int64_t n);
+
+}  // namespace sliceline::core
+
+#endif  // SLICELINE_CORE_SLICE_H_

@@ -1,0 +1,149 @@
+#include "core/slice_analysis.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace sliceline::core {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double SliceJaccard(const Slice& a, const Slice& b,
+                    const data::IntMatrix& x0) {
+  int64_t in_a = 0;
+  int64_t in_b = 0;
+  int64_t in_both = 0;
+  for (int64_t i = 0; i < x0.rows(); ++i) {
+    const bool ma = a.Matches(x0, i);
+    const bool mb = b.Matches(x0, i);
+    in_a += ma;
+    in_b += mb;
+    in_both += ma && mb;
+  }
+  const int64_t in_union = in_a + in_b - in_both;
+  return in_union == 0 ? 0.0
+                       : static_cast<double>(in_both) /
+                             static_cast<double>(in_union);
+}
+
+SliceAnalysis AnalyzeSlices(const std::vector<Slice>& slices,
+                            const data::IntMatrix& x0,
+                            const std::vector<double>& errors) {
+  SLICELINE_CHECK_EQ(static_cast<int64_t>(errors.size()), x0.rows());
+  SliceAnalysis analysis;
+  const size_t k = slices.size();
+  if (k == 0) return analysis;
+
+  // One pass over rows computing membership per slice.
+  std::vector<std::vector<uint8_t>> member(
+      k, std::vector<uint8_t>(static_cast<size_t>(x0.rows()), 0));
+  double total_error = 0.0;
+  double covered_error = 0.0;
+  analysis.error_shares.assign(k, 0.0);
+  for (int64_t i = 0; i < x0.rows(); ++i) {
+    total_error += errors[i];
+    bool any = false;
+    for (size_t s = 0; s < k; ++s) {
+      if (slices[s].Matches(x0, i)) {
+        member[s][i] = 1;
+        analysis.error_shares[s] += errors[i];
+        any = true;
+      }
+    }
+    if (any) {
+      ++analysis.covered_rows;
+      covered_error += errors[i];
+    }
+  }
+  if (total_error > 0.0) {
+    analysis.covered_error_share = covered_error / total_error;
+    for (double& share : analysis.error_shares) share /= total_error;
+  }
+
+  // Pairwise Jaccard from the membership bitmaps.
+  analysis.pairwise_jaccard.reserve(k * (k - 1) / 2);
+  for (size_t a = 0; a < k; ++a) {
+    for (size_t b = a + 1; b < k; ++b) {
+      int64_t inter = 0;
+      int64_t uni = 0;
+      for (int64_t i = 0; i < x0.rows(); ++i) {
+        const bool ma = member[a][i] != 0;
+        const bool mb = member[b][i] != 0;
+        inter += ma && mb;
+        uni += ma || mb;
+      }
+      analysis.pairwise_jaccard.push_back(
+          uni == 0 ? 0.0
+                   : static_cast<double>(inter) / static_cast<double>(uni));
+    }
+  }
+  return analysis;
+}
+
+std::string ResultToJson(const SliceLineResult& result,
+                         const std::vector<std::string>& feature_names) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"min_support\": " << result.min_support << ",\n";
+  os << "  \"average_error\": " << result.average_error << ",\n";
+  os << "  \"total_seconds\": " << result.total_seconds << ",\n";
+  os << "  \"total_evaluated\": " << result.total_evaluated << ",\n";
+  os << "  \"slices\": [\n";
+  for (size_t i = 0; i < result.top_k.size(); ++i) {
+    const Slice& slice = result.top_k[i];
+    os << "    {\"predicates\": [";
+    for (size_t p = 0; p < slice.predicates.size(); ++p) {
+      const auto& [feature, code] = slice.predicates[p];
+      std::string name = feature >= 0 &&
+                                 feature < static_cast<int>(
+                                               feature_names.size())
+                             ? feature_names[feature]
+                             : "F" + std::to_string(feature);
+      os << (p > 0 ? ", " : "") << "{\"feature\": \"" << JsonEscape(name)
+         << "\", \"index\": " << feature << ", \"value\": " << code << "}";
+    }
+    os << "], \"score\": " << slice.stats.score
+       << ", \"size\": " << slice.stats.size
+       << ", \"error_sum\": " << slice.stats.error_sum
+       << ", \"max_error\": " << slice.stats.max_error << "}"
+       << (i + 1 < result.top_k.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"levels\": [\n";
+  for (size_t i = 0; i < result.levels.size(); ++i) {
+    const LevelStats& level = result.levels[i];
+    os << "    {\"level\": " << level.level
+       << ", \"candidates\": " << level.candidates
+       << ", \"valid\": " << level.valid << ", \"pruned\": " << level.pruned
+       << ", \"seconds\": " << level.seconds << "}"
+       << (i + 1 < result.levels.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace sliceline::core

@@ -1,0 +1,185 @@
+#include "core/sliceline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "core/candidates.h"
+#include "core/evaluator.h"
+#include "core/scoring.h"
+#include "core/topk.h"
+
+namespace sliceline::core {
+
+namespace {
+
+/// Decodes a slice's one-hot columns into (feature, code) predicates.
+std::vector<std::pair<int, int32_t>> DecodeColumns(
+    const data::FeatureOffsets& offsets, const int64_t* cols, int64_t len) {
+  std::vector<std::pair<int, int32_t>> preds;
+  preds.reserve(static_cast<size_t>(len));
+  for (int64_t k = 0; k < len; ++k) {
+    preds.emplace_back(offsets.FeatureOfColumn(cols[k]),
+                       offsets.CodeOfColumn(cols[k]));
+  }
+  return preds;
+}
+
+Status ValidateInputs(const data::IntMatrix& x0,
+                      const std::vector<double>& errors,
+                      const SliceLineConfig& config) {
+  if (x0.rows() == 0 || x0.cols() == 0) {
+    return Status::InvalidArgument("empty feature matrix");
+  }
+  if (static_cast<int64_t>(errors.size()) != x0.rows()) {
+    return Status::InvalidArgument(
+        "error vector size " + std::to_string(errors.size()) +
+        " does not match " + std::to_string(x0.rows()) + " rows");
+  }
+  for (double e : errors) {
+    if (!(e >= 0.0) || std::isnan(e)) {
+      return Status::InvalidArgument("errors must be non-negative and finite");
+    }
+  }
+  if (!(config.alpha > 0.0 && config.alpha <= 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (config.min_support < 0) {
+    return Status::InvalidArgument("min_support must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<SliceLineResult> RunSliceLine(const data::IntMatrix& x0,
+                                       const std::vector<double>& errors,
+                                       const SliceLineConfig& config) {
+  SLICELINE_RETURN_NOT_OK(ValidateInputs(x0, errors, config));
+  const data::FeatureOffsets offsets = data::ComputeOffsets(x0);
+  const SliceEvaluator evaluator(x0, offsets, errors);
+  return RunSliceLineWithBackend(evaluator, config);
+}
+
+StatusOr<SliceLineResult> RunSliceLineWithBackend(
+    const EvaluatorBackend& evaluator, const SliceLineConfig& config) {
+  if (!(config.alpha > 0.0 && config.alpha <= 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  Stopwatch total_watch;
+
+  const data::FeatureOffsets& offsets = evaluator.offsets();
+  const int64_t n = evaluator.n();
+  const int64_t sigma = ResolveMinSupport(config, n);
+  const ScoringContext context(n, evaluator.total_error(), config.alpha);
+
+  SliceLineResult result;
+  result.min_support = sigma;
+  result.average_error = context.average_error();
+  if (evaluator.total_error() <= 0.0) {
+    // A perfect model has no problematic slices.
+    result.total_seconds = total_watch.ElapsedSeconds();
+    return result;
+  }
+
+  TopK topk(config.k, sigma);
+  const int max_level =
+      config.max_level > 0
+          ? std::min<int>(config.max_level, offsets.num_features())
+          : offsets.num_features();
+
+  // -- Level 1: create and score basic slices (Section 4.2). --
+  Stopwatch level_watch;
+  SliceSet prev;
+  EvalResult prev_stats;
+  LevelStats level1;
+  level1.level = 1;
+  level1.candidates = offsets.total;  // all one-hot features are considered
+  for (int64_t c = 0; c < offsets.total; ++c) {
+    const int64_t ss = evaluator.basic_sizes()[c];
+    const double se = evaluator.basic_error_sums()[c];
+    const bool valid = ss >= sigma && se > 0.0;
+    if (valid) ++level1.valid;
+    const bool keep = (!config.prune_size || ss >= sigma) && se > 0.0;
+    if (!keep) {
+      ++level1.pruned;
+      continue;
+    }
+    prev.Add(&c, &c + 1);
+    prev_stats.sizes.push_back(static_cast<double>(ss));
+    prev_stats.error_sums.push_back(se);
+    prev_stats.max_errors.push_back(evaluator.basic_max_errors()[c]);
+    const double score = context.Score(ss, se);
+    if (score > 0.0 && ss >= sigma) {
+      Slice slice;
+      slice.predicates = DecodeColumns(offsets, &c, 1);
+      slice.stats = {score, se, evaluator.basic_max_errors()[c], ss};
+      topk.Offer(std::move(slice));
+    }
+  }
+  level1.seconds = level_watch.ElapsedSeconds();
+  result.levels.push_back(level1);
+  result.total_evaluated += level1.candidates;
+
+  // -- Levels 2..max: enumerate, evaluate, maintain top-K. --
+  for (int level = 2; level <= max_level && prev.size() > 0; ++level) {
+    level_watch.Reset();
+    std::vector<ParentBounds> bounds;
+    CandidateGenStats gen_stats;
+    SliceSet cands = GeneratePairCandidates(
+        prev, prev_stats, level, context, sigma, topk.Threshold(), config,
+        offsets, &bounds, &gen_stats);
+    if (cands.size() == 0) {
+      LevelStats stats;
+      stats.level = level;
+      stats.pruned = gen_stats.pruned;
+      stats.seconds = level_watch.ElapsedSeconds();
+      result.levels.push_back(stats);
+      break;
+    }
+
+    EvalResult eval = evaluator.Evaluate(cands, config);
+
+    LevelStats stats;
+    stats.level = level;
+    stats.candidates = cands.size();
+    stats.pruned = gen_stats.pruned;
+    for (int64_t i = 0; i < cands.size(); ++i) {
+      const int64_t ss = static_cast<int64_t>(eval.sizes[i]);
+      const double se = eval.error_sums[i];
+      if (ss >= sigma && se > 0.0) ++stats.valid;
+      const double score = context.Score(ss, se);
+      if (score > 0.0 && ss >= sigma) {
+        Slice slice;
+        slice.predicates = DecodeColumns(offsets, cands.Columns(i),
+                                         cands.Length(i));
+        slice.stats = {score, se, eval.max_errors[i], ss};
+        topk.Offer(std::move(slice));
+      }
+    }
+    stats.seconds = level_watch.ElapsedSeconds();
+    result.levels.push_back(stats);
+    result.total_evaluated += stats.candidates;
+
+    prev = std::move(cands);
+    prev_stats = std::move(eval);
+  }
+
+  result.top_k = topk.Slices();
+  result.total_seconds = total_watch.ElapsedSeconds();
+  return result;
+}
+
+StatusOr<SliceLineResult> RunSliceLine(const data::EncodedDataset& dataset,
+                                       const SliceLineConfig& config) {
+  if (dataset.errors.empty()) {
+    return Status::InvalidArgument(
+        "dataset has no materialized error vector; train a model via "
+        "ml::TrainAndMaterializeErrors or use a generator");
+  }
+  return RunSliceLine(dataset.x0, dataset.errors, config);
+}
+
+}  // namespace sliceline::core

@@ -1,0 +1,37 @@
+#ifndef SLICELINE_CORE_SLICELINE_H_
+#define SLICELINE_CORE_SLICELINE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/slice.h"
+#include "data/encoded_dataset.h"
+#include "data/int_matrix.h"
+
+namespace sliceline::core {
+
+/// Runs the SliceLine enumeration (Algorithm 1) over an integer-encoded
+/// feature matrix and its row-aligned error vector: one-hot preparation,
+/// basic-slice initialization, level-wise candidate generation with the
+/// Section 3.2 pruning, vectorized evaluation, and top-K maintenance.
+/// This is the native engine; see sliceline_la.h for the linear-algebra
+/// transliteration that executes the same logic with CsrMatrix kernels.
+StatusOr<SliceLineResult> RunSliceLine(const data::IntMatrix& x0,
+                                       const std::vector<double>& errors,
+                                       const SliceLineConfig& config);
+
+/// Convenience overload using a prepared dataset's features and errors.
+StatusOr<SliceLineResult> RunSliceLine(const data::EncodedDataset& dataset,
+                                       const SliceLineConfig& config);
+
+class EvaluatorBackend;  // core/evaluator.h
+
+/// Runs the enumeration against any evaluation backend. This is how the
+/// simulated distributed executor (dist/) reuses the exact same level-wise
+/// enumeration, pruning, and top-K logic with sharded evaluation.
+StatusOr<SliceLineResult> RunSliceLineWithBackend(
+    const EvaluatorBackend& evaluator, const SliceLineConfig& config);
+
+}  // namespace sliceline::core
+
+#endif  // SLICELINE_CORE_SLICELINE_H_

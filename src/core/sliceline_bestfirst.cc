@@ -1,0 +1,158 @@
+#include "core/sliceline_bestfirst.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/stopwatch.h"
+#include "core/bounds.h"
+#include "core/evaluator.h"
+#include "core/scoring.h"
+#include "core/topk.h"
+
+namespace sliceline::core {
+
+namespace {
+
+struct QueueEntry {
+  double bound;                  ///< upper bound on any strict descendant
+  std::vector<int64_t> columns;  ///< one-hot columns of the slice
+  int last_feature;              ///< highest bound feature (-1 for root)
+  int64_t size;                  ///< |S| of this slice (n for the root)
+
+  bool operator<(const QueueEntry& other) const {
+    return bound < other.bound;  // max-heap on the bound
+  }
+};
+
+std::vector<std::pair<int, int32_t>> DecodeColumns(
+    const data::FeatureOffsets& offsets, const std::vector<int64_t>& cols) {
+  std::vector<std::pair<int, int32_t>> preds;
+  preds.reserve(cols.size());
+  for (int64_t c : cols) {
+    preds.emplace_back(offsets.FeatureOfColumn(c), offsets.CodeOfColumn(c));
+  }
+  return preds;
+}
+
+}  // namespace
+
+StatusOr<SliceLineResult> RunSliceLineBestFirst(
+    const data::IntMatrix& x0, const std::vector<double>& errors,
+    const SliceLineConfig& config) {
+  if (x0.rows() == 0 || x0.cols() == 0) {
+    return Status::InvalidArgument("empty feature matrix");
+  }
+  if (static_cast<int64_t>(errors.size()) != x0.rows()) {
+    return Status::InvalidArgument("error vector size mismatch");
+  }
+  if (!(config.alpha > 0.0 && config.alpha <= 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  for (double e : errors) {
+    if (!(e >= 0.0) || std::isnan(e)) {
+      return Status::InvalidArgument("errors must be non-negative and finite");
+    }
+  }
+  Stopwatch total_watch;
+
+  const data::FeatureOffsets offsets = data::ComputeOffsets(x0);
+  const SliceEvaluator evaluator(x0, offsets, errors);
+  const int64_t n = x0.rows();
+  const int64_t sigma = ResolveMinSupport(config, n);
+  const int m = offsets.num_features();
+  const int max_level =
+      config.max_level > 0 ? std::min(config.max_level, m) : m;
+
+  SliceLineResult result;
+  result.min_support = sigma;
+  result.average_error =
+      evaluator.total_error() / static_cast<double>(n);
+  if (evaluator.total_error() <= 0.0) {
+    result.total_seconds = total_watch.ElapsedSeconds();
+    return result;
+  }
+  const ScoringContext context(n, evaluator.total_error(), config.alpha);
+  TopK topk(config.k, sigma);
+
+  // Per-depth evaluation counters, reported through LevelStats.
+  std::vector<int64_t> evaluated_at_level(static_cast<size_t>(max_level) + 1,
+                                          0);
+
+  std::priority_queue<QueueEntry> queue;
+  queue.push(QueueEntry{std::numeric_limits<double>::infinity(), {}, -1, n});
+
+  while (!queue.empty()) {
+    QueueEntry entry = queue.top();
+    queue.pop();
+    // Admissible-bound early exit: nothing left can beat the K-th score
+    // (or reach a positive score at all).
+    if (entry.bound <= std::max(topk.Threshold(), 0.0)) break;
+    const int level = static_cast<int>(entry.columns.size()) + 1;
+    if (level > max_level) continue;
+
+    // Expand: one extra predicate on each feature after the last bound one.
+    SliceSet children;
+    std::vector<std::vector<int64_t>> child_columns;
+    for (int f = entry.last_feature + 1; f < m; ++f) {
+      for (int32_t code = 1; code <= offsets.fdom[f]; ++code) {
+        std::vector<int64_t> cols = entry.columns;
+        cols.push_back(offsets.ColumnOf(f, code));
+        children.Add(cols);
+        child_columns.push_back(std::move(cols));
+      }
+    }
+    if (children.size() == 0) continue;
+    EvalResult stats = evaluator.Evaluate(children, config);
+    evaluated_at_level[level] += children.size();
+
+    for (int64_t i = 0; i < children.size(); ++i) {
+      const int64_t size = static_cast<int64_t>(stats.sizes[i]);
+      const double se = stats.error_sums[i];
+      if (size < sigma) continue;  // size monotone: no valid descendants
+      const double score = context.Score(size, se);
+      if (score > 0.0) {
+        Slice slice;
+        slice.predicates = DecodeColumns(offsets, child_columns[i]);
+        slice.stats = {score, se, stats.max_errors[i], size};
+        topk.Offer(std::move(slice));
+      }
+      if (se <= 0.0 || level >= max_level) continue;
+      // Bound on descendants from the child's own (exact) statistics.
+      ParentBounds bounds;
+      bounds.AddParent(size, se, stats.max_errors[i]);
+      const double bound = UpperBoundScore(context, sigma, bounds);
+      if (bound > std::max(topk.Threshold(), 0.0)) {
+        const int last_feature =
+            offsets.FeatureOfColumn(child_columns[i].back());
+        queue.push(QueueEntry{bound, std::move(child_columns[i]),
+                              last_feature, size});
+      }
+    }
+  }
+
+  for (int level = 1; level <= max_level; ++level) {
+    if (evaluated_at_level[level] == 0 && level > 1) continue;
+    LevelStats stats;
+    stats.level = level;
+    stats.candidates = evaluated_at_level[level];
+    result.levels.push_back(stats);
+    result.total_evaluated += evaluated_at_level[level];
+  }
+  result.top_k = topk.Slices();
+  result.total_seconds = total_watch.ElapsedSeconds();
+  return result;
+}
+
+StatusOr<SliceLineResult> RunSliceLineBestFirst(
+    const data::EncodedDataset& dataset, const SliceLineConfig& config) {
+  if (dataset.errors.empty()) {
+    return Status::InvalidArgument(
+        "dataset has no materialized error vector; train a model via "
+        "ml::TrainAndMaterializeErrors or use a generator");
+  }
+  return RunSliceLineBestFirst(dataset.x0, dataset.errors, config);
+}
+
+}  // namespace sliceline::core

@@ -1,0 +1,43 @@
+#ifndef SLICELINE_CORE_SLICELINE_LA_H_
+#define SLICELINE_CORE_SLICELINE_LA_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/slice.h"
+#include "data/encoded_dataset.h"
+#include "data/int_matrix.h"
+
+namespace sliceline::core {
+
+/// Linear-algebra transliteration of Algorithm 1: every enumeration step is
+/// expressed with the CsrMatrix kernels of linalg/ exactly as the paper's
+/// DML script expresses them with SystemDS operations -- one-hot encoding via
+/// table(), basic slices via colSums / e^T X, the pair self-join via
+/// upper.tri((S S^T) == L-2), pair merging via selection-matrix products
+/// P = ((P1 S) + (P2 S)) != 0, and blocked slice evaluation via
+/// I = ((X S^T) == L) with colSums / e^T I / colMaxs(I * e) aggregations.
+///
+/// Two documented deviations from the literal script:
+///  * at level 2 the overlap target is 0, which in a sparse self-join output
+///    is an implicit zero, so level-2 pairs are formed directly from all
+///    feature-compatible basic-slice pairs (SystemDS relies on a dense
+///    (M == 0) comparison there);
+///  * slice-ID deduplication uses hashed column-set identity instead of the
+///    ND-array index plus frame recoding, which is the same mapping without
+///    the overflow workaround.
+///
+/// Results are identical to RunSliceLine (tests assert this); the engines
+/// differ only in execution strategy, which is what the paper's
+/// "ML systems comparison" (R vs SystemDS) measures.
+StatusOr<SliceLineResult> RunSliceLineLA(const data::IntMatrix& x0,
+                                         const std::vector<double>& errors,
+                                         const SliceLineConfig& config);
+
+/// Convenience overload using a prepared dataset's features and errors.
+StatusOr<SliceLineResult> RunSliceLineLA(const data::EncodedDataset& dataset,
+                                         const SliceLineConfig& config);
+
+}  // namespace sliceline::core
+
+#endif  // SLICELINE_CORE_SLICELINE_LA_H_

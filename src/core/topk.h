@@ -1,0 +1,38 @@
+#ifndef SLICELINE_CORE_TOPK_H_
+#define SLICELINE_CORE_TOPK_H_
+
+#include <vector>
+
+#include "core/slice.h"
+
+namespace sliceline::core {
+
+/// Maintains the running top-K slices (Section 4.5). Only slices satisfying
+/// the problem constraints (score > 0 and size >= sigma) are admitted; the
+/// K-th score is exposed as the monotonically increasing pruning threshold
+/// sc_k of Equation 9.
+class TopK {
+ public:
+  TopK(int k, int64_t min_support);
+
+  /// Offers a slice; inserted if it qualifies and beats the current K-th.
+  void Offer(Slice slice);
+
+  /// Current pruning threshold: the K-th best score when the set is full,
+  /// otherwise 0 (every admissible slice must score > 0 regardless).
+  double Threshold() const;
+
+  bool Full() const { return static_cast<int>(slices_.size()) >= k_; }
+
+  /// Slices in descending score order.
+  const std::vector<Slice>& Slices() const { return slices_; }
+
+ private:
+  int k_;
+  int64_t min_support_;
+  std::vector<Slice> slices_;  // kept sorted descending by score
+};
+
+}  // namespace sliceline::core
+
+#endif  // SLICELINE_CORE_TOPK_H_

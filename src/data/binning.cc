@@ -1,0 +1,61 @@
+#include "data/binning.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace sliceline::data {
+
+StatusOr<EquiWidthBinner> EquiWidthBinner::Fit(
+    const std::vector<double>& values, int num_bins) {
+  if (num_bins < 1) return Status::InvalidArgument("num_bins must be >= 1");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  bool any_finite = false;
+  bool any_missing = false;
+  for (double v : values) {
+    if (std::isnan(v)) {
+      any_missing = true;
+      continue;
+    }
+    any_finite = true;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!any_finite) {
+    return Status::InvalidArgument("cannot bin a column with no finite values");
+  }
+  return EquiWidthBinner(lo, hi, num_bins, any_missing);
+}
+
+int32_t EquiWidthBinner::Encode(double v) const {
+  if (std::isnan(v)) {
+    return has_missing_bin_ ? static_cast<int32_t>(num_bins_ + 1) : 1;
+  }
+  if (hi_ == lo_) return 1;
+  const double t = (v - lo_) / (hi_ - lo_);
+  int32_t bin = static_cast<int32_t>(t * num_bins_) + 1;
+  if (bin < 1) bin = 1;
+  if (bin > num_bins_) bin = num_bins_;
+  return bin;
+}
+
+std::vector<int32_t> EquiWidthBinner::EncodeAll(
+    const std::vector<double>& values) const {
+  std::vector<int32_t> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(Encode(v));
+  return out;
+}
+
+std::string EquiWidthBinner::BinLabel(int32_t code) const {
+  if (has_missing_bin_ && code == num_bins_ + 1) return "<missing>";
+  const double width = (hi_ - lo_) / num_bins_;
+  const double b = lo_ + (code - 1) * width;
+  const double e = code == num_bins_ ? hi_ : b + width;
+  return "[" + FormatDouble(b, 3) + ", " + FormatDouble(e, 3) +
+         (code == num_bins_ ? "]" : ")");
+}
+
+}  // namespace sliceline::data

@@ -1,0 +1,53 @@
+#ifndef SLICELINE_DATA_BINNING_H_
+#define SLICELINE_DATA_BINNING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sliceline::data {
+
+/// Equi-width binner for continuous features (Section 5.1 preprocesses
+/// continuous features into 10 equi-width bins). Maps doubles to 1-based bin
+/// codes; NaN (missing) maps to a dedicated extra bin.
+class EquiWidthBinner {
+ public:
+  /// Fits bin edges from the finite values of `values`. `num_bins` >= 1.
+  static StatusOr<EquiWidthBinner> Fit(const std::vector<double>& values,
+                                       int num_bins);
+
+  /// Total domain including the missing bin if one was needed.
+  int32_t domain() const {
+    return static_cast<int32_t>(num_bins_ + (has_missing_bin_ ? 1 : 0));
+  }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  int num_bins() const { return num_bins_; }
+
+  /// Bin code of a value, in [1, domain()]. Out-of-range values clamp to the
+  /// first/last bin; NaN maps to the missing bin (or bin 1 if none).
+  int32_t Encode(double v) const;
+
+  /// Encodes a full column.
+  std::vector<int32_t> EncodeAll(const std::vector<double>& values) const;
+
+  /// Human-readable label of a bin code, e.g. "[3.5, 4.2)".
+  std::string BinLabel(int32_t code) const;
+
+ private:
+  EquiWidthBinner(double lo, double hi, int num_bins, bool has_missing_bin)
+      : lo_(lo), hi_(hi), num_bins_(num_bins),
+        has_missing_bin_(has_missing_bin) {}
+
+  double lo_;
+  double hi_;
+  int num_bins_;
+  bool has_missing_bin_;
+};
+
+}  // namespace sliceline::data
+
+#endif  // SLICELINE_DATA_BINNING_H_

@@ -1,0 +1,43 @@
+#include "data/column.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace sliceline::data {
+
+Column::Column(std::string name, std::vector<double> values)
+    : name_(std::move(name)),
+      type_(ColumnType::kNumeric),
+      numeric_(std::move(values)) {}
+
+Column::Column(std::string name, std::vector<std::string> values)
+    : name_(std::move(name)),
+      type_(ColumnType::kCategorical),
+      categorical_(std::move(values)) {}
+
+int64_t Column::size() const {
+  return is_numeric() ? static_cast<int64_t>(numeric_.size())
+                      : static_cast<int64_t>(categorical_.size());
+}
+
+const std::vector<double>& Column::numeric() const {
+  SLICELINE_CHECK(is_numeric()) << "column '" << name_ << "' is categorical";
+  return numeric_;
+}
+
+const std::vector<std::string>& Column::categorical() const {
+  SLICELINE_CHECK(!is_numeric()) << "column '" << name_ << "' is numeric";
+  return categorical_;
+}
+
+std::string Column::ValueToString(int64_t i) const {
+  if (is_numeric()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", numeric_[i]);
+    return buf;
+  }
+  return categorical_[i];
+}
+
+}  // namespace sliceline::data

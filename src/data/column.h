@@ -1,0 +1,48 @@
+#ifndef SLICELINE_DATA_COLUMN_H_
+#define SLICELINE_DATA_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sliceline::data {
+
+/// Physical type of a frame column.
+enum class ColumnType {
+  kNumeric,      ///< double values (continuous features, labels)
+  kCategorical,  ///< string categories (to be recoded)
+};
+
+/// A named, typed column of a Frame. Exactly one of the two value vectors is
+/// populated, matching type().
+class Column {
+ public:
+  /// Creates a numeric column.
+  Column(std::string name, std::vector<double> values);
+  /// Creates a categorical (string) column.
+  Column(std::string name, std::vector<std::string> values);
+
+  const std::string& name() const { return name_; }
+  ColumnType type() const { return type_; }
+  int64_t size() const;
+
+  bool is_numeric() const { return type_ == ColumnType::kNumeric; }
+
+  const std::vector<double>& numeric() const;
+  const std::vector<std::string>& categorical() const;
+
+  /// Renders row i as a string (for CSV output and reports).
+  std::string ValueToString(int64_t i) const;
+
+ private:
+  std::string name_;
+  ColumnType type_;
+  std::vector<double> numeric_;
+  std::vector<std::string> categorical_;
+};
+
+}  // namespace sliceline::data
+
+#endif  // SLICELINE_DATA_COLUMN_H_

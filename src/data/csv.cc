@@ -1,0 +1,117 @@
+#include "data/csv.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace sliceline::data {
+
+namespace {
+
+bool LooksNumeric(const std::string& field) {
+  return ParseDouble(field).ok();
+}
+
+}  // namespace
+
+StatusOr<Frame> ParseCsv(const std::string& content,
+                         const CsvOptions& options) {
+  std::vector<std::vector<std::string>> cells;
+  std::istringstream in(content);
+  std::string line;
+  size_t width = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, options.delimiter);
+    for (auto& f : fields) f = std::string(Trim(f));
+    if (width == 0) {
+      width = fields.size();
+    } else if (fields.size() != width) {
+      return Status::InvalidArgument(
+          "ragged CSV: expected " + std::to_string(width) + " fields, got " +
+          std::to_string(fields.size()) + " in line '" + line + "'");
+    }
+    cells.push_back(std::move(fields));
+  }
+  if (cells.empty()) return Status::InvalidArgument("empty CSV input");
+
+  std::vector<std::string> names;
+  size_t first_row = 0;
+  if (options.has_header) {
+    names = cells[0];
+    first_row = 1;
+  } else {
+    for (size_t j = 0; j < width; ++j) names.push_back("C" + std::to_string(j));
+  }
+  const size_t n = cells.size() - first_row;
+
+  Frame frame;
+  for (size_t j = 0; j < width; ++j) {
+    bool numeric = true;
+    for (size_t i = first_row; i < cells.size(); ++i) {
+      const std::string& f = cells[i][j];
+      if (f.empty() || f == options.missing_marker) continue;
+      if (!LooksNumeric(f)) {
+        numeric = false;
+        break;
+      }
+    }
+    Status st;
+    if (numeric) {
+      std::vector<double> vals;
+      vals.reserve(n);
+      for (size_t i = first_row; i < cells.size(); ++i) {
+        const std::string& f = cells[i][j];
+        if (f.empty() || f == options.missing_marker) {
+          vals.push_back(std::numeric_limits<double>::quiet_NaN());
+        } else {
+          vals.push_back(ParseDouble(f).value());
+        }
+      }
+      st = frame.AddColumn(Column(names[j], std::move(vals)));
+    } else {
+      std::vector<std::string> vals;
+      vals.reserve(n);
+      for (size_t i = first_row; i < cells.size(); ++i) {
+        const std::string& f = cells[i][j];
+        vals.push_back(f.empty() ? options.missing_marker : f);
+      }
+      st = frame.AddColumn(Column(names[j], std::move(vals)));
+    }
+    if (!st.ok()) return st;
+  }
+  return frame;
+}
+
+StatusOr<Frame> ReadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str(), options);
+}
+
+Status WriteCsv(const Frame& frame, const std::string& path, char delimiter) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot write '" + path + "'");
+  for (int64_t j = 0; j < frame.num_columns(); ++j) {
+    if (j > 0) out << delimiter;
+    out << frame.column(j).name();
+  }
+  out << "\n";
+  for (int64_t i = 0; i < frame.num_rows(); ++i) {
+    for (int64_t j = 0; j < frame.num_columns(); ++j) {
+      if (j > 0) out << delimiter;
+      out << frame.column(j).ValueToString(i);
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IoError("error while writing '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace sliceline::data

@@ -1,0 +1,34 @@
+#ifndef SLICELINE_DATA_CSV_H_
+#define SLICELINE_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/frame.h"
+
+namespace sliceline::data {
+
+/// Options for ReadCsv.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// A column is inferred numeric only if every non-missing field parses as a
+  /// number; otherwise it is categorical. Missing fields ("" or "?") become
+  /// NaN (numeric) or the literal "?" (categorical).
+  std::string missing_marker = "?";
+};
+
+/// Reads a delimited text file into a Frame, inferring per-column types.
+StatusOr<Frame> ReadCsv(const std::string& path, const CsvOptions& options = {});
+
+/// Parses CSV content from a string (testing convenience).
+StatusOr<Frame> ParseCsv(const std::string& content,
+                         const CsvOptions& options = {});
+
+/// Writes a frame as CSV with a header row.
+Status WriteCsv(const Frame& frame, const std::string& path,
+                char delimiter = ',');
+
+}  // namespace sliceline::data
+
+#endif  // SLICELINE_DATA_CSV_H_

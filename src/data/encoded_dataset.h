@@ -1,0 +1,59 @@
+#ifndef SLICELINE_DATA_ENCODED_DATASET_H_
+#define SLICELINE_DATA_ENCODED_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/int_matrix.h"
+
+namespace sliceline::data {
+
+/// Prediction task type of a dataset.
+enum class Task {
+  kRegression,
+  kClassification,
+};
+
+/// A ground-truth problematic slice planted by a synthetic generator:
+/// rows matching all (feature, code) predicates received elevated error.
+struct PlantedSlice {
+  /// Pairs of (feature index, 1-based code).
+  std::vector<std::pair<int, int32_t>> predicates;
+  /// Multiplier / flip probability applied to the matching rows' errors.
+  double severity = 2.0;
+};
+
+/// A fully prepared slice-finding input: integer-encoded features, labels,
+/// task type, and (for synthetic data) the generator's ground truth. This is
+/// what Table 1 of the paper characterizes per dataset.
+struct EncodedDataset {
+  std::string name;
+  IntMatrix x0;              ///< n x m feature codes, 1-based per column.
+  std::vector<double> y;     ///< labels: target (regression) or class id.
+  Task task = Task::kClassification;
+  int num_classes = 2;       ///< classification only.
+
+  std::vector<std::string> feature_names;           ///< size m (optional).
+  std::vector<PlantedSlice> planted;                ///< synthetic only.
+
+  /// Pre-materialized model errors e >= 0 (squared loss or inaccuracy),
+  /// row-aligned with x0. Generators fill this with the errors of the
+  /// simulated model so benchmarks match the paper's setup (errors are
+  /// materialized before slice finding); examples instead train a real model
+  /// via ml/ and overwrite it.
+  std::vector<double> errors;
+
+  int64_t n() const { return x0.rows(); }
+  int64_t m() const { return x0.cols(); }
+
+  /// Total one-hot width l = sum of feature domains.
+  int64_t OneHotWidth() const {
+    int64_t l = 0;
+    for (int32_t d : x0.ColMaxs()) l += d;
+    return l;
+  }
+};
+
+}  // namespace sliceline::data
+
+#endif  // SLICELINE_DATA_ENCODED_DATASET_H_

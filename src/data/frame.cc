@@ -1,0 +1,40 @@
+#include "data/frame.h"
+
+namespace sliceline::data {
+
+Status Frame::AddColumn(Column column) {
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument(
+        "column '" + column.name() + "' has " +
+        std::to_string(column.size()) + " rows, frame has " +
+        std::to_string(num_rows()));
+  }
+  for (const Column& c : columns_) {
+    if (c.name() == column.name()) {
+      return Status::InvalidArgument("duplicate column name '" +
+                                     column.name() + "'");
+    }
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+StatusOr<int64_t> Frame::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return static_cast<int64_t>(i);
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+StatusOr<Frame> Frame::DropColumn(const std::string& name) const {
+  SLICELINE_ASSIGN_OR_RETURN(int64_t idx, ColumnIndex(name));
+  Frame out;
+  for (int64_t i = 0; i < num_columns(); ++i) {
+    if (i == idx) continue;
+    Status st = out.AddColumn(columns_[i]);
+    if (!st.ok()) return st;
+  }
+  return out;
+}
+
+}  // namespace sliceline::data

@@ -1,0 +1,41 @@
+#ifndef SLICELINE_DATA_FRAME_H_
+#define SLICELINE_DATA_FRAME_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/column.h"
+
+namespace sliceline::data {
+
+/// A small columnar table: the raw-data representation before recoding /
+/// binning / one-hot encoding. Mirrors the role of a SystemDS frame.
+class Frame {
+ public:
+  Frame() = default;
+
+  /// Appends a column; all columns must have equal length.
+  Status AddColumn(Column column);
+
+  int64_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  int64_t num_columns() const { return static_cast<int64_t>(columns_.size()); }
+
+  const Column& column(int64_t i) const { return columns_[i]; }
+
+  /// Finds a column by name.
+  StatusOr<int64_t> ColumnIndex(const std::string& name) const;
+
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Returns a copy without the named column (used to drop label/ID columns
+  /// before encoding).
+  StatusOr<Frame> DropColumn(const std::string& name) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace sliceline::data
+
+#endif  // SLICELINE_DATA_FRAME_H_

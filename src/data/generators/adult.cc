@@ -1,0 +1,76 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/generators/generators.h"
+#include "data/generators/planted_slices.h"
+
+namespace sliceline::data {
+
+// Adult-like census income dataset: 14 features whose domains sum to the
+// paper's one-hot width l=162, a 2-class label, a mix of large and small
+// slices (the paper notes Adult shows good pruning and early termination),
+// and mild correlation between the education feature and its binned numeric
+// twin (as in the real data).
+EncodedDataset MakeAdult(const DatasetOptions& options) {
+  const int64_t n = internal::ResolveRows(options, 32561);
+  Rng rng(options.seed + 1);
+
+  // Domains per feature; sum = 162 (Table 1's l for Adult).
+  const std::vector<int32_t> domains = {10, 8,  10, 16, 16, 7,  14,
+                                        6,  5,  2,  10, 10, 10, 38};
+  EncodedDataset ds;
+  ds.name = "adult";
+  ds.task = Task::kClassification;
+  ds.num_classes = 2;
+  ds.x0 = IntMatrix(n, static_cast<int64_t>(domains.size()));
+  ds.feature_names = {"age_bin",     "workclass",    "fnlwgt_bin",
+                      "education",   "edu_num_bin",  "marital",
+                      "occupation",  "relationship", "race",
+                      "sex",         "cap_gain_bin", "cap_loss_bin",
+                      "hours_bin",   "country"};
+
+  // Independent skewed features.
+  for (size_t j = 0; j < domains.size(); ++j) {
+    if (j == 4) continue;  // filled from education below
+    const double zipf = (j == 13) ? 1.3 : (j == 6 || j == 1) ? 0.6 : 0.3;
+    FillCategorical(ds.x0, static_cast<int>(j), domains[j], zipf, rng);
+  }
+  // Age / capital-gain / capital-loss bins are correlated in the real data;
+  // the aligned codes keep mid-size slices alive through deeper lattice
+  // levels (Adult terminates late, at level 12 of 14, in the paper).
+  FillCorrelatedGroup(ds.x0, {0, 10, 11}, {10, 10, 10}, 0.25, rng);
+  // edu_num_bin tracks education with 15% noise (real-data correlation).
+  for (int64_t i = 0; i < n; ++i) {
+    int32_t edu = ds.x0.At(i, 3);  // 1..16
+    int32_t code = rng.NextBool(0.15)
+                       ? static_cast<int32_t>(rng.NextUint64(16)) + 1
+                       : edu;
+    ds.x0.At(i, 4) = code;
+  }
+
+  ds.y.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    // Income depends on education and hours with noise: ~24% positive class.
+    const double logit = -2.2 + 0.12 * ds.x0.At(i, 3) + 0.08 * ds.x0.At(i, 12);
+    const double p = 1.0 / (1.0 + std::exp(-logit));
+    ds.y[i] = rng.NextBool(p) ? 1.0 : 0.0;
+  }
+
+  // Planted problematic subgroups (mirrors the paper's motivating
+  // "gender female and degree PhD" style slices).
+  ds.planted.push_back(PlantedSlice{{{9, 2}, {3, 16}}, 1.6});          // sex=2, education=16
+  ds.planted.push_back(PlantedSlice{{{5, 3}, {6, 7}}, 1.3});           // marital=3, occupation=7
+  ds.planted.push_back(PlantedSlice{{{8, 5}, {9, 1}, {0, 9}}, 1.8});   // race=5, sex=1, age_bin=9
+
+  // Bake the planted difficulty into the labels so trained models
+  // genuinely struggle on these slices (held-out debugging works).
+  InjectPlantedDifficulty(&ds, 0.0, 0.25, rng);
+
+  ErrorSimOptions err;
+  err.base_rate = 0.14;
+  err.planted_rate = 0.42;
+  ds.errors = SimulateModelErrors(ds, err, rng);
+  return ds;
+}
+
+}  // namespace sliceline::data

@@ -1,0 +1,78 @@
+#include "common/rng.h"
+#include "data/generators/generators.h"
+#include "data/generators/planted_slices.h"
+
+namespace sliceline::data {
+
+// Covtype-like forest-cover dataset: 10 binned continuous features (10 bins
+// each), 4 binary wilderness indicators, and 40 binary soil-type indicators,
+// for l = 100 + 8 + 80 = 188 (Table 1). As in the real data exactly one
+// wilderness and one soil indicator is set per row, which creates the strong
+// correlations (conjunctions of many "absent" indicators remain huge slices)
+// that force the paper to cap the lattice at ⌈L⌉ = 4.
+EncodedDataset MakeCovtype(const DatasetOptions& options) {
+  const int64_t n = internal::ResolveRows(options, 29051);  // paper: 581012
+  Rng rng(options.seed + 2);
+
+  const int kContinuous = 10;
+  const int kWilderness = 4;
+  const int kSoil = 40;
+  const int m = kContinuous + kWilderness + kSoil;
+
+  EncodedDataset ds;
+  ds.name = "covtype";
+  ds.task = Task::kClassification;
+  ds.num_classes = 7;
+  ds.x0 = IntMatrix(n, m);
+  for (int j = 0; j < kContinuous; ++j) {
+    ds.feature_names.push_back("cont" + std::to_string(j) + "_bin");
+  }
+  for (int j = 0; j < kWilderness; ++j) {
+    ds.feature_names.push_back("wilderness" + std::to_string(j));
+  }
+  for (int j = 0; j < kSoil; ++j) {
+    ds.feature_names.push_back("soil" + std::to_string(j));
+  }
+
+  // Two correlated groups among the continuous features (elevation drives
+  // several derived measurements in the real data).
+  FillCorrelatedGroup(ds.x0, {0, 1, 2}, {10, 10, 10}, 0.10, rng);
+  FillCorrelatedGroup(ds.x0, {3, 4}, {10, 10}, 0.15, rng);
+  for (int j = 5; j < kContinuous; ++j) {
+    FillCategorical(ds.x0, j, 10, 0.25, rng);
+  }
+
+  ds.y.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    // One-hot wilderness: feature code 2 = present, 1 = absent.
+    const int wilderness = static_cast<int>(
+        rng.NextCategorical({0.45, 0.30, 0.20, 0.05}));
+    for (int j = 0; j < kWilderness; ++j) {
+      ds.x0.At(i, kContinuous + j) = (j == wilderness) ? 2 : 1;
+    }
+    // One-hot soil type, heavy-tailed.
+    const int soil = static_cast<int>(rng.NextZipf(kSoil, 0.9));
+    for (int j = 0; j < kSoil; ++j) {
+      ds.x0.At(i, kContinuous + kWilderness + j) = (j == soil) ? 2 : 1;
+    }
+    // Cover type driven by elevation-ish feature 0 and wilderness.
+    int cls = (ds.x0.At(i, 0) * 7) / 11 + (wilderness % 2);
+    if (rng.NextBool(0.2)) cls = static_cast<int>(rng.NextUint64(7));
+    ds.y[i] = std::min(cls, 6);
+  }
+
+  ds.planted.push_back(PlantedSlice{{{0, 10}, {10, 2}}, 1.7});
+  ds.planted.push_back(PlantedSlice{{{14, 2}, {3, 1}}, 1.5});
+
+  // Bake the planted difficulty into the labels so trained models
+  // genuinely struggle on these slices (held-out debugging works).
+  InjectPlantedDifficulty(&ds, 0.0, 0.25, rng);
+
+  ErrorSimOptions err;
+  err.base_rate = 0.22;
+  err.planted_rate = 0.50;
+  ds.errors = SimulateModelErrors(ds, err, rng);
+  return ds;
+}
+
+}  // namespace sliceline::data

@@ -1,0 +1,72 @@
+#ifndef SLICELINE_DATA_GENERATORS_GENERATORS_H_
+#define SLICELINE_DATA_GENERATORS_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/encoded_dataset.h"
+
+namespace sliceline::data {
+
+/// Options shared by every dataset generator.
+struct DatasetOptions {
+  /// Row count; 0 selects the generator's default. Defaults are the paper's
+  /// row counts scaled down to laptop-scale (see DatasetInfo::paper_rows for
+  /// the originals); the SLICELINE_DATA_SCALE environment variable further
+  /// multiplies the default.
+  int64_t rows = 0;
+  uint64_t seed = 42;
+};
+
+/// Static description of a generator for the Table 1 reproduction.
+struct DatasetInfo {
+  std::string name;
+  int64_t default_rows;  ///< scaled default used by the harness
+  int64_t paper_rows;    ///< n in Table 1
+  int64_t columns;       ///< m in Table 1
+  int64_t paper_onehot;  ///< l in Table 1
+  std::string task;      ///< "Reg." / "2-Class" / ...
+};
+
+/// Salaries [n=397, m=5, l=27], regression. The tiny ablation dataset of
+/// Figure 3 (used there as a 2x2 row/column replication via Replicate()).
+EncodedDataset MakeSalaries(const DatasetOptions& options = {});
+
+/// Adult-like [paper n=32561, m=14, l=162], 2-class.
+EncodedDataset MakeAdult(const DatasetOptions& options = {});
+
+/// Covtype-like [paper n=581012, m=54, l=188], 7-class, strongly correlated
+/// binary soil/wilderness groups.
+EncodedDataset MakeCovtype(const DatasetOptions& options = {});
+
+/// KDD98-like [paper n=95412, m=469, l=8378], regression, thousands of
+/// qualifying basic slices.
+EncodedDataset MakeKdd98(const DatasetOptions& options = {});
+
+/// USCensus-like [paper n=2458285, m=68, l=378], 4-class labels derived from
+/// latent clusters (the paper uses k-means), correlated column groups.
+EncodedDataset MakeUsCensus(const DatasetOptions& options = {});
+
+/// CriteoD21-like [paper n=192215183, m=39, l=75573541], 2-class,
+/// ultra-sparse one-hot with heavy-tailed category frequencies.
+EncodedDataset MakeCriteo(const DatasetOptions& options = {});
+
+/// Lookup by name ("salaries", "adult", "covtype", "kdd98", "uscensus",
+/// "criteo"); NotFound otherwise.
+StatusOr<EncodedDataset> MakeDatasetByName(const std::string& name,
+                                           const DatasetOptions& options = {});
+
+/// All generators with paper-reported shapes (Table 1 reproduction).
+std::vector<DatasetInfo> ListDatasets();
+
+namespace internal {
+/// Applies the default row count and SLICELINE_DATA_SCALE to `options`.
+int64_t ResolveRows(const DatasetOptions& options, int64_t default_rows,
+                    int64_t min_rows = 256);
+}  // namespace internal
+
+}  // namespace sliceline::data
+
+#endif  // SLICELINE_DATA_GENERATORS_GENERATORS_H_

@@ -1,0 +1,66 @@
+#include "common/rng.h"
+#include "data/generators/generators.h"
+#include "data/generators/planted_slices.h"
+
+namespace sliceline::data {
+
+// KDD98-like donation-regression dataset: 469 features whose domains sum to
+// the paper's one-hot width l = 8378 (360 x 10-bin continuous, 80 x 20,
+// 20 x 50, 9 x 242 high-cardinality categoricals). With skewed frequencies
+// thousands of basic slices pass the minimum-support threshold, matching the
+// enumeration profile of Figure 4(b).
+EncodedDataset MakeKdd98(const DatasetOptions& options) {
+  const int64_t n = internal::ResolveRows(options, 9541);  // paper: 95412
+  Rng rng(options.seed + 3);
+
+  std::vector<int32_t> domains;
+  domains.insert(domains.end(), 360, 10);
+  domains.insert(domains.end(), 80, 20);
+  domains.insert(domains.end(), 20, 50);
+  domains.insert(domains.end(), 9, 242);
+  const int m = static_cast<int>(domains.size());  // 469
+
+  EncodedDataset ds;
+  ds.name = "kdd98";
+  ds.task = Task::kRegression;
+  ds.x0 = IntMatrix(n, m);
+  for (int j = 0; j < m; ++j) {
+    ds.feature_names.push_back("f" + std::to_string(j));
+  }
+
+  // A handful of correlated demographic blocks; the rest independent with
+  // mild skew so that most common codes clear sigma = n/100.
+  FillCorrelatedGroup(ds.x0, {0, 1, 2, 3}, {10, 10, 10, 10}, 0.2, rng);
+  FillCorrelatedGroup(ds.x0, {360, 361, 362}, {20, 20, 20}, 0.2, rng);
+  for (int j = 4; j < 360; ++j) FillCategorical(ds.x0, j, domains[j], 0.4, rng);
+  for (int j = 363; j < m; ++j) {
+    const double zipf = domains[j] >= 242 ? 1.1 : 0.6;
+    FillCategorical(ds.x0, j, domains[j], zipf, rng);
+  }
+
+  ds.y.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    ds.y[i] = 10.0 + 0.8 * ds.x0.At(i, 0) + 0.4 * ds.x0.At(i, 360) +
+              2.0 * rng.NextGaussian();
+  }
+
+  // Strongly concentrated problem slices: real KDD98 residuals are heavy-
+  // tailed, which is what makes the paper's score pruning effective on this
+  // dataset (the top-K threshold rises quickly and the pair bounds cut the
+  // quadratic level-2 candidate space down to thousands).
+  ds.planted.push_back(PlantedSlice{{{0, 5}, {360, 3}}, 3.0});
+  ds.planted.push_back(PlantedSlice{{{400, 2}}, 2.2});
+  ds.planted.push_back(PlantedSlice{{{1, 7}, {2, 7}}, 3.5});
+
+  // Bake the planted difficulty into the labels so trained models
+  // genuinely struggle on these slices (held-out debugging works).
+  InjectPlantedDifficulty(&ds, 3.5, 0.0, rng);
+
+  ErrorSimOptions err;
+  err.base_rate = 0.15;
+  err.planted_rate = 3.0;
+  ds.errors = SimulateModelErrors(ds, err, rng);
+  return ds;
+}
+
+}  // namespace sliceline::data

@@ -1,0 +1,158 @@
+#include "data/generators/planted_slices.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sliceline::data {
+
+bool RowMatchesPlanted(const IntMatrix& x0, int64_t row,
+                       const PlantedSlice& slice) {
+  for (const auto& [feature, code] : slice.predicates) {
+    if (x0.At(row, feature) != code) return false;
+  }
+  return true;
+}
+
+std::vector<double> SimulateModelErrors(const EncodedDataset& dataset,
+                                        const ErrorSimOptions& options,
+                                        Rng& rng) {
+  const int64_t n = dataset.n();
+  std::vector<double> errors(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    double severity = 0.0;
+    for (const PlantedSlice& slice : dataset.planted) {
+      if (RowMatchesPlanted(dataset.x0, i, slice)) {
+        severity = std::max(severity, slice.severity);
+      }
+    }
+    if (dataset.task == Task::kClassification) {
+      double p = options.base_rate;
+      if (severity > 0.0) {
+        p = std::min(0.95, options.planted_rate * severity);
+      }
+      errors[i] = rng.NextBool(p) ? 1.0 : 0.0;
+    } else {
+      double sd = options.base_rate;
+      if (severity > 0.0) sd *= options.planted_rate * severity;
+      const double r = sd * rng.NextGaussian();
+      errors[i] = r * r;
+    }
+  }
+  return errors;
+}
+
+void FillCategorical(IntMatrix& x0, int col, int32_t domain,
+                     double zipf_exponent, Rng& rng) {
+  SLICELINE_CHECK_GE(domain, 1);
+  for (int64_t i = 0; i < x0.rows(); ++i) {
+    int32_t code;
+    if (zipf_exponent > 0.0) {
+      code = static_cast<int32_t>(rng.NextZipf(domain, zipf_exponent)) + 1;
+    } else {
+      code = static_cast<int32_t>(rng.NextUint64(domain)) + 1;
+    }
+    x0.At(i, col) = code;
+  }
+}
+
+void FillCorrelatedGroup(IntMatrix& x0, const std::vector<int>& cols,
+                         const std::vector<int32_t>& domains, double noise,
+                         Rng& rng) {
+  SLICELINE_CHECK_EQ(cols.size(), domains.size());
+  SLICELINE_CHECK(!cols.empty());
+  int32_t min_dom = domains[0];
+  for (int32_t d : domains) min_dom = std::min(min_dom, d);
+  for (int64_t i = 0; i < x0.rows(); ++i) {
+    const int32_t latent = static_cast<int32_t>(rng.NextUint64(min_dom));
+    for (size_t g = 0; g < cols.size(); ++g) {
+      int32_t code;
+      if (rng.NextBool(noise)) {
+        code = static_cast<int32_t>(rng.NextUint64(domains[g])) + 1;
+      } else {
+        // Map latent in [0, min_dom) proportionally onto [1, domains[g]].
+        code = static_cast<int32_t>(
+                   (static_cast<int64_t>(latent) * domains[g]) / min_dom) + 1;
+      }
+      x0.At(i, cols[g]) = code;
+    }
+  }
+}
+
+double RowSeverity(const IntMatrix& x0, int64_t row,
+                   const std::vector<PlantedSlice>& planted) {
+  double severity = 0.0;
+  for (const PlantedSlice& slice : planted) {
+    if (RowMatchesPlanted(x0, row, slice)) {
+      severity = std::max(severity, slice.severity);
+    }
+  }
+  return severity;
+}
+
+void InjectPlantedDifficulty(EncodedDataset* dataset,
+                             double regression_noise_scale,
+                             double classification_flip_rate, Rng& rng) {
+  SLICELINE_CHECK_EQ(static_cast<int64_t>(dataset->y.size()), dataset->n());
+  for (int64_t i = 0; i < dataset->n(); ++i) {
+    const double severity = RowSeverity(dataset->x0, i, dataset->planted);
+    if (severity <= 0.0) continue;
+    if (dataset->task == Task::kRegression) {
+      dataset->y[i] += regression_noise_scale * severity * rng.NextGaussian();
+    } else {
+      const double p = std::min(0.45, classification_flip_rate * severity);
+      if (rng.NextBool(p) && dataset->num_classes > 1) {
+        const int other = static_cast<int>(
+            rng.NextUint64(dataset->num_classes - 1));
+        const int current = static_cast<int>(dataset->y[i]);
+        dataset->y[i] = other >= current ? other + 1 : other;
+      }
+    }
+  }
+}
+
+EncodedDataset Replicate(const EncodedDataset& dataset, int row_factor,
+                         int col_factor) {
+  SLICELINE_CHECK_GE(row_factor, 1);
+  SLICELINE_CHECK_GE(col_factor, 1);
+  const int64_t n = dataset.n();
+  const int64_t m = dataset.m();
+  EncodedDataset out;
+  out.name = dataset.name + "_x" + std::to_string(row_factor) + "x" +
+             std::to_string(col_factor);
+  out.task = dataset.task;
+  out.num_classes = dataset.num_classes;
+  out.x0 = IntMatrix(n * row_factor, m * col_factor);
+  for (int rf = 0; rf < row_factor; ++rf) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int cf = 0; cf < col_factor; ++cf) {
+        for (int64_t j = 0; j < m; ++j) {
+          out.x0.At(rf * n + i, cf * m + j) = dataset.x0.At(i, j);
+        }
+      }
+    }
+  }
+  out.y.reserve(n * row_factor);
+  out.errors.reserve(dataset.errors.size() * row_factor);
+  for (int rf = 0; rf < row_factor; ++rf) {
+    out.y.insert(out.y.end(), dataset.y.begin(), dataset.y.end());
+    out.errors.insert(out.errors.end(), dataset.errors.begin(),
+                      dataset.errors.end());
+  }
+  for (int cf = 0; cf < col_factor; ++cf) {
+    for (int64_t j = 0; j < m; ++j) {
+      std::string base = dataset.feature_names.empty()
+                             ? "F" + std::to_string(j)
+                             : dataset.feature_names[j];
+      out.feature_names.push_back(cf == 0 ? base
+                                          : base + "_r" + std::to_string(cf));
+    }
+  }
+  for (const PlantedSlice& slice : dataset.planted) {
+    out.planted.push_back(slice);  // predicates refer to the first copy
+  }
+  return out;
+}
+
+}  // namespace sliceline::data

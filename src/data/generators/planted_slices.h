@@ -1,0 +1,76 @@
+#ifndef SLICELINE_DATA_GENERATORS_PLANTED_SLICES_H_
+#define SLICELINE_DATA_GENERATORS_PLANTED_SLICES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/encoded_dataset.h"
+
+namespace sliceline::data {
+
+/// True if row `row` of x0 satisfies every predicate of `slice`.
+bool RowMatchesPlanted(const IntMatrix& x0, int64_t row,
+                       const PlantedSlice& slice);
+
+/// Controls the simulated model-error vector of synthetic datasets. The
+/// paper materializes error vectors (squared loss / inaccuracy) before slice
+/// finding; generators use this simulation so the benchmark harness does not
+/// depend on training time, while examples train real models via ml/.
+struct ErrorSimOptions {
+  /// Classification: base misclassification probability.
+  /// Regression: standard deviation of the base residual.
+  double base_rate = 0.10;
+  /// Classification: misclassification probability inside a planted slice
+  /// with severity 1.0 (scaled by the slice's severity, capped at 0.95).
+  /// Regression: residual std-dev multiplier inside a planted slice.
+  double planted_rate = 0.55;
+};
+
+/// Draws a per-row error vector: inaccuracy in {0,1} for classification,
+/// squared residuals for regression. Rows matching planted slices receive
+/// elevated error according to the slice severity.
+std::vector<double> SimulateModelErrors(const EncodedDataset& dataset,
+                                        const ErrorSimOptions& options,
+                                        Rng& rng);
+
+/// Fills column `col` of x0 with iid categorical codes 1..domain. With
+/// zipf_exponent > 0 frequencies are heavy-tailed (rank r gets weight
+/// ~ 1/(r+1)^zipf_exponent); with 0 the distribution is uniform.
+void FillCategorical(IntMatrix& x0, int col, int32_t domain,
+                     double zipf_exponent, Rng& rng);
+
+/// Fills a group of columns that share a latent code, flipping each entry to
+/// an independent random code with probability `noise`. Low noise produces
+/// the strongly correlated column groups the paper observes in Covtype /
+/// USCensus / Criteo. `domains[i]` is the domain of `cols[i]`; the latent
+/// code is drawn on the smallest domain and mapped proportionally.
+void FillCorrelatedGroup(IntMatrix& x0, const std::vector<int>& cols,
+                         const std::vector<int32_t>& domains, double noise,
+                         Rng& rng);
+
+/// Maximum severity over all planted slices matching `row` (0 if none).
+double RowSeverity(const IntMatrix& x0, int64_t row,
+                   const std::vector<PlantedSlice>& planted);
+
+/// Bakes the planted difficulty into the LABELS so that any model trained
+/// on the dataset genuinely struggles on the planted slices (not only the
+/// simulated error vectors): regression targets get extra Gaussian noise of
+/// sd = regression_noise_scale * severity; classification labels are
+/// flipped to a random other class with probability
+/// min(0.45, classification_flip_rate * severity).
+void InjectPlantedDifficulty(EncodedDataset* dataset,
+                             double regression_noise_scale,
+                             double classification_flip_rate, Rng& rng);
+
+/// Replicates a dataset `row_factor` times row-wise and `col_factor` times
+/// column-wise (duplicated features, creating perfect correlation). Used by
+/// the Figure 3 "Salaries 2x2" ablation and the Figure 7(a) row-scaling
+/// experiment. Errors, labels, and planted slices are replicated/remapped
+/// accordingly.
+EncodedDataset Replicate(const EncodedDataset& dataset, int row_factor,
+                         int col_factor);
+
+}  // namespace sliceline::data
+
+#endif  // SLICELINE_DATA_GENERATORS_PLANTED_SLICES_H_

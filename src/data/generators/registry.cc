@@ -1,0 +1,48 @@
+#include <algorithm>
+#include <cstdlib>
+
+#include "data/generators/generators.h"
+
+namespace sliceline::data {
+
+namespace internal {
+
+int64_t ResolveRows(const DatasetOptions& options, int64_t default_rows,
+                    int64_t min_rows) {
+  if (options.rows > 0) return options.rows;
+  double scale = 1.0;
+  if (const char* env = std::getenv("SLICELINE_DATA_SCALE")) {
+    scale = std::atof(env);
+    if (scale <= 0.0) scale = 1.0;
+  }
+  const int64_t rows = static_cast<int64_t>(default_rows * scale);
+  return std::max(rows, min_rows);
+}
+
+}  // namespace internal
+
+StatusOr<EncodedDataset> MakeDatasetByName(const std::string& name,
+                                           const DatasetOptions& options) {
+  if (name == "salaries") return MakeSalaries(options);
+  if (name == "adult") return MakeAdult(options);
+  if (name == "covtype") return MakeCovtype(options);
+  if (name == "kdd98") return MakeKdd98(options);
+  if (name == "uscensus") return MakeUsCensus(options);
+  if (name == "criteo") return MakeCriteo(options);
+  return Status::NotFound("unknown dataset '" + name +
+                          "' (expected salaries|adult|covtype|kdd98|"
+                          "uscensus|criteo)");
+}
+
+std::vector<DatasetInfo> ListDatasets() {
+  return {
+      {"salaries", 397, 397, 5, 27, "Reg."},
+      {"adult", 32561, 32561, 14, 162, "2-Class"},
+      {"covtype", 29051, 581012, 54, 188, "7-Class"},
+      {"kdd98", 9541, 95412, 469, 8378, "Reg."},
+      {"uscensus", 49166, 2458285, 68, 378, "4-Class"},
+      {"criteo", 100000, 192215183, 39, 75573541, "2-Class"},
+  };
+}
+
+}  // namespace sliceline::data

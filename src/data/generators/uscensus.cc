@@ -1,0 +1,71 @@
+#include "common/rng.h"
+#include "data/generators/generators.h"
+#include "data/generators/planted_slices.h"
+
+namespace sliceline::data {
+
+// USCensus-like dataset: 68 small-domain demographic features with domains
+// summing to l = 378 (Table 1): 30 x 3, 20 x 5, 10 x 8, 4 x 14, 4 x 13.
+// Several strongly correlated answer groups (the paper cites known
+// correlations in this dataset) and 4-class labels derived from latent
+// clusters, standing in for the paper's k-means-derived labels.
+EncodedDataset MakeUsCensus(const DatasetOptions& options) {
+  const int64_t n = internal::ResolveRows(options, 49166);  // paper: 2458285
+  Rng rng(options.seed + 4);
+
+  std::vector<int32_t> domains;
+  domains.insert(domains.end(), 30, 3);
+  domains.insert(domains.end(), 20, 5);
+  domains.insert(domains.end(), 10, 8);
+  domains.insert(domains.end(), 4, 14);
+  domains.insert(domains.end(), 4, 13);
+  const int m = static_cast<int>(domains.size());  // 68
+
+  EncodedDataset ds;
+  ds.name = "uscensus";
+  ds.task = Task::kClassification;
+  ds.num_classes = 4;
+  ds.x0 = IntMatrix(n, m);
+  for (int j = 0; j < m; ++j) {
+    ds.feature_names.push_back("q" + std::to_string(j));
+  }
+
+  // Latent cluster per row drives correlated answer groups and the label.
+  std::vector<int32_t> cluster(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    cluster[i] = static_cast<int32_t>(rng.NextCategorical({0.4, 0.3, 0.2, 0.1}));
+  }
+
+  for (int j = 0; j < m; ++j) {
+    const bool correlated = j < 24 || (j >= 30 && j < 40);
+    for (int64_t i = 0; i < n; ++i) {
+      int32_t code;
+      if (correlated && !rng.NextBool(0.12)) {
+        // Deterministic function of the cluster, feature-specific offset.
+        code = static_cast<int32_t>((cluster[i] + j) % domains[j]) + 1;
+      } else {
+        code = static_cast<int32_t>(rng.NextZipf(domains[j], 0.5)) + 1;
+      }
+      ds.x0.At(i, j) = code;
+    }
+  }
+
+  ds.y.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) ds.y[i] = cluster[i];
+
+  ds.planted.push_back(PlantedSlice{{{0, 3}, {30, 5}}, 1.8});
+  ds.planted.push_back(PlantedSlice{{{64, 11}}, 1.4});
+  ds.planted.push_back(PlantedSlice{{{50, 7}, {51, 2}}, 2.0});
+
+  // Bake the planted difficulty into the labels so trained models
+  // genuinely struggle on these slices (held-out debugging works).
+  InjectPlantedDifficulty(&ds, 0.0, 0.25, rng);
+
+  ErrorSimOptions err;
+  err.base_rate = 0.18;
+  err.planted_rate = 0.45;
+  ds.errors = SimulateModelErrors(ds, err, rng);
+  return ds;
+}
+
+}  // namespace sliceline::data

@@ -1,0 +1,66 @@
+#ifndef SLICELINE_DATA_INT_MATRIX_H_
+#define SLICELINE_DATA_INT_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace sliceline::data {
+
+/// Row-major matrix of 1-based integer feature codes — the X0 input of
+/// Algorithm 1. Entry (r, j) is the code of feature j for row r, in
+/// [1, domain_j]. Code 0 is reserved for "free feature" in slice
+/// representations and never appears in X0 itself.
+class IntMatrix {
+ public:
+  IntMatrix() : rows_(0), cols_(0) {}
+  IntMatrix(int64_t rows, int64_t cols, int32_t fill = 0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), fill) {
+    SLICELINE_CHECK_GE(rows, 0);
+    SLICELINE_CHECK_GE(cols, 0);
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  int32_t& At(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
+  int32_t At(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
+  const int32_t* row(int64_t r) const { return data_.data() + r * cols_; }
+  int32_t* row(int64_t r) { return data_.data() + r * cols_; }
+
+  const std::vector<int32_t>& data() const { return data_; }
+
+  /// Per-column maximum code (colMaxs(X0)); the feature domain sizes under
+  /// the continuous 1..d_j encoding contract.
+  std::vector<int32_t> ColMaxs() const {
+    std::vector<int32_t> out(static_cast<size_t>(cols_), 0);
+    for (int64_t r = 0; r < rows_; ++r) {
+      const int32_t* rw = row(r);
+      for (int64_t j = 0; j < cols_; ++j) {
+        if (rw[j] > out[j]) out[j] = rw[j];
+      }
+    }
+    return out;
+  }
+
+  /// Row-wise replication (used by the Figure 7(a) scalability experiment).
+  IntMatrix ReplicateRows(int64_t times) const {
+    IntMatrix out(rows_ * times, cols_);
+    for (int64_t t = 0; t < times; ++t) {
+      std::copy(data_.begin(), data_.end(),
+                out.data_.begin() + t * rows_ * cols_);
+    }
+    return out;
+  }
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int32_t> data_;
+};
+
+}  // namespace sliceline::data
+
+#endif  // SLICELINE_DATA_INT_MATRIX_H_

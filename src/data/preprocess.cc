@@ -1,0 +1,88 @@
+#include "data/preprocess.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/binning.h"
+#include "data/recode.h"
+
+namespace sliceline::data {
+
+StatusOr<EncodedDataset> Preprocess(const Frame& frame,
+                                    const PreprocessOptions& options) {
+  if (options.label_column.empty()) {
+    return Status::InvalidArgument("label_column must be set");
+  }
+  SLICELINE_ASSIGN_OR_RETURN(int64_t label_idx,
+                             frame.ColumnIndex(options.label_column));
+
+  std::vector<int64_t> feature_cols;
+  for (int64_t j = 0; j < frame.num_columns(); ++j) {
+    if (j == label_idx) continue;
+    const std::string& name = frame.column(j).name();
+    if (std::find(options.drop_columns.begin(), options.drop_columns.end(),
+                  name) != options.drop_columns.end()) {
+      continue;
+    }
+    feature_cols.push_back(j);
+  }
+  if (feature_cols.empty()) {
+    return Status::InvalidArgument("no feature columns left after drops");
+  }
+
+  const int64_t n = frame.num_rows();
+  EncodedDataset ds;
+  ds.task = options.task;
+  ds.x0 = IntMatrix(n, static_cast<int64_t>(feature_cols.size()));
+
+  for (size_t fj = 0; fj < feature_cols.size(); ++fj) {
+    const Column& col = frame.column(feature_cols[fj]);
+    ds.feature_names.push_back(col.name());
+    if (col.is_numeric()) {
+      SLICELINE_ASSIGN_OR_RETURN(
+          EquiWidthBinner binner,
+          EquiWidthBinner::Fit(col.numeric(), options.num_bins));
+      const std::vector<int32_t> codes = binner.EncodeAll(col.numeric());
+      for (int64_t i = 0; i < n; ++i) ds.x0.At(i, fj) = codes[i];
+    } else {
+      const RecodeMap map = RecodeMap::Fit(col.categorical());
+      SLICELINE_ASSIGN_OR_RETURN(std::vector<int32_t> codes,
+                                 map.EncodeAll(col.categorical()));
+      for (int64_t i = 0; i < n; ++i) ds.x0.At(i, fj) = codes[i];
+    }
+  }
+
+  const Column& label = frame.column(label_idx);
+  ds.y.resize(n);
+  if (options.task == Task::kRegression) {
+    if (!label.is_numeric()) {
+      return Status::InvalidArgument("regression label must be numeric");
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      const double v = label.numeric()[i];
+      if (std::isnan(v)) {
+        return Status::InvalidArgument("regression label has missing values");
+      }
+      ds.y[i] = v;
+    }
+  } else {
+    // Classification: recode (string) or round (numeric) to 0-based classes.
+    if (label.is_numeric()) {
+      double max_class = 0;
+      for (int64_t i = 0; i < n; ++i) {
+        ds.y[i] = label.numeric()[i];
+        max_class = std::max(max_class, ds.y[i]);
+      }
+      ds.num_classes = static_cast<int>(max_class) + 1;
+    } else {
+      const RecodeMap map = RecodeMap::Fit(label.categorical());
+      SLICELINE_ASSIGN_OR_RETURN(std::vector<int32_t> codes,
+                                 map.EncodeAll(label.categorical()));
+      for (int64_t i = 0; i < n; ++i) ds.y[i] = codes[i] - 1;
+      ds.num_classes = map.domain();
+    }
+  }
+  return ds;
+}
+
+}  // namespace sliceline::data

@@ -1,0 +1,32 @@
+#ifndef SLICELINE_DATA_PREPROCESS_H_
+#define SLICELINE_DATA_PREPROCESS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/encoded_dataset.h"
+#include "data/frame.h"
+
+namespace sliceline::data {
+
+/// Configuration for turning a raw Frame into a slice-finding input,
+/// mirroring the paper's preprocessing: recode categorical features, bin
+/// continuous features (except labels) into equi-width bins, drop ID columns.
+struct PreprocessOptions {
+  std::string label_column;                 ///< required
+  Task task = Task::kRegression;            ///< label interpretation
+  int num_bins = 10;                        ///< equi-width bins (paper: 10)
+  std::vector<std::string> drop_columns;    ///< e.g. ID columns
+};
+
+/// Encodes `frame` into an EncodedDataset. For classification the label
+/// column is recoded to 0-based class ids; for regression it is used as-is.
+/// The returned dataset has no error vector yet (train a model via ml/ or
+/// use a generator's simulated errors).
+StatusOr<EncodedDataset> Preprocess(const Frame& frame,
+                                    const PreprocessOptions& options);
+
+}  // namespace sliceline::data
+
+#endif  // SLICELINE_DATA_PREPROCESS_H_

@@ -1,0 +1,43 @@
+#include "data/recode.h"
+
+namespace sliceline::data {
+
+RecodeMap RecodeMap::Fit(const std::vector<std::string>& values) {
+  RecodeMap map;
+  for (const std::string& v : values) {
+    auto [it, inserted] = map.value_to_code_.try_emplace(
+        v, static_cast<int32_t>(map.code_to_value_.size() + 1));
+    if (inserted) map.code_to_value_.push_back(v);
+  }
+  return map;
+}
+
+StatusOr<int32_t> RecodeMap::Encode(const std::string& value) const {
+  auto it = value_to_code_.find(value);
+  if (it == value_to_code_.end()) {
+    return Status::NotFound("unseen category '" + value + "'");
+  }
+  return it->second;
+}
+
+StatusOr<std::vector<int32_t>> RecodeMap::EncodeAll(
+    const std::vector<std::string>& values) const {
+  std::vector<int32_t> out;
+  out.reserve(values.size());
+  for (const std::string& v : values) {
+    SLICELINE_ASSIGN_OR_RETURN(int32_t code, Encode(v));
+    out.push_back(code);
+  }
+  return out;
+}
+
+StatusOr<std::string> RecodeMap::Decode(int32_t code) const {
+  if (code < 1 || code > domain()) {
+    return Status::OutOfRange("code " + std::to_string(code) +
+                              " outside domain 1.." +
+                              std::to_string(domain()));
+  }
+  return code_to_value_[code - 1];
+}
+
+}  // namespace sliceline::data

@@ -1,0 +1,40 @@
+#ifndef SLICELINE_DATA_RECODE_H_
+#define SLICELINE_DATA_RECODE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sliceline::data {
+
+/// Dictionary encoder mapping string categories to a continuous 1-based
+/// integer code range (the "recoding" preprocessing of Section 5.1). Codes
+/// are assigned in first-occurrence order so the mapping is deterministic.
+class RecodeMap {
+ public:
+  /// Builds the dictionary from the distinct values of `values`.
+  static RecodeMap Fit(const std::vector<std::string>& values);
+
+  /// Number of distinct categories (the feature domain d_j).
+  int32_t domain() const { return static_cast<int32_t>(code_to_value_.size()); }
+
+  /// Code of a category; NotFound for unseen categories.
+  StatusOr<int32_t> Encode(const std::string& value) const;
+
+  /// Encodes a full column; unseen values are an error.
+  StatusOr<std::vector<int32_t>> EncodeAll(
+      const std::vector<std::string>& values) const;
+
+  /// Category of a 1-based code; OutOfRange if invalid.
+  StatusOr<std::string> Decode(int32_t code) const;
+
+ private:
+  std::map<std::string, int32_t> value_to_code_;
+  std::vector<std::string> code_to_value_;
+};
+
+}  // namespace sliceline::data
+
+#endif  // SLICELINE_DATA_RECODE_H_

@@ -1,0 +1,35 @@
+#ifndef SLICELINE_DIST_PARTITION_H_
+#define SLICELINE_DIST_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/int_matrix.h"
+
+namespace sliceline::dist {
+
+/// A contiguous row shard [begin, end) of the input.
+struct RowRange {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t size() const { return end - begin; }
+};
+
+/// Splits [0, n) into `workers` near-equal contiguous shards (the row
+/// partitioning of the paper's data-parallel execution, where X is scanned
+/// data-locally on every node).
+std::vector<RowRange> PartitionRows(int64_t n, int workers);
+
+/// Materializes a shard of x0 and its aligned error sub-vector.
+struct Shard {
+  data::IntMatrix x0;
+  std::vector<double> errors;
+  RowRange range;
+};
+
+Shard MakeShard(const data::IntMatrix& x0, const std::vector<double>& errors,
+                RowRange range);
+
+}  // namespace sliceline::dist
+
+#endif  // SLICELINE_DIST_PARTITION_H_

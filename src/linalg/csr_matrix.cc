@@ -1,0 +1,142 @@
+#include "linalg/csr_matrix.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace sliceline::linalg {
+
+CsrMatrix::CsrMatrix(int64_t rows, int64_t cols, std::vector<int64_t> row_ptr,
+                     std::vector<int64_t> col_idx, std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  SLICELINE_CHECK_GE(rows_, 0);
+  SLICELINE_CHECK_GE(cols_, 0);
+  SLICELINE_CHECK_EQ(static_cast<int64_t>(row_ptr_.size()), rows_ + 1);
+  SLICELINE_CHECK_EQ(row_ptr_.front(), 0);
+  SLICELINE_CHECK_EQ(row_ptr_.back(), static_cast<int64_t>(col_idx_.size()));
+  SLICELINE_CHECK_EQ(col_idx_.size(), values_.size());
+#ifndef NDEBUG
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      SLICELINE_DCHECK(col_idx_[k] >= 0 && col_idx_[k] < cols_);
+      if (k > row_ptr_[r]) SLICELINE_DCHECK(col_idx_[k - 1] < col_idx_[k]);
+    }
+  }
+#endif
+}
+
+CsrMatrix CsrMatrix::Zero(int64_t rows, int64_t cols) {
+  return CsrMatrix(rows, cols, std::vector<int64_t>(rows + 1, 0), {}, {});
+}
+
+CsrMatrix CsrMatrix::FromDense(const DenseMatrix& dense) {
+  std::vector<int64_t> row_ptr;
+  std::vector<int64_t> col_idx;
+  std::vector<double> values;
+  row_ptr.reserve(dense.rows() + 1);
+  row_ptr.push_back(0);
+  for (int64_t i = 0; i < dense.rows(); ++i) {
+    for (int64_t j = 0; j < dense.cols(); ++j) {
+      const double v = dense.At(i, j);
+      if (v != 0.0) {
+        col_idx.push_back(j);
+        values.push_back(v);
+      }
+    }
+    row_ptr.push_back(static_cast<int64_t>(col_idx.size()));
+  }
+  return CsrMatrix(dense.rows(), dense.cols(), std::move(row_ptr),
+                   std::move(col_idx), std::move(values));
+}
+
+double CsrMatrix::At(int64_t r, int64_t c) const {
+  SLICELINE_DCHECK(r >= 0 && r < rows_);
+  SLICELINE_DCHECK(c >= 0 && c < cols_);
+  const int64_t* begin = col_idx_.data() + row_ptr_[r];
+  const int64_t* end = col_idx_.data() + row_ptr_[r + 1];
+  const int64_t* it = std::lower_bound(begin, end, c);
+  if (it != end && *it == c) return values_[it - col_idx_.data()];
+  return 0.0;
+}
+
+DenseMatrix CsrMatrix::ToDense() const {
+  DenseMatrix out(rows_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out.At(r, col_idx_[k]) = values_[k];
+    }
+  }
+  return out;
+}
+
+bool CsrMatrix::Equals(const CsrMatrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         row_ptr_ == other.row_ptr_ && col_idx_ == other.col_idx_ &&
+         values_ == other.values_;
+}
+
+std::string CsrMatrix::ToString(int max_rows) const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " sparse, nnz=" << nnz() << "\n";
+  const int64_t r = std::min<int64_t>(rows_, max_rows);
+  for (int64_t i = 0; i < r; ++i) {
+    os << "  row " << i << ":";
+    for (int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      os << " (" << col_idx_[k] << "," << values_[k] << ")";
+    }
+    os << "\n";
+  }
+  if (r < rows_) os << "  ...\n";
+  return os.str();
+}
+
+CooBuilder::CooBuilder(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {
+  SLICELINE_CHECK_GE(rows, 0);
+  SLICELINE_CHECK_GE(cols, 0);
+}
+
+void CooBuilder::Add(int64_t r, int64_t c, double v) {
+  SLICELINE_CHECK(r >= 0 && r < rows_);
+  SLICELINE_CHECK(c >= 0 && c < cols_);
+  entries_.push_back({r, c, v});
+}
+
+CsrMatrix CooBuilder::Build() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  std::vector<int64_t> row_ptr(rows_ + 1, 0);
+  std::vector<int64_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(entries_.size());
+  values.reserve(entries_.size());
+  size_t i = 0;
+  for (int64_t r = 0; r < rows_; ++r) {
+    while (i < entries_.size() && entries_[i].row == r) {
+      const int64_t c = entries_[i].col;
+      double v = 0.0;
+      while (i < entries_.size() && entries_[i].row == r &&
+             entries_[i].col == c) {
+        v += entries_[i].value;
+        ++i;
+      }
+      if (v != 0.0) {
+        col_idx.push_back(c);
+        values.push_back(v);
+      }
+    }
+    row_ptr[r + 1] = static_cast<int64_t>(col_idx.size());
+  }
+  entries_.clear();
+  entries_.shrink_to_fit();
+  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+}  // namespace sliceline::linalg

@@ -1,0 +1,105 @@
+#ifndef SLICELINE_LINALG_CSR_MATRIX_H_
+#define SLICELINE_LINALG_CSR_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace sliceline::linalg {
+
+/// Compressed sparse row matrix with double values and 64-bit indices.
+///
+/// This is the workhorse representation of the repo: the one-hot encoded
+/// feature matrix X, the slice-definition matrix S, and all intermediates of
+/// the SliceLine enumeration (X*S^T, S*S^T, selection matrices from table())
+/// are CsrMatrix instances. Column indices within each row are kept sorted,
+/// which the intersection-style kernels rely on.
+class CsrMatrix {
+ public:
+  CsrMatrix() : rows_(0), cols_(0), row_ptr_{0} {}
+
+  /// Takes ownership of pre-built CSR arrays. Aborts on malformed input
+  /// (checks sizes and per-row sorted, in-range column indices).
+  CsrMatrix(int64_t rows, int64_t cols, std::vector<int64_t> row_ptr,
+            std::vector<int64_t> col_idx, std::vector<double> values);
+
+  /// All-zero matrix of the given shape.
+  static CsrMatrix Zero(int64_t rows, int64_t cols);
+
+  /// Converts from dense, dropping exact zeros.
+  static CsrMatrix FromDense(const DenseMatrix& dense);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
+  double density() const {
+    return rows_ * cols_ == 0
+               ? 0.0
+               : static_cast<double>(nnz()) /
+                     (static_cast<double>(rows_) * static_cast<double>(cols_));
+  }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  int64_t RowNnz(int64_t r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
+  const int64_t* RowCols(int64_t r) const {
+    return col_idx_.data() + row_ptr_[r];
+  }
+  const double* RowVals(int64_t r) const {
+    return values_.data() + row_ptr_[r];
+  }
+
+  /// Value at (r, c); binary search within the row, 0.0 if absent.
+  double At(int64_t r, int64_t c) const;
+
+  DenseMatrix ToDense() const;
+
+  /// Exact structural + value equality.
+  bool Equals(const CsrMatrix& other) const;
+
+  std::string ToString(int max_rows = 10) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> row_ptr_;  // size rows_ + 1
+  std::vector<int64_t> col_idx_;  // size nnz, sorted within each row
+  std::vector<double> values_;    // size nnz
+};
+
+/// Accumulates COO triplets and builds a CsrMatrix. Duplicate (r, c) entries
+/// are summed (the semantics of table() and of scatter-style construction).
+class CooBuilder {
+ public:
+  CooBuilder(int64_t rows, int64_t cols);
+
+  /// Adds value v at (r, c). Aborts if out of range.
+  void Add(int64_t r, int64_t c, double v);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  /// Sorts, merges duplicates (summing), drops zeros, and produces the CSR
+  /// matrix. The builder is left empty.
+  CsrMatrix Build();
+
+ private:
+  struct Entry {
+    int64_t row;
+    int64_t col;
+    double value;
+  };
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sliceline::linalg
+
+#endif  // SLICELINE_LINALG_CSR_MATRIX_H_

@@ -1,0 +1,139 @@
+#include "linalg/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace sliceline::linalg {
+
+DenseMatrix::DenseMatrix(int64_t rows, int64_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), fill) {
+  SLICELINE_CHECK_GE(rows, 0);
+  SLICELINE_CHECK_GE(cols, 0);
+}
+
+DenseMatrix::DenseMatrix(int64_t rows, int64_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  SLICELINE_CHECK_EQ(static_cast<int64_t>(data_.size()), rows * cols);
+}
+
+void DenseMatrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+DenseMatrix DenseMatrix::MatMul(const DenseMatrix& other) const {
+  SLICELINE_CHECK_EQ(cols_, other.rows_);
+  DenseMatrix out(rows_, other.cols_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t k = 0; k < cols_; ++k) {
+      const double aik = At(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = other.row(k);
+      double* orow = out.row(i);
+      for (int64_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> DenseMatrix::MatVec(const std::vector<double>& x) const {
+  SLICELINE_CHECK_EQ(cols_, static_cast<int64_t>(x.size()));
+  std::vector<double> y(static_cast<size_t>(rows_), 0.0);
+  for (int64_t i = 0; i < rows_; ++i) {
+    const double* r = row(i);
+    double acc = 0.0;
+    for (int64_t j = 0; j < cols_; ++j) acc += r[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::vector<double> DenseMatrix::TransposeMatVec(
+    const std::vector<double>& x) const {
+  SLICELINE_CHECK_EQ(rows_, static_cast<int64_t>(x.size()));
+  std::vector<double> y(static_cast<size_t>(cols_), 0.0);
+  for (int64_t i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* r = row(i);
+    for (int64_t j = 0; j < cols_; ++j) y[j] += xi * r[j];
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::Transpose() const {
+  DenseMatrix out(cols_, rows_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t j = 0; j < cols_; ++j) out.At(j, i) = At(i, j);
+  }
+  return out;
+}
+
+double DenseMatrix::MaxAbsDiff(const DenseMatrix& other) const {
+  SLICELINE_CHECK(SameShape(other));
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+std::string DenseMatrix::ToString(int max_rows, int max_cols) const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " dense\n";
+  const int64_t r = std::min<int64_t>(rows_, max_rows);
+  const int64_t c = std::min<int64_t>(cols_, max_cols);
+  for (int64_t i = 0; i < r; ++i) {
+    for (int64_t j = 0; j < c; ++j) os << At(i, j) << (j + 1 < c ? " " : "");
+    if (c < cols_) os << " ...";
+    os << "\n";
+  }
+  if (r < rows_) os << "...\n";
+  return os.str();
+}
+
+StatusOr<std::vector<double>> CholeskySolve(const DenseMatrix& a,
+                                            const std::vector<double>& b,
+                                            double ridge) {
+  const int64_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("CholeskySolve requires a square matrix");
+  }
+  if (static_cast<int64_t>(b.size()) != n) {
+    return Status::InvalidArgument("CholeskySolve rhs size mismatch");
+  }
+  // Factor A + ridge*I = L L^T in a working copy.
+  DenseMatrix l(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    double diag = a.At(j, j) + ridge;
+    for (int64_t k = 0; k < j; ++k) diag -= l.At(j, k) * l.At(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::Internal("matrix not positive definite at pivot " +
+                              std::to_string(j));
+    }
+    const double ljj = std::sqrt(diag);
+    l.At(j, j) = ljj;
+    for (int64_t i = j + 1; i < n; ++i) {
+      double v = a.At(i, j);
+      for (int64_t k = 0; k < j; ++k) v -= l.At(i, k) * l.At(j, k);
+      l.At(i, j) = v / ljj;
+    }
+  }
+  // Forward substitution L y = b.
+  std::vector<double> y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (int64_t k = 0; k < i; ++k) v -= l.At(i, k) * y[k];
+    y[i] = v / l.At(i, i);
+  }
+  // Back substitution L^T x = y.
+  std::vector<double> x(static_cast<size_t>(n));
+  for (int64_t i = n - 1; i >= 0; --i) {
+    double v = y[i];
+    for (int64_t k = i + 1; k < n; ++k) v -= l.At(k, i) * x[k];
+    x[i] = v / l.At(i, i);
+  }
+  return x;
+}
+
+}  // namespace sliceline::linalg

@@ -1,0 +1,80 @@
+#ifndef SLICELINE_LINALG_DENSE_MATRIX_H_
+#define SLICELINE_LINALG_DENSE_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sliceline::linalg {
+
+/// Row-major dense double matrix. Used by the ML substrate (model
+/// coefficients, centroids, normal-equation solves) and as the reference
+/// representation in tests for the sparse kernels.
+class DenseMatrix {
+ public:
+  DenseMatrix() : rows_(0), cols_(0) {}
+  DenseMatrix(int64_t rows, int64_t cols, double fill = 0.0);
+  DenseMatrix(int64_t rows, int64_t cols, std::vector<double> data);
+
+  DenseMatrix(const DenseMatrix&) = default;
+  DenseMatrix& operator=(const DenseMatrix&) = default;
+  DenseMatrix(DenseMatrix&&) = default;
+  DenseMatrix& operator=(DenseMatrix&&) = default;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+
+  double& At(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
+  double At(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(int64_t r, int64_t c) { return At(r, c); }
+  double operator()(int64_t r, int64_t c) const { return At(r, c); }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+  const double* row(int64_t r) const { return data_.data() + r * cols_; }
+  double* row(int64_t r) { return data_.data() + r * cols_; }
+
+  /// Sets every entry to `v`.
+  void Fill(double v);
+
+  /// C = this * other; requires cols() == other.rows().
+  DenseMatrix MatMul(const DenseMatrix& other) const;
+
+  /// y = this * x; requires cols() == x.size().
+  std::vector<double> MatVec(const std::vector<double>& x) const;
+
+  /// y = this^T * x; requires rows() == x.size().
+  std::vector<double> TransposeMatVec(const std::vector<double>& x) const;
+
+  DenseMatrix Transpose() const;
+
+  /// Max |a-b| over entries; matrices must be the same shape.
+  double MaxAbsDiff(const DenseMatrix& other) const;
+
+  bool SameShape(const DenseMatrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  std::string ToString(int max_rows = 10, int max_cols = 12) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<double> data_;
+};
+
+/// In-place Cholesky solve of the SPD system A x = b (A is n x n). Adds
+/// `ridge` to the diagonal before factorization. Fails with Internal if A is
+/// not positive definite after regularization. Intended for small systems
+/// (linear-regression normal equations on narrow data); large/sparse systems
+/// use the matrix-free conjugate-gradient path in ml/.
+StatusOr<std::vector<double>> CholeskySolve(const DenseMatrix& a,
+                                            const std::vector<double>& b,
+                                            double ridge = 0.0);
+
+}  // namespace sliceline::linalg
+
+#endif  // SLICELINE_LINALG_DENSE_MATRIX_H_

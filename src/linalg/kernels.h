@@ -1,0 +1,142 @@
+#ifndef SLICELINE_LINALG_KERNELS_H_
+#define SLICELINE_LINALG_KERNELS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+
+namespace sliceline::linalg {
+
+// ---------------------------------------------------------------------------
+// Reductions (SystemDS colSums / colMaxs / rowSums / rowMaxs / rowIndexMax).
+// ---------------------------------------------------------------------------
+
+/// Per-column sum of stored entries.
+std::vector<double> ColSums(const CsrMatrix& m);
+
+/// Per-column maximum. Implicit zeros participate: a column whose nnz is
+/// smaller than rows() has maximum >= 0 (matches SystemDS colMaxs on sparse).
+std::vector<double> ColMaxs(const CsrMatrix& m);
+
+/// Per-row sum of stored entries.
+std::vector<double> RowSums(const CsrMatrix& m);
+
+/// Per-row maximum, with implicit zeros participating as above.
+std::vector<double> RowMaxs(const CsrMatrix& m);
+
+/// Per-row count of stored (non-zero) entries.
+std::vector<int64_t> RowNnzCounts(const CsrMatrix& m);
+
+/// 0-based column index of the per-row maximum among stored entries; -1 for
+/// an empty row. (SystemDS rowIndexMax is 1-based; callers adjust if they
+/// need paper-faithful indices.)
+std::vector<int64_t> RowIndexMax(const CsrMatrix& m);
+
+/// Sum of all entries of a vector.
+double Sum(const std::vector<double>& v);
+
+// ---------------------------------------------------------------------------
+// Matrix-vector products.
+// ---------------------------------------------------------------------------
+
+/// y = m * x.
+std::vector<double> MatVec(const CsrMatrix& m, const std::vector<double>& x);
+
+/// y = m^T * x, i.e. the row-vector/matrix product (e^T X)^T used for slice
+/// error sums (Equation 4 of the paper).
+std::vector<double> TransposeMatVec(const CsrMatrix& m,
+                                    const std::vector<double>& x);
+
+// ---------------------------------------------------------------------------
+// Matrix-matrix products.
+// ---------------------------------------------------------------------------
+
+/// Explicit transpose (counting sort on columns; output rows sorted).
+CsrMatrix Transpose(const CsrMatrix& m);
+
+/// Gustavson sparse-sparse product C = a * b.
+CsrMatrix Multiply(const CsrMatrix& a, const CsrMatrix& b);
+
+/// C = a * b^T via sorted-list intersections per row pair. This is the shape
+/// of both key products in SliceLine: X * S^T (slice evaluation) and S * S^T
+/// (pair joining). For binary inputs each output entry is the intersection
+/// size of two sparse rows.
+CsrMatrix MultiplyABt(const CsrMatrix& a, const CsrMatrix& b);
+
+// ---------------------------------------------------------------------------
+// Element-wise / structural ops.
+// ---------------------------------------------------------------------------
+
+/// Keeps entries with value == target, replacing them by 1.0 (the "(... == L)"
+/// comparison of Equations 6 and 10; implicit zeros compare unequal for any
+/// non-zero target).
+CsrMatrix FilterEquals(const CsrMatrix& m, double target);
+
+/// diag(scale) * m, i.e. row i multiplied by scale[i]. Entries scaled to zero
+/// are dropped.
+CsrMatrix ScaleRows(const CsrMatrix& m, const std::vector<double>& scale);
+
+/// Element-wise sum of two equally shaped matrices (entries cancelling to
+/// exactly zero are dropped).
+CsrMatrix Add(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Replaces every stored non-zero entry by 1.0 (the "!= 0" binarization used
+/// when merging slice pairs, P = ((P1 S) + (P2 S)) != 0).
+CsrMatrix Binarize(const CsrMatrix& m);
+
+/// Strict upper-triangle entries of m with value == target, as (row, col)
+/// pairs (the upper.tri(..., values=TRUE) extraction of Equation 6).
+std::vector<std::pair<int64_t, int64_t>> UpperTriEquals(const CsrMatrix& m,
+                                                        double target);
+
+// ---------------------------------------------------------------------------
+// Selection / reshaping (removeEmpty, indexing, rbind).
+// ---------------------------------------------------------------------------
+
+/// Drops all-zero rows; returns the compacted matrix plus the original row
+/// indices of the kept rows (SystemDS removeEmpty(margin="rows")).
+std::pair<CsrMatrix, std::vector<int64_t>> RemoveEmptyRows(const CsrMatrix& m);
+
+/// Keeps only rows with keep[r] != 0, preserving order.
+CsrMatrix SelectRows(const CsrMatrix& m, const std::vector<uint8_t>& keep);
+
+/// Gathers the given rows in order (duplicates allowed).
+CsrMatrix GatherRows(const CsrMatrix& m, const std::vector<int64_t>& rows);
+
+/// Keeps only the given columns (sorted unique input), re-indexing them to
+/// 0..k-1 (X <- X[, cI] in Algorithm 1 line 12).
+CsrMatrix SelectColumns(const CsrMatrix& m, const std::vector<int64_t>& cols);
+
+/// Vertical concatenation; column counts must match.
+CsrMatrix Rbind(const CsrMatrix& top, const CsrMatrix& bottom);
+
+/// Contiguous row range [begin, end).
+CsrMatrix SliceRowRange(const CsrMatrix& m, int64_t begin, int64_t end);
+
+// ---------------------------------------------------------------------------
+// Construction (table, seq, cumsum, cumprod) and ordering.
+// ---------------------------------------------------------------------------
+
+/// Contingency table: adds weight[k] (default 1) at (rix[k], cix[k]).
+/// Duplicate positions sum, mirroring SystemDS table().
+CsrMatrix Table(const std::vector<int64_t>& rix,
+                const std::vector<int64_t>& cix, int64_t rows, int64_t cols);
+CsrMatrix Table(const std::vector<int64_t>& rix,
+                const std::vector<int64_t>& cix,
+                const std::vector<double>& weights, int64_t rows,
+                int64_t cols);
+
+/// Inclusive prefix sums / products.
+std::vector<double> CumSum(const std::vector<double>& v);
+std::vector<double> CumProd(const std::vector<double>& v);
+
+/// Indices that sort v descending (stable, so ties keep input order); the
+/// order(..., decreasing=TRUE, index.return=TRUE) primitive used by top-K
+/// maintenance.
+std::vector<int64_t> OrderDesc(const std::vector<double>& v);
+
+}  // namespace sliceline::linalg
+
+#endif  // SLICELINE_LINALG_KERNELS_H_

@@ -1,0 +1,55 @@
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "linalg/kernels.h"
+
+namespace sliceline::linalg {
+
+CsrMatrix Table(const std::vector<int64_t>& rix,
+                const std::vector<int64_t>& cix, int64_t rows, int64_t cols) {
+  return Table(rix, cix, std::vector<double>(rix.size(), 1.0), rows, cols);
+}
+
+CsrMatrix Table(const std::vector<int64_t>& rix,
+                const std::vector<int64_t>& cix,
+                const std::vector<double>& weights, int64_t rows,
+                int64_t cols) {
+  SLICELINE_CHECK_EQ(rix.size(), cix.size());
+  SLICELINE_CHECK_EQ(rix.size(), weights.size());
+  CooBuilder builder(rows, cols);
+  for (size_t k = 0; k < rix.size(); ++k) {
+    builder.Add(rix[k], cix[k], weights[k]);
+  }
+  return builder.Build();
+}
+
+std::vector<double> CumSum(const std::vector<double>& v) {
+  std::vector<double> out(v.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    acc += v[i];
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<double> CumProd(const std::vector<double>& v) {
+  std::vector<double> out(v.size());
+  double acc = 1.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    acc *= v[i];
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<int64_t> OrderDesc(const std::vector<double>& v) {
+  std::vector<int64_t> idx(v.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&v](int64_t a, int64_t b) { return v[a] > v[b]; });
+  return idx;
+}
+
+}  // namespace sliceline::linalg

@@ -1,0 +1,115 @@
+#include "common/logging.h"
+#include "linalg/kernels.h"
+
+namespace sliceline::linalg {
+
+CsrMatrix FilterEquals(const CsrMatrix& m, double target) {
+  SLICELINE_CHECK_NE(target, 0.0);  // implicit zeros would all match
+  std::vector<int64_t> row_ptr(m.rows() + 1, 0);
+  std::vector<int64_t> out_cols;
+  std::vector<double> out_vals;
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    const int64_t* cols = m.RowCols(r);
+    const double* vals = m.RowVals(r);
+    const int64_t nnz = m.RowNnz(r);
+    for (int64_t k = 0; k < nnz; ++k) {
+      if (vals[k] == target) {
+        out_cols.push_back(cols[k]);
+        out_vals.push_back(1.0);
+      }
+    }
+    row_ptr[r + 1] = static_cast<int64_t>(out_cols.size());
+  }
+  return CsrMatrix(m.rows(), m.cols(), std::move(row_ptr),
+                   std::move(out_cols), std::move(out_vals));
+}
+
+CsrMatrix ScaleRows(const CsrMatrix& m, const std::vector<double>& scale) {
+  SLICELINE_CHECK_EQ(m.rows(), static_cast<int64_t>(scale.size()));
+  std::vector<int64_t> row_ptr(m.rows() + 1, 0);
+  std::vector<int64_t> out_cols;
+  std::vector<double> out_vals;
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    const double s = scale[r];
+    if (s != 0.0) {
+      const int64_t* cols = m.RowCols(r);
+      const double* vals = m.RowVals(r);
+      const int64_t nnz = m.RowNnz(r);
+      for (int64_t k = 0; k < nnz; ++k) {
+        const double v = vals[k] * s;
+        if (v != 0.0) {
+          out_cols.push_back(cols[k]);
+          out_vals.push_back(v);
+        }
+      }
+    }
+    row_ptr[r + 1] = static_cast<int64_t>(out_cols.size());
+  }
+  return CsrMatrix(m.rows(), m.cols(), std::move(row_ptr),
+                   std::move(out_cols), std::move(out_vals));
+}
+
+CsrMatrix Add(const CsrMatrix& a, const CsrMatrix& b) {
+  SLICELINE_CHECK_EQ(a.rows(), b.rows());
+  SLICELINE_CHECK_EQ(a.cols(), b.cols());
+  std::vector<int64_t> row_ptr(a.rows() + 1, 0);
+  std::vector<int64_t> out_cols;
+  std::vector<double> out_vals;
+  out_cols.reserve(a.nnz() + b.nnz());
+  out_vals.reserve(a.nnz() + b.nnz());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const int64_t* ac = a.RowCols(r);
+    const double* av = a.RowVals(r);
+    const int64_t an = a.RowNnz(r);
+    const int64_t* bc = b.RowCols(r);
+    const double* bv = b.RowVals(r);
+    const int64_t bn = b.RowNnz(r);
+    int64_t i = 0;
+    int64_t j = 0;
+    while (i < an || j < bn) {
+      int64_t col;
+      double val;
+      if (j >= bn || (i < an && ac[i] < bc[j])) {
+        col = ac[i];
+        val = av[i++];
+      } else if (i >= an || bc[j] < ac[i]) {
+        col = bc[j];
+        val = bv[j++];
+      } else {
+        col = ac[i];
+        val = av[i++] + bv[j++];
+      }
+      if (val != 0.0) {
+        out_cols.push_back(col);
+        out_vals.push_back(val);
+      }
+    }
+    row_ptr[r + 1] = static_cast<int64_t>(out_cols.size());
+  }
+  return CsrMatrix(a.rows(), a.cols(), std::move(row_ptr),
+                   std::move(out_cols), std::move(out_vals));
+}
+
+CsrMatrix Binarize(const CsrMatrix& m) {
+  std::vector<int64_t> row_ptr = m.row_ptr();
+  std::vector<int64_t> cols = m.col_idx();
+  std::vector<double> vals(m.values().size(), 1.0);
+  return CsrMatrix(m.rows(), m.cols(), std::move(row_ptr), std::move(cols),
+                   std::move(vals));
+}
+
+std::vector<std::pair<int64_t, int64_t>> UpperTriEquals(const CsrMatrix& m,
+                                                        double target) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    const int64_t* cols = m.RowCols(r);
+    const double* vals = m.RowVals(r);
+    const int64_t nnz = m.RowNnz(r);
+    for (int64_t k = 0; k < nnz; ++k) {
+      if (cols[k] > r && vals[k] == target) out.emplace_back(r, cols[k]);
+    }
+  }
+  return out;
+}
+
+}  // namespace sliceline::linalg

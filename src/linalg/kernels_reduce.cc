@@ -1,0 +1,115 @@
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "linalg/kernels.h"
+
+namespace sliceline::linalg {
+
+std::vector<double> ColSums(const CsrMatrix& m) {
+  std::vector<double> out(static_cast<size_t>(m.cols()), 0.0);
+  const auto& cols = m.col_idx();
+  const auto& vals = m.values();
+  for (size_t k = 0; k < cols.size(); ++k) out[cols[k]] += vals[k];
+  return out;
+}
+
+std::vector<double> ColMaxs(const CsrMatrix& m) {
+  const size_t n = static_cast<size_t>(m.cols());
+  std::vector<double> out(n, -std::numeric_limits<double>::infinity());
+  std::vector<int64_t> counts(n, 0);
+  const auto& cols = m.col_idx();
+  const auto& vals = m.values();
+  for (size_t k = 0; k < cols.size(); ++k) {
+    out[cols[k]] = std::max(out[cols[k]], vals[k]);
+    ++counts[cols[k]];
+  }
+  for (size_t j = 0; j < n; ++j) {
+    if (counts[j] < m.rows()) out[j] = std::max(out[j], 0.0);
+  }
+  return out;
+}
+
+std::vector<double> RowSums(const CsrMatrix& m) {
+  std::vector<double> out(static_cast<size_t>(m.rows()), 0.0);
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    const double* vals = m.RowVals(r);
+    const int64_t nnz = m.RowNnz(r);
+    double acc = 0.0;
+    for (int64_t k = 0; k < nnz; ++k) acc += vals[k];
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::vector<double> RowMaxs(const CsrMatrix& m) {
+  std::vector<double> out(static_cast<size_t>(m.rows()), 0.0);
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    const double* vals = m.RowVals(r);
+    const int64_t nnz = m.RowNnz(r);
+    double mx = nnz < m.cols() ? 0.0
+                               : -std::numeric_limits<double>::infinity();
+    for (int64_t k = 0; k < nnz; ++k) mx = std::max(mx, vals[k]);
+    out[r] = nnz == 0 ? 0.0 : mx;
+  }
+  return out;
+}
+
+std::vector<int64_t> RowNnzCounts(const CsrMatrix& m) {
+  std::vector<int64_t> out(static_cast<size_t>(m.rows()));
+  for (int64_t r = 0; r < m.rows(); ++r) out[r] = m.RowNnz(r);
+  return out;
+}
+
+std::vector<int64_t> RowIndexMax(const CsrMatrix& m) {
+  std::vector<int64_t> out(static_cast<size_t>(m.rows()), -1);
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    const double* vals = m.RowVals(r);
+    const int64_t* cols = m.RowCols(r);
+    const int64_t nnz = m.RowNnz(r);
+    if (nnz == 0) continue;
+    int64_t best = 0;
+    for (int64_t k = 1; k < nnz; ++k) {
+      if (vals[k] > vals[best]) best = k;
+    }
+    out[r] = cols[best];
+  }
+  return out;
+}
+
+double Sum(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc;
+}
+
+std::vector<double> MatVec(const CsrMatrix& m, const std::vector<double>& x) {
+  SLICELINE_CHECK_EQ(m.cols(), static_cast<int64_t>(x.size()));
+  std::vector<double> y(static_cast<size_t>(m.rows()), 0.0);
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    const double* vals = m.RowVals(r);
+    const int64_t* cols = m.RowCols(r);
+    const int64_t nnz = m.RowNnz(r);
+    double acc = 0.0;
+    for (int64_t k = 0; k < nnz; ++k) acc += vals[k] * x[cols[k]];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> TransposeMatVec(const CsrMatrix& m,
+                                    const std::vector<double>& x) {
+  SLICELINE_CHECK_EQ(m.rows(), static_cast<int64_t>(x.size()));
+  std::vector<double> y(static_cast<size_t>(m.cols()), 0.0);
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const double* vals = m.RowVals(r);
+    const int64_t* cols = m.RowCols(r);
+    const int64_t nnz = m.RowNnz(r);
+    for (int64_t k = 0; k < nnz; ++k) y[cols[k]] += vals[k] * xr;
+  }
+  return y;
+}
+
+}  // namespace sliceline::linalg

@@ -1,0 +1,83 @@
+#include <algorithm>
+
+#include "common/logging.h"
+#include "linalg/kernels.h"
+
+namespace sliceline::linalg {
+
+CsrMatrix Transpose(const CsrMatrix& m) {
+  const int64_t rows = m.rows();
+  const int64_t cols = m.cols();
+  std::vector<int64_t> out_ptr(cols + 2, 0);
+  // Counting pass, shifted by one so out_ptr can be reused as a cursor.
+  const auto& col_idx = m.col_idx();
+  for (int64_t c : col_idx) ++out_ptr[c + 2];
+  for (int64_t j = 2; j < cols + 2; ++j) out_ptr[j] += out_ptr[j - 1];
+  std::vector<int64_t> out_cols(col_idx.size());
+  std::vector<double> out_vals(col_idx.size());
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t* cols_r = m.RowCols(r);
+    const double* vals_r = m.RowVals(r);
+    const int64_t nnz = m.RowNnz(r);
+    for (int64_t k = 0; k < nnz; ++k) {
+      const int64_t pos = out_ptr[cols_r[k] + 1]++;
+      out_cols[pos] = r;
+      out_vals[pos] = vals_r[k];
+    }
+  }
+  out_ptr.pop_back();
+  return CsrMatrix(cols, rows, std::move(out_ptr), std::move(out_cols),
+                   std::move(out_vals));
+}
+
+CsrMatrix Multiply(const CsrMatrix& a, const CsrMatrix& b) {
+  SLICELINE_CHECK_EQ(a.cols(), b.rows());
+  const int64_t rows = a.rows();
+  const int64_t cols = b.cols();
+  std::vector<int64_t> row_ptr(rows + 1, 0);
+  std::vector<int64_t> out_cols;
+  std::vector<double> out_vals;
+  // Gustavson with a sparse accumulator.
+  std::vector<double> accum(static_cast<size_t>(cols), 0.0);
+  std::vector<int64_t> touched;
+  for (int64_t i = 0; i < rows; ++i) {
+    touched.clear();
+    const int64_t* a_cols = a.RowCols(i);
+    const double* a_vals = a.RowVals(i);
+    const int64_t a_nnz = a.RowNnz(i);
+    for (int64_t ka = 0; ka < a_nnz; ++ka) {
+      const int64_t k = a_cols[ka];
+      const double av = a_vals[ka];
+      const int64_t* b_cols = b.RowCols(k);
+      const double* b_vals = b.RowVals(k);
+      const int64_t b_nnz = b.RowNnz(k);
+      for (int64_t kb = 0; kb < b_nnz; ++kb) {
+        const int64_t j = b_cols[kb];
+        if (accum[j] == 0.0) touched.push_back(j);
+        accum[j] += av * b_vals[kb];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (int64_t j : touched) {
+      if (accum[j] != 0.0) {
+        out_cols.push_back(j);
+        out_vals.push_back(accum[j]);
+      }
+      accum[j] = 0.0;
+    }
+    row_ptr[i + 1] = static_cast<int64_t>(out_cols.size());
+  }
+  return CsrMatrix(rows, cols, std::move(row_ptr), std::move(out_cols),
+                   std::move(out_vals));
+}
+
+CsrMatrix MultiplyABt(const CsrMatrix& a, const CsrMatrix& b) {
+  SLICELINE_CHECK_EQ(a.cols(), b.cols());
+  // A * B^T = A * transpose(B); route through Gustavson, which is
+  // asymptotically better than all-pairs row intersections when the result is
+  // sparse, and exercises the same kernel the paper's systems would compile
+  // to (cf. the cblas_dsyrk remark in Section 4.3).
+  return Multiply(a, Transpose(b));
+}
+
+}  // namespace sliceline::linalg

@@ -1,0 +1,73 @@
+#include "ml/error_functions.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sliceline::ml {
+
+std::vector<double> SquaredLoss(const std::vector<double>& y,
+                                const std::vector<double>& y_hat) {
+  SLICELINE_CHECK_EQ(y.size(), y_hat.size());
+  std::vector<double> e(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    const double d = y[i] - y_hat[i];
+    e[i] = d * d;
+  }
+  return e;
+}
+
+std::vector<double> Inaccuracy(const std::vector<double>& y,
+                               const std::vector<double>& y_hat) {
+  SLICELINE_CHECK_EQ(y.size(), y_hat.size());
+  std::vector<double> e(y.size());
+  for (size_t i = 0; i < y.size(); ++i) e[i] = y[i] != y_hat[i] ? 1.0 : 0.0;
+  return e;
+}
+
+std::vector<double> AbsoluteLoss(const std::vector<double>& y,
+                                 const std::vector<double>& y_hat) {
+  SLICELINE_CHECK_EQ(y.size(), y_hat.size());
+  std::vector<double> e(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    e[i] = y[i] >= y_hat[i] ? y[i] - y_hat[i] : y_hat[i] - y[i];
+  }
+  return e;
+}
+
+std::vector<double> BinaryLogLoss(const std::vector<double>& y,
+                                  const std::vector<double>& p, double eps) {
+  SLICELINE_CHECK_EQ(y.size(), p.size());
+  std::vector<double> e(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    double prob = y[i] != 0.0 ? p[i] : 1.0 - p[i];
+    if (prob < eps) prob = eps;
+    if (prob > 1.0 - eps) prob = 1.0 - eps;
+    e[i] = -std::log(prob);
+  }
+  return e;
+}
+
+std::vector<double> ClassWeightedInaccuracy(
+    const std::vector<double>& y, const std::vector<double>& y_hat,
+    const std::vector<double>& class_weights) {
+  SLICELINE_CHECK_EQ(y.size(), y_hat.size());
+  std::vector<double> e(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (y[i] == y_hat[i]) continue;
+    const size_t cls = static_cast<size_t>(y[i]);
+    SLICELINE_CHECK_LT(cls, class_weights.size());
+    SLICELINE_CHECK_GE(class_weights[cls], 0.0);
+    e[i] = class_weights[cls];
+  }
+  return e;
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+}  // namespace sliceline::ml

@@ -1,0 +1,40 @@
+#ifndef SLICELINE_ML_ERROR_FUNCTIONS_H_
+#define SLICELINE_ML_ERROR_FUNCTIONS_H_
+
+#include <vector>
+
+namespace sliceline::ml {
+
+/// Per-row squared loss e_i = (y_i - yhat_i)^2 (the paper's regression error
+/// function; e >= 0 by construction).
+std::vector<double> SquaredLoss(const std::vector<double>& y,
+                                const std::vector<double>& y_hat);
+
+/// Per-row classification inaccuracy e_i = (y_i != yhat_i) in {0, 1}.
+std::vector<double> Inaccuracy(const std::vector<double>& y,
+                               const std::vector<double>& y_hat);
+
+/// Per-row absolute loss e_i = |y_i - yhat_i| (robust regression errors).
+std::vector<double> AbsoluteLoss(const std::vector<double>& y,
+                                 const std::vector<double>& y_hat);
+
+/// Per-row negative log-likelihood for binary classification,
+/// e_i = -log(p_i) if y_i == 1 else -log(1 - p_i), with probabilities
+/// clamped to [eps, 1-eps]. A smooth alternative to 0/1 inaccuracy that
+/// surfaces slices where the model is confidently wrong.
+std::vector<double> BinaryLogLoss(const std::vector<double>& y,
+                                  const std::vector<double>& p,
+                                  double eps = 1e-12);
+
+/// Per-row inaccuracy scaled by a per-class weight (cost-sensitive
+/// debugging): e_i = weight[y_i] * (y_i != yhat_i).
+std::vector<double> ClassWeightedInaccuracy(
+    const std::vector<double>& y, const std::vector<double>& y_hat,
+    const std::vector<double>& class_weights);
+
+/// Mean of a vector (0 for empty input).
+double Mean(const std::vector<double>& v);
+
+}  // namespace sliceline::ml
+
+#endif  // SLICELINE_ML_ERROR_FUNCTIONS_H_

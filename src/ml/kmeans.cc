@@ -1,0 +1,129 @@
+#include "ml/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+namespace sliceline::ml {
+
+namespace {
+
+/// Squared euclidean distance between sparse row r of x and dense centroid c
+/// with precomputed squared norm c_norm2.
+double RowCentroidDist2(const linalg::CsrMatrix& x, int64_t r,
+                        const double* centroid, double c_norm2) {
+  const int64_t* cols = x.RowCols(r);
+  const double* vals = x.RowVals(r);
+  const int64_t nnz = x.RowNnz(r);
+  double row_norm2 = 0.0;
+  double dot = 0.0;
+  for (int64_t t = 0; t < nnz; ++t) {
+    row_norm2 += vals[t] * vals[t];
+    dot += vals[t] * centroid[cols[t]];
+  }
+  return row_norm2 - 2.0 * dot + c_norm2;
+}
+
+}  // namespace
+
+StatusOr<KMeans::Result> KMeans::Run(const linalg::CsrMatrix& x,
+                                     const Options& options) {
+  const int64_t n = x.rows();
+  const int64_t d = x.cols();
+  const int k = options.k;
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (n < k) return Status::InvalidArgument("fewer rows than clusters");
+
+  Rng rng(options.seed);
+  linalg::DenseMatrix centroids(k, d);
+
+  // k-means++ seeding.
+  std::vector<double> min_dist(static_cast<size_t>(n),
+                               std::numeric_limits<double>::infinity());
+  int64_t first = static_cast<int64_t>(rng.NextUint64(n));
+  for (int c = 0; c < k; ++c) {
+    int64_t pick = first;
+    if (c > 0) {
+      double total = 0.0;
+      for (double v : min_dist) total += v;
+      if (total <= 0.0) {
+        pick = static_cast<int64_t>(rng.NextUint64(n));
+      } else {
+        double u = rng.NextDouble() * total;
+        pick = n - 1;
+        for (int64_t i = 0; i < n; ++i) {
+          u -= min_dist[i];
+          if (u <= 0.0) {
+            pick = i;
+            break;
+          }
+        }
+      }
+    }
+    double* cent = centroids.row(c);
+    const int64_t* cols = x.RowCols(pick);
+    const double* vals = x.RowVals(pick);
+    for (int64_t t = 0; t < x.RowNnz(pick); ++t) cent[cols[t]] = vals[t];
+    double c_norm2 = 0.0;
+    for (int64_t j = 0; j < d; ++j) c_norm2 += cent[j] * cent[j];
+    for (int64_t i = 0; i < n; ++i) {
+      const double dist = RowCentroidDist2(x, i, cent, c_norm2);
+      if (dist < min_dist[i]) min_dist[i] = dist;
+    }
+  }
+
+  Result result;
+  result.assignments.assign(static_cast<size_t>(n), 0.0);
+  std::vector<double> norms(static_cast<size_t>(k), 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    for (int c = 0; c < k; ++c) {
+      const double* cent = centroids.row(c);
+      double acc = 0.0;
+      for (int64_t j = 0; j < d; ++j) acc += cent[j] * cent[j];
+      norms[c] = acc;
+    }
+    bool changed = false;
+    double inertia = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        const double dist = RowCentroidDist2(x, i, centroids.row(c), norms[c]);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      inertia += std::max(best_dist, 0.0);
+      if (result.assignments[i] != best) {
+        result.assignments[i] = best;
+        changed = true;
+      }
+    }
+    result.inertia = inertia;
+    result.iterations = iter + 1;
+
+    // Recompute centroids.
+    centroids.Fill(0.0);
+    std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+    for (int64_t i = 0; i < n; ++i) {
+      const int c = static_cast<int>(result.assignments[i]);
+      ++counts[c];
+      double* cent = centroids.row(c);
+      const int64_t* cols = x.RowCols(i);
+      const double* vals = x.RowVals(i);
+      for (int64_t t = 0; t < x.RowNnz(i); ++t) cent[cols[t]] += vals[t];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps zero centroid
+      double* cent = centroids.row(c);
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      for (int64_t j = 0; j < d; ++j) cent[j] *= inv;
+    }
+    if (!changed && iter > 0) break;
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace sliceline::ml

@@ -1,0 +1,41 @@
+#ifndef SLICELINE_ML_KMEANS_H_
+#define SLICELINE_ML_KMEANS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "linalg/csr_matrix.h"
+#include "linalg/dense_matrix.h"
+
+namespace sliceline::ml {
+
+/// Lloyd's k-means on sparse rows with dense centroids. The paper uses
+/// k-means to derive artificial labels for USCensus; we provide the same
+/// capability for datasets without labels.
+class KMeans {
+ public:
+  struct Options {
+    int k = 4;
+    int max_iterations = 25;
+    uint64_t seed = 7;
+  };
+
+  struct Result {
+    linalg::DenseMatrix centroids;     ///< k x num_features
+    std::vector<double> assignments;   ///< cluster id per row
+    double inertia = 0.0;              ///< sum of squared distances
+    int iterations = 0;                ///< iterations until convergence
+  };
+
+  /// Runs k-means++ initialization followed by Lloyd iterations.
+  static StatusOr<Result> Run(const linalg::CsrMatrix& x,
+                              const Options& options);
+  static StatusOr<Result> Run(const linalg::CsrMatrix& x) {
+    return Run(x, Options());
+  }
+};
+
+}  // namespace sliceline::ml
+
+#endif  // SLICELINE_ML_KMEANS_H_

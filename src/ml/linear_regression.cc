@@ -1,0 +1,87 @@
+#include "ml/linear_regression.h"
+
+#include <cmath>
+
+#include "linalg/kernels.h"
+#include "ml/error_functions.h"
+
+namespace sliceline::ml {
+
+StatusOr<LinearRegression> LinearRegression::Fit(const linalg::CsrMatrix& x,
+                                                 const std::vector<double>& y,
+                                                 const Options& options) {
+  const int64_t n = x.rows();
+  const int64_t d = x.cols();
+  if (static_cast<int64_t>(y.size()) != n) {
+    return Status::InvalidArgument("label vector size mismatch");
+  }
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+
+  // Matrix-free CG on the normal equations of the augmented design [X 1]:
+  //   [X^T X + lambda I   X^T 1] [w]   [X^T y]
+  //   [1^T X              n    ] [b] = [1^T y]
+  // The intercept dimension is not regularized.
+  const int64_t dim = d + (options.intercept ? 1 : 0);
+  auto apply = [&](const std::vector<double>& v) {
+    std::vector<double> w(v.begin(), v.begin() + d);
+    std::vector<double> xv = linalg::MatVec(x, w);
+    if (options.intercept) {
+      const double b = v[d];
+      for (double& val : xv) val += b;
+    }
+    std::vector<double> out = linalg::TransposeMatVec(x, xv);
+    for (int64_t j = 0; j < d; ++j) out[j] += options.lambda * v[j];
+    if (options.intercept) {
+      double sum = 0.0;
+      for (double val : xv) sum += val;
+      out.push_back(sum);
+    }
+    return out;
+  };
+
+  std::vector<double> b = linalg::TransposeMatVec(x, y);
+  if (options.intercept) {
+    double sum = 0.0;
+    for (double val : y) sum += val;
+    b.push_back(sum);
+  }
+
+  std::vector<double> sol(static_cast<size_t>(dim), 0.0);
+  std::vector<double> r = b;
+  std::vector<double> p = r;
+  double rs = 0.0;
+  for (double v : r) rs += v * v;
+  const double b_norm = std::sqrt(rs);
+  if (b_norm > 0.0) {
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+      if (std::sqrt(rs) <= options.tolerance * b_norm) break;
+      std::vector<double> ap = apply(p);
+      double p_ap = 0.0;
+      for (int64_t j = 0; j < dim; ++j) p_ap += p[j] * ap[j];
+      if (p_ap <= 0.0) break;  // numerical safeguard
+      const double alpha = rs / p_ap;
+      for (int64_t j = 0; j < dim; ++j) {
+        sol[j] += alpha * p[j];
+        r[j] -= alpha * ap[j];
+      }
+      double rs_new = 0.0;
+      for (double v : r) rs_new += v * v;
+      const double beta = rs_new / rs;
+      for (int64_t j = 0; j < dim; ++j) p[j] = r[j] + beta * p[j];
+      rs = rs_new;
+    }
+  }
+  const double intercept = options.intercept ? sol[d] : 0.0;
+  sol.resize(static_cast<size_t>(d));
+  return LinearRegression(std::move(sol), intercept);
+}
+
+std::vector<double> LinearRegression::Predict(const linalg::CsrMatrix& x) const {
+  std::vector<double> out = linalg::MatVec(x, weights_);
+  for (double& v : out) v += intercept_;
+  return out;
+}
+
+}  // namespace sliceline::ml

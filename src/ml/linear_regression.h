@@ -1,0 +1,50 @@
+#ifndef SLICELINE_ML_LINEAR_REGRESSION_H_
+#define SLICELINE_ML_LINEAR_REGRESSION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/csr_matrix.h"
+
+namespace sliceline::ml {
+
+/// Ridge linear regression on a sparse (typically one-hot) feature matrix,
+/// the "lm" of the paper's regression experiments. Solves
+/// (X^T X + lambda I) w = X^T y with a matrix-free conjugate-gradient so the
+/// normal-equation matrix is never materialized (KDD98 has l = 8378 one-hot
+/// columns).
+class LinearRegression {
+ public:
+  struct Options {
+    double lambda = 1e-3;     ///< ridge regularization strength
+    int max_iterations = 200; ///< CG iteration cap
+    double tolerance = 1e-8;  ///< relative residual stopping criterion
+    bool intercept = true;    ///< fit an intercept term
+  };
+
+  /// Fits the model; fails if shapes mismatch.
+  static StatusOr<LinearRegression> Fit(const linalg::CsrMatrix& x,
+                                        const std::vector<double>& y,
+                                        const Options& options);
+  static StatusOr<LinearRegression> Fit(const linalg::CsrMatrix& x,
+                                        const std::vector<double>& y) {
+    return Fit(x, y, Options());
+  }
+
+  /// Predicted targets, one per row of x.
+  std::vector<double> Predict(const linalg::CsrMatrix& x) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  LinearRegression(std::vector<double> weights, double intercept)
+      : weights_(std::move(weights)), intercept_(intercept) {}
+
+  std::vector<double> weights_;
+  double intercept_;
+};
+
+}  // namespace sliceline::ml
+
+#endif  // SLICELINE_ML_LINEAR_REGRESSION_H_

@@ -1,0 +1,132 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sliceline::ml {
+
+namespace {
+
+/// Row-wise softmax in place.
+void SoftmaxRows(linalg::DenseMatrix& logits) {
+  for (int64_t i = 0; i < logits.rows(); ++i) {
+    double* row = logits.row(i);
+    double mx = row[0];
+    for (int64_t c = 1; c < logits.cols(); ++c) mx = std::max(mx, row[c]);
+    double sum = 0.0;
+    for (int64_t c = 0; c < logits.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    for (int64_t c = 0; c < logits.cols(); ++c) row[c] /= sum;
+  }
+}
+
+/// logits(i, c) = sum_j x(i, j) * w(c, j) + bias[c].
+linalg::DenseMatrix ComputeLogits(const linalg::CsrMatrix& x,
+                                  const linalg::DenseMatrix& w,
+                                  const std::vector<double>& bias) {
+  const int64_t k = w.rows();
+  linalg::DenseMatrix logits(x.rows(), k);
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    const int64_t* cols = x.RowCols(i);
+    const double* vals = x.RowVals(i);
+    const int64_t nnz = x.RowNnz(i);
+    double* out = logits.row(i);
+    for (int64_t c = 0; c < k; ++c) {
+      const double* wc = w.row(c);
+      double acc = bias[c];
+      for (int64_t t = 0; t < nnz; ++t) acc += vals[t] * wc[cols[t]];
+      out[c] = acc;
+    }
+  }
+  return logits;
+}
+
+}  // namespace
+
+StatusOr<LogisticRegression> LogisticRegression::Fit(
+    const linalg::CsrMatrix& x, const std::vector<double>& y,
+    const Options& options) {
+  const int64_t n = x.rows();
+  const int64_t d = x.cols();
+  const int k = options.num_classes;
+  if (static_cast<int64_t>(y.size()) != n) {
+    return Status::InvalidArgument("label vector size mismatch");
+  }
+  if (k < 2) return Status::InvalidArgument("need at least 2 classes");
+  for (double v : y) {
+    if (v < 0 || v >= k || v != std::floor(v)) {
+      return Status::InvalidArgument("labels must be 0-based class ids");
+    }
+  }
+
+  linalg::DenseMatrix w(k, d);
+  linalg::DenseMatrix vel(k, d);
+  std::vector<double> bias(static_cast<size_t>(k), 0.0);
+  std::vector<double> bias_vel(static_cast<size_t>(k), 0.0);
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    linalg::DenseMatrix probs = ComputeLogits(x, w, bias);
+    SoftmaxRows(probs);
+    // Gradient: X^T (P - Y) / n + lambda * W, accumulated sparsely.
+    linalg::DenseMatrix grad(k, d);
+    std::vector<double> bias_grad(static_cast<size_t>(k), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      const int yi = static_cast<int>(y[i]);
+      const int64_t* cols = x.RowCols(i);
+      const double* vals = x.RowVals(i);
+      const int64_t nnz = x.RowNnz(i);
+      const double* p = probs.row(i);
+      for (int c = 0; c < k; ++c) {
+        const double delta = (p[c] - (c == yi ? 1.0 : 0.0)) * inv_n;
+        if (delta == 0.0) continue;
+        bias_grad[c] += delta;
+        double* gc = grad.row(c);
+        for (int64_t t = 0; t < nnz; ++t) gc[cols[t]] += delta * vals[t];
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      double* gc = grad.row(c);
+      const double* wc = w.row(c);
+      double* vc = vel.row(c);
+      double* wcm = w.row(c);
+      for (int64_t j = 0; j < d; ++j) {
+        const double g = gc[j] + options.lambda * wc[j];
+        vc[j] = options.momentum * vc[j] - options.learning_rate * g;
+        wcm[j] += vc[j];
+      }
+      bias_vel[c] = options.momentum * bias_vel[c] -
+                    options.learning_rate * bias_grad[c];
+      bias[c] += bias_vel[c];
+    }
+  }
+  return LogisticRegression(std::move(w), std::move(bias));
+}
+
+linalg::DenseMatrix LogisticRegression::PredictProbabilities(
+    const linalg::CsrMatrix& x) const {
+  linalg::DenseMatrix probs = ComputeLogits(x, weights_, bias_);
+  SoftmaxRows(probs);
+  return probs;
+}
+
+std::vector<double> LogisticRegression::Predict(
+    const linalg::CsrMatrix& x) const {
+  linalg::DenseMatrix logits = ComputeLogits(x, weights_, bias_);
+  std::vector<double> out(static_cast<size_t>(x.rows()));
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    const double* row = logits.row(i);
+    int best = 0;
+    for (int64_t c = 1; c < logits.cols(); ++c) {
+      if (row[c] > row[best]) best = static_cast<int>(c);
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+}  // namespace sliceline::ml

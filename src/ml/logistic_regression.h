@@ -1,0 +1,53 @@
+#ifndef SLICELINE_ML_LOGISTIC_REGRESSION_H_
+#define SLICELINE_ML_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/csr_matrix.h"
+#include "linalg/dense_matrix.h"
+
+namespace sliceline::ml {
+
+/// Multinomial (softmax) logistic regression on sparse features, the
+/// "mlogit" of the paper's classification experiments. Trained with
+/// full-batch gradient descent plus momentum; adequate for producing the
+/// error vectors slice finding consumes.
+class LogisticRegression {
+ public:
+  struct Options {
+    int num_classes = 2;
+    double learning_rate = 0.5;
+    double lambda = 1e-4;      ///< L2 regularization
+    int max_iterations = 100;
+    double momentum = 0.9;
+  };
+
+  /// Fits the model; y holds 0-based class ids in [0, num_classes).
+  static StatusOr<LogisticRegression> Fit(const linalg::CsrMatrix& x,
+                                          const std::vector<double>& y,
+                                          const Options& options);
+  static StatusOr<LogisticRegression> Fit(const linalg::CsrMatrix& x,
+                                          const std::vector<double>& y) {
+    return Fit(x, y, Options());
+  }
+
+  /// Predicted class id (argmax probability) per row.
+  std::vector<double> Predict(const linalg::CsrMatrix& x) const;
+
+  /// Class-probability matrix, rows aligned with x, one column per class.
+  linalg::DenseMatrix PredictProbabilities(const linalg::CsrMatrix& x) const;
+
+  int num_classes() const { return static_cast<int>(weights_.rows()); }
+
+ private:
+  LogisticRegression(linalg::DenseMatrix weights, std::vector<double> bias)
+      : weights_(std::move(weights)), bias_(std::move(bias)) {}
+
+  linalg::DenseMatrix weights_;  ///< num_classes x num_features
+  std::vector<double> bias_;     ///< per class
+};
+
+}  // namespace sliceline::ml
+
+#endif  // SLICELINE_ML_LOGISTIC_REGRESSION_H_

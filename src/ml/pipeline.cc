@@ -1,0 +1,40 @@
+#include "ml/pipeline.h"
+
+#include "ml/error_functions.h"
+#include "ml/kmeans.h"
+#include "ml/linear_regression.h"
+#include "ml/logistic_regression.h"
+
+namespace sliceline::ml {
+
+StatusOr<double> TrainAndMaterializeErrors(data::EncodedDataset* dataset) {
+  const data::FeatureOffsets offsets = data::ComputeOffsets(dataset->x0);
+  const linalg::CsrMatrix x = data::OneHotEncode(dataset->x0, offsets);
+  if (dataset->task == data::Task::kRegression) {
+    SLICELINE_ASSIGN_OR_RETURN(LinearRegression model,
+                               LinearRegression::Fit(x, dataset->y));
+    dataset->errors = SquaredLoss(dataset->y, model.Predict(x));
+  } else {
+    LogisticRegression::Options opts;
+    opts.num_classes = dataset->num_classes;
+    SLICELINE_ASSIGN_OR_RETURN(
+        LogisticRegression model,
+        LogisticRegression::Fit(x, dataset->y, opts));
+    dataset->errors = Inaccuracy(dataset->y, model.Predict(x));
+  }
+  return Mean(dataset->errors);
+}
+
+Status DeriveLabelsByClustering(data::EncodedDataset* dataset, int k) {
+  const data::FeatureOffsets offsets = data::ComputeOffsets(dataset->x0);
+  const linalg::CsrMatrix x = data::OneHotEncode(dataset->x0, offsets);
+  KMeans::Options opts;
+  opts.k = k;
+  SLICELINE_ASSIGN_OR_RETURN(KMeans::Result result, KMeans::Run(x, opts));
+  dataset->y = std::move(result.assignments);
+  dataset->task = data::Task::kClassification;
+  dataset->num_classes = k;
+  return Status::OK();
+}
+
+}  // namespace sliceline::ml

@@ -1,0 +1,24 @@
+#ifndef SLICELINE_ML_PIPELINE_H_
+#define SLICELINE_ML_PIPELINE_H_
+
+#include "common/status.h"
+#include "data/encoded_dataset.h"
+#include "data/onehot.h"
+
+namespace sliceline::ml {
+
+/// End-to-end model-debugging preparation: one-hot encodes the dataset,
+/// trains the paper's model family for its task (lm for regression, mlogit
+/// for classification), and materializes the error vector (squared loss /
+/// inaccuracy) into `dataset->errors`, overwriting any simulated errors.
+/// Returns the training error mean for reporting.
+StatusOr<double> TrainAndMaterializeErrors(data::EncodedDataset* dataset);
+
+/// Derives artificial labels by clustering the one-hot rows with k-means
+/// (the paper's treatment of the unlabeled USCensus dataset); sets
+/// dataset->y, task to classification, and num_classes to k.
+Status DeriveLabelsByClustering(data::EncodedDataset* dataset, int k);
+
+}  // namespace sliceline::ml
+
+#endif  // SLICELINE_ML_PIPELINE_H_

@@ -1,0 +1,103 @@
+#include "ml/split.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "data/onehot.h"
+#include "ml/error_functions.h"
+#include "ml/linear_regression.h"
+#include "ml/logistic_regression.h"
+
+namespace sliceline::ml {
+
+namespace {
+
+data::EncodedDataset TakeRows(const data::EncodedDataset& dataset,
+                              const std::vector<int64_t>& rows,
+                              const char* suffix) {
+  data::EncodedDataset out;
+  out.name = dataset.name + suffix;
+  out.task = dataset.task;
+  out.num_classes = dataset.num_classes;
+  out.feature_names = dataset.feature_names;
+  out.planted = dataset.planted;
+  out.x0 = data::IntMatrix(static_cast<int64_t>(rows.size()),
+                           dataset.x0.cols());
+  out.y.reserve(rows.size());
+  const bool has_errors = !dataset.errors.empty();
+  out.errors.reserve(has_errors ? rows.size() : 0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (int64_t j = 0; j < dataset.x0.cols(); ++j) {
+      out.x0.At(static_cast<int64_t>(i), j) = dataset.x0.At(rows[i], j);
+    }
+    out.y.push_back(dataset.y[rows[i]]);
+    if (has_errors) out.errors.push_back(dataset.errors[rows[i]]);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<TrainTestSplit> SplitTrainTest(const data::EncodedDataset& dataset,
+                                        double test_fraction, uint64_t seed) {
+  if (!(test_fraction > 0.0 && test_fraction < 1.0)) {
+    return Status::InvalidArgument("test_fraction must be in (0, 1)");
+  }
+  const int64_t n = dataset.n();
+  if (n < 2) return Status::InvalidArgument("need at least 2 rows to split");
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(order);
+  int64_t test_count = static_cast<int64_t>(test_fraction * n);
+  if (test_count < 1) test_count = 1;
+  if (test_count >= n) test_count = n - 1;
+
+  TrainTestSplit split;
+  split.test_rows.assign(order.begin(), order.begin() + test_count);
+  split.train_rows.assign(order.begin() + test_count, order.end());
+  std::sort(split.test_rows.begin(), split.test_rows.end());
+  std::sort(split.train_rows.begin(), split.train_rows.end());
+  split.train = TakeRows(dataset, split.train_rows, "_train");
+  split.test = TakeRows(dataset, split.test_rows, "_test");
+  return split;
+}
+
+StatusOr<double> TrainOnSplitAndScoreTest(TrainTestSplit* split) {
+  // Encode both splits with the TRAIN split's structure extended to cover
+  // test codes (domains are per-column maxima over both splits so the
+  // one-hot spaces align).
+  data::IntMatrix combined(split->train.n() + split->test.n(),
+                           split->train.m());
+  for (int64_t i = 0; i < split->train.n(); ++i) {
+    for (int64_t j = 0; j < split->train.m(); ++j) {
+      combined.At(i, j) = split->train.x0.At(i, j);
+    }
+  }
+  for (int64_t i = 0; i < split->test.n(); ++i) {
+    for (int64_t j = 0; j < split->test.m(); ++j) {
+      combined.At(split->train.n() + i, j) = split->test.x0.At(i, j);
+    }
+  }
+  const data::FeatureOffsets offsets = data::ComputeOffsets(combined);
+  const linalg::CsrMatrix x_train =
+      data::OneHotEncode(split->train.x0, offsets);
+  const linalg::CsrMatrix x_test = data::OneHotEncode(split->test.x0, offsets);
+
+  if (split->train.task == data::Task::kRegression) {
+    SLICELINE_ASSIGN_OR_RETURN(
+        LinearRegression model,
+        LinearRegression::Fit(x_train, split->train.y));
+    split->test.errors = SquaredLoss(split->test.y, model.Predict(x_test));
+  } else {
+    LogisticRegression::Options opts;
+    opts.num_classes = split->train.num_classes;
+    SLICELINE_ASSIGN_OR_RETURN(
+        LogisticRegression model,
+        LogisticRegression::Fit(x_train, split->train.y, opts));
+    split->test.errors = Inaccuracy(split->test.y, model.Predict(x_test));
+  }
+  return Mean(split->test.errors);
+}
+
+}  // namespace sliceline::ml

@@ -1,0 +1,38 @@
+#ifndef SLICELINE_ML_SPLIT_H_
+#define SLICELINE_ML_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/encoded_dataset.h"
+
+namespace sliceline::ml {
+
+/// A train/test partition of an encoded dataset. The paper notes the same
+/// slice-finding definitions apply to train, validation, and test splits
+/// (M always trained on the train split), so debugging held-out errors is a
+/// first-class workflow.
+struct TrainTestSplit {
+  data::EncodedDataset train;
+  data::EncodedDataset test;
+  std::vector<int64_t> train_rows;  ///< original row indices
+  std::vector<int64_t> test_rows;
+};
+
+/// Randomly partitions `dataset` with `test_fraction` of rows in the test
+/// split (shuffled with the given seed; deterministic). Labels, simulated
+/// errors, planted slices, and feature names are carried along.
+StatusOr<TrainTestSplit> SplitTrainTest(const data::EncodedDataset& dataset,
+                                        double test_fraction,
+                                        uint64_t seed = 42);
+
+/// Trains on the train split (lm / mlogit per task) and materializes the
+/// model's errors on the TEST split into `split->test.errors` (the held-out
+/// debugging mode); returns the test mean error.
+StatusOr<double> TrainOnSplitAndScoreTest(TrainTestSplit* split);
+
+}  // namespace sliceline::ml
+
+#endif  // SLICELINE_ML_SPLIT_H_

@@ -1,0 +1,161 @@
+#include "baseline/error_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/sliceline.h"
+
+namespace sliceline::baseline {
+namespace {
+
+struct PlantedData {
+  data::IntMatrix x0;
+  std::vector<double> errors;
+};
+
+/// One clean planted high-error region: feature0=2.
+PlantedData SimplePlanted(uint64_t seed, int64_t n) {
+  Rng rng(seed);
+  PlantedData d;
+  d.x0 = data::IntMatrix(n, 4);
+  d.errors.resize(n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      d.x0.At(i, j) = static_cast<int32_t>(rng.NextUint64(3)) + 1;
+    }
+    const bool bad = d.x0.At(i, 0) == 2;
+    d.errors[i] = rng.NextBool(bad ? 0.6 : 0.05) ? 1.0 : 0.0;
+  }
+  return d;
+}
+
+TEST(ErrorTreeTest, FindsPlantedRegion) {
+  PlantedData d = SimplePlanted(3, 3000);
+  ErrorTreeConfig config;
+  config.k = 2;
+  auto result = RunErrorTree(d.x0, d.errors, config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->slices.empty());
+  const core::Slice& top = result->slices[0];
+  // The highest-error leaf binds feature 0 to code 2.
+  bool found = false;
+  for (const auto& [f, c] : top.predicates) found |= f == 0 && c == 2;
+  EXPECT_TRUE(found) << top.ToString();
+  EXPECT_GT(result->nodes, 1);
+  EXPECT_GT(result->leaves, 1);
+}
+
+TEST(ErrorTreeTest, LeafRowSetsPartition) {
+  // Leaf ROW SETS are disjoint (the tree partitions X); the reported
+  // conjunctions elide the negated "rest" branches, so sizes sum to at
+  // most n and every leaf's recorded size is consistent with its stats.
+  PlantedData d = SimplePlanted(5, 2000);
+  ErrorTreeConfig config;
+  config.k = 8;
+  config.max_depth = 3;
+  auto result = RunErrorTree(d.x0, d.errors, config);
+  ASSERT_TRUE(result.ok());
+  int64_t total = 0;
+  for (const core::Slice& slice : result->slices) {
+    EXPECT_GT(slice.stats.size, 0);
+    EXPECT_GE(slice.stats.error_sum, 0.0);
+    total += slice.stats.size;
+  }
+  EXPECT_LE(total, d.x0.rows());
+  // Distinct leaves have distinct predicate paths.
+  for (size_t i = 0; i < result->slices.size(); ++i) {
+    for (size_t j = i + 1; j < result->slices.size(); ++j) {
+      EXPECT_NE(result->slices[i].predicates, result->slices[j].predicates);
+    }
+  }
+}
+
+TEST(ErrorTreeTest, RespectsSupportAndDepth) {
+  PlantedData d = SimplePlanted(7, 2000);
+  ErrorTreeConfig config;
+  config.k = 10;
+  config.max_depth = 2;
+  config.min_support = 100;
+  auto result = RunErrorTree(d.x0, d.errors, config);
+  ASSERT_TRUE(result.ok());
+  for (const core::Slice& slice : result->slices) {
+    EXPECT_LE(slice.level(), 2);
+    EXPECT_GE(slice.stats.size, 100);
+  }
+}
+
+TEST(ErrorTreeTest, UniformErrorsGrowNoTree) {
+  data::IntMatrix x0(500, 3, 1);
+  Rng rng(9);
+  for (int64_t i = 0; i < 500; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      x0.At(i, j) = static_cast<int32_t>(rng.NextUint64(3)) + 1;
+    }
+  }
+  std::vector<double> errors(500, 0.3);
+  auto result = RunErrorTree(x0, errors, ErrorTreeConfig());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->leaves, 1);  // zero variance, nothing to split
+  EXPECT_TRUE(result->slices.empty());
+}
+
+TEST(ErrorTreeTest, CannotExpressOverlappingSlices) {
+  // Two planted overlapping problem slices: f0=1 and f1=1 (they intersect).
+  // SliceLine reports both; the tree's disjoint leaves cannot.
+  Rng rng(11);
+  const int64_t n = 6000;
+  data::IntMatrix x0(n, 4);
+  std::vector<double> errors(n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      x0.At(i, j) = static_cast<int32_t>(rng.NextUint64(3)) + 1;
+    }
+    const bool bad = x0.At(i, 0) == 1 || x0.At(i, 1) == 1;
+    errors[i] = rng.NextBool(bad ? 0.5 : 0.05) ? 1.0 : 0.0;
+  }
+  core::SliceLineConfig sl_config;
+  sl_config.k = 4;
+  sl_config.alpha = 0.9;
+  sl_config.max_level = 1;
+  auto sliceline = core::RunSliceLine(x0, errors, sl_config);
+  ASSERT_TRUE(sliceline.ok());
+  // SliceLine reports both overlapping level-1 slices.
+  bool has_f0 = false;
+  bool has_f1 = false;
+  for (const core::Slice& slice : sliceline->top_k) {
+    for (const auto& [f, c] : slice.predicates) {
+      has_f0 |= f == 0 && c == 1;
+      has_f1 |= f == 1 && c == 1;
+    }
+  }
+  EXPECT_TRUE(has_f0);
+  EXPECT_TRUE(has_f1);
+  // The tree's reported disjoint leaves can't both be the plain marginal
+  // slices (one side is carved out of the other's complement).
+  ErrorTreeConfig tree_config;
+  tree_config.k = 4;
+  auto tree = RunErrorTree(x0, errors, tree_config);
+  ASSERT_TRUE(tree.ok());
+  for (size_t i = 0; i < tree->slices.size(); ++i) {
+    for (size_t j = i + 1; j < tree->slices.size(); ++j) {
+      EXPECT_NE(tree->slices[i].predicates, tree->slices[j].predicates);
+    }
+  }
+}
+
+TEST(ErrorTreeTest, ValidatesInputs) {
+  data::IntMatrix x0(10, 2, 1);
+  std::vector<double> errors(10, 0.1);
+  ErrorTreeConfig bad;
+  bad.k = 0;
+  EXPECT_FALSE(RunErrorTree(x0, errors, bad).ok());
+  bad = ErrorTreeConfig();
+  bad.max_depth = 0;
+  EXPECT_FALSE(RunErrorTree(x0, errors, bad).ok());
+  std::vector<double> wrong(5, 0.1);
+  EXPECT_FALSE(RunErrorTree(x0, wrong, ErrorTreeConfig()).ok());
+  EXPECT_FALSE(RunErrorTree(data::IntMatrix(), {}, ErrorTreeConfig()).ok());
+}
+
+}  // namespace
+}  // namespace sliceline::baseline

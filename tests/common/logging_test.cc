@@ -1,0 +1,56 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace sliceline {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST(LoggingTest, StreamingCompiles) {
+  // Messages below the threshold are swallowed; above, they go to stderr.
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  LOG_INFO << "suppressed " << 42;
+  LOG_WARNING << "also suppressed";
+  SUCCEED();
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  SLICELINE_CHECK(true);
+  SLICELINE_CHECK_EQ(1, 1);
+  SLICELINE_CHECK_NE(1, 2);
+  SLICELINE_CHECK_LT(1, 2);
+  SLICELINE_CHECK_LE(2, 2);
+  SLICELINE_CHECK_GT(3, 2);
+  SLICELINE_CHECK_GE(3, 3);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingChecksAbort) {
+  EXPECT_DEATH(SLICELINE_CHECK(false) << "boom", "Check failed: false boom");
+  EXPECT_DEATH(SLICELINE_CHECK_EQ(1, 2), "Check failed");
+  EXPECT_DEATH(SLICELINE_CHECK_LT(5, 2), "Check failed");
+}
+
+TEST(CheckDeathTest, FatalLogAborts) {
+  EXPECT_DEATH(LOG_FATAL << "fatal message", "fatal message");
+}
+
+}  // namespace
+}  // namespace sliceline

@@ -1,0 +1,58 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sliceline {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeWithOneThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(100, [&](size_t i) { hits[i]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPoolTest, CoversAllIterations) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, RangeVariantCoversDisjointRanges) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> total{0};
+  pool.ParallelForRange(1234, [&](size_t b, size_t e) {
+    total += static_cast<int64_t>(e - b);
+  });
+  EXPECT_EQ(total.load(), 1234);
+}
+
+TEST(ThreadPoolTest, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, NestedWorkCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(10, [&](size_t) { count++; });
+  pool.ParallelFor(10, [&](size_t) { count++; });
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
+  ThreadPool& a = GlobalThreadPool();
+  ThreadPool& b = GlobalThreadPool();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace sliceline

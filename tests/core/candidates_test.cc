@@ -1,0 +1,188 @@
+#include "core/candidates.h"
+
+#include <gtest/gtest.h>
+
+namespace sliceline::core {
+namespace {
+
+/// Fixture: 3 features, domains {2, 2, 2} -> one-hot columns 0..5.
+data::FeatureOffsets MakeOffsets() {
+  data::IntMatrix x0(2, 3);
+  for (int j = 0; j < 3; ++j) {
+    x0.At(0, j) = 1;
+    x0.At(1, j) = 2;
+  }
+  return data::ComputeOffsets(x0);
+}
+
+/// Basic level-1 slices on columns {0, 2, 4} (feature 0=1, 1=1, 2=1) with
+/// the given sizes/errors.
+void AddBasic(SliceSet* set, EvalResult* stats, int64_t col, double ss,
+              double se, double sm) {
+  set->Add({col});
+  stats->sizes.push_back(ss);
+  stats->error_sums.push_back(se);
+  stats->max_errors.push_back(sm);
+}
+
+TEST(CandidatesTest, LevelTwoJoinsDifferentFeatures) {
+  data::FeatureOffsets offsets = MakeOffsets();
+  ScoringContext ctx(1000, 100.0, 0.95);
+  SliceSet prev;
+  EvalResult stats;
+  AddBasic(&prev, &stats, 0, 500, 60, 1.0);  // feature 0
+  AddBasic(&prev, &stats, 1, 500, 50, 1.0);  // feature 0 (other code)
+  AddBasic(&prev, &stats, 2, 400, 70, 1.0);  // feature 1
+  SliceLineConfig config;
+  std::vector<ParentBounds> bounds;
+  CandidateGenStats gen;
+  SliceSet cands = GeneratePairCandidates(prev, stats, 2, ctx, 10, 0.0,
+                                          config, offsets, &bounds, &gen);
+  // Pairs (0,2) and (1,2) are cross-feature; (0,1) same feature -> invalid.
+  EXPECT_EQ(cands.size(), 2);
+  EXPECT_EQ(gen.pairs, 3);
+  for (int64_t i = 0; i < cands.size(); ++i) {
+    EXPECT_EQ(bounds[i].parents, 2);
+    EXPECT_EQ(cands.Length(i), 2);
+  }
+  // Bounds are the parent minima.
+  EXPECT_EQ(bounds[0].size_ub, 400);
+  EXPECT_DOUBLE_EQ(bounds[0].error_ub, 60.0);
+}
+
+TEST(CandidatesTest, SizePruningFiltersParentsAndCandidates) {
+  data::FeatureOffsets offsets = MakeOffsets();
+  ScoringContext ctx(1000, 100.0, 0.95);
+  SliceSet prev;
+  EvalResult stats;
+  AddBasic(&prev, &stats, 0, 5, 4, 1.0);    // below sigma = 10
+  AddBasic(&prev, &stats, 2, 400, 70, 1.0);
+  AddBasic(&prev, &stats, 4, 300, 50, 1.0);
+  SliceLineConfig config;
+  std::vector<ParentBounds> bounds;
+  SliceSet cands = GeneratePairCandidates(prev, stats, 2, ctx, 10, 0.0,
+                                          config, offsets, &bounds, nullptr);
+  // Only (2,4) survives: slice with col 0 has support below sigma.
+  ASSERT_EQ(cands.size(), 1);
+  EXPECT_EQ(cands.Columns(0)[0], 2);
+  EXPECT_EQ(cands.Columns(0)[1], 4);
+
+  // With size pruning disabled the small parent participates again.
+  config.prune_size = false;
+  config.prune_score = false;  // its children cannot score positively
+  SliceSet all = GeneratePairCandidates(prev, stats, 2, ctx, 10, 0.0, config,
+                                        offsets, &bounds, nullptr);
+  EXPECT_EQ(all.size(), 3);
+}
+
+TEST(CandidatesTest, ZeroErrorParentExcluded) {
+  data::FeatureOffsets offsets = MakeOffsets();
+  ScoringContext ctx(1000, 100.0, 0.95);
+  SliceSet prev;
+  EvalResult stats;
+  AddBasic(&prev, &stats, 0, 500, 0.0, 0.0);  // zero error
+  AddBasic(&prev, &stats, 2, 400, 70, 1.0);
+  AddBasic(&prev, &stats, 4, 300, 50, 1.0);
+  SliceLineConfig config;
+  config.prune_score = false;
+  std::vector<ParentBounds> bounds;
+  SliceSet cands = GeneratePairCandidates(prev, stats, 2, ctx, 10, 0.0,
+                                          config, offsets, &bounds, nullptr);
+  ASSERT_EQ(cands.size(), 1);  // only (2,4)
+}
+
+TEST(CandidatesTest, LevelThreeDeduplicatesAndCountsParents) {
+  data::FeatureOffsets offsets = MakeOffsets();
+  ScoringContext ctx(1000, 100.0, 0.95);
+  // Level-2 slices ab, ac, bc over columns a=0 (feat0), b=2 (feat1),
+  // c=4 (feat2): all three parents of abc are present.
+  SliceSet prev;
+  EvalResult stats;
+  prev.Add({0, 2});
+  prev.Add({0, 4});
+  prev.Add({2, 4});
+  stats.sizes = {100, 90, 80};
+  stats.error_sums = {30, 40, 20};
+  stats.max_errors = {1.0, 2.0, 0.5};
+  SliceLineConfig config;
+  std::vector<ParentBounds> bounds;
+  CandidateGenStats gen;
+  SliceSet cands = GeneratePairCandidates(prev, stats, 3, ctx, 10, 0.0,
+                                          config, offsets, &bounds, &gen);
+  // Three generating pairs merge into the single candidate abc.
+  ASSERT_EQ(cands.size(), 1);
+  EXPECT_EQ(gen.pairs, 3);
+  EXPECT_EQ(gen.duplicates, 2);
+  EXPECT_EQ(bounds[0].parents, 3);
+  EXPECT_EQ(bounds[0].size_ub, 80);
+  EXPECT_DOUBLE_EQ(bounds[0].error_ub, 20.0);
+  EXPECT_DOUBLE_EQ(bounds[0].max_error_ub, 0.5);
+  EXPECT_EQ(cands.Length(0), 3);
+}
+
+TEST(CandidatesTest, MissingParentPruning) {
+  data::FeatureOffsets offsets = MakeOffsets();
+  ScoringContext ctx(1000, 100.0, 0.95);
+  // Only two of abc's three parents are enumerated: ab and ac.
+  SliceSet prev;
+  EvalResult stats;
+  prev.Add({0, 2});
+  prev.Add({0, 4});
+  stats.sizes = {100, 90};
+  stats.error_sums = {30, 40};
+  stats.max_errors = {1.0, 2.0};
+  SliceLineConfig config;
+  std::vector<ParentBounds> bounds;
+  SliceSet pruned = GeneratePairCandidates(prev, stats, 3, ctx, 10, 0.0,
+                                           config, offsets, &bounds, nullptr);
+  EXPECT_EQ(pruned.size(), 0);  // np = 2 != L = 3
+
+  config.prune_parents = false;
+  SliceSet kept = GeneratePairCandidates(prev, stats, 3, ctx, 10, 0.0,
+                                         config, offsets, &bounds, nullptr);
+  ASSERT_EQ(kept.size(), 1);
+  EXPECT_EQ(bounds[0].parents, 2);
+}
+
+TEST(CandidatesTest, NoDeduplicationKeepsMultiplicity) {
+  data::FeatureOffsets offsets = MakeOffsets();
+  ScoringContext ctx(1000, 100.0, 0.95);
+  SliceSet prev;
+  EvalResult stats;
+  prev.Add({0, 2});
+  prev.Add({0, 4});
+  prev.Add({2, 4});
+  stats.sizes = {100, 90, 80};
+  stats.error_sums = {30, 40, 20};
+  stats.max_errors = {1.0, 2.0, 0.5};
+  SliceLineConfig config;
+  config.deduplicate = false;
+  config.prune_parents = false;  // per-pair candidates have only 2 parents
+  std::vector<ParentBounds> bounds;
+  SliceSet cands = GeneratePairCandidates(prev, stats, 3, ctx, 10, 0.0,
+                                          config, offsets, &bounds, nullptr);
+  EXPECT_EQ(cands.size(), 3);  // abc three times
+}
+
+TEST(CandidatesTest, ScoreThresholdPrunes) {
+  data::FeatureOffsets offsets = MakeOffsets();
+  ScoringContext ctx(1000, 100.0, 0.95);
+  SliceSet prev;
+  EvalResult stats;
+  AddBasic(&prev, &stats, 0, 400, 50, 0.5);
+  AddBasic(&prev, &stats, 2, 400, 50, 0.5);
+  SliceLineConfig config;
+  std::vector<ParentBounds> bounds;
+  // With an absurdly high current top-K threshold everything is pruned.
+  SliceSet cands = GeneratePairCandidates(prev, stats, 2, ctx, 10, 1e12,
+                                          config, offsets, &bounds, nullptr);
+  EXPECT_EQ(cands.size(), 0);
+  // Without score pruning the candidate survives.
+  config.prune_score = false;
+  cands = GeneratePairCandidates(prev, stats, 2, ctx, 10, 1e12, config,
+                                 offsets, &bounds, nullptr);
+  EXPECT_EQ(cands.size(), 1);
+}
+
+}  // namespace
+}  // namespace sliceline::core

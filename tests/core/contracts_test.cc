@@ -1,0 +1,77 @@
+// Failure-injection tests for the CHECK-guarded internal contracts: the
+// library promises Status errors for user-facing misuse and hard aborts for
+// programming errors. These death tests pin down the latter so contract
+// regressions (silent acceptance of malformed state) are caught.
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "core/scoring.h"
+#include "core/topk.h"
+#include "linalg/csr_matrix.h"
+
+namespace sliceline {
+namespace {
+
+using core::ScoringContext;
+using core::SliceEvaluator;
+using core::TopK;
+using linalg::CooBuilder;
+using linalg::CsrMatrix;
+
+TEST(CsrContractsTest, RowPtrSizeMismatchAborts) {
+  EXPECT_DEATH(CsrMatrix(2, 2, {0, 1}, {0}, {1.0}), "Check failed");
+}
+
+TEST(CsrContractsTest, RowPtrNotStartingAtZeroAborts) {
+  EXPECT_DEATH(CsrMatrix(1, 2, {1, 1}, {}, {}), "Check failed");
+}
+
+TEST(CsrContractsTest, ValueColumnCountMismatchAborts) {
+  EXPECT_DEATH(CsrMatrix(1, 2, {0, 1}, {0}, {1.0, 2.0}), "Check failed");
+}
+
+TEST(CooContractsTest, OutOfRangeAddAborts) {
+  CooBuilder builder(2, 2);
+  EXPECT_DEATH(builder.Add(2, 0, 1.0), "Check failed");
+  EXPECT_DEATH(builder.Add(0, -1, 1.0), "Check failed");
+}
+
+TEST(ScoringContractsTest, InvalidAlphaAborts) {
+  EXPECT_DEATH(ScoringContext(100, 10.0, 0.0), "alpha");
+  EXPECT_DEATH(ScoringContext(100, 10.0, 1.5), "alpha");
+}
+
+TEST(ScoringContractsTest, NonPositiveRowsAborts) {
+  EXPECT_DEATH(ScoringContext(0, 10.0, 0.5), "Check failed");
+}
+
+TEST(TopKContractsTest, InvalidParametersAbort) {
+  EXPECT_DEATH(TopK(0, 10), "Check failed");
+  EXPECT_DEATH(TopK(3, 0), "Check failed");
+}
+
+TEST(EvaluatorContractsTest, ErrorSizeMismatchAborts) {
+  data::IntMatrix x0(4, 2, 1);
+  const data::FeatureOffsets offsets = data::ComputeOffsets(x0);
+  std::vector<double> wrong(3, 0.1);
+  EXPECT_DEATH(SliceEvaluator(x0, offsets, wrong), "Check failed");
+}
+
+TEST(EvaluatorContractsTest, NegativeErrorAborts) {
+  data::IntMatrix x0(4, 2, 1);
+  const data::FeatureOffsets offsets = data::ComputeOffsets(x0);
+  std::vector<double> negative(4, -1.0);
+  EXPECT_DEATH(SliceEvaluator(x0, offsets, negative), "Check failed");
+}
+
+TEST(EvaluatorContractsTest, CodeOutsideDomainAborts) {
+  data::IntMatrix x0(4, 2, 1);
+  const data::FeatureOffsets offsets = data::ComputeOffsets(x0);
+  data::IntMatrix bad = x0;
+  bad.At(0, 0) = 7;  // outside the offsets' domain of 1
+  std::vector<double> errors(4, 0.1);
+  EXPECT_DEATH(data::OneHotEncode(bad, offsets), "out of domain");
+}
+
+}  // namespace
+}  // namespace sliceline

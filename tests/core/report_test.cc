@@ -1,0 +1,57 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace sliceline::core {
+namespace {
+
+SliceLineResult SampleResult() {
+  SliceLineResult result;
+  result.min_support = 32;
+  result.average_error = 0.125;
+  result.total_seconds = 1.5;
+  result.total_evaluated = 1234;
+  Slice slice;
+  slice.predicates = {{0, 2}, {2, 1}};
+  slice.stats = {0.75, 12.5, 1.0, 64};
+  result.top_k.push_back(slice);
+  LevelStats level;
+  level.level = 1;
+  level.candidates = 10;
+  level.valid = 8;
+  level.pruned = 2;
+  level.seconds = 0.5;
+  result.levels.push_back(level);
+  return result;
+}
+
+TEST(ReportTest, FormatResultContainsAllSections) {
+  const std::string report =
+      FormatResult(SampleResult(), {"age", "job", "city"});
+  EXPECT_NE(report.find("Top-1 slices"), std::string::npos);
+  EXPECT_NE(report.find("sigma=32"), std::string::npos);
+  EXPECT_NE(report.find("age=2"), std::string::npos);
+  EXPECT_NE(report.find("city=1"), std::string::npos);
+  EXPECT_NE(report.find("level 1: candidates=10 valid=8 pruned=2"),
+            std::string::npos);
+  EXPECT_NE(report.find("1,234 slices evaluated"), std::string::npos);
+}
+
+TEST(ReportTest, EmptyResultExplainsItself) {
+  SliceLineResult result;
+  result.min_support = 50;
+  const std::string report = FormatResult(result);
+  EXPECT_NE(report.find("no slice satisfies"), std::string::npos);
+}
+
+TEST(ReportTest, SummaryLine) {
+  const std::string summary = SummarizeResult(SampleResult());
+  EXPECT_NE(summary.find("top-1 score=0.7500"), std::string::npos);
+  EXPECT_NE(summary.find("size=64"), std::string::npos);
+  EXPECT_NE(summary.find("evaluated=1,234"), std::string::npos);
+  SliceLineResult empty;
+  EXPECT_NE(SummarizeResult(empty).find("top-1: none"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sliceline::core

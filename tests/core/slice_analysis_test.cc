@@ -1,0 +1,123 @@
+#include "core/slice_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/sliceline.h"
+
+namespace sliceline::core {
+namespace {
+
+data::IntMatrix SmallX0() {
+  // Two binary features over 8 rows.
+  data::IntMatrix x0(8, 2);
+  const int32_t rows[8][2] = {{1, 1}, {1, 1}, {1, 2}, {1, 2},
+                              {2, 1}, {2, 1}, {2, 2}, {2, 2}};
+  for (int i = 0; i < 8; ++i) {
+    x0.At(i, 0) = rows[i][0];
+    x0.At(i, 1) = rows[i][1];
+  }
+  return x0;
+}
+
+Slice MakeSlice(std::vector<std::pair<int, int32_t>> preds, double score) {
+  Slice s;
+  s.predicates = std::move(preds);
+  s.stats.score = score;
+  return s;
+}
+
+TEST(SliceJaccardTest, DisjointAndNested) {
+  data::IntMatrix x0 = SmallX0();
+  const Slice f0_1 = MakeSlice({{0, 1}}, 1);  // rows 0-3
+  const Slice f0_2 = MakeSlice({{0, 2}}, 1);  // rows 4-7
+  const Slice both = MakeSlice({{0, 1}, {1, 1}}, 1);  // rows 0-1
+  EXPECT_DOUBLE_EQ(SliceJaccard(f0_1, f0_2, x0), 0.0);
+  EXPECT_DOUBLE_EQ(SliceJaccard(f0_1, f0_1, x0), 1.0);
+  EXPECT_DOUBLE_EQ(SliceJaccard(f0_1, both, x0), 0.5);  // 2 / 4
+}
+
+TEST(SliceJaccardTest, Overlapping) {
+  data::IntMatrix x0 = SmallX0();
+  const Slice f0_1 = MakeSlice({{0, 1}}, 1);  // rows 0-3
+  const Slice f1_1 = MakeSlice({{1, 1}}, 1);  // rows 0,1,4,5
+  // Intersection rows {0,1}; union {0,1,2,3,4,5}.
+  EXPECT_DOUBLE_EQ(SliceJaccard(f0_1, f1_1, x0), 2.0 / 6.0);
+}
+
+TEST(AnalyzeSlicesTest, CoverageAndErrorShares) {
+  data::IntMatrix x0 = SmallX0();
+  std::vector<double> errors = {1, 1, 0, 0, 1, 1, 0, 0};  // total 4
+  std::vector<Slice> slices = {
+      MakeSlice({{0, 1}}, 1),  // rows 0-3, error 2
+      MakeSlice({{1, 1}}, 1),  // rows 0,1,4,5, error 4
+  };
+  SliceAnalysis analysis = AnalyzeSlices(slices, x0, errors);
+  EXPECT_EQ(analysis.covered_rows, 6);  // union rows 0-5
+  EXPECT_DOUBLE_EQ(analysis.covered_error_share, 1.0);  // all error covered
+  ASSERT_EQ(analysis.error_shares.size(), 2u);
+  EXPECT_DOUBLE_EQ(analysis.error_shares[0], 0.5);
+  EXPECT_DOUBLE_EQ(analysis.error_shares[1], 1.0);
+  ASSERT_EQ(analysis.pairwise_jaccard.size(), 1u);
+  EXPECT_DOUBLE_EQ(analysis.pairwise_jaccard[0], 2.0 / 6.0);
+}
+
+TEST(AnalyzeSlicesTest, EmptyInput) {
+  data::IntMatrix x0 = SmallX0();
+  std::vector<double> errors(8, 0.5);
+  SliceAnalysis analysis = AnalyzeSlices({}, x0, errors);
+  EXPECT_EQ(analysis.covered_rows, 0);
+  EXPECT_TRUE(analysis.pairwise_jaccard.empty());
+}
+
+TEST(ResultToJsonTest, WellFormedOutput) {
+  Rng rng(5);
+  data::IntMatrix x0(300, 3);
+  std::vector<double> errors(300);
+  for (int64_t i = 0; i < 300; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      x0.At(i, j) = static_cast<int32_t>(rng.NextUint64(3)) + 1;
+    }
+    errors[i] = rng.NextBool(0.3) ? 1.0 : 0.0;
+  }
+  SliceLineConfig config;
+  config.k = 3;
+  config.min_support = 10;
+  auto result = RunSliceLine(x0, errors, config);
+  ASSERT_TRUE(result.ok());
+  const std::string json = ResultToJson(*result, {"alpha", "beta", "gamma"});
+  EXPECT_NE(json.find("\"slices\""), std::string::npos);
+  EXPECT_NE(json.find("\"levels\""), std::string::npos);
+  EXPECT_NE(json.find("\"min_support\": 10"), std::string::npos);
+  if (!result->top_k.empty()) {
+    EXPECT_NE(json.find("\"feature\": \""), std::string::npos);
+  }
+  // Balanced braces/brackets (cheap well-formedness check).
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += c == '{';
+    braces -= c == '}';
+    brackets += c == '[';
+    brackets -= c == ']';
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ResultToJsonTest, EscapesFeatureNames) {
+  SliceLineResult result;
+  Slice s;
+  s.predicates = {{0, 1}};
+  s.stats = {1.0, 1.0, 1.0, 10};
+  result.top_k.push_back(s);
+  const std::string json = ResultToJson(result, {"weird\"name"});
+  EXPECT_NE(json.find("weird\\\"name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sliceline::core

@@ -1,0 +1,109 @@
+#include "core/topk.h"
+
+#include <gtest/gtest.h>
+
+namespace sliceline::core {
+namespace {
+
+Slice MakeSlice(double score, int64_t size) {
+  Slice s;
+  s.predicates = {{0, 1}};
+  s.stats = {score, 1.0, 0.5, size};
+  return s;
+}
+
+TEST(TopKTest, KeepsBestK) {
+  TopK topk(2, 10);
+  topk.Offer(MakeSlice(0.5, 100));
+  topk.Offer(MakeSlice(1.5, 100));
+  topk.Offer(MakeSlice(1.0, 100));
+  ASSERT_EQ(topk.Slices().size(), 2u);
+  EXPECT_DOUBLE_EQ(topk.Slices()[0].stats.score, 1.5);
+  EXPECT_DOUBLE_EQ(topk.Slices()[1].stats.score, 1.0);
+}
+
+TEST(TopKTest, RejectsNonPositiveScores) {
+  TopK topk(3, 10);
+  topk.Offer(MakeSlice(0.0, 100));
+  topk.Offer(MakeSlice(-0.5, 100));
+  EXPECT_TRUE(topk.Slices().empty());
+}
+
+TEST(TopKTest, RejectsBelowMinSupport) {
+  TopK topk(3, 50);
+  topk.Offer(MakeSlice(2.0, 49));
+  EXPECT_TRUE(topk.Slices().empty());
+  topk.Offer(MakeSlice(2.0, 50));
+  EXPECT_EQ(topk.Slices().size(), 1u);
+}
+
+TEST(TopKTest, ThresholdIsMonotone) {
+  TopK topk(2, 1);
+  EXPECT_DOUBLE_EQ(topk.Threshold(), 0.0);
+  topk.Offer(MakeSlice(1.0, 10));
+  EXPECT_DOUBLE_EQ(topk.Threshold(), 0.0);  // not yet full
+  topk.Offer(MakeSlice(3.0, 10));
+  EXPECT_DOUBLE_EQ(topk.Threshold(), 1.0);  // full: K-th score
+  topk.Offer(MakeSlice(2.0, 10));
+  EXPECT_DOUBLE_EQ(topk.Threshold(), 2.0);  // improved
+  topk.Offer(MakeSlice(0.5, 10));
+  EXPECT_DOUBLE_EQ(topk.Threshold(), 2.0);  // rejected, unchanged
+}
+
+TEST(TopKTest, StableOrderOnTies) {
+  TopK topk(3, 1);
+  Slice a = MakeSlice(1.0, 10);
+  a.predicates = {{0, 1}};
+  Slice b = MakeSlice(1.0, 20);
+  b.predicates = {{1, 2}};
+  topk.Offer(a);
+  topk.Offer(b);
+  ASSERT_EQ(topk.Slices().size(), 2u);
+  EXPECT_EQ(topk.Slices()[0].predicates[0].first, 0);  // first offered first
+}
+
+TEST(TopKTest, FullDetection) {
+  TopK topk(1, 1);
+  EXPECT_FALSE(topk.Full());
+  topk.Offer(MakeSlice(1.0, 5));
+  EXPECT_TRUE(topk.Full());
+}
+
+TEST(SliceTest, ToStringIncludesNamesAndStats) {
+  Slice s;
+  s.predicates = {{0, 2}, {3, 1}};
+  s.stats = {0.5, 10.0, 2.0, 42};
+  const std::string rendered = s.ToString({"age", "b", "c", "sex"});
+  EXPECT_NE(rendered.find("age=2"), std::string::npos);
+  EXPECT_NE(rendered.find("sex=1"), std::string::npos);
+  EXPECT_NE(rendered.find("size=42"), std::string::npos);
+  // Without names, generic F<idx> labels are used.
+  EXPECT_NE(s.ToString().find("F0=2"), std::string::npos);
+}
+
+TEST(SliceTest, MatchesChecksAllPredicates) {
+  data::IntMatrix x0(2, 3);
+  x0.At(0, 0) = 1;
+  x0.At(0, 1) = 2;
+  x0.At(0, 2) = 3;
+  x0.At(1, 0) = 1;
+  x0.At(1, 1) = 1;
+  x0.At(1, 2) = 3;
+  Slice s;
+  s.predicates = {{0, 1}, {1, 2}};
+  EXPECT_TRUE(s.Matches(x0, 0));
+  EXPECT_FALSE(s.Matches(x0, 1));
+}
+
+TEST(ResolveMinSupportTest, PaperDefault) {
+  SliceLineConfig config;
+  EXPECT_EQ(ResolveMinSupport(config, 100), 32);    // max(32, 1)
+  EXPECT_EQ(ResolveMinSupport(config, 3200), 32);   // max(32, 32)
+  EXPECT_EQ(ResolveMinSupport(config, 100000), 1000);
+  EXPECT_EQ(ResolveMinSupport(config, 101), 32);    // ceil(101/100) = 2
+  config.min_support = 7;
+  EXPECT_EQ(ResolveMinSupport(config, 100000), 7);
+}
+
+}  // namespace
+}  // namespace sliceline::core

@@ -1,0 +1,67 @@
+// Randomized round-trip property: any frame of numeric and categorical
+// columns survives WriteCsv -> ReadCsv with types and values intact
+// (numeric values restricted to exactly representable decimals).
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/csv.h"
+
+namespace sliceline::data {
+namespace {
+
+class CsvRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvRoundTripTest, WriteReadPreservesFrame) {
+  Rng rng(GetParam() * 131 + 5);
+  const int64_t rows = 5 + rng.NextInt(0, 40);
+  const int cols = 1 + static_cast<int>(rng.NextUint64(5));
+  Frame frame;
+  for (int j = 0; j < cols; ++j) {
+    const std::string name = "col" + std::to_string(j);
+    if (rng.NextBool(0.5)) {
+      std::vector<double> values;
+      for (int64_t i = 0; i < rows; ++i) {
+        values.push_back(static_cast<double>(rng.NextInt(-1000, 1000)) / 4.0);
+      }
+      ASSERT_TRUE(frame.AddColumn(Column(name, std::move(values))).ok());
+    } else {
+      // Categories that cannot be mistaken for numbers.
+      const char* cats[] = {"alpha", "beta", "gamma", "delta"};
+      std::vector<std::string> values;
+      for (int64_t i = 0; i < rows; ++i) {
+        values.push_back(cats[rng.NextUint64(4)]);
+      }
+      ASSERT_TRUE(frame.AddColumn(Column(name, std::move(values))).ok());
+    }
+  }
+
+  const std::string path = ::testing::TempDir() + "/roundtrip_" +
+                           std::to_string(GetParam()) + ".csv";
+  ASSERT_TRUE(WriteCsv(frame, path).ok());
+  auto back = ReadCsv(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_rows(), frame.num_rows());
+  ASSERT_EQ(back->num_columns(), frame.num_columns());
+  for (int j = 0; j < cols; ++j) {
+    const Column& orig = frame.column(j);
+    const Column& read = back->column(j);
+    EXPECT_EQ(orig.name(), read.name());
+    ASSERT_EQ(orig.type(), read.type());
+    for (int64_t i = 0; i < rows; ++i) {
+      if (orig.is_numeric()) {
+        EXPECT_DOUBLE_EQ(orig.numeric()[i], read.numeric()[i]);
+      } else {
+        EXPECT_EQ(orig.categorical()[i], read.categorical()[i]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvRoundTripTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace sliceline::data

@@ -1,0 +1,87 @@
+#include "data/csv.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace sliceline::data {
+namespace {
+
+TEST(CsvTest, ParsesTypedColumns) {
+  auto frame = ParseCsv("age,city,salary\n30,boston,70000\n25,nyc,65000\n");
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->num_rows(), 2);
+  EXPECT_EQ(frame->num_columns(), 3);
+  EXPECT_TRUE(frame->column(0).is_numeric());
+  EXPECT_FALSE(frame->column(1).is_numeric());
+  EXPECT_DOUBLE_EQ(frame->column(2).numeric()[1], 65000);
+  EXPECT_EQ(frame->column(1).categorical()[0], "boston");
+}
+
+TEST(CsvTest, NoHeaderGeneratesNames) {
+  CsvOptions opts;
+  opts.has_header = false;
+  auto frame = ParseCsv("1,2\n3,4\n", opts);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->column(0).name(), "C0");
+  EXPECT_EQ(frame->num_rows(), 2);
+}
+
+TEST(CsvTest, MissingValuesBecomeNaN) {
+  auto frame = ParseCsv("a,b\n1,x\n?,y\n");
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(frame->column(0).is_numeric());
+  EXPECT_TRUE(std::isnan(frame->column(0).numeric()[1]));
+}
+
+TEST(CsvTest, MixedColumnFallsBackToCategorical) {
+  auto frame = ParseCsv("a\n1\nfoo\n");
+  ASSERT_TRUE(frame.ok());
+  EXPECT_FALSE(frame->column(0).is_numeric());
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ParseCsv("a,b\n1,2\n3\n").ok());
+}
+
+TEST(CsvTest, RejectsEmpty) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvTest, HandlesCrlfAndBlankLines) {
+  auto frame = ParseCsv("a,b\r\n1,2\r\n\r\n3,4\r\n");
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->num_rows(), 2);
+  EXPECT_DOUBLE_EQ(frame->column(1).numeric()[1], 4);
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions opts;
+  opts.delimiter = ';';
+  auto frame = ParseCsv("a;b\n1;2\n", opts);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->num_columns(), 2);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  Frame f;
+  ASSERT_TRUE(f.AddColumn(Column("n", std::vector<double>{1.5, -2})).ok());
+  ASSERT_TRUE(
+      f.AddColumn(Column("c", std::vector<std::string>{"x", "y"})).ok());
+  const std::string path = ::testing::TempDir() + "/roundtrip.csv";
+  ASSERT_TRUE(WriteCsv(f, path).ok());
+  auto back = ReadCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 2);
+  EXPECT_DOUBLE_EQ(back->column(0).numeric()[0], 1.5);
+  EXPECT_EQ(back->column(1).categorical()[1], "y");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadCsv("/nonexistent/definitely/missing.csv").ok());
+}
+
+}  // namespace
+}  // namespace sliceline::data

@@ -1,0 +1,56 @@
+#include "data/frame.h"
+
+#include <gtest/gtest.h>
+
+namespace sliceline::data {
+namespace {
+
+TEST(ColumnTest, NumericAccessors) {
+  Column c("age", std::vector<double>{1.0, 2.0});
+  EXPECT_TRUE(c.is_numeric());
+  EXPECT_EQ(c.size(), 2);
+  EXPECT_EQ(c.ValueToString(0), "1");
+}
+
+TEST(ColumnTest, CategoricalAccessors) {
+  Column c("city", std::vector<std::string>{"a", "b", "c"});
+  EXPECT_FALSE(c.is_numeric());
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_EQ(c.ValueToString(2), "c");
+}
+
+TEST(FrameTest, AddColumnChecksLength) {
+  Frame f;
+  EXPECT_TRUE(f.AddColumn(Column("a", std::vector<double>{1, 2})).ok());
+  EXPECT_FALSE(f.AddColumn(Column("b", std::vector<double>{1})).ok());
+  EXPECT_TRUE(f.AddColumn(Column("b", std::vector<double>{3, 4})).ok());
+  EXPECT_EQ(f.num_rows(), 2);
+  EXPECT_EQ(f.num_columns(), 2);
+}
+
+TEST(FrameTest, RejectsDuplicateNames) {
+  Frame f;
+  EXPECT_TRUE(f.AddColumn(Column("a", std::vector<double>{1})).ok());
+  EXPECT_FALSE(f.AddColumn(Column("a", std::vector<double>{2})).ok());
+}
+
+TEST(FrameTest, ColumnIndexLookup) {
+  Frame f;
+  ASSERT_TRUE(f.AddColumn(Column("x", std::vector<double>{1})).ok());
+  ASSERT_TRUE(f.AddColumn(Column("y", std::vector<double>{2})).ok());
+  EXPECT_EQ(f.ColumnIndex("y").value(), 1);
+  EXPECT_FALSE(f.ColumnIndex("z").ok());
+}
+
+TEST(FrameTest, DropColumn) {
+  Frame f;
+  ASSERT_TRUE(f.AddColumn(Column("x", std::vector<double>{1})).ok());
+  ASSERT_TRUE(f.AddColumn(Column("y", std::vector<double>{2})).ok());
+  Frame g = f.DropColumn("x").value();
+  EXPECT_EQ(g.num_columns(), 1);
+  EXPECT_EQ(g.column(0).name(), "y");
+  EXPECT_FALSE(f.DropColumn("zz").ok());
+}
+
+}  // namespace
+}  // namespace sliceline::data

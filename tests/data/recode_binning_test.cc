@@ -1,0 +1,91 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "data/binning.h"
+#include "data/recode.h"
+
+namespace sliceline::data {
+namespace {
+
+TEST(RecodeTest, FirstOccurrenceOrder) {
+  RecodeMap map = RecodeMap::Fit({"b", "a", "b", "c"});
+  EXPECT_EQ(map.domain(), 3);
+  EXPECT_EQ(map.Encode("b").value(), 1);
+  EXPECT_EQ(map.Encode("a").value(), 2);
+  EXPECT_EQ(map.Encode("c").value(), 3);
+}
+
+TEST(RecodeTest, UnseenCategoryFails) {
+  RecodeMap map = RecodeMap::Fit({"a"});
+  EXPECT_FALSE(map.Encode("zzz").ok());
+}
+
+TEST(RecodeTest, DecodeRoundTrip) {
+  RecodeMap map = RecodeMap::Fit({"x", "y"});
+  EXPECT_EQ(map.Decode(map.Encode("y").value()).value(), "y");
+  EXPECT_FALSE(map.Decode(0).ok());
+  EXPECT_FALSE(map.Decode(3).ok());
+}
+
+TEST(RecodeTest, EncodeAll) {
+  RecodeMap map = RecodeMap::Fit({"a", "b"});
+  auto codes = map.EncodeAll({"b", "a", "a"});
+  ASSERT_TRUE(codes.ok());
+  EXPECT_EQ(*codes, (std::vector<int32_t>{2, 1, 1}));
+}
+
+TEST(BinningTest, EquiWidthCodes) {
+  auto binner = EquiWidthBinner::Fit({0, 10}, 10);
+  ASSERT_TRUE(binner.ok());
+  EXPECT_EQ(binner->domain(), 10);
+  EXPECT_EQ(binner->Encode(0.0), 1);
+  EXPECT_EQ(binner->Encode(0.99), 1);
+  EXPECT_EQ(binner->Encode(5.0), 6);
+  EXPECT_EQ(binner->Encode(10.0), 10);  // max clamps into last bin
+}
+
+TEST(BinningTest, OutOfRangeClamps) {
+  auto binner = EquiWidthBinner::Fit({0, 10}, 5);
+  ASSERT_TRUE(binner.ok());
+  EXPECT_EQ(binner->Encode(-100.0), 1);
+  EXPECT_EQ(binner->Encode(100.0), 5);
+}
+
+TEST(BinningTest, MissingGetsExtraBin) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  auto binner = EquiWidthBinner::Fit({1.0, 2.0, nan}, 4);
+  ASSERT_TRUE(binner.ok());
+  EXPECT_EQ(binner->domain(), 5);
+  EXPECT_EQ(binner->Encode(nan), 5);
+  EXPECT_EQ(binner->BinLabel(5), "<missing>");
+}
+
+TEST(BinningTest, ConstantColumnAllBinOne) {
+  auto binner = EquiWidthBinner::Fit({3.0, 3.0, 3.0}, 10);
+  ASSERT_TRUE(binner.ok());
+  EXPECT_EQ(binner->Encode(3.0), 1);
+}
+
+TEST(BinningTest, RejectsAllMissing) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(EquiWidthBinner::Fit({nan, nan}, 10).ok());
+}
+
+TEST(BinningTest, RejectsZeroBins) {
+  EXPECT_FALSE(EquiWidthBinner::Fit({1.0}, 0).ok());
+}
+
+TEST(BinningTest, EncodeAllMatchesEncode) {
+  auto binner = EquiWidthBinner::Fit({0, 100}, 10);
+  ASSERT_TRUE(binner.ok());
+  std::vector<double> vals = {5, 55, 99};
+  auto codes = binner->EncodeAll(vals);
+  for (size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_EQ(codes[i], binner->Encode(vals[i]));
+  }
+}
+
+}  // namespace
+}  // namespace sliceline::data

@@ -1,0 +1,103 @@
+#include "linalg/csr_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sliceline::linalg {
+namespace {
+
+CsrMatrix Sample() {
+  // [ 1 0 2 ]
+  // [ 0 0 0 ]
+  // [ 0 3 0 ]
+  return CsrMatrix(3, 3, {0, 2, 2, 3}, {0, 2, 1}, {1, 2, 3});
+}
+
+TEST(CsrMatrixTest, ShapeAndNnz) {
+  CsrMatrix m = Sample();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_NEAR(m.density(), 3.0 / 9.0, 1e-12);
+}
+
+TEST(CsrMatrixTest, AtLooksUpEntries) {
+  CsrMatrix m = Sample();
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 0);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 2);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 0);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 3);
+}
+
+TEST(CsrMatrixTest, ZeroFactory) {
+  CsrMatrix z = CsrMatrix::Zero(4, 5);
+  EXPECT_EQ(z.rows(), 4);
+  EXPECT_EQ(z.cols(), 5);
+  EXPECT_EQ(z.nnz(), 0);
+}
+
+TEST(CsrMatrixTest, DenseRoundTrip) {
+  CsrMatrix m = Sample();
+  CsrMatrix back = CsrMatrix::FromDense(m.ToDense());
+  EXPECT_TRUE(m.Equals(back));
+}
+
+TEST(CsrMatrixTest, EqualsDetectsDifference) {
+  CsrMatrix a = Sample();
+  CsrMatrix b(3, 3, {0, 2, 2, 3}, {0, 2, 1}, {1, 2, 4});
+  EXPECT_FALSE(a.Equals(b));
+  EXPECT_TRUE(a.Equals(Sample()));
+}
+
+TEST(CooBuilderTest, SumsDuplicatesAndDropsZeros) {
+  CooBuilder builder(2, 2);
+  builder.Add(0, 1, 2.0);
+  builder.Add(0, 1, 3.0);
+  builder.Add(1, 0, 1.0);
+  builder.Add(1, 0, -1.0);  // cancels to zero -> dropped
+  CsrMatrix m = builder.Build();
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 0.0);
+}
+
+TEST(CooBuilderTest, SortsWithinRows) {
+  CooBuilder builder(1, 5);
+  builder.Add(0, 4, 1.0);
+  builder.Add(0, 0, 1.0);
+  builder.Add(0, 2, 1.0);
+  CsrMatrix m = builder.Build();
+  EXPECT_EQ(m.col_idx(), (std::vector<int64_t>{0, 2, 4}));
+}
+
+TEST(CooBuilderTest, RandomRoundTripThroughDense) {
+  Rng rng(3);
+  const int64_t rows = 17;
+  const int64_t cols = 13;
+  DenseMatrix dense(rows, cols);
+  CooBuilder builder(rows, cols);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      if (rng.NextBool(0.2)) {
+        double v = rng.NextGaussian();
+        dense.At(i, j) = v;
+        builder.Add(i, j, v);
+      }
+    }
+  }
+  CsrMatrix sparse = builder.Build();
+  EXPECT_DOUBLE_EQ(sparse.ToDense().MaxAbsDiff(dense), 0.0);
+}
+
+TEST(CsrMatrixTest, RowAccessors) {
+  CsrMatrix m = Sample();
+  EXPECT_EQ(m.RowNnz(0), 2);
+  EXPECT_EQ(m.RowNnz(1), 0);
+  EXPECT_EQ(m.RowCols(0)[1], 2);
+  EXPECT_DOUBLE_EQ(m.RowVals(2)[0], 3.0);
+}
+
+}  // namespace
+}  // namespace sliceline::linalg

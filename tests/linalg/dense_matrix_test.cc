@@ -1,0 +1,99 @@
+#include "linalg/dense_matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sliceline::linalg {
+namespace {
+
+TEST(DenseMatrixTest, ConstructAndAccess) {
+  DenseMatrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 1.5);
+  m.At(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(DenseMatrixTest, FromVector) {
+  DenseMatrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 4);
+}
+
+TEST(DenseMatrixTest, MatMulSmall) {
+  DenseMatrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  DenseMatrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  DenseMatrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 154);
+}
+
+TEST(DenseMatrixTest, MatVecAndTransposeMatVec) {
+  DenseMatrix a(2, 3, {1, 0, 2, 0, 3, 0});
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = a.MatVec(x);
+  EXPECT_DOUBLE_EQ(y[0], 7);
+  EXPECT_DOUBLE_EQ(y[1], 6);
+  std::vector<double> z = a.TransposeMatVec({1, 1});
+  EXPECT_DOUBLE_EQ(z[0], 1);
+  EXPECT_DOUBLE_EQ(z[1], 3);
+  EXPECT_DOUBLE_EQ(z[2], 2);
+}
+
+TEST(DenseMatrixTest, TransposeRoundTrip) {
+  Rng rng(5);
+  DenseMatrix a(4, 7);
+  for (int64_t i = 0; i < a.rows(); ++i)
+    for (int64_t j = 0; j < a.cols(); ++j) a.At(i, j) = rng.NextGaussian();
+  DenseMatrix t = a.Transpose();
+  EXPECT_EQ(t.rows(), 7);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_DOUBLE_EQ(a.Transpose().Transpose().MaxAbsDiff(a), 0.0);
+}
+
+TEST(CholeskySolveTest, SolvesSpdSystem) {
+  // A = B^T B + I is SPD.
+  Rng rng(11);
+  const int n = 6;
+  DenseMatrix b(n, n);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < n; ++j) b.At(i, j) = rng.NextGaussian();
+  DenseMatrix a = b.Transpose().MatMul(b);
+  for (int64_t i = 0; i < n; ++i) a.At(i, i) += 1.0;
+  std::vector<double> x_true(n);
+  for (int i = 0; i < n; ++i) x_true[i] = rng.NextGaussian();
+  std::vector<double> rhs = a.MatVec(x_true);
+  auto solved = CholeskySolve(a, rhs);
+  ASSERT_TRUE(solved.ok());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR((*solved)[i], x_true[i], 1e-8);
+}
+
+TEST(CholeskySolveTest, RejectsNonSquare) {
+  DenseMatrix a(2, 3);
+  EXPECT_FALSE(CholeskySolve(a, {1, 2}).ok());
+}
+
+TEST(CholeskySolveTest, RejectsRhsMismatch) {
+  DenseMatrix a(2, 2, {1, 0, 0, 1});
+  EXPECT_FALSE(CholeskySolve(a, {1, 2, 3}).ok());
+}
+
+TEST(CholeskySolveTest, RejectsIndefinite) {
+  DenseMatrix a(2, 2, {0, 1, 1, 0});  // eigenvalues +-1
+  EXPECT_FALSE(CholeskySolve(a, {1, 1}).ok());
+}
+
+TEST(CholeskySolveTest, RidgeRescuesSingular) {
+  DenseMatrix a(2, 2, {1, 1, 1, 1});  // rank 1
+  EXPECT_FALSE(CholeskySolve(a, {1, 1}).ok());
+  EXPECT_TRUE(CholeskySolve(a, {1, 1}, /*ridge=*/0.1).ok());
+}
+
+}  // namespace
+}  // namespace sliceline::linalg

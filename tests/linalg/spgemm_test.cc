@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/kernels.h"
+
+namespace sliceline::linalg {
+namespace {
+
+CsrMatrix RandomSparse(Rng& rng, int64_t rows, int64_t cols, double density) {
+  CooBuilder builder(rows, cols);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      if (rng.NextBool(density)) builder.Add(i, j, rng.NextInt(-3, 3));
+    }
+  }
+  return builder.Build();
+}
+
+TEST(TransposeTest, SmallExplicit) {
+  CooBuilder builder(2, 3);
+  builder.Add(0, 2, 5.0);
+  builder.Add(1, 0, 7.0);
+  CsrMatrix t = Transpose(builder.Build());
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t.At(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t.At(0, 1), 7.0);
+}
+
+TEST(TransposeTest, EmptyMatrix) {
+  CsrMatrix t = Transpose(CsrMatrix::Zero(3, 4));
+  EXPECT_EQ(t.rows(), 4);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.nnz(), 0);
+}
+
+TEST(MultiplyTest, SmallExplicit) {
+  // [1 2] [5 6]   [19 22]
+  // [3 4] [7 8] = [43 50]
+  CooBuilder a(2, 2);
+  a.Add(0, 0, 1);
+  a.Add(0, 1, 2);
+  a.Add(1, 0, 3);
+  a.Add(1, 1, 4);
+  CooBuilder b(2, 2);
+  b.Add(0, 0, 5);
+  b.Add(0, 1, 6);
+  b.Add(1, 0, 7);
+  b.Add(1, 1, 8);
+  CsrMatrix c = Multiply(a.Build(), b.Build());
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50);
+}
+
+struct SpGemmParam {
+  int64_t rows;
+  int64_t inner;
+  int64_t cols;
+  double density;
+  uint64_t seed;
+};
+
+class SpGemmPropertyTest : public ::testing::TestWithParam<SpGemmParam> {};
+
+TEST_P(SpGemmPropertyTest, MultiplyMatchesDenseReference) {
+  const SpGemmParam& p = GetParam();
+  Rng rng(p.seed);
+  CsrMatrix a = RandomSparse(rng, p.rows, p.inner, p.density);
+  CsrMatrix b = RandomSparse(rng, p.inner, p.cols, p.density);
+  CsrMatrix c = Multiply(a, b);
+  DenseMatrix expect = a.ToDense().MatMul(b.ToDense());
+  EXPECT_DOUBLE_EQ(c.ToDense().MaxAbsDiff(expect), 0.0);
+}
+
+TEST_P(SpGemmPropertyTest, TransposeMatchesDenseReference) {
+  const SpGemmParam& p = GetParam();
+  Rng rng(p.seed + 100);
+  CsrMatrix a = RandomSparse(rng, p.rows, p.cols, p.density);
+  EXPECT_DOUBLE_EQ(
+      Transpose(a).ToDense().MaxAbsDiff(a.ToDense().Transpose()), 0.0);
+}
+
+TEST_P(SpGemmPropertyTest, MultiplyABtMatchesDenseReference) {
+  const SpGemmParam& p = GetParam();
+  Rng rng(p.seed + 200);
+  CsrMatrix a = RandomSparse(rng, p.rows, p.inner, p.density);
+  CsrMatrix b = RandomSparse(rng, p.cols, p.inner, p.density);
+  CsrMatrix c = MultiplyABt(a, b);
+  DenseMatrix expect = a.ToDense().MatMul(b.ToDense().Transpose());
+  EXPECT_DOUBLE_EQ(c.ToDense().MaxAbsDiff(expect), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpGemmPropertyTest,
+    ::testing::Values(SpGemmParam{1, 1, 1, 1.0, 1},
+                      SpGemmParam{5, 7, 3, 0.1, 2},
+                      SpGemmParam{12, 4, 12, 0.3, 3},
+                      SpGemmParam{20, 20, 20, 0.05, 4},
+                      SpGemmParam{8, 30, 6, 0.5, 5},
+                      SpGemmParam{16, 2, 16, 0.9, 6},
+                      SpGemmParam{10, 10, 10, 0.0, 7}));
+
+TEST(MultiplyTest, SymmetrySSt) {
+  // S * S^T must be symmetric; spot check against the transpose.
+  Rng rng(42);
+  CsrMatrix s = RandomSparse(rng, 15, 9, 0.3);
+  CsrMatrix sst = MultiplyABt(s, s);
+  EXPECT_DOUBLE_EQ(
+      sst.ToDense().MaxAbsDiff(Transpose(sst).ToDense()), 0.0);
+}
+
+TEST(MultiplyTest, BinaryOverlapCount) {
+  // For binary (one-hot) rows, (S S^T)(i, j) is the intersection size --
+  // the property the pair join of Equation 6 relies on.
+  CooBuilder s(3, 6);
+  // slice 0: {0, 2}; slice 1: {0, 3}; slice 2: {2, 3}
+  s.Add(0, 0, 1);
+  s.Add(0, 2, 1);
+  s.Add(1, 0, 1);
+  s.Add(1, 3, 1);
+  s.Add(2, 2, 1);
+  s.Add(2, 3, 1);
+  const CsrMatrix slices = s.Build();
+  CsrMatrix sst = MultiplyABt(slices, slices);
+  EXPECT_DOUBLE_EQ(sst.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(sst.At(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(sst.At(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(sst.At(0, 0), 2.0);
+}
+
+}  // namespace
+}  // namespace sliceline::linalg

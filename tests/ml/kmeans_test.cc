@@ -1,0 +1,104 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sliceline::ml {
+namespace {
+
+/// Three well-separated clusters on a one-hot-ish design.
+linalg::CsrMatrix ClusteredData(Rng& rng, int64_t per_cluster,
+                                std::vector<double>* truth) {
+  linalg::CooBuilder builder(per_cluster * 3, 9);
+  truth->clear();
+  for (int64_t i = 0; i < per_cluster * 3; ++i) {
+    const int cluster = static_cast<int>(i / per_cluster);
+    truth->push_back(cluster);
+    // Cluster c occupies columns [3c, 3c+3) with high probability.
+    for (int j = 0; j < 3; ++j) {
+      if (rng.NextBool(0.9)) builder.Add(i, cluster * 3 + j, 1.0);
+    }
+  }
+  return builder.Build();
+}
+
+TEST(KMeansTest, RecoversSeparatedClusters) {
+  Rng rng(5);
+  std::vector<double> truth;
+  linalg::CsrMatrix x = ClusteredData(rng, 80, &truth);
+  KMeans::Options opts;
+  opts.k = 3;
+  auto result = KMeans::Run(x, opts);
+  ASSERT_TRUE(result.ok());
+  // Clustering is label-invariant: check that same-truth rows co-cluster.
+  // Compute purity: for each found cluster, its majority truth share.
+  int64_t correct = 0;
+  for (int c = 0; c < 3; ++c) {
+    int counts[3] = {0, 0, 0};
+    for (size_t i = 0; i < truth.size(); ++i) {
+      if (static_cast<int>(result->assignments[i]) == c) {
+        ++counts[static_cast<int>(truth[i])];
+      }
+    }
+    correct += *std::max_element(counts, counts + 3);
+  }
+  EXPECT_GT(static_cast<double>(correct) / truth.size(), 0.9);
+  EXPECT_GT(result->iterations, 0);
+}
+
+TEST(KMeansTest, AssignmentsInRange) {
+  Rng rng(7);
+  std::vector<double> truth;
+  linalg::CsrMatrix x = ClusteredData(rng, 20, &truth);
+  KMeans::Options opts;
+  opts.k = 4;
+  auto result = KMeans::Run(x, opts);
+  ASSERT_TRUE(result.ok());
+  for (double a : result->assignments) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 4);
+  }
+  EXPECT_EQ(result->centroids.rows(), 4);
+  EXPECT_EQ(result->centroids.cols(), x.cols());
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  Rng rng(9);
+  std::vector<double> truth;
+  linalg::CsrMatrix x = ClusteredData(rng, 30, &truth);
+  KMeans::Options opts;
+  opts.k = 3;
+  opts.seed = 11;
+  auto a = KMeans::Run(x, opts);
+  auto b = KMeans::Run(x, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, KOneAssignsEverythingToOneCluster) {
+  Rng rng(13);
+  std::vector<double> truth;
+  linalg::CsrMatrix x = ClusteredData(rng, 10, &truth);
+  KMeans::Options opts;
+  opts.k = 1;
+  auto result = KMeans::Run(x, opts);
+  ASSERT_TRUE(result.ok());
+  for (double a : result->assignments) EXPECT_EQ(a, 0);
+}
+
+TEST(KMeansTest, RejectsBadK) {
+  linalg::CsrMatrix x = linalg::CsrMatrix::Zero(5, 2);
+  KMeans::Options opts;
+  opts.k = 0;
+  EXPECT_FALSE(KMeans::Run(x, opts).ok());
+  opts.k = 10;
+  EXPECT_FALSE(KMeans::Run(x, opts).ok());  // fewer rows than clusters
+}
+
+}  // namespace
+}  // namespace sliceline::ml

@@ -1,0 +1,111 @@
+#include "ml/linear_regression.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/onehot.h"
+#include "linalg/kernels.h"
+#include "ml/error_functions.h"
+
+namespace sliceline::ml {
+namespace {
+
+TEST(ErrorFunctionsTest, SquaredLoss) {
+  std::vector<double> e = SquaredLoss({1, 2, 3}, {1, 0, 5});
+  EXPECT_DOUBLE_EQ(e[0], 0);
+  EXPECT_DOUBLE_EQ(e[1], 4);
+  EXPECT_DOUBLE_EQ(e[2], 4);
+}
+
+TEST(ErrorFunctionsTest, Inaccuracy) {
+  std::vector<double> e = Inaccuracy({0, 1, 2}, {0, 2, 2});
+  EXPECT_DOUBLE_EQ(e[0], 0);
+  EXPECT_DOUBLE_EQ(e[1], 1);
+  EXPECT_DOUBLE_EQ(e[2], 0);
+}
+
+TEST(ErrorFunctionsTest, Mean) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+/// Builds a dense-ish sparse design matrix with known weights.
+linalg::CsrMatrix RandomDesign(Rng& rng, int64_t n, int64_t d) {
+  linalg::CooBuilder builder(n, d);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      if (rng.NextBool(0.6)) builder.Add(i, j, rng.NextGaussian());
+    }
+  }
+  return builder.Build();
+}
+
+TEST(LinearRegressionTest, RecoversPlantedWeights) {
+  Rng rng(17);
+  const int64_t n = 400;
+  const int64_t d = 6;
+  linalg::CsrMatrix x = RandomDesign(rng, n, d);
+  std::vector<double> w_true = {1.0, -2.0, 0.5, 3.0, 0.0, -1.0};
+  std::vector<double> y = linalg::MatVec(x, w_true);
+  for (double& v : y) v += 4.0;  // intercept
+  LinearRegression::Options opts;
+  opts.lambda = 1e-8;
+  auto model = LinearRegression::Fit(x, y, opts);
+  ASSERT_TRUE(model.ok());
+  for (int64_t j = 0; j < d; ++j) {
+    EXPECT_NEAR(model->weights()[j], w_true[j], 1e-4) << "weight " << j;
+  }
+  std::vector<double> pred = model->Predict(x);
+  for (int64_t i = 0; i < n; ++i) EXPECT_NEAR(pred[i], y[i], 1e-3);
+}
+
+TEST(LinearRegressionTest, NoisyFitReducesError) {
+  Rng rng(19);
+  const int64_t n = 500;
+  linalg::CsrMatrix x = RandomDesign(rng, n, 4);
+  std::vector<double> y = linalg::MatVec(x, {2, -1, 0.5, 1});
+  for (double& v : y) v += 0.1 * rng.NextGaussian();
+  auto model = LinearRegression::Fit(x, y);
+  ASSERT_TRUE(model.ok());
+  const double mse = Mean(SquaredLoss(y, model->Predict(x)));
+  EXPECT_LT(mse, 0.05);
+}
+
+TEST(LinearRegressionTest, OneHotFeaturesWithGroupEffects) {
+  // Regression on one-hot encoded categories: group means recovered.
+  Rng rng(23);
+  const int64_t n = 600;
+  data::IntMatrix x0(n, 1);
+  std::vector<double> y(n);
+  const double group_mean[3] = {1.0, 5.0, -2.0};
+  for (int64_t i = 0; i < n; ++i) {
+    const int g = static_cast<int>(rng.NextUint64(3));
+    x0.At(i, 0) = g + 1;
+    y[i] = group_mean[g] + 0.01 * rng.NextGaussian();
+  }
+  const data::FeatureOffsets off = data::ComputeOffsets(x0);
+  const linalg::CsrMatrix x = data::OneHotEncode(x0, off);
+  LinearRegression::Options opts;
+  opts.lambda = 1e-6;
+  auto model = LinearRegression::Fit(x, y, opts);
+  ASSERT_TRUE(model.ok());
+  std::vector<double> pred = model->Predict(x);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(pred[i], group_mean[x0.At(i, 0) - 1], 0.05);
+  }
+}
+
+TEST(LinearRegressionTest, RejectsShapeMismatch) {
+  linalg::CsrMatrix x = linalg::CsrMatrix::Zero(3, 2);
+  EXPECT_FALSE(LinearRegression::Fit(x, {1, 2}).ok());
+}
+
+TEST(LinearRegressionTest, RejectsEmpty) {
+  EXPECT_FALSE(
+      LinearRegression::Fit(linalg::CsrMatrix::Zero(0, 0), {}).ok());
+}
+
+}  // namespace
+}  // namespace sliceline::ml

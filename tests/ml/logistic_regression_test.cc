@@ -1,0 +1,103 @@
+#include "ml/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/onehot.h"
+#include "ml/error_functions.h"
+
+namespace sliceline::ml {
+namespace {
+
+TEST(LogisticRegressionTest, SeparableBinaryProblem) {
+  // One binary feature perfectly predicts the class.
+  const int64_t n = 200;
+  linalg::CooBuilder builder(n, 2);
+  std::vector<double> y(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(i % 2);
+    builder.Add(i, cls, 1.0);
+    y[i] = cls;
+  }
+  const linalg::CsrMatrix x = builder.Build();
+  auto model = LogisticRegression::Fit(x, y);
+  ASSERT_TRUE(model.ok());
+  const double acc = 1.0 - Mean(Inaccuracy(y, model->Predict(x)));
+  EXPECT_EQ(acc, 1.0);
+}
+
+TEST(LogisticRegressionTest, MultinomialOnOneHot) {
+  Rng rng(7);
+  const int64_t n = 900;
+  data::IntMatrix x0(n, 2);
+  std::vector<double> y(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(rng.NextUint64(3));
+    // Feature 0 is predictive with 10% noise, feature 1 is noise.
+    x0.At(i, 0) = rng.NextBool(0.1)
+                      ? static_cast<int32_t>(rng.NextUint64(3)) + 1
+                      : cls + 1;
+    x0.At(i, 1) = static_cast<int32_t>(rng.NextUint64(4)) + 1;
+    y[i] = cls;
+  }
+  const data::FeatureOffsets off = data::ComputeOffsets(x0);
+  const linalg::CsrMatrix x = data::OneHotEncode(x0, off);
+  LogisticRegression::Options opts;
+  opts.num_classes = 3;
+  opts.max_iterations = 150;
+  auto model = LogisticRegression::Fit(x, y, opts);
+  ASSERT_TRUE(model.ok());
+  const double err = Mean(Inaccuracy(y, model->Predict(x)));
+  EXPECT_LT(err, 0.15);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesSumToOne) {
+  Rng rng(9);
+  linalg::CooBuilder builder(50, 3);
+  std::vector<double> y(50);
+  for (int64_t i = 0; i < 50; ++i) {
+    builder.Add(i, rng.NextUint64(3), 1.0);
+    y[i] = static_cast<double>(rng.NextUint64(4));
+  }
+  LogisticRegression::Options opts;
+  opts.num_classes = 4;
+  opts.max_iterations = 10;
+  const linalg::CsrMatrix x = builder.Build();
+  auto model = LogisticRegression::Fit(x, y, opts);
+  ASSERT_TRUE(model.ok());
+  linalg::DenseMatrix probs = model->PredictProbabilities(x);
+  for (int64_t i = 0; i < probs.rows(); ++i) {
+    double sum = 0;
+    for (int64_t c = 0; c < probs.cols(); ++c) {
+      EXPECT_GE(probs.At(i, c), 0.0);
+      sum += probs.At(i, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(LogisticRegressionTest, RejectsBadLabels) {
+  linalg::CooBuilder builder(2, 1);
+  builder.Add(0, 0, 1.0);
+  builder.Add(1, 0, 1.0);
+  LogisticRegression::Options opts;
+  opts.num_classes = 2;
+  EXPECT_FALSE(LogisticRegression::Fit(builder.Build(), {0, 5}, opts).ok());
+  EXPECT_FALSE(LogisticRegression::Fit(builder.Build(), {0, 0.5}, opts).ok());
+}
+
+TEST(LogisticRegressionTest, RejectsShapeMismatch) {
+  EXPECT_FALSE(
+      LogisticRegression::Fit(linalg::CsrMatrix::Zero(3, 2), {0, 1}).ok());
+}
+
+TEST(LogisticRegressionTest, RejectsSingleClass) {
+  LogisticRegression::Options opts;
+  opts.num_classes = 1;
+  EXPECT_FALSE(
+      LogisticRegression::Fit(linalg::CsrMatrix::Zero(2, 1), {0, 0}, opts)
+          .ok());
+}
+
+}  // namespace
+}  // namespace sliceline::ml

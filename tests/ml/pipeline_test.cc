@@ -1,0 +1,53 @@
+#include "ml/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators/generators.h"
+
+namespace sliceline::ml {
+namespace {
+
+TEST(PipelineTest, RegressionMaterializesSquaredErrors) {
+  data::DatasetOptions opts;
+  opts.rows = 400;
+  data::EncodedDataset ds = data::MakeSalaries(opts);
+  ds.errors.clear();
+  auto mean_err = TrainAndMaterializeErrors(&ds);
+  ASSERT_TRUE(mean_err.ok());
+  ASSERT_EQ(static_cast<int64_t>(ds.errors.size()), ds.n());
+  for (double e : ds.errors) EXPECT_GE(e, 0.0);
+  EXPECT_GT(*mean_err, 0.0);
+}
+
+TEST(PipelineTest, ClassificationMaterializesInaccuracy) {
+  data::DatasetOptions opts;
+  opts.rows = 1500;
+  data::EncodedDataset ds = data::MakeAdult(opts);
+  ds.errors.clear();
+  auto mean_err = TrainAndMaterializeErrors(&ds);
+  ASSERT_TRUE(mean_err.ok());
+  ASSERT_EQ(static_cast<int64_t>(ds.errors.size()), ds.n());
+  for (double e : ds.errors) {
+    EXPECT_TRUE(e == 0.0 || e == 1.0);
+  }
+  // A trained model should beat always-wrong and the labels are learnable.
+  EXPECT_LT(*mean_err, 0.5);
+}
+
+TEST(PipelineTest, DeriveLabelsByClustering) {
+  data::DatasetOptions opts;
+  opts.rows = 800;
+  data::EncodedDataset ds = data::MakeUsCensus(opts);
+  ds.y.clear();
+  ASSERT_TRUE(DeriveLabelsByClustering(&ds, 4).ok());
+  EXPECT_EQ(static_cast<int64_t>(ds.y.size()), ds.n());
+  EXPECT_EQ(ds.num_classes, 4);
+  EXPECT_EQ(ds.task, data::Task::kClassification);
+  for (double y : ds.y) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 4);
+  }
+}
+
+}  // namespace
+}  // namespace sliceline::ml

@@ -1,0 +1,105 @@
+#include "ml/split.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/sliceline.h"
+#include "data/generators/generators.h"
+#include "ml/error_functions.h"
+
+namespace sliceline::ml {
+namespace {
+
+TEST(SplitTest, PartitionsRowsExactly) {
+  data::DatasetOptions opts;
+  opts.rows = 1000;
+  data::EncodedDataset ds = data::MakeAdult(opts);
+  auto split = SplitTrainTest(ds, 0.25, 7);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->test.n(), 250);
+  EXPECT_EQ(split->train.n(), 750);
+  // Indices partition [0, n).
+  std::vector<int64_t> all = split->train_rows;
+  all.insert(all.end(), split->test_rows.begin(), split->test_rows.end());
+  std::sort(all.begin(), all.end());
+  for (int64_t i = 0; i < 1000; ++i) EXPECT_EQ(all[i], i);
+  // Rows carried over faithfully.
+  for (size_t i = 0; i < split->test_rows.size(); ++i) {
+    for (int64_t j = 0; j < ds.m(); ++j) {
+      EXPECT_EQ(split->test.x0.At(static_cast<int64_t>(i), j),
+                ds.x0.At(split->test_rows[i], j));
+    }
+    EXPECT_EQ(split->test.y[i], ds.y[split->test_rows[i]]);
+  }
+}
+
+TEST(SplitTest, DeterministicBySeed) {
+  data::DatasetOptions opts;
+  opts.rows = 500;
+  data::EncodedDataset ds = data::MakeSalaries(opts);
+  auto a = SplitTrainTest(ds, 0.3, 11);
+  auto b = SplitTrainTest(ds, 0.3, 11);
+  auto c = SplitTrainTest(ds, 0.3, 12);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->test_rows, b->test_rows);
+  EXPECT_NE(a->test_rows, c->test_rows);
+}
+
+TEST(SplitTest, RejectsBadFraction) {
+  data::DatasetOptions opts;
+  opts.rows = 300;
+  data::EncodedDataset ds = data::MakeSalaries(opts);
+  EXPECT_FALSE(SplitTrainTest(ds, 0.0, 1).ok());
+  EXPECT_FALSE(SplitTrainTest(ds, 1.0, 1).ok());
+  EXPECT_FALSE(SplitTrainTest(ds, -0.5, 1).ok());
+}
+
+TEST(SplitTest, HeldOutDebuggingWorkflow) {
+  // Train on train split, score the test split, find slices on test errors
+  // (the model-validation debugging mode the paper describes).
+  data::DatasetOptions opts;
+  opts.rows = 4000;
+  data::EncodedDataset ds = data::MakeSalaries(opts);
+  auto split = SplitTrainTest(ds, 0.3, 3);
+  ASSERT_TRUE(split.ok());
+  auto test_error = TrainOnSplitAndScoreTest(&*split);
+  ASSERT_TRUE(test_error.ok());
+  EXPECT_GT(*test_error, 0.0);
+  ASSERT_EQ(static_cast<int64_t>(split->test.errors.size()),
+            split->test.n());
+
+  core::SliceLineConfig config;
+  config.k = 4;
+  config.alpha = 0.95;
+  auto result = core::RunSliceLine(split->test, config);
+  ASSERT_TRUE(result.ok());
+  // The planted problem slices produce positive-score test slices too.
+  EXPECT_FALSE(result->top_k.empty());
+}
+
+TEST(SplitTest, TestCodesOutsideTrainDomainHandled) {
+  // A code that only occurs in the test split must not break encoding.
+  data::EncodedDataset ds;
+  ds.task = data::Task::kRegression;
+  ds.x0 = data::IntMatrix(10, 1);
+  for (int64_t i = 0; i < 10; ++i) {
+    ds.x0.At(i, 0) = i == 3 ? 5 : 1;  // rare high code
+    ds.y.push_back(static_cast<double>(i));
+  }
+  // Seed chosen so row 3 lands in the test split.
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    auto split = SplitTrainTest(ds, 0.3, seed);
+    ASSERT_TRUE(split.ok());
+    if (std::find(split->test_rows.begin(), split->test_rows.end(), 3) ==
+        split->test_rows.end()) {
+      continue;
+    }
+    EXPECT_TRUE(TrainOnSplitAndScoreTest(&*split).ok());
+    return;
+  }
+  GTEST_FAIL() << "no seed placed row 3 in the test split";
+}
+
+}  // namespace
+}  // namespace sliceline::ml

@@ -1,0 +1,177 @@
+// Command-line slice finder: read a CSV, preprocess it (recode + bin),
+// train the task-appropriate model (lm / mlogit), and print the top-K
+// problematic slices.
+//
+// Usage:
+//   sliceline_cli --csv data.csv --label target [--task reg|class]
+//                 [--k 4] [--alpha 0.95] [--sigma 0] [--max-level 0]
+//                 [--bins 10] [--drop col1,col2] [--engine native|la]
+//
+// Exit code 0 on success, 1 on usage or data errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/report.h"
+#include "core/sliceline.h"
+#include "core/sliceline_la.h"
+#include "data/csv.h"
+#include "data/preprocess.h"
+#include "ml/pipeline.h"
+
+namespace {
+
+struct CliOptions {
+  std::string csv_path;
+  std::string label;
+  std::string task = "reg";
+  std::string engine = "native";
+  std::vector<std::string> drop;
+  int k = 4;
+  double alpha = 0.95;
+  int64_t sigma = 0;
+  int max_level = 0;
+  int bins = 10;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: sliceline_cli --csv FILE --label COLUMN [options]\n"
+      "  --task reg|class     prediction task (default reg)\n"
+      "  --k N                top-K slices (default 4)\n"
+      "  --alpha A            error/size weight in (0,1] (default 0.95)\n"
+      "  --sigma S            min support; 0 = max(32, ceil(n/100))\n"
+      "  --max-level L        lattice depth cap; 0 = unbounded\n"
+      "  --bins B             equi-width bins for numeric features (10)\n"
+      "  --drop a,b,c         columns to drop (e.g. ID columns)\n"
+      "  --engine native|la   enumeration engine (default native)\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", name);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--csv") {
+      const char* v = next("--csv");
+      if (v == nullptr) return false;
+      options->csv_path = v;
+    } else if (arg == "--label") {
+      const char* v = next("--label");
+      if (v == nullptr) return false;
+      options->label = v;
+    } else if (arg == "--task") {
+      const char* v = next("--task");
+      if (v == nullptr) return false;
+      options->task = v;
+    } else if (arg == "--engine") {
+      const char* v = next("--engine");
+      if (v == nullptr) return false;
+      options->engine = v;
+    } else if (arg == "--k") {
+      const char* v = next("--k");
+      if (v == nullptr) return false;
+      options->k = std::atoi(v);
+    } else if (arg == "--alpha") {
+      const char* v = next("--alpha");
+      if (v == nullptr) return false;
+      options->alpha = std::atof(v);
+    } else if (arg == "--sigma") {
+      const char* v = next("--sigma");
+      if (v == nullptr) return false;
+      options->sigma = std::atoll(v);
+    } else if (arg == "--max-level") {
+      const char* v = next("--max-level");
+      if (v == nullptr) return false;
+      options->max_level = std::atoi(v);
+    } else if (arg == "--bins") {
+      const char* v = next("--bins");
+      if (v == nullptr) return false;
+      options->bins = std::atoi(v);
+    } else if (arg == "--drop") {
+      const char* v = next("--drop");
+      if (v == nullptr) return false;
+      options->drop = sliceline::Split(v, ',');
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  if (options->csv_path.empty() || options->label.empty()) {
+    std::fprintf(stderr, "--csv and --label are required\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sliceline;
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) {
+    PrintUsage();
+    return 1;
+  }
+
+  auto frame = data::ReadCsv(cli.csv_path);
+  if (!frame.ok()) {
+    std::fprintf(stderr, "error reading CSV: %s\n",
+                 frame.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("read %lld rows x %lld columns from %s\n",
+              static_cast<long long>(frame->num_rows()),
+              static_cast<long long>(frame->num_columns()),
+              cli.csv_path.c_str());
+
+  data::PreprocessOptions popts;
+  popts.label_column = cli.label;
+  popts.task = cli.task == "class" ? data::Task::kClassification
+                                   : data::Task::kRegression;
+  popts.num_bins = cli.bins;
+  popts.drop_columns = cli.drop;
+  auto ds = data::Preprocess(*frame, popts);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "preprocess failed: %s\n",
+                 ds.status().ToString().c_str());
+    return 1;
+  }
+
+  auto mean_error = ml::TrainAndMaterializeErrors(&*ds);
+  if (!mean_error.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 mean_error.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("trained %s; mean error = %.6f\n",
+              popts.task == data::Task::kRegression ? "lm" : "mlogit",
+              *mean_error);
+
+  core::SliceLineConfig config;
+  config.k = cli.k;
+  config.alpha = cli.alpha;
+  config.min_support = cli.sigma;
+  config.max_level = cli.max_level;
+  auto result = cli.engine == "la"
+                    ? core::RunSliceLineLA(*ds, config)
+                    : core::RunSliceLine(*ds, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "slice finding failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%s", core::FormatResult(*result, ds->feature_names).c_str());
+  return 0;
+}
