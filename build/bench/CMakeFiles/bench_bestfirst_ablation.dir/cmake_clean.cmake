@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bestfirst_ablation.dir/bench_bestfirst_ablation.cc.o"
+  "CMakeFiles/bench_bestfirst_ablation.dir/bench_bestfirst_ablation.cc.o.d"
+  "bench_bestfirst_ablation"
+  "bench_bestfirst_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bestfirst_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_systems_compare.dir/bench_systems_compare.cc.o"
+  "CMakeFiles/bench_systems_compare.dir/bench_systems_compare.cc.o.d"
+  "bench_systems_compare"
+  "bench_systems_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_systems_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

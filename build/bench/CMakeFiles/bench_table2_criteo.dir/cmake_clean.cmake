@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_criteo.dir/bench_table2_criteo.cc.o"
+  "CMakeFiles/bench_table2_criteo.dir/bench_table2_criteo.cc.o.d"
+  "bench_table2_criteo"
+  "bench_table2_criteo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_criteo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

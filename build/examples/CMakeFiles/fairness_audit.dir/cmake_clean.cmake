@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_audit.dir/fairness_audit.cpp.o"
+  "CMakeFiles/fairness_audit.dir/fairness_audit.cpp.o.d"
+  "fairness_audit"
+  "fairness_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

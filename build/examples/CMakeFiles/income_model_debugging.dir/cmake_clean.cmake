@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/income_model_debugging.dir/income_model_debugging.cpp.o"
+  "CMakeFiles/income_model_debugging.dir/income_model_debugging.cpp.o.d"
+  "income_model_debugging"
+  "income_model_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/income_model_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

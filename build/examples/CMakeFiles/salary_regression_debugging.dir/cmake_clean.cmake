@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salary_regression_debugging.dir/salary_regression_debugging.cpp.o"
+  "CMakeFiles/salary_regression_debugging.dir/salary_regression_debugging.cpp.o.d"
+  "salary_regression_debugging"
+  "salary_regression_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salary_regression_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliceline_baseline.dir/baseline/error_tree.cc.o"
+  "CMakeFiles/sliceline_baseline.dir/baseline/error_tree.cc.o.d"
+  "CMakeFiles/sliceline_baseline.dir/baseline/slicefinder.cc.o"
+  "CMakeFiles/sliceline_baseline.dir/baseline/slicefinder.cc.o.d"
+  "libsliceline_baseline.a"
+  "libsliceline_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliceline_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliceline_common.dir/common/logging.cc.o"
+  "CMakeFiles/sliceline_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/sliceline_common.dir/common/rng.cc.o"
+  "CMakeFiles/sliceline_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/sliceline_common.dir/common/status.cc.o"
+  "CMakeFiles/sliceline_common.dir/common/status.cc.o.d"
+  "CMakeFiles/sliceline_common.dir/common/string_util.cc.o"
+  "CMakeFiles/sliceline_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/sliceline_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/sliceline_common.dir/common/thread_pool.cc.o.d"
+  "libsliceline_common.a"
+  "libsliceline_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliceline_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

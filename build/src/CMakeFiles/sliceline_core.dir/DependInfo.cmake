@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounds.cc" "src/CMakeFiles/sliceline_core.dir/core/bounds.cc.o" "gcc" "src/CMakeFiles/sliceline_core.dir/core/bounds.cc.o.d"
+  "/root/repo/src/core/candidates.cc" "src/CMakeFiles/sliceline_core.dir/core/candidates.cc.o" "gcc" "src/CMakeFiles/sliceline_core.dir/core/candidates.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/CMakeFiles/sliceline_core.dir/core/evaluator.cc.o" "gcc" "src/CMakeFiles/sliceline_core.dir/core/evaluator.cc.o.d"
+  "/root/repo/src/core/exhaustive.cc" "src/CMakeFiles/sliceline_core.dir/core/exhaustive.cc.o" "gcc" "src/CMakeFiles/sliceline_core.dir/core/exhaustive.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/sliceline_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/sliceline_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/scoring.cc" "src/CMakeFiles/sliceline_core.dir/core/scoring.cc.o" "gcc" "src/CMakeFiles/sliceline_core.dir/core/scoring.cc.o.d"
+  "/root/repo/src/core/slice.cc" "src/CMakeFiles/sliceline_core.dir/core/slice.cc.o" "gcc" "src/CMakeFiles/sliceline_core.dir/core/slice.cc.o.d"
+  "/root/repo/src/core/slice_analysis.cc" "src/CMakeFiles/sliceline_core.dir/core/slice_analysis.cc.o" "gcc" "src/CMakeFiles/sliceline_core.dir/core/slice_analysis.cc.o.d"
+  "/root/repo/src/core/sliceline.cc" "src/CMakeFiles/sliceline_core.dir/core/sliceline.cc.o" "gcc" "src/CMakeFiles/sliceline_core.dir/core/sliceline.cc.o.d"
+  "/root/repo/src/core/sliceline_bestfirst.cc" "src/CMakeFiles/sliceline_core.dir/core/sliceline_bestfirst.cc.o" "gcc" "src/CMakeFiles/sliceline_core.dir/core/sliceline_bestfirst.cc.o.d"
+  "/root/repo/src/core/sliceline_la.cc" "src/CMakeFiles/sliceline_core.dir/core/sliceline_la.cc.o" "gcc" "src/CMakeFiles/sliceline_core.dir/core/sliceline_la.cc.o.d"
+  "/root/repo/src/core/topk.cc" "src/CMakeFiles/sliceline_core.dir/core/topk.cc.o" "gcc" "src/CMakeFiles/sliceline_core.dir/core/topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sliceline_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliceline_core.dir/core/bounds.cc.o"
+  "CMakeFiles/sliceline_core.dir/core/bounds.cc.o.d"
+  "CMakeFiles/sliceline_core.dir/core/candidates.cc.o"
+  "CMakeFiles/sliceline_core.dir/core/candidates.cc.o.d"
+  "CMakeFiles/sliceline_core.dir/core/evaluator.cc.o"
+  "CMakeFiles/sliceline_core.dir/core/evaluator.cc.o.d"
+  "CMakeFiles/sliceline_core.dir/core/exhaustive.cc.o"
+  "CMakeFiles/sliceline_core.dir/core/exhaustive.cc.o.d"
+  "CMakeFiles/sliceline_core.dir/core/report.cc.o"
+  "CMakeFiles/sliceline_core.dir/core/report.cc.o.d"
+  "CMakeFiles/sliceline_core.dir/core/scoring.cc.o"
+  "CMakeFiles/sliceline_core.dir/core/scoring.cc.o.d"
+  "CMakeFiles/sliceline_core.dir/core/slice.cc.o"
+  "CMakeFiles/sliceline_core.dir/core/slice.cc.o.d"
+  "CMakeFiles/sliceline_core.dir/core/slice_analysis.cc.o"
+  "CMakeFiles/sliceline_core.dir/core/slice_analysis.cc.o.d"
+  "CMakeFiles/sliceline_core.dir/core/sliceline.cc.o"
+  "CMakeFiles/sliceline_core.dir/core/sliceline.cc.o.d"
+  "CMakeFiles/sliceline_core.dir/core/sliceline_bestfirst.cc.o"
+  "CMakeFiles/sliceline_core.dir/core/sliceline_bestfirst.cc.o.d"
+  "CMakeFiles/sliceline_core.dir/core/sliceline_la.cc.o"
+  "CMakeFiles/sliceline_core.dir/core/sliceline_la.cc.o.d"
+  "CMakeFiles/sliceline_core.dir/core/topk.cc.o"
+  "CMakeFiles/sliceline_core.dir/core/topk.cc.o.d"
+  "libsliceline_core.a"
+  "libsliceline_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliceline_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

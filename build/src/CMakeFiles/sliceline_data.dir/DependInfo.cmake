@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/binning.cc" "src/CMakeFiles/sliceline_data.dir/data/binning.cc.o" "gcc" "src/CMakeFiles/sliceline_data.dir/data/binning.cc.o.d"
+  "/root/repo/src/data/column.cc" "src/CMakeFiles/sliceline_data.dir/data/column.cc.o" "gcc" "src/CMakeFiles/sliceline_data.dir/data/column.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/sliceline_data.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/sliceline_data.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/frame.cc" "src/CMakeFiles/sliceline_data.dir/data/frame.cc.o" "gcc" "src/CMakeFiles/sliceline_data.dir/data/frame.cc.o.d"
+  "/root/repo/src/data/generators/adult.cc" "src/CMakeFiles/sliceline_data.dir/data/generators/adult.cc.o" "gcc" "src/CMakeFiles/sliceline_data.dir/data/generators/adult.cc.o.d"
+  "/root/repo/src/data/generators/covtype.cc" "src/CMakeFiles/sliceline_data.dir/data/generators/covtype.cc.o" "gcc" "src/CMakeFiles/sliceline_data.dir/data/generators/covtype.cc.o.d"
+  "/root/repo/src/data/generators/criteo.cc" "src/CMakeFiles/sliceline_data.dir/data/generators/criteo.cc.o" "gcc" "src/CMakeFiles/sliceline_data.dir/data/generators/criteo.cc.o.d"
+  "/root/repo/src/data/generators/kdd98.cc" "src/CMakeFiles/sliceline_data.dir/data/generators/kdd98.cc.o" "gcc" "src/CMakeFiles/sliceline_data.dir/data/generators/kdd98.cc.o.d"
+  "/root/repo/src/data/generators/planted_slices.cc" "src/CMakeFiles/sliceline_data.dir/data/generators/planted_slices.cc.o" "gcc" "src/CMakeFiles/sliceline_data.dir/data/generators/planted_slices.cc.o.d"
+  "/root/repo/src/data/generators/registry.cc" "src/CMakeFiles/sliceline_data.dir/data/generators/registry.cc.o" "gcc" "src/CMakeFiles/sliceline_data.dir/data/generators/registry.cc.o.d"
+  "/root/repo/src/data/generators/salaries.cc" "src/CMakeFiles/sliceline_data.dir/data/generators/salaries.cc.o" "gcc" "src/CMakeFiles/sliceline_data.dir/data/generators/salaries.cc.o.d"
+  "/root/repo/src/data/generators/uscensus.cc" "src/CMakeFiles/sliceline_data.dir/data/generators/uscensus.cc.o" "gcc" "src/CMakeFiles/sliceline_data.dir/data/generators/uscensus.cc.o.d"
+  "/root/repo/src/data/onehot.cc" "src/CMakeFiles/sliceline_data.dir/data/onehot.cc.o" "gcc" "src/CMakeFiles/sliceline_data.dir/data/onehot.cc.o.d"
+  "/root/repo/src/data/preprocess.cc" "src/CMakeFiles/sliceline_data.dir/data/preprocess.cc.o" "gcc" "src/CMakeFiles/sliceline_data.dir/data/preprocess.cc.o.d"
+  "/root/repo/src/data/recode.cc" "src/CMakeFiles/sliceline_data.dir/data/recode.cc.o" "gcc" "src/CMakeFiles/sliceline_data.dir/data/recode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sliceline_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

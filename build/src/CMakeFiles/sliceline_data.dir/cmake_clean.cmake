@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliceline_data.dir/data/binning.cc.o"
+  "CMakeFiles/sliceline_data.dir/data/binning.cc.o.d"
+  "CMakeFiles/sliceline_data.dir/data/column.cc.o"
+  "CMakeFiles/sliceline_data.dir/data/column.cc.o.d"
+  "CMakeFiles/sliceline_data.dir/data/csv.cc.o"
+  "CMakeFiles/sliceline_data.dir/data/csv.cc.o.d"
+  "CMakeFiles/sliceline_data.dir/data/frame.cc.o"
+  "CMakeFiles/sliceline_data.dir/data/frame.cc.o.d"
+  "CMakeFiles/sliceline_data.dir/data/generators/adult.cc.o"
+  "CMakeFiles/sliceline_data.dir/data/generators/adult.cc.o.d"
+  "CMakeFiles/sliceline_data.dir/data/generators/covtype.cc.o"
+  "CMakeFiles/sliceline_data.dir/data/generators/covtype.cc.o.d"
+  "CMakeFiles/sliceline_data.dir/data/generators/criteo.cc.o"
+  "CMakeFiles/sliceline_data.dir/data/generators/criteo.cc.o.d"
+  "CMakeFiles/sliceline_data.dir/data/generators/kdd98.cc.o"
+  "CMakeFiles/sliceline_data.dir/data/generators/kdd98.cc.o.d"
+  "CMakeFiles/sliceline_data.dir/data/generators/planted_slices.cc.o"
+  "CMakeFiles/sliceline_data.dir/data/generators/planted_slices.cc.o.d"
+  "CMakeFiles/sliceline_data.dir/data/generators/registry.cc.o"
+  "CMakeFiles/sliceline_data.dir/data/generators/registry.cc.o.d"
+  "CMakeFiles/sliceline_data.dir/data/generators/salaries.cc.o"
+  "CMakeFiles/sliceline_data.dir/data/generators/salaries.cc.o.d"
+  "CMakeFiles/sliceline_data.dir/data/generators/uscensus.cc.o"
+  "CMakeFiles/sliceline_data.dir/data/generators/uscensus.cc.o.d"
+  "CMakeFiles/sliceline_data.dir/data/onehot.cc.o"
+  "CMakeFiles/sliceline_data.dir/data/onehot.cc.o.d"
+  "CMakeFiles/sliceline_data.dir/data/preprocess.cc.o"
+  "CMakeFiles/sliceline_data.dir/data/preprocess.cc.o.d"
+  "CMakeFiles/sliceline_data.dir/data/recode.cc.o"
+  "CMakeFiles/sliceline_data.dir/data/recode.cc.o.d"
+  "libsliceline_data.a"
+  "libsliceline_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliceline_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

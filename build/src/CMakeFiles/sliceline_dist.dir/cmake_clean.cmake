@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliceline_dist.dir/dist/distributed_evaluator.cc.o"
+  "CMakeFiles/sliceline_dist.dir/dist/distributed_evaluator.cc.o.d"
+  "CMakeFiles/sliceline_dist.dir/dist/partition.cc.o"
+  "CMakeFiles/sliceline_dist.dir/dist/partition.cc.o.d"
+  "libsliceline_dist.a"
+  "libsliceline_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliceline_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/csr_matrix.cc" "src/CMakeFiles/sliceline_linalg.dir/linalg/csr_matrix.cc.o" "gcc" "src/CMakeFiles/sliceline_linalg.dir/linalg/csr_matrix.cc.o.d"
+  "/root/repo/src/linalg/dense_matrix.cc" "src/CMakeFiles/sliceline_linalg.dir/linalg/dense_matrix.cc.o" "gcc" "src/CMakeFiles/sliceline_linalg.dir/linalg/dense_matrix.cc.o.d"
+  "/root/repo/src/linalg/kernels_construct.cc" "src/CMakeFiles/sliceline_linalg.dir/linalg/kernels_construct.cc.o" "gcc" "src/CMakeFiles/sliceline_linalg.dir/linalg/kernels_construct.cc.o.d"
+  "/root/repo/src/linalg/kernels_elementwise.cc" "src/CMakeFiles/sliceline_linalg.dir/linalg/kernels_elementwise.cc.o" "gcc" "src/CMakeFiles/sliceline_linalg.dir/linalg/kernels_elementwise.cc.o.d"
+  "/root/repo/src/linalg/kernels_reduce.cc" "src/CMakeFiles/sliceline_linalg.dir/linalg/kernels_reduce.cc.o" "gcc" "src/CMakeFiles/sliceline_linalg.dir/linalg/kernels_reduce.cc.o.d"
+  "/root/repo/src/linalg/kernels_select.cc" "src/CMakeFiles/sliceline_linalg.dir/linalg/kernels_select.cc.o" "gcc" "src/CMakeFiles/sliceline_linalg.dir/linalg/kernels_select.cc.o.d"
+  "/root/repo/src/linalg/kernels_spgemm.cc" "src/CMakeFiles/sliceline_linalg.dir/linalg/kernels_spgemm.cc.o" "gcc" "src/CMakeFiles/sliceline_linalg.dir/linalg/kernels_spgemm.cc.o.d"
+  "/root/repo/src/linalg/matrix_io.cc" "src/CMakeFiles/sliceline_linalg.dir/linalg/matrix_io.cc.o" "gcc" "src/CMakeFiles/sliceline_linalg.dir/linalg/matrix_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sliceline_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

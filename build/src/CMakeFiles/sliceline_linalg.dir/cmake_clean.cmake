@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliceline_linalg.dir/linalg/csr_matrix.cc.o"
+  "CMakeFiles/sliceline_linalg.dir/linalg/csr_matrix.cc.o.d"
+  "CMakeFiles/sliceline_linalg.dir/linalg/dense_matrix.cc.o"
+  "CMakeFiles/sliceline_linalg.dir/linalg/dense_matrix.cc.o.d"
+  "CMakeFiles/sliceline_linalg.dir/linalg/kernels_construct.cc.o"
+  "CMakeFiles/sliceline_linalg.dir/linalg/kernels_construct.cc.o.d"
+  "CMakeFiles/sliceline_linalg.dir/linalg/kernels_elementwise.cc.o"
+  "CMakeFiles/sliceline_linalg.dir/linalg/kernels_elementwise.cc.o.d"
+  "CMakeFiles/sliceline_linalg.dir/linalg/kernels_reduce.cc.o"
+  "CMakeFiles/sliceline_linalg.dir/linalg/kernels_reduce.cc.o.d"
+  "CMakeFiles/sliceline_linalg.dir/linalg/kernels_select.cc.o"
+  "CMakeFiles/sliceline_linalg.dir/linalg/kernels_select.cc.o.d"
+  "CMakeFiles/sliceline_linalg.dir/linalg/kernels_spgemm.cc.o"
+  "CMakeFiles/sliceline_linalg.dir/linalg/kernels_spgemm.cc.o.d"
+  "CMakeFiles/sliceline_linalg.dir/linalg/matrix_io.cc.o"
+  "CMakeFiles/sliceline_linalg.dir/linalg/matrix_io.cc.o.d"
+  "libsliceline_linalg.a"
+  "libsliceline_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliceline_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

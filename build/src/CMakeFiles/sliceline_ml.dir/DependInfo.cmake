@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/error_functions.cc" "src/CMakeFiles/sliceline_ml.dir/ml/error_functions.cc.o" "gcc" "src/CMakeFiles/sliceline_ml.dir/ml/error_functions.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/CMakeFiles/sliceline_ml.dir/ml/kmeans.cc.o" "gcc" "src/CMakeFiles/sliceline_ml.dir/ml/kmeans.cc.o.d"
+  "/root/repo/src/ml/linear_regression.cc" "src/CMakeFiles/sliceline_ml.dir/ml/linear_regression.cc.o" "gcc" "src/CMakeFiles/sliceline_ml.dir/ml/linear_regression.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/CMakeFiles/sliceline_ml.dir/ml/logistic_regression.cc.o" "gcc" "src/CMakeFiles/sliceline_ml.dir/ml/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/pipeline.cc" "src/CMakeFiles/sliceline_ml.dir/ml/pipeline.cc.o" "gcc" "src/CMakeFiles/sliceline_ml.dir/ml/pipeline.cc.o.d"
+  "/root/repo/src/ml/split.cc" "src/CMakeFiles/sliceline_ml.dir/ml/split.cc.o" "gcc" "src/CMakeFiles/sliceline_ml.dir/ml/split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sliceline_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

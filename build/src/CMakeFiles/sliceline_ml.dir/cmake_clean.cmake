@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliceline_ml.dir/ml/error_functions.cc.o"
+  "CMakeFiles/sliceline_ml.dir/ml/error_functions.cc.o.d"
+  "CMakeFiles/sliceline_ml.dir/ml/kmeans.cc.o"
+  "CMakeFiles/sliceline_ml.dir/ml/kmeans.cc.o.d"
+  "CMakeFiles/sliceline_ml.dir/ml/linear_regression.cc.o"
+  "CMakeFiles/sliceline_ml.dir/ml/linear_regression.cc.o.d"
+  "CMakeFiles/sliceline_ml.dir/ml/logistic_regression.cc.o"
+  "CMakeFiles/sliceline_ml.dir/ml/logistic_regression.cc.o.d"
+  "CMakeFiles/sliceline_ml.dir/ml/pipeline.cc.o"
+  "CMakeFiles/sliceline_ml.dir/ml/pipeline.cc.o.d"
+  "CMakeFiles/sliceline_ml.dir/ml/split.cc.o"
+  "CMakeFiles/sliceline_ml.dir/ml/split.cc.o.d"
+  "libsliceline_ml.a"
+  "libsliceline_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliceline_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

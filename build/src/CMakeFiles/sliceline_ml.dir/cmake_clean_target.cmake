@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsliceline_ml.a"
+)

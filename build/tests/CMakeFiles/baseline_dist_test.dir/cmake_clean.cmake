@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_dist_test.dir/baseline/error_tree_test.cc.o"
+  "CMakeFiles/baseline_dist_test.dir/baseline/error_tree_test.cc.o.d"
+  "CMakeFiles/baseline_dist_test.dir/baseline/slicefinder_test.cc.o"
+  "CMakeFiles/baseline_dist_test.dir/baseline/slicefinder_test.cc.o.d"
+  "CMakeFiles/baseline_dist_test.dir/dist/dist_test.cc.o"
+  "CMakeFiles/baseline_dist_test.dir/dist/dist_test.cc.o.d"
+  "baseline_dist_test"
+  "baseline_dist_test.pdb"
+  "baseline_dist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_dist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

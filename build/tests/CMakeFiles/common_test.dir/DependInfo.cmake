@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/logging_test.cc" "tests/CMakeFiles/common_test.dir/common/logging_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/logging_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/common_test.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/string_util_test.cc" "tests/CMakeFiles/common_test.dir/common/string_util_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/string_util_test.cc.o.d"
+  "/root/repo/tests/common/thread_pool_test.cc" "tests/CMakeFiles/common_test.dir/common/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/thread_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sliceline_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

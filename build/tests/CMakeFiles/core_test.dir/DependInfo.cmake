@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/ablation_test.cc" "tests/CMakeFiles/core_test.dir/core/ablation_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ablation_test.cc.o.d"
+  "/root/repo/tests/core/bestfirst_test.cc" "tests/CMakeFiles/core_test.dir/core/bestfirst_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/bestfirst_test.cc.o.d"
+  "/root/repo/tests/core/bounds_test.cc" "tests/CMakeFiles/core_test.dir/core/bounds_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/bounds_test.cc.o.d"
+  "/root/repo/tests/core/candidates_test.cc" "tests/CMakeFiles/core_test.dir/core/candidates_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/candidates_test.cc.o.d"
+  "/root/repo/tests/core/contracts_test.cc" "tests/CMakeFiles/core_test.dir/core/contracts_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/contracts_test.cc.o.d"
+  "/root/repo/tests/core/evaluator_test.cc" "tests/CMakeFiles/core_test.dir/core/evaluator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/evaluator_test.cc.o.d"
+  "/root/repo/tests/core/pruning_combinations_test.cc" "tests/CMakeFiles/core_test.dir/core/pruning_combinations_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pruning_combinations_test.cc.o.d"
+  "/root/repo/tests/core/report_test.cc" "tests/CMakeFiles/core_test.dir/core/report_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/report_test.cc.o.d"
+  "/root/repo/tests/core/scoring_test.cc" "tests/CMakeFiles/core_test.dir/core/scoring_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/scoring_test.cc.o.d"
+  "/root/repo/tests/core/slice_analysis_test.cc" "tests/CMakeFiles/core_test.dir/core/slice_analysis_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/slice_analysis_test.cc.o.d"
+  "/root/repo/tests/core/sliceline_la_test.cc" "tests/CMakeFiles/core_test.dir/core/sliceline_la_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sliceline_la_test.cc.o.d"
+  "/root/repo/tests/core/sliceline_test.cc" "tests/CMakeFiles/core_test.dir/core/sliceline_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sliceline_test.cc.o.d"
+  "/root/repo/tests/core/topk_test.cc" "tests/CMakeFiles/core_test.dir/core/topk_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/topk_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sliceline_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/ablation_test.cc.o"
+  "CMakeFiles/core_test.dir/core/ablation_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/bestfirst_test.cc.o"
+  "CMakeFiles/core_test.dir/core/bestfirst_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/bounds_test.cc.o"
+  "CMakeFiles/core_test.dir/core/bounds_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/candidates_test.cc.o"
+  "CMakeFiles/core_test.dir/core/candidates_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/contracts_test.cc.o"
+  "CMakeFiles/core_test.dir/core/contracts_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/evaluator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/evaluator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/pruning_combinations_test.cc.o"
+  "CMakeFiles/core_test.dir/core/pruning_combinations_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/report_test.cc.o"
+  "CMakeFiles/core_test.dir/core/report_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/scoring_test.cc.o"
+  "CMakeFiles/core_test.dir/core/scoring_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/slice_analysis_test.cc.o"
+  "CMakeFiles/core_test.dir/core/slice_analysis_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/sliceline_la_test.cc.o"
+  "CMakeFiles/core_test.dir/core/sliceline_la_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/sliceline_test.cc.o"
+  "CMakeFiles/core_test.dir/core/sliceline_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/topk_test.cc.o"
+  "CMakeFiles/core_test.dir/core/topk_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

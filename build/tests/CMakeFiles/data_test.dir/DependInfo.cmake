@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/csv_property_test.cc" "tests/CMakeFiles/data_test.dir/data/csv_property_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/csv_property_test.cc.o.d"
+  "/root/repo/tests/data/csv_test.cc" "tests/CMakeFiles/data_test.dir/data/csv_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/csv_test.cc.o.d"
+  "/root/repo/tests/data/frame_test.cc" "tests/CMakeFiles/data_test.dir/data/frame_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/frame_test.cc.o.d"
+  "/root/repo/tests/data/generators_test.cc" "tests/CMakeFiles/data_test.dir/data/generators_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/generators_test.cc.o.d"
+  "/root/repo/tests/data/onehot_test.cc" "tests/CMakeFiles/data_test.dir/data/onehot_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/onehot_test.cc.o.d"
+  "/root/repo/tests/data/recode_binning_test.cc" "tests/CMakeFiles/data_test.dir/data/recode_binning_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/recode_binning_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sliceline_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sliceline_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_test.dir/data/csv_property_test.cc.o"
+  "CMakeFiles/data_test.dir/data/csv_property_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/csv_test.cc.o"
+  "CMakeFiles/data_test.dir/data/csv_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/frame_test.cc.o"
+  "CMakeFiles/data_test.dir/data/frame_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/generators_test.cc.o"
+  "CMakeFiles/data_test.dir/data/generators_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/onehot_test.cc.o"
+  "CMakeFiles/data_test.dir/data/onehot_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/recode_binning_test.cc.o"
+  "CMakeFiles/data_test.dir/data/recode_binning_test.cc.o.d"
+  "data_test"
+  "data_test.pdb"
+  "data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

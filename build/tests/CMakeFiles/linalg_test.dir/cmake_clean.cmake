@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_test.dir/linalg/csr_matrix_test.cc.o"
+  "CMakeFiles/linalg_test.dir/linalg/csr_matrix_test.cc.o.d"
+  "CMakeFiles/linalg_test.dir/linalg/dense_matrix_test.cc.o"
+  "CMakeFiles/linalg_test.dir/linalg/dense_matrix_test.cc.o.d"
+  "CMakeFiles/linalg_test.dir/linalg/kernels_property_test.cc.o"
+  "CMakeFiles/linalg_test.dir/linalg/kernels_property_test.cc.o.d"
+  "CMakeFiles/linalg_test.dir/linalg/kernels_test.cc.o"
+  "CMakeFiles/linalg_test.dir/linalg/kernels_test.cc.o.d"
+  "CMakeFiles/linalg_test.dir/linalg/matrix_io_test.cc.o"
+  "CMakeFiles/linalg_test.dir/linalg/matrix_io_test.cc.o.d"
+  "CMakeFiles/linalg_test.dir/linalg/spgemm_test.cc.o"
+  "CMakeFiles/linalg_test.dir/linalg/spgemm_test.cc.o.d"
+  "linalg_test"
+  "linalg_test.pdb"
+  "linalg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

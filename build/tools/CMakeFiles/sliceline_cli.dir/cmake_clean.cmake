@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliceline_cli.dir/sliceline_cli.cc.o"
+  "CMakeFiles/sliceline_cli.dir/sliceline_cli.cc.o.d"
+  "sliceline_cli"
+  "sliceline_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliceline_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sliceline_cli.
+# This may be replaced when dependencies are built.
