@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <exception>
 
 #include "common/logging.h"
 
@@ -70,6 +71,11 @@ void ThreadPool::ParallelForRange(
   std::atomic<size_t> remaining{0};
   std::mutex done_mutex;
   std::condition_variable done_cv;
+  // A throwing chunk must not escape WorkerLoop (that would terminate the
+  // process); the first exception is captured here and rethrown on the
+  // calling thread once every chunk has drained.
+  std::exception_ptr first_error;
+  std::atomic<bool> has_error{false};
   size_t launched = 0;
   for (size_t begin = 0; begin < count; begin += chunk) {
     ++launched;
@@ -78,15 +84,27 @@ void ThreadPool::ParallelForRange(
   for (size_t begin = 0; begin < count; begin += chunk) {
     const size_t end = std::min(begin + chunk, count);
     Submit([&, begin, end] {
-      body(begin, end);
+      try {
+        body(begin, end);
+      } catch (...) {
+        if (!has_error.exchange(true, std::memory_order_acq_rel)) {
+          first_error = std::current_exception();
+        }
+      }
       if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(done_mutex);
         done_cv.notify_one();
       }
     });
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock,
+                 [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  }
+  if (has_error.load(std::memory_order_acquire)) {
+    std::rethrow_exception(first_error);
+  }
 }
 
 ThreadPool& GlobalThreadPool() {

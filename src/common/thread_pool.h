@@ -28,10 +28,13 @@ class ThreadPool {
   size_t num_threads() const { return threads_.empty() ? 1 : threads_.size(); }
 
   /// Runs body(i) for i in [0, count), blocking until all iterations finish.
-  /// Iterations are chunked to amortize dispatch overhead.
+  /// Iterations are chunked to amortize dispatch overhead. If any iteration
+  /// throws, the first captured exception is rethrown on the calling thread
+  /// after all chunks have drained (remaining iterations still run).
   void ParallelFor(size_t count, const std::function<void(size_t)>& body);
 
-  /// Runs body(begin, end) over disjoint ranges covering [0, count).
+  /// Runs body(begin, end) over disjoint ranges covering [0, count). Same
+  /// exception contract as ParallelFor.
   void ParallelForRange(
       size_t count,
       const std::function<void(size_t begin, size_t end)>& body);

@@ -281,8 +281,8 @@ void SliceEvaluator::EvaluateBitset(const SliceSet& set, bool parallel,
   }
 }
 
-EvalResult SliceEvaluator::Evaluate(const SliceSet& set,
-                                    const SliceLineConfig& config) const {
+StatusOr<EvalResult> SliceEvaluator::Evaluate(
+    const SliceSet& set, const SliceLineConfig& config) const {
   EvalResult out;
   const size_t count = static_cast<size_t>(set.size());
   out.sizes.assign(count, 0.0);

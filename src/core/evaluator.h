@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "core/slice.h"
 #include "data/int_matrix.h"
 #include "data/onehot.h"
@@ -51,9 +52,11 @@ class EvaluatorBackend {
  public:
   virtual ~EvaluatorBackend() = default;
 
-  /// Evaluates every slice of `set` (sizes, error sums, max errors).
-  virtual EvalResult Evaluate(const SliceSet& set,
-                              const SliceLineConfig& config) const = 0;
+  /// Evaluates every slice of `set` (sizes, error sums, max errors). A
+  /// backend may fail (e.g. the distributed executor after exhausting its
+  /// recovery budget); the local evaluator always succeeds.
+  virtual StatusOr<EvalResult> Evaluate(const SliceSet& set,
+                                        const SliceLineConfig& config) const = 0;
 
   /// Level-1 statistics per one-hot column (Equation 4).
   virtual const std::vector<int64_t>& basic_sizes() const = 0;
@@ -77,8 +80,8 @@ class SliceEvaluator : public EvaluatorBackend {
                  const std::vector<double>& errors);
 
   /// Evaluates every slice of `set` using config's strategy/block size.
-  EvalResult Evaluate(const SliceSet& set,
-                      const SliceLineConfig& config) const override;
+  StatusOr<EvalResult> Evaluate(const SliceSet& set,
+                                const SliceLineConfig& config) const override;
 
   /// Level-1 statistics per one-hot column (Equation 4): sizes ss0,
   /// error sums se0, and maximum tuple errors sm0.

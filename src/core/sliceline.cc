@@ -140,7 +140,8 @@ StatusOr<SliceLineResult> RunSliceLineWithBackend(
       break;
     }
 
-    EvalResult eval = evaluator.Evaluate(cands, config);
+    SLICELINE_ASSIGN_OR_RETURN(EvalResult eval,
+                               evaluator.Evaluate(cands, config));
 
     LevelStats stats;
     stats.level = level;

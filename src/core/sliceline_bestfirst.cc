@@ -104,7 +104,8 @@ StatusOr<SliceLineResult> RunSliceLineBestFirst(
       }
     }
     if (children.size() == 0) continue;
-    EvalResult stats = evaluator.Evaluate(children, config);
+    SLICELINE_ASSIGN_OR_RETURN(EvalResult stats,
+                               evaluator.Evaluate(children, config));
     evaluated_at_level[level] += children.size();
 
     for (int64_t i = 0; i < children.size(); ++i) {

@@ -11,8 +11,17 @@ namespace sliceline::data {
 
 namespace {
 
-bool LooksNumeric(const std::string& field) {
-  return ParseDouble(field).ok();
+/// Three-way field classification: a clean number, a number whose magnitude
+/// overflows double (e.g. "1e999" -- would silently become +inf or fall back
+/// to categorical), or a non-numeric token.
+enum class FieldKind { kNumeric, kOverflow, kText };
+
+FieldKind ClassifyField(const std::string& field) {
+  auto parsed = ParseDouble(field);
+  if (parsed.ok()) return FieldKind::kNumeric;
+  return parsed.status().code() == StatusCode::kOutOfRange
+             ? FieldKind::kOverflow
+             : FieldKind::kText;
 }
 
 }  // namespace
@@ -20,10 +29,14 @@ bool LooksNumeric(const std::string& field) {
 StatusOr<Frame> ParseCsv(const std::string& content,
                          const CsvOptions& options) {
   std::vector<std::vector<std::string>> cells;
+  // Physical (1-based) line number of each kept row, for error context.
+  std::vector<size_t> line_numbers;
   std::istringstream in(content);
   std::string line;
   size_t width = 0;
+  size_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     std::vector<std::string> fields = Split(line, options.delimiter);
@@ -32,18 +45,28 @@ StatusOr<Frame> ParseCsv(const std::string& content,
       width = fields.size();
     } else if (fields.size() != width) {
       return Status::InvalidArgument(
-          "ragged CSV: expected " + std::to_string(width) + " fields, got " +
-          std::to_string(fields.size()) + " in line '" + line + "'");
+          "ragged CSV: line " + std::to_string(line_no) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(width) + " (as in line " +
+          std::to_string(line_numbers.empty() ? 1 : line_numbers.front()) +
+          ")");
     }
     cells.push_back(std::move(fields));
+    line_numbers.push_back(line_no);
   }
-  if (cells.empty()) return Status::InvalidArgument("empty CSV input");
+  if (cells.empty()) {
+    return Status::InvalidArgument("empty CSV input: no non-blank lines");
+  }
 
   std::vector<std::string> names;
   size_t first_row = 0;
   if (options.has_header) {
     names = cells[0];
     first_row = 1;
+    if (cells.size() == 1) {
+      return Status::InvalidArgument(
+          "CSV has a header but no data rows");
+    }
   } else {
     for (size_t j = 0; j < width; ++j) names.push_back("C" + std::to_string(j));
   }
@@ -51,15 +74,37 @@ StatusOr<Frame> ParseCsv(const std::string& content,
 
   Frame frame;
   for (size_t j = 0; j < width; ++j) {
-    bool numeric = true;
-    for (size_t i = first_row; i < cells.size(); ++i) {
+    // Infer the column type from every non-missing field. A column with any
+    // true text falls back to categorical; an otherwise-numeric column with
+    // an overflowing field (e.g. "1e999") is an error with row/column
+    // context rather than a silent +/-inf or categorical fallback.
+    bool has_text = false;
+    size_t overflow_row = 0;
+    const std::string* overflow_field = nullptr;
+    for (size_t i = first_row; i < cells.size() && !has_text; ++i) {
       const std::string& f = cells[i][j];
       if (f.empty() || f == options.missing_marker) continue;
-      if (!LooksNumeric(f)) {
-        numeric = false;
-        break;
+      switch (ClassifyField(f)) {
+        case FieldKind::kNumeric:
+          break;
+        case FieldKind::kOverflow:
+          if (overflow_field == nullptr) {
+            overflow_row = i;
+            overflow_field = &f;
+          }
+          break;
+        case FieldKind::kText:
+          has_text = true;
+          break;
       }
     }
+    if (!has_text && overflow_field != nullptr) {
+      return Status::OutOfRange(
+          "numeric overflow in column '" + names[j] + "' at line " +
+          std::to_string(line_numbers[overflow_row]) + ": '" +
+          *overflow_field + "'");
+    }
+    const bool numeric = !has_text && overflow_field == nullptr;
     Status st;
     if (numeric) {
       std::vector<double> vals;
@@ -69,7 +114,14 @@ StatusOr<Frame> ParseCsv(const std::string& content,
         if (f.empty() || f == options.missing_marker) {
           vals.push_back(std::numeric_limits<double>::quiet_NaN());
         } else {
-          vals.push_back(ParseDouble(f).value());
+          auto parsed = ParseDouble(f);
+          if (!parsed.ok()) {
+            return Status::InvalidArgument(
+                "unparseable numeric in column '" + names[j] + "' at line " +
+                std::to_string(line_numbers[i]) + ": '" + f + "' (" +
+                parsed.status().message() + ")");
+          }
+          vals.push_back(*parsed);
         }
       }
       st = frame.AddColumn(Column(names[j], std::move(vals)));
@@ -92,6 +144,7 @@ StatusOr<Frame> ReadCsv(const std::string& path, const CsvOptions& options) {
   if (!in) return Status::IoError("cannot open '" + path + "'");
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (in.bad()) return Status::IoError("read error on '" + path + "'");
   return ParseCsv(buf.str(), options);
 }
 

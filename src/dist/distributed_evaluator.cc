@@ -1,50 +1,149 @@
 #include "dist/distributed_evaluator.h"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 
 namespace sliceline::dist {
 
+namespace {
+
+/// Driver-side sanity checks on a gathered partial: correct shape, sizes
+/// integral and within [0, shard rows], statistics finite. A corrupted
+/// payload that somehow survives the checksum is still rejected here.
+bool PartialInvariantsOk(const core::EvalResult& partial, int64_t shard_rows,
+                         size_t count) {
+  if (partial.sizes.size() != count || partial.error_sums.size() != count ||
+      partial.max_errors.size() != count) {
+    return false;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const double ss = partial.sizes[i];
+    if (!(ss >= 0.0) || ss > static_cast<double>(shard_rows) ||
+        ss != std::floor(ss)) {
+      return false;
+    }
+    if (!std::isfinite(partial.error_sums[i]) ||
+        !std::isfinite(partial.max_errors[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string DistFaultStats::Summary() const {
+  std::ostringstream out;
+  out << "transient=" << transient_failures << " retries=" << retries
+      << " backoff=" << backoff_seconds << "s stragglers=" << stragglers
+      << " speculative=" << speculative_reexecutions
+      << " corrupted=" << corrupted_partials << " lost=" << workers_lost
+      << " reshards=" << reshards
+      << " fallback=" << (fallback_local ? "yes" : "no");
+  return out.str();
+}
+
 DistributedSliceEvaluator::DistributedSliceEvaluator(
     const data::IntMatrix& x0, const std::vector<double>& errors,
     const DistOptions& options)
-    : offsets_(data::ComputeOffsets(x0)), options_(options), n_(x0.rows()) {
-  SLICELINE_CHECK_EQ(static_cast<int64_t>(errors.size()), x0.rows());
+    : offsets_(data::ComputeOffsets(x0)),
+      options_(options),
+      n_(x0.rows()),
+      injector_(options.fault),
+      full_x0_(x0),
+      full_errors_(errors) {
   const std::vector<RowRange> ranges = PartitionRows(n_, options.workers);
   shards_.reserve(ranges.size());
   for (const RowRange& range : ranges) {
-    WorkerState state;
-    state.shard = MakeShard(x0, errors, range);
-    shards_.push_back(std::move(state));
+    ShardUnit unit;
+    unit.shard = MakeShard(x0, errors, range);
+    shards_.push_back(std::move(unit));
   }
   // The evaluator holds pointers into its shard, so it is built only after
   // the shard has reached its final address. Workers share the driver's
   // global feature offsets so one-hot column ids align across shards (a
   // shard may not observe every code).
-  for (WorkerState& state : shards_) {
-    state.evaluator = std::make_unique<core::SliceEvaluator>(
-        state.shard.x0, offsets_, state.shard.errors);
+  for (ShardUnit& unit : shards_) {
+    unit.evaluator = std::make_unique<core::SliceEvaluator>(
+        unit.shard.x0, offsets_, unit.shard.errors);
   }
+  shard_owner_.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shard_owner_[s] = static_cast<int>(s);
+  }
+  worker_alive_.assign(shards_.size(), 1);
+  alive_count_ = static_cast<int>(shards_.size());
 
   // Aggregate the level-1 statistics: counts and error sums add, maxima max.
   const int64_t l = offsets_.total;
   basic_sizes_.assign(static_cast<size_t>(l), 0);
   basic_error_sums_.assign(static_cast<size_t>(l), 0.0);
   basic_max_errors_.assign(static_cast<size_t>(l), 0.0);
-  for (const WorkerState& state : shards_) {
-    total_error_ += state.evaluator->total_error();
+  for (const ShardUnit& unit : shards_) {
+    total_error_ += unit.evaluator->total_error();
     for (int64_t c = 0; c < l; ++c) {
-      basic_sizes_[c] += state.evaluator->basic_sizes()[c];
-      basic_error_sums_[c] += state.evaluator->basic_error_sums()[c];
+      basic_sizes_[c] += unit.evaluator->basic_sizes()[c];
+      basic_error_sums_[c] += unit.evaluator->basic_error_sums()[c];
       basic_max_errors_[c] = std::max(basic_max_errors_[c],
-                                      state.evaluator->basic_max_errors()[c]);
+                                      unit.evaluator->basic_max_errors()[c]);
     }
   }
 }
 
-core::EvalResult DistributedSliceEvaluator::Evaluate(
+StatusOr<std::unique_ptr<DistributedSliceEvaluator>>
+DistributedSliceEvaluator::Create(const data::IntMatrix& x0,
+                                  const std::vector<double>& errors,
+                                  const DistOptions& options) {
+  if (x0.rows() == 0 || x0.cols() == 0) {
+    return Status::InvalidArgument("empty feature matrix");
+  }
+  if (static_cast<int64_t>(errors.size()) != x0.rows()) {
+    return Status::InvalidArgument(
+        "error vector size " + std::to_string(errors.size()) +
+        " does not match " + std::to_string(x0.rows()) + " rows");
+  }
+  if (options.workers < 1) {
+    return Status::InvalidArgument("need at least one worker");
+  }
+  if (options.max_retries < 0) {
+    return Status::InvalidArgument("max_retries must be >= 0");
+  }
+  if (!(options.max_lost_fraction >= 0.0 && options.max_lost_fraction <= 1.0)) {
+    return Status::InvalidArgument("max_lost_fraction must be in [0, 1]");
+  }
+  return std::unique_ptr<DistributedSliceEvaluator>(
+      new DistributedSliceEvaluator(x0, errors, options));
+}
+
+StatusOr<core::EvalResult> DistributedSliceEvaluator::EvaluateDegraded(
+    const core::SliceSet& set, const core::SliceLineConfig& config) const {
+  faults_.fallback_local = true;
+  if (fallback_ == nullptr) {
+    fallback_ = std::make_unique<core::SliceEvaluator>(full_x0_, offsets_,
+                                                       full_errors_);
+  }
+  return fallback_->Evaluate(set, config);
+}
+
+void DistributedSliceEvaluator::ReshardLostWorkers() const {
+  int next_alive = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (worker_alive_[static_cast<size_t>(shard_owner_[s])]) continue;
+    // Round-robin adoption keeps survivor load balanced.
+    while (!worker_alive_[static_cast<size_t>(next_alive)]) {
+      next_alive = (next_alive + 1) % static_cast<int>(shards_.size());
+    }
+    shard_owner_[s] = next_alive;
+    next_alive = (next_alive + 1) % static_cast<int>(shards_.size());
+    ++faults_.reshards;
+  }
+}
+
+StatusOr<core::EvalResult> DistributedSliceEvaluator::Evaluate(
     const core::SliceSet& set, const core::SliceLineConfig& config) const {
   const size_t count = static_cast<size_t>(set.size());
   core::EvalResult out;
@@ -53,66 +152,232 @@ core::EvalResult DistributedSliceEvaluator::Evaluate(
   out.max_errors.assign(count, 0.0);
   if (count == 0) return out;
 
-  // Broadcast cost: the slice set is shipped to every worker (column ids +
-  // row offsets); gather cost: 3 doubles per slice per worker.
+  const int64_t round = next_round_++;
+  if (fallback_ != nullptr) return EvaluateDegraded(set, config);
+
+  // Broadcast cost: the slice set is shipped to every participating worker
+  // (column ids + row offsets); gather cost: 3 doubles per slice per shard.
   int64_t slice_bytes = 0;
   for (int64_t i = 0; i < set.size(); ++i) {
     slice_bytes += 8 * (set.Length(i) + 1);
   }
-  cost_.rounds += 1;
-  cost_.broadcast_bytes += slice_bytes * workers();
-  cost_.gather_bytes += static_cast<int64_t>(3 * 8 * count) * workers();
 
   // Per-worker evaluation on its shard; each worker uses a serial local
   // evaluator (the cluster's intra-node parallelism is modeled by the
   // per-worker busy time, not nested threading).
   core::SliceLineConfig worker_config = config;
   worker_config.parallel = false;
-  std::vector<core::EvalResult> partials(shards_.size());
-  std::vector<double> worker_seconds(shards_.size(), 0.0);
-  auto run_worker = [&](size_t w) {
-    Stopwatch watch;
-    partials[w] = shards_[w].evaluator->Evaluate(set, worker_config);
-    worker_seconds[w] = watch.ElapsedSeconds();
-  };
-  if (options_.use_threads && GlobalThreadPool().num_threads() > 1) {
-    GlobalThreadPool().ParallelFor(shards_.size(), run_worker);
-  } else {
-    for (size_t w = 0; w < shards_.size(); ++w) run_worker(w);
-  }
 
-  double slowest = 0.0;
-  for (size_t w = 0; w < shards_.size(); ++w) {
-    slowest = std::max(slowest, worker_seconds[w]);
-    cost_.worker_busy_seconds += worker_seconds[w];
-    for (size_t i = 0; i < count; ++i) {
-      out.sizes[i] += partials[w].sizes[i];
-      out.error_sums[i] += partials[w].error_sums[i];
-      out.max_errors[i] = std::max(out.max_errors[i],
-                                   partials[w].max_errors[i]);
+  const size_t num_shards = shards_.size();
+  std::vector<char> shard_valid(num_shards, 0);
+  std::vector<core::EvalResult> partials(num_shards);
+  size_t needed = num_shards;
+
+  for (int attempt = 0; attempt <= options_.max_retries && needed > 0;
+       ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff before the retry wave; simulated time only.
+      const double backoff =
+          options_.backoff_base_seconds *
+          std::pow(options_.backoff_multiplier, attempt - 1);
+      cost_.critical_path_seconds += backoff;
+      faults_.backoff_seconds += backoff;
+      faults_.backoff_events += 1;
+      faults_.retries += static_cast<int64_t>(needed);
+    }
+
+    // Group the still-missing shards by their (alive) owner.
+    struct WaveWorker {
+      int id = 0;
+      std::vector<size_t> shard_ids;
+      FaultType fault = FaultType::kNone;
+      double compute_seconds = 0.0;
+    };
+    std::vector<WaveWorker> wave;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (shard_valid[s]) continue;
+      const int owner = shard_owner_[s];
+      auto it = std::find_if(wave.begin(), wave.end(),
+                             [owner](const WaveWorker& w) {
+                               return w.id == owner;
+                             });
+      if (it == wave.end()) {
+        wave.push_back(WaveWorker{owner, {s}, FaultType::kNone, 0.0});
+      } else {
+        it->shard_ids.push_back(s);
+      }
+    }
+
+    cost_.rounds += 1;
+    cost_.broadcast_bytes += slice_bytes * static_cast<int64_t>(wave.size());
+
+    // Fault decisions are drawn serially before any evaluation: they are
+    // pure hashes of (seed, round, worker, attempt), so the schedule is
+    // identical whether shards run serially or on the pool.
+    for (WaveWorker& w : wave) {
+      w.fault = injector_.Sample(round, w.id, attempt);
+    }
+
+    // Evaluate every shard whose worker did not fail-stop this wave.
+    struct ShardJob {
+      size_t shard_id;
+      size_t wave_index;
+    };
+    std::vector<ShardJob> jobs;
+    for (size_t wi = 0; wi < wave.size(); ++wi) {
+      if (wave[wi].fault == FaultType::kTransient ||
+          wave[wi].fault == FaultType::kPermanentLoss) {
+        continue;
+      }
+      for (size_t s : wave[wi].shard_ids) jobs.push_back({s, wi});
+    }
+    std::vector<core::EvalResult> job_results(jobs.size());
+    std::vector<double> job_seconds(jobs.size(), 0.0);
+    std::vector<Status> job_status(jobs.size());
+    auto run_job = [&](size_t j) {
+      Stopwatch watch;
+      auto result = shards_[jobs[j].shard_id].evaluator->Evaluate(
+          set, worker_config);
+      if (result.ok()) {
+        job_results[j] = std::move(result).value();
+      } else {
+        job_status[j] = result.status();
+      }
+      job_seconds[j] = watch.ElapsedSeconds();
+    };
+    if (options_.use_threads && GlobalThreadPool().num_threads() > 1) {
+      GlobalThreadPool().ParallelFor(jobs.size(), run_job);
+    } else {
+      for (size_t j = 0; j < jobs.size(); ++j) run_job(j);
+    }
+    for (const Status& st : job_status) {
+      // A genuine (non-injected) evaluation error is a programming error,
+      // not a simulated fault; surface it instead of retrying.
+      SLICELINE_RETURN_NOT_OK(st);
+    }
+
+    // Gather phase: process outcomes serially.
+    std::vector<double> job_by_shard(num_shards, 0.0);
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      job_by_shard[jobs[j].shard_id] = job_seconds[j];
+    }
+    double wave_slowest = 0.0;
+    std::vector<int> lost_workers;
+    for (WaveWorker& w : wave) {
+      switch (w.fault) {
+        case FaultType::kTransient:
+          ++faults_.transient_failures;
+          break;  // its shards stay missing; the next wave retries them
+        case FaultType::kPermanentLoss:
+          lost_workers.push_back(w.id);
+          break;
+        default: {
+          for (size_t s : w.shard_ids) w.compute_seconds += job_by_shard[s];
+          cost_.worker_busy_seconds += w.compute_seconds;
+          double effective_seconds = w.compute_seconds;
+          if (w.fault == FaultType::kStraggler) {
+            ++faults_.stragglers;
+            if (options_.speculative_execution && alive_count_ > 1) {
+              // Speculative re-execution: a backup copy of the whole round
+              // runs on an idle survivor and finishes at normal compute
+              // speed, masking the injected delay. The copy's payload is
+              // cross-checked against the original below.
+              ++faults_.speculative_reexecutions;
+              cost_.worker_busy_seconds += w.compute_seconds;
+            } else {
+              effective_seconds += injector_.straggler_delay_seconds();
+            }
+          }
+          wave_slowest = std::max(wave_slowest, effective_seconds);
+          bool first_shard = true;
+          for (size_t s : w.shard_ids) {
+            size_t j = 0;
+            while (jobs[j].shard_id != s) ++j;
+            core::EvalResult partial = std::move(job_results[j]);
+            // "Sender-side" checksum before the simulated transfer.
+            const uint64_t sent_checksum = ChecksumPartial(partial);
+            if (w.fault == FaultType::kCorruption && first_shard) {
+              injector_.CorruptPartial(round, w.id, &partial);
+            }
+            if (w.fault == FaultType::kStraggler &&
+                options_.speculative_execution && alive_count_ > 1) {
+              // The speculative copy really re-evaluates the shard; the two
+              // independently computed payloads must agree bit-for-bit.
+              auto copy = shards_[s].evaluator->Evaluate(set, worker_config);
+              SLICELINE_RETURN_NOT_OK(copy.status());
+              if (ChecksumPartial(*copy) != sent_checksum) {
+                ++faults_.corrupted_partials;
+                first_shard = false;
+                continue;  // shard stays missing; retried next wave
+              }
+            }
+            first_shard = false;
+            cost_.gather_bytes += static_cast<int64_t>(3 * 8 * count);
+            if (ChecksumPartial(partial) != sent_checksum ||
+                !PartialInvariantsOk(partial, shards_[s].shard.range.size(),
+                                     count)) {
+              ++faults_.corrupted_partials;
+              continue;  // rejected; retried next wave
+            }
+            partials[s] = std::move(partial);
+            shard_valid[s] = 1;
+            --needed;
+          }
+          break;
+        }
+      }
+    }
+    cost_.critical_path_seconds += wave_slowest;
+
+    // Permanent losses: mark dead, degrade past the threshold, otherwise
+    // re-assign the lost shards to survivors (lineage re-execution).
+    if (!lost_workers.empty()) {
+      for (int wid : lost_workers) {
+        worker_alive_[static_cast<size_t>(wid)] = 0;
+        --alive_count_;
+        ++faults_.workers_lost;
+      }
+      const double lost_fraction =
+          1.0 - static_cast<double>(alive_count_) /
+                    static_cast<double>(shards_.size());
+      if (alive_count_ == 0 || lost_fraction > options_.max_lost_fraction) {
+        return EvaluateDegraded(set, config);
+      }
+      ReshardLostWorkers();
     }
   }
-  cost_.critical_path_seconds += slowest;
+
+  if (needed > 0) {
+    // Retry budget exhausted (persistent transient faults or corruption):
+    // graceful degradation instead of failing the query.
+    return EvaluateDegraded(set, config);
+  }
+
+  // Aggregate in shard order: shard boundaries never change (shards move
+  // between workers wholesale), so every floating-point sum is performed in
+  // the same order as a fault-free run -- bit-identical results.
+  for (size_t s = 0; s < num_shards; ++s) {
+    for (size_t i = 0; i < count; ++i) {
+      out.sizes[i] += partials[s].sizes[i];
+      out.error_sums[i] += partials[s].error_sums[i];
+      out.max_errors[i] =
+          std::max(out.max_errors[i], partials[s].max_errors[i]);
+    }
+  }
   return out;
 }
 
 StatusOr<core::SliceLineResult> RunSliceLineDistributed(
     const data::IntMatrix& x0, const std::vector<double>& errors,
     const core::SliceLineConfig& config, const DistOptions& options,
-    DistCostStats* cost_out) {
-  if (x0.rows() == 0 || x0.cols() == 0) {
-    return Status::InvalidArgument("empty feature matrix");
-  }
-  if (static_cast<int64_t>(errors.size()) != x0.rows()) {
-    return Status::InvalidArgument("error vector size mismatch");
-  }
-  if (options.workers < 1) {
-    return Status::InvalidArgument("need at least one worker");
-  }
-  DistributedSliceEvaluator evaluator(x0, errors, options);
+    DistCostStats* cost_out, DistFaultStats* faults_out) {
+  SLICELINE_ASSIGN_OR_RETURN(std::unique_ptr<DistributedSliceEvaluator> eval,
+                             DistributedSliceEvaluator::Create(x0, errors,
+                                                               options));
   SLICELINE_ASSIGN_OR_RETURN(core::SliceLineResult result,
-                             core::RunSliceLineWithBackend(evaluator, config));
-  if (cost_out != nullptr) *cost_out = evaluator.cost();
+                             core::RunSliceLineWithBackend(*eval, config));
+  if (cost_out != nullptr) *cost_out = eval->cost();
+  if (faults_out != nullptr) *faults_out = eval->faults();
   return result;
 }
 

@@ -2,11 +2,13 @@
 #define SLICELINE_DIST_DISTRIBUTED_EVALUATOR_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/evaluator.h"
 #include "core/sliceline.h"
+#include "dist/fault_injection.h"
 #include "dist/partition.h"
 
 namespace sliceline::dist {
@@ -21,22 +23,64 @@ struct DistOptions {
   /// Simulated interconnect for the communication-cost estimate.
   double network_bytes_per_second = 1.25e9;  ///< ~10 GbE
   double latency_per_round_seconds = 0.005;  ///< broadcast + barrier latency
+
+  // --- Fault tolerance ---------------------------------------------------
+  /// Random fault schedule; all-zero rates (the default) disable injection.
+  /// Exact per-round faults can additionally be scripted on the evaluator's
+  /// injector() (tests).
+  FaultPlan fault;
+  /// Per-round retry budget for transiently failed or corrupted shards.
+  int max_retries = 3;
+  /// Exponential backoff before retry wave k (1-based):
+  /// backoff_base_seconds * backoff_multiplier^(k-1), accounted into the
+  /// simulated critical path, not slept.
+  double backoff_base_seconds = 0.01;
+  double backoff_multiplier = 2.0;
+  /// Launch a simulated backup copy of a straggling worker's round on an
+  /// idle survivor: masks the injected delay, pays the duplicated compute,
+  /// and cross-checks the two payload checksums.
+  bool speculative_execution = true;
+  /// If more than this fraction of workers is permanently lost (or any
+  /// round exhausts its retry budget), the evaluator degrades to a local
+  /// single-node SliceEvaluator over the full matrix.
+  double max_lost_fraction = 0.5;
 };
 
 /// Accumulated communication/work accounting across evaluation rounds. The
 /// Figure 7(b) benchmark reports the derived simulated wall-clock
 /// (critical path + communication) per parallelization strategy.
 struct DistCostStats {
-  int64_t rounds = 0;             ///< Evaluate() calls (one broadcast each)
+  int64_t rounds = 0;             ///< broadcast waves (retries re-broadcast)
   int64_t broadcast_bytes = 0;    ///< slice matrix shipped to every worker
   int64_t gather_bytes = 0;       ///< per-slice partial stats shipped back
   double worker_busy_seconds = 0; ///< total compute across workers
-  double critical_path_seconds = 0;  ///< sum over rounds of slowest worker
+  double critical_path_seconds = 0;  ///< sum over waves of slowest worker
   double EstimatedCommSeconds(const DistOptions& options) const {
     return static_cast<double>(broadcast_bytes + gather_bytes) /
                options.network_bytes_per_second +
            static_cast<double>(rounds) * options.latency_per_round_seconds;
   }
+};
+
+/// Recovery actions taken across the run. Deterministic for a fixed
+/// FaultPlan seed: every counter is driven by hash-based fault draws, never
+/// by measured wall-clock.
+struct DistFaultStats {
+  int64_t transient_failures = 0;  ///< injected fail-stop rounds survived
+  int64_t retries = 0;             ///< shard re-evaluations after a failure
+  int64_t backoff_events = 0;      ///< retry waves that waited
+  double backoff_seconds = 0.0;    ///< simulated wait added to critical path
+  int64_t stragglers = 0;          ///< injected slow worker rounds
+  int64_t speculative_reexecutions = 0;  ///< backup copies launched
+  int64_t corrupted_partials = 0;  ///< checksum/invariant rejections
+  int64_t workers_lost = 0;        ///< permanent losses
+  int64_t reshards = 0;            ///< shards adopted by survivors
+  bool fallback_local = false;     ///< degraded to single-node execution
+
+  bool operator==(const DistFaultStats&) const = default;
+
+  /// One-line human-readable summary for the CLI and benchmarks.
+  std::string Summary() const;
 };
 
 /// Simulated distributed slice evaluation (Section 4.4's data-parallel
@@ -45,14 +89,25 @@ struct DistCostStats {
 /// on its shard with the local SliceEvaluator, and the partial (ss, se, sm)
 /// vectors are aggregated by (+, +, max) -- the same structure as SystemDS'
 /// broadcast-based distributed matrix multiplications over a Spark cluster.
+///
+/// Worker rounds can fail (see FaultInjector); the evaluator recovers via
+/// bounded retry with exponential backoff, speculative re-execution of
+/// stragglers, re-assignment of a lost worker's shards to survivors, and
+/// checksum/invariant validation of every gathered partial. Shards are
+/// immutable units that move between workers wholesale, so the aggregation
+/// order -- and therefore every floating-point sum -- is bit-identical to a
+/// fault-free run under any fault schedule short of local fallback.
 class DistributedSliceEvaluator : public core::EvaluatorBackend {
  public:
-  DistributedSliceEvaluator(const data::IntMatrix& x0,
-                            const std::vector<double>& errors,
-                            const DistOptions& options);
+  /// Validates inputs (non-empty matrix, matching error vector, >= 1
+  /// worker) and builds the sharded evaluator. Never aborts on user input.
+  static StatusOr<std::unique_ptr<DistributedSliceEvaluator>> Create(
+      const data::IntMatrix& x0, const std::vector<double>& errors,
+      const DistOptions& options);
 
-  core::EvalResult Evaluate(const core::SliceSet& set,
-                            const core::SliceLineConfig& config) const override;
+  StatusOr<core::EvalResult> Evaluate(
+      const core::SliceSet& set,
+      const core::SliceLineConfig& config) const override;
 
   const std::vector<int64_t>& basic_sizes() const override {
     return basic_sizes_;
@@ -67,33 +122,62 @@ class DistributedSliceEvaluator : public core::EvaluatorBackend {
   double total_error() const override { return total_error_; }
   const data::FeatureOffsets& offsets() const override { return offsets_; }
 
+  /// Initial cluster size (= number of shards).
   int workers() const { return static_cast<int>(shards_.size()); }
+  /// Workers still alive after injected permanent losses.
+  int alive_workers() const { return alive_count_; }
   const DistCostStats& cost() const { return cost_; }
+  const DistFaultStats& faults() const { return faults_; }
+  /// Mutable access for scripting exact faults before a run (tests).
+  FaultInjector& injector() { return injector_; }
 
  private:
-  struct WorkerState {
+  struct ShardUnit {
     Shard shard;
     std::unique_ptr<core::SliceEvaluator> evaluator;
   };
 
+  DistributedSliceEvaluator(const data::IntMatrix& x0,
+                            const std::vector<double>& errors,
+                            const DistOptions& options);
+
+  /// Switches to (or continues on) the degraded single-node path.
+  StatusOr<core::EvalResult> EvaluateDegraded(
+      const core::SliceSet& set, const core::SliceLineConfig& config) const;
+
+  /// Re-assigns every shard owned by a dead worker to a survivor.
+  void ReshardLostWorkers() const;
+
   data::FeatureOffsets offsets_;
   DistOptions options_;
-  std::vector<WorkerState> shards_;
+  std::vector<ShardUnit> shards_;
   int64_t n_ = 0;
   double total_error_ = 0.0;
   std::vector<int64_t> basic_sizes_;
   std::vector<double> basic_error_sums_;
   std::vector<double> basic_max_errors_;
+
+  FaultInjector injector_;
+  /// Full input copy backing the graceful-degradation path.
+  data::IntMatrix full_x0_;
+  std::vector<double> full_errors_;
+
+  mutable std::vector<int> shard_owner_;   ///< worker currently owning shard
+  mutable std::vector<char> worker_alive_;
+  mutable int alive_count_ = 0;
+  mutable std::unique_ptr<core::SliceEvaluator> fallback_;
+  mutable int64_t next_round_ = 0;
   mutable DistCostStats cost_;
+  mutable DistFaultStats faults_;
 };
 
 /// Runs the full SliceLine enumeration with distributed (sharded) slice
-/// evaluation; writes the accumulated cost statistics to `cost_out` if
-/// non-null.
+/// evaluation; writes the accumulated cost statistics to `cost_out` and the
+/// recovery statistics to `faults_out` if non-null.
 StatusOr<core::SliceLineResult> RunSliceLineDistributed(
     const data::IntMatrix& x0, const std::vector<double>& errors,
     const core::SliceLineConfig& config, const DistOptions& options,
-    DistCostStats* cost_out = nullptr);
+    DistCostStats* cost_out = nullptr, DistFaultStats* faults_out = nullptr);
 
 }  // namespace sliceline::dist
 

@@ -1,0 +1,103 @@
+#ifndef SLICELINE_DIST_FAULT_INJECTION_H_
+#define SLICELINE_DIST_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "core/evaluator.h"
+
+namespace sliceline::dist {
+
+/// Failure taxonomy for the simulated cluster (Section 4.4's broadcast/
+/// gather execution). Each worker's evaluation round can independently
+/// fail-stop transiently, be lost for good, straggle, or ship a corrupted
+/// partial back to the driver.
+enum class FaultType : uint8_t {
+  kNone = 0,
+  /// The worker's round fails but the worker survives; a retry (after
+  /// backoff) re-evaluates its shards.
+  kTransient = 1,
+  /// The worker is gone for the rest of the run; its shards are re-assigned
+  /// to survivors (lineage-style re-execution).
+  kPermanentLoss = 2,
+  /// The worker's round takes `straggler_delay_seconds` longer than its
+  /// compute; speculative re-execution can mask the delay.
+  kStraggler = 3,
+  /// The worker's gathered partial is bit-flipped in transit; the driver's
+  /// checksum/invariant validation detects it and re-requests the shard.
+  kCorruption = 4,
+};
+
+/// Returns a human-readable name ("transient", "loss", ...).
+const char* FaultTypeToString(FaultType type);
+
+/// Random fault rates plus determinism controls. All draws are pure hashes
+/// of (seed, round, worker, attempt), so a given plan produces the same
+/// fault schedule regardless of thread interleaving or evaluation order —
+/// the property the deterministic-stats tests rely on.
+struct FaultPlan {
+  uint64_t seed = 0;
+  /// Per-(worker, round, attempt) probabilities in [0, 1]. At most one
+  /// fault fires per draw; they are tested in the order loss, transient,
+  /// corruption, straggler.
+  double loss_rate = 0.0;
+  double transient_rate = 0.0;
+  double corruption_rate = 0.0;
+  double straggler_rate = 0.0;
+  /// Simulated extra latency an injected straggler adds to its round.
+  double straggler_delay_seconds = 0.05;
+
+  bool HasRandomFaults() const {
+    return loss_rate > 0.0 || transient_rate > 0.0 || corruption_rate > 0.0 ||
+           straggler_rate > 0.0;
+  }
+};
+
+/// Deterministic, seedable fault source for the distributed evaluator.
+/// Supports both rate-based random schedules (FaultPlan) and exact scripted
+/// faults at a given (round, worker) for unit tests. Random faults only
+/// fire on a worker's first attempt of a round unless re-drawn on retry
+/// (transient/corruption re-draw, so an unlucky seed can exhaust the retry
+/// budget — by design, that is what graceful degradation is for).
+class FaultInjector {
+ public:
+  /// Disabled injector: every draw returns kNone.
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultPlan& plan);
+
+  /// Schedules an exact fault for worker `worker`'s evaluation in logical
+  /// round `round` (attempt 0 only). Overwrites any previous script for the
+  /// same cell.
+  void Script(int64_t round, int worker, FaultType type);
+
+  bool enabled() const { return plan_.HasRandomFaults() || !scripted_.empty(); }
+
+  /// Draws the fault decision for worker `worker`, logical round `round`,
+  /// retry attempt `attempt` (0 = first try). Pure function of the seed and
+  /// arguments: order- and thread-independent.
+  FaultType Sample(int64_t round, int worker, int attempt) const;
+
+  /// Simulated extra delay for an injected straggler.
+  double straggler_delay_seconds() const {
+    return plan_.straggler_delay_seconds;
+  }
+
+  /// Deterministically perturbs a worker's partial result in a way that a
+  /// payload checksum (and usually the size invariants too) will catch.
+  void CorruptPartial(int64_t round, int worker,
+                      core::EvalResult* partial) const;
+
+ private:
+  FaultPlan plan_;
+  std::map<std::pair<int64_t, int>, FaultType> scripted_;
+};
+
+/// Order-sensitive FNV-1a style checksum over a partial's payload bytes.
+/// The driver validates every gathered partial against the checksum taken
+/// on the worker before (simulated) transmission.
+uint64_t ChecksumPartial(const core::EvalResult& partial);
+
+}  // namespace sliceline::dist
+
+#endif  // SLICELINE_DIST_FAULT_INJECTION_H_

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -46,6 +47,36 @@ TEST(ThreadPoolTest, NestedWorkCompletes) {
   pool.ParallelFor(10, [&](size_t) { count++; });
   pool.ParallelFor(10, [&](size_t) { count++; });
   EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskSurfacesOnCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [](size_t i) {
+                         if (i == 37) throw std::runtime_error("task failed");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskDoesNotPoisonPool) {
+  ThreadPool pool(2);
+  try {
+    pool.ParallelFor(8, [](size_t) { throw std::runtime_error("boom"); });
+  } catch (const std::runtime_error&) {
+  }
+  // The pool must remain usable after an exceptional ParallelFor.
+  std::atomic<int> count{0};
+  pool.ParallelFor(16, [&](size_t) { count++; });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskInlineModePropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.ParallelForRange(
+          4, [](size_t, size_t) { throw std::logic_error("inline"); }),
+      std::logic_error);
 }
 
 TEST(ThreadPoolTest, GlobalPoolIsSingleton) {

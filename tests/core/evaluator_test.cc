@@ -106,7 +106,7 @@ TEST_P(EvaluatorStrategyTest, MatchesBruteForce) {
   config.eval_strategy = static_cast<SliceLineConfig::EvalStrategy>(strategy);
   config.eval_block_size = block;
   config.parallel = block % 2 == 0;  // exercise both code paths
-  EvalResult result = eval.Evaluate(set, config);
+  EvalResult result = eval.Evaluate(set, config).value();
 
   for (size_t s = 0; s < expected_cols.size(); ++s) {
     double ss, se, sm;
@@ -152,9 +152,9 @@ TEST(EvaluatorTest, StrategiesAgreeOnLargerInput) {
   scan_cfg.eval_block_size = 8;
   SliceLineConfig bitset_cfg;
   bitset_cfg.eval_strategy = SliceLineConfig::EvalStrategy::kBitset;
-  EvalResult a = eval.Evaluate(set, index_cfg);
-  EvalResult b = eval.Evaluate(set, scan_cfg);
-  EvalResult c = eval.Evaluate(set, bitset_cfg);
+  EvalResult a = eval.Evaluate(set, index_cfg).value();
+  EvalResult b = eval.Evaluate(set, scan_cfg).value();
+  EvalResult c = eval.Evaluate(set, bitset_cfg).value();
   EXPECT_EQ(a.sizes, b.sizes);
   EXPECT_EQ(a.sizes, c.sizes);
   for (size_t i = 0; i < a.error_sums.size(); ++i) {
@@ -173,8 +173,8 @@ TEST(EvaluatorTest, BitsetCacheReusedAcrossCalls) {
   set.Add({f.offsets.ColumnOf(0, 1), f.offsets.ColumnOf(1, 2)});
   SliceLineConfig cfg;
   cfg.eval_strategy = SliceLineConfig::EvalStrategy::kBitset;
-  EvalResult first = eval.Evaluate(set, cfg);
-  EvalResult second = eval.Evaluate(set, cfg);  // cached bitmaps path
+  EvalResult first = eval.Evaluate(set, cfg).value();
+  EvalResult second = eval.Evaluate(set, cfg).value();  // cached bitmaps path
   EXPECT_EQ(first.sizes, second.sizes);
   EXPECT_EQ(first.error_sums, second.error_sums);
 }
@@ -182,7 +182,7 @@ TEST(EvaluatorTest, BitsetCacheReusedAcrossCalls) {
 TEST(EvaluatorTest, EmptySliceSet) {
   Fixture f = RandomFixture(31, 50, 2, 3);
   SliceEvaluator eval(f.x0, f.offsets, f.errors);
-  EvalResult r = eval.Evaluate(SliceSet(), SliceLineConfig());
+  EvalResult r = eval.Evaluate(SliceSet(), SliceLineConfig()).value();
   EXPECT_TRUE(r.sizes.empty());
 }
 

@@ -45,8 +45,57 @@ TEST(CsvTest, RejectsRaggedRows) {
   EXPECT_FALSE(ParseCsv("a,b\n1,2\n3\n").ok());
 }
 
+TEST(CsvTest, RaggedRowErrorCarriesRowContext) {
+  auto frame = ParseCsv("a,b\n1,2\n3\n");
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+  // Line 3 is the ragged one; the message names it and both field counts.
+  EXPECT_NE(frame.status().message().find("line 3"), std::string::npos)
+      << frame.status().ToString();
+  EXPECT_NE(frame.status().message().find("has 1"), std::string::npos);
+  EXPECT_NE(frame.status().message().find("expected 2"), std::string::npos);
+}
+
+TEST(CsvTest, RaggedRowNumberSkipsBlankLines) {
+  auto frame = ParseCsv("a,b\r\n\r\n1,2\n\n3,4,5\n");
+  ASSERT_FALSE(frame.ok());
+  EXPECT_NE(frame.status().message().find("line 5"), std::string::npos)
+      << frame.status().ToString();
+}
+
 TEST(CsvTest, RejectsEmpty) {
-  EXPECT_FALSE(ParseCsv("").ok());
+  auto frame = ParseCsv("");
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsWhitespaceOnly) {
+  EXPECT_FALSE(ParseCsv("\n\n\r\n").ok());
+}
+
+TEST(CsvTest, RejectsHeaderWithoutDataRows) {
+  auto frame = ParseCsv("a,b\n");
+  ASSERT_FALSE(frame.ok());
+  EXPECT_NE(frame.status().message().find("no data rows"), std::string::npos)
+      << frame.status().ToString();
+}
+
+TEST(CsvTest, NumericOverflowErrorsWithRowAndColumn) {
+  auto frame = ParseCsv("a,b\n1,2\n1e999,4\n");
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(frame.status().message().find("column 'a'"), std::string::npos)
+      << frame.status().ToString();
+  EXPECT_NE(frame.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(CsvTest, OverflowInTextColumnStaysCategorical) {
+  // A column with genuine text is categorical; an overflowing token inside
+  // it is just another category, not an error.
+  auto frame = ParseCsv("a\nfoo\n1e999\n");
+  ASSERT_TRUE(frame.ok());
+  EXPECT_FALSE(frame->column(0).is_numeric());
+  EXPECT_EQ(frame->column(0).categorical()[1], "1e999");
 }
 
 TEST(CsvTest, HandlesCrlfAndBlankLines) {

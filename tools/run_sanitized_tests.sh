@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Builds the asan preset (-fsanitize=address,undefined) and runs the tier-1
+# ctest suite under it, so the concurrency paths (thread pool, distributed
+# fault recovery) are exercised with sanitizers on every change.
+#
+# Usage: tools/run_sanitized_tests.sh [ctest-args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+
+ctest --preset asan "$@"

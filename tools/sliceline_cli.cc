@@ -5,7 +5,9 @@
 // Usage:
 //   sliceline_cli --csv data.csv --label target [--task reg|class]
 //                 [--k 4] [--alpha 0.95] [--sigma 0] [--max-level 0]
-//                 [--bins 10] [--drop col1,col2] [--engine native|la]
+//                 [--bins 10] [--drop col1,col2] [--engine native|la|dist]
+//                 [--workers 4] [--fault-seed S] [--fault-transient P]
+//                 [--fault-loss P] [--fault-straggler P] [--fault-corrupt P]
 //
 // Exit code 0 on success, 1 on usage or data errors.
 #include <cstdio>
@@ -20,6 +22,7 @@
 #include "core/sliceline_la.h"
 #include "data/csv.h"
 #include "data/preprocess.h"
+#include "dist/distributed_evaluator.h"
 #include "ml/pipeline.h"
 
 namespace {
@@ -35,6 +38,12 @@ struct CliOptions {
   int64_t sigma = 0;
   int max_level = 0;
   int bins = 10;
+  int workers = 4;
+  uint64_t fault_seed = 0;
+  double fault_transient = 0.0;
+  double fault_loss = 0.0;
+  double fault_straggler = 0.0;
+  double fault_corrupt = 0.0;
 };
 
 void PrintUsage() {
@@ -48,7 +57,13 @@ void PrintUsage() {
       "  --max-level L        lattice depth cap; 0 = unbounded\n"
       "  --bins B             equi-width bins for numeric features (10)\n"
       "  --drop a,b,c         columns to drop (e.g. ID columns)\n"
-      "  --engine native|la   enumeration engine (default native)\n");
+      "  --engine native|la|dist  enumeration engine (default native)\n"
+      "  --workers N          simulated workers for --engine dist (4)\n"
+      "  --fault-seed S       fault-injection seed for --engine dist\n"
+      "  --fault-transient P  per-round transient worker failure rate\n"
+      "  --fault-loss P       per-round permanent worker loss rate\n"
+      "  --fault-straggler P  per-round straggler rate\n"
+      "  --fault-corrupt P    per-round partial-corruption rate\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -101,6 +116,30 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next("--drop");
       if (v == nullptr) return false;
       options->drop = sliceline::Split(v, ',');
+    } else if (arg == "--workers") {
+      const char* v = next("--workers");
+      if (v == nullptr) return false;
+      options->workers = std::atoi(v);
+    } else if (arg == "--fault-seed") {
+      const char* v = next("--fault-seed");
+      if (v == nullptr) return false;
+      options->fault_seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--fault-transient") {
+      const char* v = next("--fault-transient");
+      if (v == nullptr) return false;
+      options->fault_transient = std::atof(v);
+    } else if (arg == "--fault-loss") {
+      const char* v = next("--fault-loss");
+      if (v == nullptr) return false;
+      options->fault_loss = std::atof(v);
+    } else if (arg == "--fault-straggler") {
+      const char* v = next("--fault-straggler");
+      if (v == nullptr) return false;
+      options->fault_straggler = std::atof(v);
+    } else if (arg == "--fault-corrupt") {
+      const char* v = next("--fault-corrupt");
+      if (v == nullptr) return false;
+      options->fault_corrupt = std::atof(v);
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -164,6 +203,33 @@ int main(int argc, char** argv) {
   config.alpha = cli.alpha;
   config.min_support = cli.sigma;
   config.max_level = cli.max_level;
+  if (cli.engine == "dist") {
+    dist::DistOptions dopts;
+    dopts.workers = cli.workers;
+    dopts.fault.seed = cli.fault_seed;
+    dopts.fault.transient_rate = cli.fault_transient;
+    dopts.fault.loss_rate = cli.fault_loss;
+    dopts.fault.straggler_rate = cli.fault_straggler;
+    dopts.fault.corruption_rate = cli.fault_corrupt;
+    dist::DistCostStats cost;
+    dist::DistFaultStats faults;
+    auto result = dist::RunSliceLineDistributed(ds->x0, ds->errors, config,
+                                                dopts, &cost, &faults);
+    if (!result.ok()) {
+      std::fprintf(stderr, "slice finding failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("distributed: %d workers, %lld rounds, simulated wall-clock "
+                "%.3fs (compute %.3fs + comm %.3fs)\n",
+                dopts.workers, static_cast<long long>(cost.rounds),
+                cost.critical_path_seconds + cost.EstimatedCommSeconds(dopts),
+                cost.critical_path_seconds, cost.EstimatedCommSeconds(dopts));
+    std::printf("fault recovery: %s\n", faults.Summary().c_str());
+    std::printf("\n%s",
+                core::FormatResult(*result, ds->feature_names).c_str());
+    return 0;
+  }
   auto result = cli.engine == "la"
                     ? core::RunSliceLineLA(*ds, config)
                     : core::RunSliceLine(*ds, config);
