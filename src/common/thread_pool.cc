@@ -107,15 +107,37 @@ void ThreadPool::ParallelForRange(
   }
 }
 
-ThreadPool& GlobalThreadPool() {
-  static ThreadPool* pool = [] {
-    size_t n = 0;
-    if (const char* env = std::getenv("SLICELINE_NUM_THREADS")) {
-      n = static_cast<size_t>(std::atoll(env));
-    }
-    return new ThreadPool(n);
-  }();
-  return *pool;
+namespace {
+
+size_t DefaultPoolThreads() {
+  size_t n = 0;
+  if (const char* env = std::getenv("SLICELINE_NUM_THREADS")) {
+    n = static_cast<size_t>(std::atoll(env));
+  }
+  return n;
+}
+
+/// Slot holding the process-wide pool; indirection (rather than a static
+/// ThreadPool value) lets ResizeGlobalThreadPoolForTesting swap it.
+ThreadPool*& GlobalPoolSlot() {
+  static ThreadPool* pool = new ThreadPool(DefaultPoolThreads());
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& GlobalThreadPool() { return *GlobalPoolSlot(); }
+
+void ResizeGlobalThreadPoolForTesting(size_t num_threads) {
+  ThreadPool*& slot = GlobalPoolSlot();
+  const size_t target = num_threads == 0 ? DefaultPoolThreads() : num_threads;
+  // ThreadPool(0) resolves to hardware concurrency inside the constructor,
+  // so compare against the slot's resolved size only when an explicit size
+  // was requested.
+  if (num_threads != 0 && slot->num_threads() == target) return;
+  ThreadPool* replacement = new ThreadPool(target);
+  delete slot;
+  slot = replacement;
 }
 
 }  // namespace sliceline

@@ -54,6 +54,13 @@ class ThreadPool {
 /// hardware concurrency).
 ThreadPool& GlobalThreadPool();
 
+/// Replaces the global pool with one of `num_threads` workers (0 restores
+/// the SLICELINE_NUM_THREADS / hardware default). Testing hook for the
+/// determinism checks — must not be called while parallel work is in
+/// flight, and references previously obtained from GlobalThreadPool() are
+/// invalidated.
+void ResizeGlobalThreadPoolForTesting(size_t num_threads);
+
 }  // namespace sliceline
 
 #endif  // SLICELINE_COMMON_THREAD_POOL_H_

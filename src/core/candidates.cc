@@ -67,6 +67,14 @@ SliceSet GeneratePairCandidates(const SliceSet& prev,
   // with the O(p^2) pair count.
   std::unordered_map<std::vector<int64_t>, Candidate, ColumnsVecHash> dedup;
   std::vector<std::pair<std::vector<int64_t>, Candidate>> nodedup;
+  // np (Equation 8) counts the distinct parents of a *slice*, not of one
+  // generating pair, so with deduplication ablated away the duplicate
+  // entries must still share one parent-count group — otherwise every
+  // level >= 3 candidate (level parents, pairs contribute two each) would
+  // fail the np == L check and the no-dedup configuration would lose
+  // exactness.
+  std::unordered_map<std::vector<int64_t>, Candidate, ColumnsVecHash>
+      parent_groups;
   std::vector<int64_t> merged(static_cast<size_t>(level));
 
   auto pair_bounds = [&](int32_t s1, int32_t s2) {
@@ -95,6 +103,24 @@ SliceSet GeneratePairCandidates(const SliceSet& prev,
     if (std::find(cand->parent_ids.begin(), cand->parent_ids.end(), parent) !=
         cand->parent_ids.end()) {
       return;
+    }
+    cand->parent_ids.push_back(parent);
+    cand->bounds.AddParent(static_cast<int64_t>(prev_stats.sizes[parent]),
+                           prev_stats.error_sums[parent],
+                           prev_stats.max_errors[parent]);
+  };
+
+  // Parent-group variant: with deduplication off, the previous level holds
+  // duplicate copies of one logical slice under different row ids, so np
+  // must deduplicate by the parent's column vector, not its row id.
+  auto add_group_parent = [&](Candidate* cand, int32_t parent) {
+    for (int32_t existing : cand->parent_ids) {
+      if (prev.Length(existing) == prev.Length(parent) &&
+          std::equal(prev.Columns(existing),
+                     prev.Columns(existing) + prev.Length(existing),
+                     prev.Columns(parent))) {
+        return;
+      }
     }
     cand->parent_ids.push_back(parent);
     cand->bounds.AddParent(static_cast<int64_t>(prev_stats.sizes[parent]),
@@ -152,6 +178,11 @@ SliceSet GeneratePairCandidates(const SliceSet& prev,
       Candidate cand;
       add_parent_once(&cand, s1);
       add_parent_once(&cand, s2);
+      if (config.prune_parents) {
+        auto [it, inserted] = parent_groups.try_emplace(merged);
+        add_group_parent(&it->second, s1);
+        add_group_parent(&it->second, s2);
+      }
       nodedup.emplace_back(merged, std::move(cand));
     }
   };
@@ -203,10 +234,10 @@ SliceSet GeneratePairCandidates(const SliceSet& prev,
   SliceSet out;
   bounds_out->clear();
   auto finalize = [&](const std::vector<int64_t>& columns,
-                      const Candidate& cand) {
+                      const Candidate& cand, int distinct_parents) {
     bool keep = true;
     if (config.prune_size && cand.bounds.size_ub < sigma) keep = false;
-    if (keep && config.prune_parents && cand.bounds.parents != level) {
+    if (keep && config.prune_parents && distinct_parents != level) {
       keep = false;
     }
     if (keep && config.prune_score) {
@@ -230,9 +261,19 @@ SliceSet GeneratePairCandidates(const SliceSet& prev,
     for (const auto& entry : dedup) ordered.push_back(&entry);
     std::sort(ordered.begin(), ordered.end(),
               [](const auto* a, const auto* b) { return a->first < b->first; });
-    for (const auto* entry : ordered) finalize(entry->first, entry->second);
+    for (const auto* entry : ordered) {
+      finalize(entry->first, entry->second, entry->second.bounds.parents);
+    }
   } else {
-    for (const auto& [columns, cand] : nodedup) finalize(columns, cand);
+    for (const auto& [columns, cand] : nodedup) {
+      // Each duplicate entry keeps its own (pair-derived) bounds — that is
+      // the dedup ablation — but the parent count comes from the shared
+      // group, where all generating pairs have been folded in.
+      const int distinct_parents =
+          config.prune_parents ? parent_groups.find(columns)->second.bounds.parents
+                               : cand.bounds.parents;
+      finalize(columns, cand, distinct_parents);
+    }
   }
   if (gen_stats != nullptr) *gen_stats = stats;
   return out;

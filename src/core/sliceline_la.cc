@@ -258,11 +258,31 @@ StatusOr<SliceLineResult> RunSliceLineLA(const data::IntMatrix& x0,
     };
     std::vector<Group> groups;
     std::unordered_map<std::vector<int64_t>, int64_t, VecHash> dedup;
+    // np (Equation 8) is a property of the slice, not of one generating
+    // pair: with deduplication ablated away, duplicate groups still share
+    // one parent count, or every level >= 3 candidate would fail np == L.
+    std::unordered_map<std::vector<int64_t>, Group, VecHash> parent_groups;
     int64_t duplicates = 0;
     auto add_parent = [&](Group* group, int64_t parent) {
       if (std::find(group->parents.begin(), group->parents.end(), parent) !=
           group->parents.end()) {
         return;
+      }
+      group->parents.push_back(parent);
+      group->bounds.AddParent(static_cast<int64_t>(pss[parent]), pse[parent],
+                              psm[parent]);
+    };
+    // Parent-group variant: with deduplication off, `s` holds duplicate
+    // copies of one logical slice under different row ids, so np must
+    // deduplicate by the parent's column vector, not its row id.
+    auto add_group_parent = [&](Group* group, int64_t parent) {
+      for (int64_t existing : group->parents) {
+        if (s.RowNnz(existing) == s.RowNnz(parent) &&
+            std::equal(s.RowCols(existing),
+                       s.RowCols(existing) + s.RowNnz(existing),
+                       s.RowCols(parent))) {
+          return;
+        }
       }
       group->parents.push_back(parent);
       group->bounds.AddParent(static_cast<int64_t>(pss[parent]), pse[parent],
@@ -286,6 +306,11 @@ StatusOr<SliceLineResult> RunSliceLineLA(const data::IntMatrix& x0,
       } else {
         group_idx = static_cast<int64_t>(groups.size());
         groups.push_back(Group{k, {}, {}});
+        if (config.prune_parents) {
+          auto [it, inserted] = parent_groups.try_emplace(std::move(key));
+          add_group_parent(&it->second, firsts[k]);
+          add_group_parent(&it->second, seconds[k]);
+        }
       }
       add_parent(&groups[group_idx], firsts[k]);
       add_parent(&groups[group_idx], seconds[k]);
@@ -300,9 +325,18 @@ StatusOr<SliceLineResult> RunSliceLineLA(const data::IntMatrix& x0,
       if (config.prune_size && group.bounds.size_ub < sigma) {
         keep_group = false;
       }
-      if (keep_group && config.prune_parents &&
-          group.bounds.parents != L) {
-        keep_group = false;
+      if (keep_group && config.prune_parents) {
+        int np = group.bounds.parents;
+        if (!config.deduplicate) {
+          // Duplicate groups carry only their own pair's two parents; the
+          // shared parent-count group has them all.
+          const std::vector<int64_t> key(
+              merged.RowCols(group.representative),
+              merged.RowCols(group.representative) +
+                  merged.RowNnz(group.representative));
+          np = parent_groups.find(key)->second.bounds.parents;
+        }
+        if (np != L) keep_group = false;
       }
       if (keep_group && config.prune_score) {
         const double ub = UpperBoundScore(context, sigma, group.bounds);

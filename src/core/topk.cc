@@ -16,6 +16,12 @@ void TopK::Offer(Slice slice) {
   if (slice.stats.score <= 0.0) return;
   if (slice.stats.size < min_support_) return;
   if (Full() && slice.stats.score <= slices_.back().stats.score) return;
+  // A slice is identified by its predicate set; a re-offered slice (the
+  // candidate-deduplication ablation evaluates duplicates) must not occupy
+  // a second top-K slot.
+  for (const Slice& held : slices_) {
+    if (held.predicates == slice.predicates) return;
+  }
   auto it = std::upper_bound(
       slices_.begin(), slices_.end(), slice,
       [](const Slice& a, const Slice& b) {

@@ -1,0 +1,61 @@
+#ifndef SLICELINE_TESTING_CHECKS_H_
+#define SLICELINE_TESTING_CHECKS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "testing/random_dataset.h"
+
+namespace sliceline::testing {
+
+/// Deliberate defects the harness can inject into the system under test.
+/// Used to validate the harness itself: an injected bug must be caught,
+/// shrunk, and written to a replay file within a bounded number of cases.
+enum class InjectedBug {
+  kNone = 0,
+  /// The native engine's scores are recomputed with an off-by-one average
+  /// error (e-bar over n-1 rows) before comparison against the oracle.
+  kScoring,
+  /// ColSums drops the first stored entry of every non-empty row before
+  /// comparison against the dense reference.
+  kKernel,
+};
+
+/// Score comparisons tolerate this absolute difference (engines sum errors
+/// in different orders).
+inline constexpr double kScoreTolerance = 1e-9;
+
+/// Oracle differential: RunSliceLine, RunSliceLineLA, and
+/// RunSliceLineBestFirst against the exhaustive enumerator on the case's
+/// dataset and config. Asserts identical top-K sizes, rank-wise score
+/// equality within tolerance, and -- for every slice scoring strictly above
+/// the K-th score (i.e. not in a boundary tie group) -- identical predicate
+/// sets across engines. Returns "" on agreement, else a description of the
+/// first divergence.
+std::string CheckOracleDifferential(const FuzzCase& fuzz_case,
+                                    InjectedBug inject = InjectedBug::kNone);
+
+/// Kernel differential: draws random CSR matrices from `seed` and checks
+/// every sparse kernel in linalg/kernels.h against its dense reference
+/// (testing/reference_kernels.h), including CSR structural invariants of
+/// matrix-valued outputs. Runs `rounds` independent matrix draws.
+std::string CheckKernelDifferential(uint64_t seed, int rounds,
+                                    InjectedBug inject = InjectedBug::kNone);
+
+/// Metamorphic invariants on the case's dataset:
+///  * reported stats match a brute-force row scan and Equation 1 rescoring;
+///  * row-permutation invariance of the top-K;
+///  * 2x row duplication with doubled sigma preserves all scores;
+///  * the best score is non-decreasing in alpha.
+std::string CheckMetamorphic(const FuzzCase& fuzz_case);
+
+/// Determinism: identical results across repeated runs, thread-pool sizes
+/// {1, 2, 8} (bit-identical for per-slice strategies, tolerance for the
+/// scan-block merge), distributed shard counts {1, 3, 7} versus the local
+/// engine, and fault-injected distributed runs versus fault-free ones
+/// (bit-identical short of local fallback, with reproducible fault stats).
+std::string CheckDeterminism(const FuzzCase& fuzz_case);
+
+}  // namespace sliceline::testing
+
+#endif  // SLICELINE_TESTING_CHECKS_H_

@@ -1,0 +1,371 @@
+// Engine-differential, metamorphic, and determinism checks of the fuzzing
+// subsystem. Each check returns "" on success or a human-readable
+// description of the first divergence (consumed by the shrinker and the
+// replay writer).
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "core/exhaustive.h"
+#include "core/scoring.h"
+#include "core/sliceline.h"
+#include "core/sliceline_bestfirst.h"
+#include "core/sliceline_la.h"
+#include "dist/distributed_evaluator.h"
+#include "testing/checks.h"
+
+namespace sliceline::testing {
+namespace {
+
+using core::SliceLineResult;
+
+std::string PredicateKey(const core::Slice& slice) {
+  std::ostringstream os;
+  for (const auto& [f, c] : slice.predicates) os << f << "=" << c << ";";
+  return os.str();
+}
+
+std::string DescribeCase(const FuzzCase& fuzz_case) {
+  std::ostringstream os;
+  os << "[profile=" << fuzz_case.profile << " seed=" << fuzz_case.seed
+     << " n=" << fuzz_case.x0.rows() << " m=" << fuzz_case.x0.cols()
+     << " k=" << fuzz_case.config.k << " alpha=" << fuzz_case.config.alpha
+     << " sigma=" << fuzz_case.config.min_support << "]";
+  return os.str();
+}
+
+/// Rank-wise score comparison plus tie-aware slice-set equivalence: every
+/// slice of `a` scoring strictly above a's K-th score (no boundary tie) must
+/// appear in `b` with identical predicates. `exact` upgrades the score
+/// comparison to bit-identity.
+std::string CompareTopK(const SliceLineResult& a, const SliceLineResult& b,
+                        const std::string& label, double tolerance,
+                        bool exact = false) {
+  std::ostringstream os;
+  // Top-K admission is `score > 0`, so a slice whose exact score is 0 (e.g.
+  // uniform errors) is admitted or rejected on the sign of a ~1e-16
+  // round-off — a boundary the metamorphic transforms legitimately perturb.
+  // Comparison therefore only covers slices scoring clearly above zero.
+  auto filtered = [&](const SliceLineResult& r) {
+    std::vector<const core::Slice*> out;
+    for (const core::Slice& slice : r.top_k) {
+      if (slice.stats.score > tolerance) out.push_back(&slice);
+    }
+    return out;
+  };
+  const std::vector<const core::Slice*> fa = filtered(a);
+  const std::vector<const core::Slice*> fb = filtered(b);
+  if (fa.size() != fb.size()) {
+    os << label << ": top-K size mismatch " << fa.size() << " vs " << fb.size()
+       << " (scores > tolerance; raw sizes " << a.top_k.size() << " vs "
+       << b.top_k.size() << ")";
+    return os.str();
+  }
+  for (size_t i = 0; i < fa.size(); ++i) {
+    const double sa = fa[i]->stats.score;
+    const double sb = fb[i]->stats.score;
+    const bool equal = exact ? sa == sb : std::abs(sa - sb) <= tolerance;
+    if (!equal) {
+      os << label << ": score mismatch at rank " << i << ": " << sa << " vs "
+         << sb;
+      return os.str();
+    }
+  }
+  if (fa.empty()) return "";
+  // Slices strictly above the K-th score cannot be displaced by tie
+  // permutation, so they must appear verbatim on the other side.
+  const double kth = fa.back()->stats.score;
+  std::set<std::string> b_keys;
+  for (const core::Slice* slice : fb) b_keys.insert(PredicateKey(*slice));
+  for (const core::Slice* slice : fa) {
+    if (slice->stats.score <= kth + tolerance) continue;
+    if (b_keys.count(PredicateKey(*slice)) == 0) {
+      os << label << ": slice " << slice->ToString()
+         << " (above the tie boundary) missing from the other engine";
+      return os.str();
+    }
+  }
+  return "";
+}
+
+/// Recomputes the native engine's scores with an off-by-one average error
+/// (the injected scoring defect the harness must catch).
+void CorruptScores(const FuzzCase& fuzz_case, SliceLineResult* result) {
+  double total = 0.0;
+  for (double e : fuzz_case.errors) total += e;
+  const int64_t n = fuzz_case.x0.rows();
+  if (n <= 1) return;
+  const core::ScoringContext bad(n - 1, total, fuzz_case.config.alpha);
+  for (core::Slice& slice : result->top_k) {
+    slice.stats.score = bad.Score(slice.stats.size, slice.stats.error_sum);
+  }
+}
+
+}  // namespace
+
+std::string CheckOracleDifferential(const FuzzCase& fuzz_case,
+                                    InjectedBug inject) {
+  std::ostringstream os;
+  auto oracle =
+      core::RunExhaustive(fuzz_case.x0, fuzz_case.errors, fuzz_case.config);
+  auto native =
+      core::RunSliceLine(fuzz_case.x0, fuzz_case.errors, fuzz_case.config);
+  auto la =
+      core::RunSliceLineLA(fuzz_case.x0, fuzz_case.errors, fuzz_case.config);
+  auto best_first = core::RunSliceLineBestFirst(fuzz_case.x0, fuzz_case.errors,
+                                                fuzz_case.config);
+  if (oracle.ok() != native.ok() || oracle.ok() != la.ok() ||
+      oracle.ok() != best_first.ok()) {
+    os << DescribeCase(fuzz_case) << " engines disagree on input validity: "
+       << "oracle=" << oracle.status().ToString()
+       << " native=" << native.status().ToString()
+       << " la=" << la.status().ToString()
+       << " best-first=" << best_first.status().ToString();
+    return os.str();
+  }
+  if (!oracle.ok()) return "";  // consistently rejected input
+
+  if (inject == InjectedBug::kScoring) CorruptScores(fuzz_case, &*native);
+
+  for (const auto& [result, label] :
+       {std::pair<const SliceLineResult*, const char*>{&*native, "native"},
+        {&*la, "la"},
+        {&*best_first, "best-first"}}) {
+    std::string diff = CompareTopK(*oracle, *result,
+                                   std::string("oracle vs ") + label,
+                                   kScoreTolerance);
+    if (!diff.empty()) return DescribeCase(fuzz_case) + " " + diff;
+  }
+  return "";
+}
+
+std::string CheckMetamorphic(const FuzzCase& fuzz_case) {
+  std::ostringstream os;
+  const data::IntMatrix& x0 = fuzz_case.x0;
+  const std::vector<double>& errors = fuzz_case.errors;
+  const core::SliceLineConfig& config = fuzz_case.config;
+  const int64_t n = x0.rows();
+
+  auto base = core::RunSliceLine(x0, errors, config);
+  if (!base.ok()) return "";  // invalid inputs are the oracle check's domain
+
+  // (1) Reported stats must match a brute-force row scan, and the score must
+  // match Equation 1 recomputed from those stats.
+  double total_error = 0.0;
+  for (double e : errors) total_error += e;
+  const core::ScoringContext scoring(n, total_error, config.alpha);
+  for (const core::Slice& slice : base->top_k) {
+    int64_t size = 0;
+    double error_sum = 0.0;
+    double max_error = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (!slice.Matches(x0, i)) continue;
+      ++size;
+      error_sum += errors[i];
+      max_error = std::max(max_error, errors[i]);
+    }
+    if (size != slice.stats.size ||
+        std::abs(error_sum - slice.stats.error_sum) > kScoreTolerance ||
+        max_error != slice.stats.max_error) {
+      os << DescribeCase(fuzz_case) << " stats of " << slice.ToString()
+         << " disagree with a row scan (size " << size << " se " << error_sum
+         << " sm " << max_error << ")";
+      return os.str();
+    }
+    const double rescored = scoring.Score(size, error_sum);
+    if (std::abs(rescored - slice.stats.score) > kScoreTolerance) {
+      os << DescribeCase(fuzz_case) << " score of " << slice.ToString()
+         << " != Equation 1 rescoring " << rescored;
+      return os.str();
+    }
+  }
+
+  // (2) Row-permutation invariance.
+  {
+    std::vector<int64_t> perm(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) perm[i] = i;
+    Rng perm_rng(fuzz_case.seed ^ 0x9e3779b97f4a7c15ULL);
+    perm_rng.Shuffle(perm);
+    data::IntMatrix permuted(n, x0.cols());
+    std::vector<double> permuted_errors(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < x0.cols(); ++j) {
+        permuted.At(i, j) = x0.At(perm[i], j);
+      }
+      permuted_errors[i] = errors[perm[i]];
+    }
+    auto shuffled = core::RunSliceLine(permuted, permuted_errors, config);
+    if (!shuffled.ok()) {
+      return DescribeCase(fuzz_case) +
+             " permuted run failed: " + shuffled.status().ToString();
+    }
+    std::string diff =
+        CompareTopK(*base, *shuffled, "row permutation", kScoreTolerance);
+    if (!diff.empty()) return DescribeCase(fuzz_case) + " " + diff;
+  }
+
+  // (3) Duplication scaling: replicating every row r times and multiplying
+  // sigma by r leaves every score unchanged (both Equation 1 terms are
+  // ratios).
+  {
+    const data::IntMatrix doubled_x0 = x0.ReplicateRows(2);
+    std::vector<double> doubled_errors(errors);
+    doubled_errors.insert(doubled_errors.end(), errors.begin(), errors.end());
+    core::SliceLineConfig doubled_config = config;
+    doubled_config.min_support = 2 * core::ResolveMinSupport(config, n);
+    auto doubled =
+        core::RunSliceLine(doubled_x0, doubled_errors, doubled_config);
+    if (!doubled.ok()) {
+      return DescribeCase(fuzz_case) +
+             " duplicated run failed: " + doubled.status().ToString();
+    }
+    std::string diff =
+        CompareTopK(*base, *doubled, "2x duplication", kScoreTolerance);
+    if (!diff.empty()) return DescribeCase(fuzz_case) + " " + diff;
+  }
+
+  // (4) Alpha monotonicity: the best achievable score is non-decreasing in
+  // alpha (every admitted slice has an above-average error ratio, so its
+  // linear-in-alpha score has non-negative slope).
+  {
+    const double hi = std::min(1.0, config.alpha + 0.2);
+    if (hi > config.alpha) {
+      core::SliceLineConfig hi_config = config;
+      hi_config.alpha = hi;
+      auto hi_result = core::RunSliceLine(x0, errors, hi_config);
+      if (!hi_result.ok()) {
+        return DescribeCase(fuzz_case) +
+               " alpha-raised run failed: " + hi_result.status().ToString();
+      }
+      const double best_lo =
+          base->top_k.empty() ? 0.0 : base->top_k[0].stats.score;
+      const double best_hi =
+          hi_result->top_k.empty() ? 0.0 : hi_result->top_k[0].stats.score;
+      if (best_hi + kScoreTolerance < best_lo) {
+        os << DescribeCase(fuzz_case) << " best score decreased when alpha "
+           << config.alpha << " -> " << hi << ": " << best_lo << " -> "
+           << best_hi;
+        return os.str();
+      }
+    }
+  }
+  return "";
+}
+
+std::string CheckDeterminism(const FuzzCase& fuzz_case) {
+  std::ostringstream os;
+  const core::SliceLineConfig& config = fuzz_case.config;
+  auto base = core::RunSliceLine(fuzz_case.x0, fuzz_case.errors, config);
+  if (!base.ok()) return "";
+
+  // The scan-block strategy merges per-thread partials in completion order,
+  // so only the per-slice strategies guarantee bit-identical sums under
+  // parallel execution.
+  const bool bitwise =
+      !(config.parallel &&
+        config.eval_strategy == core::SliceLineConfig::EvalStrategy::kScanBlock);
+
+  // (1) Re-running the identical configuration.
+  {
+    auto again = core::RunSliceLine(fuzz_case.x0, fuzz_case.errors, config);
+    if (!again.ok()) {
+      return DescribeCase(fuzz_case) +
+             " re-run failed: " + again.status().ToString();
+    }
+    std::string diff =
+        CompareTopK(*base, *again, "re-run", kScoreTolerance, bitwise);
+    if (!diff.empty()) return DescribeCase(fuzz_case) + " " + diff;
+  }
+
+  // (2) Thread-pool sizes {1, 2, 8}.
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    ResizeGlobalThreadPoolForTesting(threads);
+    auto run = core::RunSliceLine(fuzz_case.x0, fuzz_case.errors, config);
+    if (!run.ok()) {
+      ResizeGlobalThreadPoolForTesting(0);
+      os << DescribeCase(fuzz_case) << " run with " << threads
+         << " threads failed: " << run.status().ToString();
+      return os.str();
+    }
+    std::string diff =
+        CompareTopK(*base, *run, "threads=" + std::to_string(threads),
+                    kScoreTolerance, bitwise && threads == 1);
+    if (!diff.empty()) {
+      ResizeGlobalThreadPoolForTesting(0);
+      return DescribeCase(fuzz_case) + " " + diff;
+    }
+  }
+  ResizeGlobalThreadPoolForTesting(0);
+
+  // (3) Distributed shard counts {1, 3, 7} against the local engine.
+  for (int workers : {1, 3, 7}) {
+    dist::DistOptions options;
+    options.workers = workers;
+    auto distributed = dist::RunSliceLineDistributed(
+        fuzz_case.x0, fuzz_case.errors, config, options);
+    if (!distributed.ok()) {
+      os << DescribeCase(fuzz_case) << " distributed run (" << workers
+         << " workers) failed: " << distributed.status().ToString();
+      return os.str();
+    }
+    std::string diff = CompareTopK(
+        *base, *distributed, "workers=" + std::to_string(workers),
+        kScoreTolerance);
+    if (!diff.empty()) return DescribeCase(fuzz_case) + " " + diff;
+  }
+
+  // (4) Fault-injected distributed runs: identical top-K to the fault-free
+  // run (bit-identical short of local fallback) and a reproducible fault
+  // schedule across repeats.
+  {
+    dist::DistOptions clean;
+    clean.workers = 5;
+    auto clean_run = dist::RunSliceLineDistributed(
+        fuzz_case.x0, fuzz_case.errors, config, clean);
+    if (!clean_run.ok()) {
+      return DescribeCase(fuzz_case) +
+             " 5-worker run failed: " + clean_run.status().ToString();
+    }
+    dist::DistOptions faulty = clean;
+    faulty.fault.seed = fuzz_case.seed | 1;
+    faulty.fault.transient_rate = 0.15;
+    faulty.fault.straggler_rate = 0.15;
+    faulty.fault.corruption_rate = 0.10;
+    faulty.fault.loss_rate = 0.05;
+    dist::DistFaultStats first_stats;
+    auto first = dist::RunSliceLineDistributed(
+        fuzz_case.x0, fuzz_case.errors, config, faulty, nullptr, &first_stats);
+    if (!first.ok()) {
+      return DescribeCase(fuzz_case) +
+             " faulty run failed: " + first.status().ToString();
+    }
+    std::string diff =
+        CompareTopK(*clean_run, *first, "faults vs clean", kScoreTolerance,
+                    /*exact=*/!first_stats.fallback_local);
+    if (!diff.empty()) return DescribeCase(fuzz_case) + " " + diff;
+
+    dist::DistFaultStats second_stats;
+    auto second = dist::RunSliceLineDistributed(
+        fuzz_case.x0, fuzz_case.errors, config, faulty, nullptr,
+        &second_stats);
+    if (!second.ok()) {
+      return DescribeCase(fuzz_case) +
+             " faulty re-run failed: " + second.status().ToString();
+    }
+    if (!(first_stats == second_stats)) {
+      os << DescribeCase(fuzz_case)
+         << " fault schedule not reproducible: " << first_stats.Summary()
+         << " vs " << second_stats.Summary();
+      return os.str();
+    }
+    diff = CompareTopK(*first, *second, "faulty repeat", kScoreTolerance,
+                       /*exact=*/true);
+    if (!diff.empty()) return DescribeCase(fuzz_case) + " " + diff;
+  }
+  return "";
+}
+
+}  // namespace sliceline::testing

@@ -1,0 +1,128 @@
+#include "testing/shrink.h"
+
+#include <utility>
+#include <vector>
+
+namespace sliceline::testing {
+namespace {
+
+/// Builds the candidate keeping only rows with keep[i] != 0.
+FuzzCase KeepRows(const FuzzCase& base, const std::vector<char>& keep) {
+  int64_t kept = 0;
+  for (char k : keep) kept += k != 0;
+  FuzzCase out;
+  out.config = base.config;
+  out.profile = base.profile;
+  out.seed = base.seed;
+  out.x0 = data::IntMatrix(kept, base.x0.cols());
+  out.errors.reserve(static_cast<size_t>(kept));
+  int64_t w = 0;
+  for (int64_t i = 0; i < base.x0.rows(); ++i) {
+    if (!keep[static_cast<size_t>(i)]) continue;
+    for (int64_t j = 0; j < base.x0.cols(); ++j) {
+      out.x0.At(w, j) = base.x0.At(i, j);
+    }
+    out.errors.push_back(base.errors[static_cast<size_t>(i)]);
+    ++w;
+  }
+  return out;
+}
+
+/// Builds the candidate dropping feature column `drop`.
+FuzzCase DropColumn(const FuzzCase& base, int64_t drop) {
+  FuzzCase out;
+  out.config = base.config;
+  out.profile = base.profile;
+  out.seed = base.seed;
+  out.errors = base.errors;
+  out.x0 = data::IntMatrix(base.x0.rows(), base.x0.cols() - 1);
+  for (int64_t i = 0; i < base.x0.rows(); ++i) {
+    int64_t w = 0;
+    for (int64_t j = 0; j < base.x0.cols(); ++j) {
+      if (j == drop) continue;
+      out.x0.At(i, w++) = base.x0.At(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult Shrink(const FuzzCase& original, const std::string& failure,
+                    const ShrinkCheckFn& check) {
+  ShrinkResult result;
+  result.fuzz_case = original;
+  result.failure = failure;
+
+  auto try_candidate = [&](FuzzCase candidate) {
+    ++result.attempts;
+    std::string diff = check(candidate);
+    if (diff.empty()) return false;
+    result.fuzz_case = std::move(candidate);
+    result.failure = std::move(diff);
+    ++result.steps;
+    return true;
+  };
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    const int64_t n = result.fuzz_case.x0.rows();
+    const int64_t m = result.fuzz_case.x0.cols();
+
+    // Row halving: first half, second half, then the even/odd interleaves
+    // (which preserve duplicated-row structure the contiguous halves break).
+    if (n > 1) {
+      const int64_t half = n / 2;
+      std::vector<std::vector<char>> masks;
+      masks.emplace_back(n, 0);
+      for (int64_t i = 0; i < half; ++i) masks.back()[i] = 1;
+      masks.emplace_back(n, 0);
+      for (int64_t i = half; i < n; ++i) masks.back()[i] = 1;
+      masks.emplace_back(n, 0);
+      for (int64_t i = 0; i < n; i += 2) masks.back()[i] = 1;
+      for (const auto& mask : masks) {
+        if (try_candidate(KeepRows(result.fuzz_case, mask))) {
+          progressed = true;
+          break;
+        }
+      }
+      if (progressed) continue;
+    }
+
+    // Column dropping, one at a time (slices over a dropped feature vanish,
+    // so acceptance means the defect did not need that feature).
+    if (m > 1) {
+      for (int64_t j = 0; j < m; ++j) {
+        if (try_candidate(DropColumn(result.fuzz_case, j))) {
+          progressed = true;
+          break;
+        }
+      }
+      if (progressed) continue;
+    }
+
+    // Error simplification: zero the second half of the error vector.
+    {
+      const auto& errors = result.fuzz_case.errors;
+      const size_t half = errors.size() / 2;
+      bool has_tail = false;
+      for (size_t i = half; i < errors.size(); ++i) {
+        has_tail |= errors[i] != 0.0;
+      }
+      if (has_tail) {
+        FuzzCase candidate = result.fuzz_case;
+        for (size_t i = half; i < candidate.errors.size(); ++i) {
+          candidate.errors[i] = 0.0;
+        }
+        if (try_candidate(std::move(candidate))) {
+          progressed = true;
+          continue;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sliceline::testing

@@ -1,0 +1,33 @@
+#ifndef SLICELINE_TESTING_SHRINK_H_
+#define SLICELINE_TESTING_SHRINK_H_
+
+#include <functional>
+#include <string>
+
+#include "testing/random_dataset.h"
+
+namespace sliceline::testing {
+
+/// A predicate over candidate datasets: "" means the candidate passes, any
+/// other string is the failure it reproduces.
+using ShrinkCheckFn = std::function<std::string(const FuzzCase&)>;
+
+struct ShrinkResult {
+  FuzzCase fuzz_case;   ///< smallest failing case found
+  std::string failure;  ///< diagnostic of the shrunk case
+  int steps = 0;        ///< accepted reductions
+  int attempts = 0;     ///< candidate evaluations (accepted + rejected)
+};
+
+/// Greedy delta-debugging of a failing case: repeatedly halves the row set
+/// (first half, second half, even/odd interleave), drops feature columns,
+/// and zeroes error-vector tails, keeping any reduction under which `check`
+/// still fails (any failure, not necessarily the original message — the
+/// smaller reproduction of a related defect is the more useful artifact).
+/// Terminates when a full pass produces no accepted reduction.
+ShrinkResult Shrink(const FuzzCase& original, const std::string& failure,
+                    const ShrinkCheckFn& check);
+
+}  // namespace sliceline::testing
+
+#endif  // SLICELINE_TESTING_SHRINK_H_

@@ -143,6 +143,59 @@ TEST(ErrorTreeTest, CannotExpressOverlappingSlices) {
   }
 }
 
+TEST(ErrorTreeTest, DeterministicAcrossRuns) {
+  PlantedData d = SimplePlanted(13, 2500);
+  ErrorTreeConfig config;
+  config.k = 6;
+  config.max_depth = 3;
+  auto first = RunErrorTree(d.x0, d.errors, config);
+  ASSERT_TRUE(first.ok());
+  auto second = RunErrorTree(d.x0, d.errors, config);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->slices.size(), second->slices.size());
+  EXPECT_EQ(first->nodes, second->nodes);
+  EXPECT_EQ(first->leaves, second->leaves);
+  for (size_t i = 0; i < first->slices.size(); ++i) {
+    EXPECT_EQ(first->slices[i].predicates, second->slices[i].predicates);
+    EXPECT_EQ(first->slices[i].stats.score, second->slices[i].stats.score);
+    EXPECT_EQ(first->slices[i].stats.size, second->slices[i].stats.size);
+  }
+}
+
+TEST(ErrorTreeTest, KLimitsReportedLeaves) {
+  PlantedData d = SimplePlanted(15, 2500);
+  for (int k : {1, 2, 4}) {
+    ErrorTreeConfig config;
+    config.k = k;
+    config.max_depth = 4;
+    auto result = RunErrorTree(d.x0, d.errors, config);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->slices.size(), static_cast<size_t>(k));
+  }
+}
+
+TEST(ErrorTreeTest, LeafSizesNeverExceedConjunctionCounts) {
+  // A leaf's row set is its conjunction minus every negated "rest" branch
+  // along the path, so the recorded size can only be <= the plain
+  // conjunction's match count (and never exceeds it — that would mean rows
+  // outside the predicate region leaked into the leaf).
+  PlantedData d = SimplePlanted(17, 2500);
+  ErrorTreeConfig config;
+  config.k = 8;
+  config.max_depth = 3;
+  auto result = RunErrorTree(d.x0, d.errors, config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->slices.empty());
+  for (const core::Slice& slice : result->slices) {
+    int64_t conjunction = 0;
+    for (int64_t i = 0; i < d.x0.rows(); ++i) {
+      conjunction += slice.Matches(d.x0, i) ? 1 : 0;
+    }
+    EXPECT_LE(slice.stats.size, conjunction) << slice.ToString();
+    EXPECT_GT(slice.stats.size, 0) << slice.ToString();
+  }
+}
+
 TEST(ErrorTreeTest, ValidatesInputs) {
   data::IntMatrix x0(10, 2, 1);
   std::vector<double> errors(10, 0.1);

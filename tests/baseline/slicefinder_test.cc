@@ -1,5 +1,7 @@
 #include "baseline/slicefinder.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -99,6 +101,85 @@ TEST(SliceFinderTest, HeuristicCanMissBestSlice) {
   ASSERT_GE(baseline->slices.size(), 1u);
   for (const core::Slice& slice : baseline->slices) {
     EXPECT_NE(slice.predicates, top);
+  }
+}
+
+TEST(SliceFinderTest, DeterministicAcrossRuns) {
+  data::DatasetOptions opts;
+  opts.rows = 1500;
+  data::EncodedDataset ds = data::MakeSalaries(opts);
+  SliceFinderConfig config;
+  config.k = 6;
+  config.effect_size_min = 0.15;
+  auto first = RunSliceFinder(ds.x0, ds.errors, config);
+  ASSERT_TRUE(first.ok());
+  auto second = RunSliceFinder(ds.x0, ds.errors, config);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->slices.size(), second->slices.size());
+  EXPECT_EQ(first->evaluated, second->evaluated);
+  for (size_t i = 0; i < first->slices.size(); ++i) {
+    EXPECT_EQ(first->slices[i].predicates, second->slices[i].predicates);
+    EXPECT_EQ(first->slices[i].stats.score, second->slices[i].stats.score);
+    EXPECT_EQ(first->slices[i].stats.size, second->slices[i].stats.size);
+  }
+}
+
+TEST(SliceFinderTest, ReportedStatsMatchRowScan) {
+  // Differential check of the reported per-slice statistics against a
+  // brute-force scan: the lattice search maintains row sets incrementally,
+  // so drift here would mean a bookkeeping bug, not a ranking choice.
+  data::DatasetOptions opts;
+  opts.rows = 1500;
+  data::EncodedDataset ds = data::MakeSalaries(opts);
+  SliceFinderConfig config;
+  config.k = 6;
+  config.effect_size_min = 0.15;
+  config.max_level = 2;
+  auto result = RunSliceFinder(ds.x0, ds.errors, config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->slices.empty());
+  for (const core::Slice& slice : result->slices) {
+    int64_t size = 0;
+    double err_sum = 0.0;
+    double err_max = 0.0;
+    for (int64_t i = 0; i < ds.x0.rows(); ++i) {
+      if (!slice.Matches(ds.x0, i)) continue;
+      ++size;
+      err_sum += ds.errors[static_cast<size_t>(i)];
+      err_max = std::max(err_max, ds.errors[static_cast<size_t>(i)]);
+    }
+    EXPECT_EQ(slice.stats.size, size) << slice.ToString();
+    EXPECT_NEAR(slice.stats.error_sum, err_sum, 1e-9) << slice.ToString();
+    EXPECT_DOUBLE_EQ(slice.stats.max_error, err_max) << slice.ToString();
+  }
+}
+
+TEST(SliceFinderTest, KTerminatesLevelwiseAndIsMonotone) {
+  // config.k is a level-granularity stopping threshold ("stop once >= K
+  // problematic slices are found"), not a cap: the level that crosses the
+  // threshold is still finished. A larger K therefore explores at least as
+  // many levels and reports a superset of the slices.
+  data::DatasetOptions opts;
+  opts.rows = 1500;
+  data::EncodedDataset ds = data::MakeSalaries(opts);
+  SliceFinderConfig small;
+  small.k = 1;
+  small.effect_size_min = 0.1;
+  auto early = RunSliceFinder(ds.x0, ds.errors, small);
+  ASSERT_TRUE(early.ok());
+  ASSERT_FALSE(early->slices.empty());
+  SliceFinderConfig large = small;
+  large.k = 50;
+  auto full = RunSliceFinder(ds.x0, ds.errors, large);
+  ASSERT_TRUE(full.ok());
+  EXPECT_LE(early->levels_expanded, full->levels_expanded);
+  EXPECT_LE(early->slices.size(), full->slices.size());
+  for (const core::Slice& slice : early->slices) {
+    bool found = false;
+    for (const core::Slice& other : full->slices) {
+      found |= other.predicates == slice.predicates;
+    }
+    EXPECT_TRUE(found) << slice.ToString() << " missing from larger-K run";
   }
 }
 

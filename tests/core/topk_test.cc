@@ -5,21 +5,34 @@
 namespace sliceline::core {
 namespace {
 
-Slice MakeSlice(double score, int64_t size) {
+/// Distinct `code` values make distinct slice identities; TopK holds at most
+/// one entry per predicate set.
+Slice MakeSlice(double score, int64_t size, int32_t code = 1) {
   Slice s;
-  s.predicates = {{0, 1}};
+  s.predicates = {{0, code}};
   s.stats = {score, 1.0, 0.5, size};
   return s;
 }
 
 TEST(TopKTest, KeepsBestK) {
   TopK topk(2, 10);
-  topk.Offer(MakeSlice(0.5, 100));
-  topk.Offer(MakeSlice(1.5, 100));
-  topk.Offer(MakeSlice(1.0, 100));
+  topk.Offer(MakeSlice(0.5, 100, 1));
+  topk.Offer(MakeSlice(1.5, 100, 2));
+  topk.Offer(MakeSlice(1.0, 100, 3));
   ASSERT_EQ(topk.Slices().size(), 2u);
   EXPECT_DOUBLE_EQ(topk.Slices()[0].stats.score, 1.5);
   EXPECT_DOUBLE_EQ(topk.Slices()[1].stats.score, 1.0);
+}
+
+TEST(TopKTest, RejectsDuplicateSliceIdentity) {
+  // The candidate-deduplication ablation evaluates the same slice several
+  // times; a re-offer must not occupy a second slot.
+  TopK topk(3, 1);
+  topk.Offer(MakeSlice(1.0, 10, 1));
+  topk.Offer(MakeSlice(1.0, 10, 1));
+  EXPECT_EQ(topk.Slices().size(), 1u);
+  topk.Offer(MakeSlice(1.0, 10, 2));
+  EXPECT_EQ(topk.Slices().size(), 2u);
 }
 
 TEST(TopKTest, RejectsNonPositiveScores) {
@@ -40,13 +53,13 @@ TEST(TopKTest, RejectsBelowMinSupport) {
 TEST(TopKTest, ThresholdIsMonotone) {
   TopK topk(2, 1);
   EXPECT_DOUBLE_EQ(topk.Threshold(), 0.0);
-  topk.Offer(MakeSlice(1.0, 10));
+  topk.Offer(MakeSlice(1.0, 10, 1));
   EXPECT_DOUBLE_EQ(topk.Threshold(), 0.0);  // not yet full
-  topk.Offer(MakeSlice(3.0, 10));
+  topk.Offer(MakeSlice(3.0, 10, 2));
   EXPECT_DOUBLE_EQ(topk.Threshold(), 1.0);  // full: K-th score
-  topk.Offer(MakeSlice(2.0, 10));
+  topk.Offer(MakeSlice(2.0, 10, 3));
   EXPECT_DOUBLE_EQ(topk.Threshold(), 2.0);  // improved
-  topk.Offer(MakeSlice(0.5, 10));
+  topk.Offer(MakeSlice(0.5, 10, 4));
   EXPECT_DOUBLE_EQ(topk.Threshold(), 2.0);  // rejected, unchanged
 }
 

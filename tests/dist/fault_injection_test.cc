@@ -195,10 +195,12 @@ TEST_F(FaultToleranceTest, StragglerTriggersSpeculativeReexecution) {
                               {{3, FaultType::kStraggler}});
   ExpectIdenticalTopK(fault_free_.result, run.result);
   EXPECT_GT(run.faults.stragglers, 0);
-  EXPECT_GT(run.faults.speculative_reexecutions, 0);
-  // The backup copy doubles the straggler's compute.
-  EXPECT_GT(run.cost.worker_busy_seconds,
-            fault_free_.cost.worker_busy_seconds);
+  // With 4 workers and no losses a survivor is always available, so every
+  // straggling round launches exactly one backup copy. (The backup doubles
+  // the straggler's *accounted* compute, but worker_busy_seconds is
+  // measured wall-clock — comparing it across two separately-timed runs is
+  // load-sensitive, so the counters carry the assertion.)
+  EXPECT_EQ(run.faults.speculative_reexecutions, run.faults.stragglers);
 }
 
 TEST_F(FaultToleranceTest, StragglerWithoutSpeculationPaysDelay) {

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Golden-file regression test for sliceline_cli.
+#
+# Runs the CLI on the checked-in golden_input.csv (a 120-row regression
+# dataset with a planted f1=a AND f2=x problem conjunction a linear model
+# cannot express) under a fixed configuration, once per engine, and diffs
+# the output against golden_expected.txt. Timings and the input path are
+# run-dependent and get normalized; everything else — row counts, trained
+# mean error, every reported slice with its score/size/error stats, the
+# per-level enumeration counters, the distributed cost/fault summary — must
+# match byte for byte.
+#
+# Usage: cli_golden_test.sh CLI_BINARY INPUT_CSV EXPECTED_FILE
+set -euo pipefail
+
+cli="$1"
+input="$2"
+expected="$3"
+
+normalize() {
+  sed -E \
+    -e 's/time=[0-9]+\.[0-9]+s/time=X.XXXs/g' \
+    -e 's/in [0-9]+\.[0-9]+s/in X.XXXs/g' \
+    -e 's/wall-clock [0-9]+\.[0-9]+s/wall-clock X.XXXs/' \
+    -e 's/compute [0-9]+\.[0-9]+s/compute X.XXXs/' \
+    -e 's/comm [0-9]+\.[0-9]+s/comm X.XXXs/' \
+    -e 's| from .*| from INPUT|'
+}
+
+actual="$(
+  for engine in native la dist; do
+    echo "=== engine: $engine ==="
+    "$cli" --csv "$input" --label target --task reg \
+           --k 4 --alpha 0.95 --sigma 10 --bins 5 --engine "$engine" \
+           --workers 3 --fault-seed 7 --fault-transient 0.2 \
+           --fault-straggler 0.2
+  done | normalize
+)"
+
+if ! diff -u "$expected" <(printf '%s\n' "$actual"); then
+  echo "FAIL: sliceline_cli output diverged from $expected" >&2
+  echo "(if the change is intentional, regenerate the golden file by" >&2
+  echo " piping the normalized output above into it)" >&2
+  exit 1
+fi
+echo "OK: CLI output matches golden transcript"

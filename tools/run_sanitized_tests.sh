@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Builds the asan preset (-fsanitize=address,undefined) and runs the tier-1
 # ctest suite under it, so the concurrency paths (thread pool, distributed
-# fault recovery) are exercised with sanitizers on every change.
+# fault recovery) are exercised with sanitizers on every change. Then runs
+# the fixed-seed fuzz smoke batches (label "fuzz") under the same build:
+# the fuzzer's randomized datasets and config combinations reach kernel and
+# enumeration paths the unit suites hold constant. Skip them with
+# SLICELINE_SKIP_FUZZ_SMOKE=1 when iterating on an unrelated failure.
 #
 # Usage: tools/run_sanitized_tests.sh [ctest-args...]
 set -euo pipefail
@@ -15,3 +19,6 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 
 ctest --preset asan "$@"
+if [[ "${SLICELINE_SKIP_FUZZ_SMOKE:-0}" != "1" ]]; then
+  ctest --preset asan-fuzz-smoke "$@"
+fi
