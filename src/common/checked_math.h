@@ -1,0 +1,85 @@
+#ifndef SLICELINE_COMMON_CHECKED_MATH_H_
+#define SLICELINE_COMMON_CHECKED_MATH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/status.h"
+
+namespace sliceline {
+
+/// Overflow-checked size arithmetic for allocation paths. Matrix shape
+/// products (rows * cols) and nnz reservations are attacker/dataset
+/// controlled in the checkpoint/matrix-market loaders and data-dependent in
+/// the enumeration; silently wrapping them turns "too big" into a small
+/// bogus allocation followed by out-of-bounds writes. These helpers make
+/// every such product either a valid size or an explicit Status.
+
+/// a * b with overflow detection; returns false (and leaves *out
+/// unspecified) when the product does not fit int64_t.
+inline bool CheckedMulInt64(int64_t a, int64_t b, int64_t* out) {
+  return !__builtin_mul_overflow(a, b, out);
+}
+
+/// a + b with overflow detection.
+inline bool CheckedAddInt64(int64_t a, int64_t b, int64_t* out) {
+  return !__builtin_add_overflow(a, b, out);
+}
+
+/// Validates an element count rows * cols for a matrix allocation: both
+/// factors non-negative and the product representable as int64_t and as
+/// size_t bytes when scaled by elem_size.
+inline Status CheckedElementCount(int64_t rows, int64_t cols,
+                                  size_t elem_size, int64_t* count_out) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("negative matrix dimension " +
+                                   std::to_string(rows) + "x" +
+                                   std::to_string(cols));
+  }
+  int64_t count;
+  if (!CheckedMulInt64(rows, cols, &count)) {
+    return Status::OutOfRange("matrix shape " + std::to_string(rows) + "x" +
+                              std::to_string(cols) +
+                              " overflows the element count");
+  }
+  int64_t bytes;
+  if (!CheckedMulInt64(count, static_cast<int64_t>(elem_size), &bytes) ||
+      static_cast<uint64_t>(bytes) >
+          std::numeric_limits<size_t>::max()) {
+    return Status::OutOfRange("matrix shape " + std::to_string(rows) + "x" +
+                              std::to_string(cols) + " overflows SIZE_MAX at " +
+                              std::to_string(elem_size) + " bytes/element");
+  }
+  if (count_out != nullptr) *count_out = count;
+  return Status::OK();
+}
+
+/// Validates an nnz reservation: non-negative, representable in bytes, and
+/// (when the shape product fits) no larger than rows * cols.
+inline Status CheckedNnzReservation(int64_t nnz, int64_t rows, int64_t cols,
+                                    size_t elem_size) {
+  if (nnz < 0) {
+    return Status::InvalidArgument("negative nnz " + std::to_string(nnz));
+  }
+  int64_t bytes;
+  if (!CheckedMulInt64(nnz, static_cast<int64_t>(elem_size), &bytes) ||
+      static_cast<uint64_t>(bytes) >
+          std::numeric_limits<size_t>::max()) {
+    return Status::OutOfRange("nnz " + std::to_string(nnz) +
+                              " overflows SIZE_MAX at " +
+                              std::to_string(elem_size) + " bytes/element");
+  }
+  int64_t dense_count;
+  if (CheckedMulInt64(rows, cols, &dense_count) && nnz > dense_count) {
+    return Status::InvalidArgument(
+        "nnz " + std::to_string(nnz) + " exceeds dense capacity " +
+        std::to_string(rows) + "x" + std::to_string(cols));
+  }
+  return Status::OK();
+}
+
+}  // namespace sliceline
+
+#endif  // SLICELINE_COMMON_CHECKED_MATH_H_

@@ -19,6 +19,9 @@ enum class StatusCode : uint8_t {
   kIoError = 4,
   kNotImplemented = 5,
   kInternal = 6,
+  kCancelled = 7,
+  kDeadlineExceeded = 8,
+  kResourceExhausted = 9,
 };
 
 /// Returns a human-readable name for a status code (e.g. "InvalidArgument").
@@ -57,6 +60,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -120,6 +132,15 @@ namespace internal {
 template <typename T>
 void StatusOr<T>::AbortIfError() const {
   if (!status_.ok()) internal::DieOnBadStatusAccess(status_);
+}
+
+/// True for the governance stop codes (cancelled / deadline-exceeded /
+/// resource-exhausted). Engines treat these as graceful-stop signals --
+/// package best-so-far results -- rather than propagating them as errors.
+inline bool IsGovernanceStatus(const Status& s) {
+  return s.code() == StatusCode::kCancelled ||
+         s.code() == StatusCode::kDeadlineExceeded ||
+         s.code() == StatusCode::kResourceExhausted;
 }
 
 /// Propagates a non-OK Status from the current function.

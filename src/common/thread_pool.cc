@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "common/logging.h"
+#include "common/run_context.h"
 
 namespace sliceline {
 
@@ -56,6 +57,24 @@ void ThreadPool::ParallelFor(size_t count,
   ParallelForRange(count, [&body](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) body(i);
   });
+}
+
+bool ThreadPool::ParallelForRange(
+    size_t count, const RunContext* ctx,
+    const std::function<void(size_t, size_t)>& body) {
+  if (ctx == nullptr) {
+    ParallelForRange(count, body);
+    return true;
+  }
+  std::atomic<bool> skipped{false};
+  ParallelForRange(count, [&](size_t begin, size_t end) {
+    if (ctx->ShouldStop()) {
+      skipped.store(true, std::memory_order_relaxed);
+      return;
+    }
+    body(begin, end);
+  });
+  return !skipped.load(std::memory_order_relaxed);
 }
 
 void ThreadPool::ParallelForRange(

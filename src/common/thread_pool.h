@@ -11,6 +11,8 @@
 
 namespace sliceline {
 
+class RunContext;
+
 /// Fixed-size worker pool for the task-parallel slice evaluation ("parfor"
 /// in Algorithm 1 line 17) and for data-parallel kernels. Degrades to inline
 /// execution with num_threads <= 1 so single-core machines pay no
@@ -37,6 +39,16 @@ class ThreadPool {
   /// exception contract as ParallelFor.
   void ParallelForRange(
       size_t count,
+      const std::function<void(size_t begin, size_t end)>& body);
+
+  /// Cancellable variant: each chunk polls `ctx` (when non-null) before
+  /// running and is skipped once the run is stopped, so a cancellation or
+  /// deadline observed mid-dispatch drains the remaining chunks without
+  /// executing them. Already-running chunks finish (they poll internally via
+  /// their own strided checks). Returns true when every chunk ran, false
+  /// when any chunk was skipped.
+  bool ParallelForRange(
+      size_t count, const RunContext* ctx,
       const std::function<void(size_t begin, size_t end)>& body);
 
  private:

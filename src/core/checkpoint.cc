@@ -1,0 +1,338 @@
+#include "core/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "linalg/matrix_io.h"
+
+namespace sliceline::core {
+
+namespace {
+
+constexpr char kHeader[] = "sliceline-checkpoint v1";
+constexpr char kFileName[] = "sliceline.ckpt";
+
+/// %.17g: shortest text that round-trips an IEEE double exactly, which is
+/// what makes a resumed run's top-K bit-identical to an uninterrupted one.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Reads one line and binds the remainder after `key ` to an istringstream.
+Status ReadKeyLine(std::istringstream& in, const char* key,
+                   std::istringstream* fields) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError(std::string("checkpoint truncated before '") +
+                           key + "'");
+  }
+  const std::string prefix = std::string(key) + " ";
+  if (line.rfind(prefix, 0) != 0) {
+    return Status::InvalidArgument(std::string("checkpoint expected '") +
+                                   key + "', got '" + line + "'");
+  }
+  fields->clear();
+  fields->str(line.substr(prefix.size()));
+  return Status::OK();
+}
+
+template <typename T>
+Status ReadScalar(std::istringstream& in, const char* key, T* out) {
+  std::istringstream fields;
+  SLICELINE_RETURN_NOT_OK(ReadKeyLine(in, key, &fields));
+  if (!(fields >> *out)) {
+    return Status::InvalidArgument(std::string("checkpoint bad value for '") +
+                                   key + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void Fnv1a::AddBytes(const void* data, size_t len) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    hash_ ^= bytes[i];
+    hash_ *= 1099511628211ULL;
+  }
+}
+
+uint64_t HashConfigForCheckpoint(const SliceLineConfig& config, int64_t sigma,
+                                 const std::string& engine) {
+  Fnv1a h;
+  h.AddString(engine);
+  h.Add64(static_cast<uint64_t>(config.k));
+  h.AddDouble(config.alpha);
+  h.Add64(static_cast<uint64_t>(sigma));
+  h.Add64(static_cast<uint64_t>(config.max_level));
+  h.Add64((config.prune_size ? 1u : 0u) | (config.prune_score ? 2u : 0u) |
+          (config.prune_parents ? 4u : 0u) | (config.deduplicate ? 8u : 0u));
+  h.Add64(static_cast<uint64_t>(config.eval_strategy));
+  return h.hash();
+}
+
+std::string CheckpointFilePath(const std::string& dir) {
+  if (dir.empty()) return kFileName;
+  return dir.back() == '/' ? dir + kFileName : dir + "/" + kFileName;
+}
+
+bool CheckpointFileExists(const std::string& dir) {
+  std::ifstream in(CheckpointFilePath(dir));
+  return in.good();
+}
+
+Status SaveCheckpoint(const std::string& dir, const CheckpointState& state) {
+  if (static_cast<int64_t>(state.frontier_ss.size()) !=
+          state.frontier.rows() ||
+      state.frontier_se.size() != state.frontier_ss.size() ||
+      state.frontier_sm.size() != state.frontier_ss.size()) {
+    return Status::InvalidArgument(
+        "checkpoint frontier stats not aligned with the frontier matrix");
+  }
+  std::ostringstream os;
+  os << kHeader << "\n";
+  os << "engine " << state.engine << "\n";
+  os << "config_hash " << state.config_hash << "\n";
+  os << "data_hash " << state.data_hash << "\n";
+  os << "aux_hash " << state.aux_hash << "\n";
+  os << "level " << state.level << "\n";
+  os << "effective_sigma " << state.effective_sigma << "\n";
+  os << "degradation_steps " << state.degradation_steps << "\n";
+  os << "candidates_capped " << state.candidates_capped << "\n";
+  os << "total_evaluated " << state.total_evaluated << "\n";
+  os << "rng_state " << state.rng_state[0] << " " << state.rng_state[1] << " "
+     << state.rng_state[2] << " " << state.rng_state[3] << "\n";
+  os << "levels " << state.levels.size() << "\n";
+  for (const LevelStats& s : state.levels) {
+    os << s.level << " " << s.candidates << " " << s.valid << " " << s.pruned
+       << " " << FormatDouble(s.seconds) << "\n";
+  }
+  os << "topk " << state.topk.size() << "\n";
+  for (const Slice& slice : state.topk) {
+    os << slice.predicates.size() << " " << FormatDouble(slice.stats.score)
+       << " " << FormatDouble(slice.stats.error_sum) << " "
+       << FormatDouble(slice.stats.max_error) << " " << slice.stats.size
+       << "\n";
+    for (size_t i = 0; i < slice.predicates.size(); ++i) {
+      os << (i > 0 ? " " : "") << slice.predicates[i].first << " "
+         << slice.predicates[i].second;
+    }
+    os << "\n";
+  }
+  os << "frontier_stats " << state.frontier_ss.size() << "\n";
+  for (size_t i = 0; i < state.frontier_ss.size(); ++i) {
+    os << FormatDouble(state.frontier_ss[i]) << " "
+       << FormatDouble(state.frontier_se[i]) << " "
+       << FormatDouble(state.frontier_sm[i]) << "\n";
+  }
+  const std::string mm = linalg::ToMatrixMarketString(state.frontier);
+  os << "frontier " << mm.size() << "\n" << mm;
+
+  const std::string payload = os.str();
+  Fnv1a checksum;
+  checksum.AddString(payload);
+
+  const std::string path = CheckpointFilePath(dir);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot write '" + tmp + "'");
+    out << payload << "checksum " << checksum.hash() << "\n";
+    if (!out.flush()) {
+      return Status::IoError("error while writing '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+StatusOr<CheckpointState> LoadCheckpoint(const std::string& dir) {
+  const std::string path = CheckpointFilePath(dir);
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("no checkpoint at '" + path + "'");
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  const std::string content = buf.str();
+
+  // Split off and verify the trailing checksum line.
+  const size_t tail = content.rfind("\nchecksum ");
+  if (tail == std::string::npos) {
+    return Status::InvalidArgument("checkpoint missing checksum: '" + path +
+                                   "'");
+  }
+  const std::string payload = content.substr(0, tail + 1);
+  uint64_t stored = 0;
+  if (std::sscanf(content.c_str() + tail + 1, "checksum %" SCNu64, &stored) !=
+      1) {
+    return Status::InvalidArgument("checkpoint malformed checksum line");
+  }
+  Fnv1a checksum;
+  checksum.AddString(payload);
+  if (checksum.hash() != stored) {
+    return Status::InvalidArgument("checkpoint checksum mismatch in '" + path +
+                                   "' (corrupt or partially written)");
+  }
+
+  std::istringstream in(payload);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument("unsupported checkpoint header: '" + line +
+                                   "'");
+  }
+
+  CheckpointState state;
+  std::istringstream fields;
+  SLICELINE_RETURN_NOT_OK(ReadKeyLine(in, "engine", &fields));
+  fields >> state.engine;
+  SLICELINE_RETURN_NOT_OK(ReadScalar(in, "config_hash", &state.config_hash));
+  SLICELINE_RETURN_NOT_OK(ReadScalar(in, "data_hash", &state.data_hash));
+  SLICELINE_RETURN_NOT_OK(ReadScalar(in, "aux_hash", &state.aux_hash));
+  SLICELINE_RETURN_NOT_OK(ReadScalar(in, "level", &state.level));
+  SLICELINE_RETURN_NOT_OK(
+      ReadScalar(in, "effective_sigma", &state.effective_sigma));
+  SLICELINE_RETURN_NOT_OK(
+      ReadScalar(in, "degradation_steps", &state.degradation_steps));
+  SLICELINE_RETURN_NOT_OK(
+      ReadScalar(in, "candidates_capped", &state.candidates_capped));
+  SLICELINE_RETURN_NOT_OK(
+      ReadScalar(in, "total_evaluated", &state.total_evaluated));
+  SLICELINE_RETURN_NOT_OK(ReadKeyLine(in, "rng_state", &fields));
+  for (uint64_t& w : state.rng_state) {
+    if (!(fields >> w)) {
+      return Status::InvalidArgument("checkpoint bad rng_state");
+    }
+  }
+
+  int64_t num_levels = 0;
+  SLICELINE_RETURN_NOT_OK(ReadScalar(in, "levels", &num_levels));
+  if (num_levels < 0 || num_levels > 1000000) {
+    return Status::OutOfRange("checkpoint level count out of range");
+  }
+  state.levels.reserve(static_cast<size_t>(num_levels));
+  for (int64_t i = 0; i < num_levels; ++i) {
+    LevelStats s;
+    if (!std::getline(in, line)) {
+      return Status::IoError("checkpoint truncated in levels");
+    }
+    std::istringstream row(line);
+    if (!(row >> s.level >> s.candidates >> s.valid >> s.pruned >>
+          s.seconds)) {
+      return Status::InvalidArgument("checkpoint bad level line: '" + line +
+                                     "'");
+    }
+    state.levels.push_back(s);
+  }
+
+  int64_t num_topk = 0;
+  SLICELINE_RETURN_NOT_OK(ReadScalar(in, "topk", &num_topk));
+  if (num_topk < 0 || num_topk > 1000000) {
+    return Status::OutOfRange("checkpoint top-K count out of range");
+  }
+  state.topk.reserve(static_cast<size_t>(num_topk));
+  for (int64_t i = 0; i < num_topk; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::IoError("checkpoint truncated in top-K");
+    }
+    std::istringstream head(line);
+    int64_t num_preds = 0;
+    Slice slice;
+    if (!(head >> num_preds >> slice.stats.score >> slice.stats.error_sum >>
+          slice.stats.max_error >> slice.stats.size) ||
+        num_preds < 0 || num_preds > 1000000) {
+      return Status::InvalidArgument("checkpoint bad top-K line: '" + line +
+                                     "'");
+    }
+    if (!std::getline(in, line)) {
+      return Status::IoError("checkpoint truncated in top-K predicates");
+    }
+    std::istringstream preds(line);
+    slice.predicates.reserve(static_cast<size_t>(num_preds));
+    for (int64_t p = 0; p < num_preds; ++p) {
+      int feature = 0;
+      int32_t code = 0;
+      if (!(preds >> feature >> code)) {
+        return Status::InvalidArgument("checkpoint bad predicate line: '" +
+                                       line + "'");
+      }
+      slice.predicates.emplace_back(feature, code);
+    }
+    state.topk.push_back(std::move(slice));
+  }
+
+  int64_t num_stats = 0;
+  SLICELINE_RETURN_NOT_OK(ReadScalar(in, "frontier_stats", &num_stats));
+  if (num_stats < 0 || num_stats > (int64_t{1} << 40)) {
+    return Status::OutOfRange("checkpoint frontier size out of range");
+  }
+  state.frontier_ss.reserve(static_cast<size_t>(num_stats));
+  state.frontier_se.reserve(static_cast<size_t>(num_stats));
+  state.frontier_sm.reserve(static_cast<size_t>(num_stats));
+  for (int64_t i = 0; i < num_stats; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::IoError("checkpoint truncated in frontier stats");
+    }
+    std::istringstream row(line);
+    double ss = 0.0;
+    double se = 0.0;
+    double sm = 0.0;
+    if (!(row >> ss >> se >> sm)) {
+      return Status::InvalidArgument("checkpoint bad frontier stats: '" +
+                                     line + "'");
+    }
+    state.frontier_ss.push_back(ss);
+    state.frontier_se.push_back(se);
+    state.frontier_sm.push_back(sm);
+  }
+
+  int64_t mm_bytes = 0;
+  SLICELINE_RETURN_NOT_OK(ReadScalar(in, "frontier", &mm_bytes));
+  const std::streampos at = in.tellg();
+  if (mm_bytes < 0 || at == std::streampos(-1) ||
+      static_cast<size_t>(at) + static_cast<size_t>(mm_bytes) >
+          payload.size()) {
+    return Status::InvalidArgument("checkpoint frontier size inconsistent");
+  }
+  SLICELINE_ASSIGN_OR_RETURN(
+      state.frontier,
+      linalg::ParseMatrixMarket(
+          payload.substr(static_cast<size_t>(at),
+                         static_cast<size_t>(mm_bytes))));
+  if (state.frontier.rows() != num_stats) {
+    return Status::InvalidArgument(
+        "checkpoint frontier matrix row count does not match its stats");
+  }
+  return state;
+}
+
+linalg::CsrMatrix SliceSetToCsr(const SliceSet& set, int64_t cols) {
+  std::vector<int64_t> row_ptr;
+  std::vector<int64_t> col_idx;
+  row_ptr.reserve(static_cast<size_t>(set.size()) + 1);
+  row_ptr.push_back(0);
+  for (int64_t i = 0; i < set.size(); ++i) {
+    const int64_t* c = set.Columns(i);
+    col_idx.insert(col_idx.end(), c, c + set.Length(i));
+    row_ptr.push_back(static_cast<int64_t>(col_idx.size()));
+  }
+  std::vector<double> values(col_idx.size(), 1.0);
+  return linalg::CsrMatrix(set.size(), cols, std::move(row_ptr),
+                           std::move(col_idx), std::move(values));
+}
+
+SliceSet CsrToSliceSet(const linalg::CsrMatrix& matrix) {
+  SliceSet set;
+  set.Reserve(matrix.rows(), matrix.nnz());
+  for (int64_t r = 0; r < matrix.rows(); ++r) {
+    set.Add(matrix.RowCols(r), matrix.RowCols(r) + matrix.RowNnz(r));
+  }
+  return set;
+}
+
+}  // namespace sliceline::core

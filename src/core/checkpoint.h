@@ -1,0 +1,91 @@
+#ifndef SLICELINE_CORE_CHECKPOINT_H_
+#define SLICELINE_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/evaluator.h"
+#include "core/slice.h"
+#include "linalg/csr_matrix.h"
+
+namespace sliceline::core {
+
+/// Incremental FNV-1a hasher used for the checkpoint's config/data
+/// fingerprints and the file checksum.
+class Fnv1a {
+ public:
+  void AddBytes(const void* data, size_t len);
+  void Add64(uint64_t v) { AddBytes(&v, sizeof(v)); }
+  void AddDouble(double v) { AddBytes(&v, sizeof(v)); }
+  void AddString(const std::string& s) { AddBytes(s.data(), s.size()); }
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 1469598103934665603ULL;
+};
+
+/// Everything a level-wise engine needs to continue a run from the end of a
+/// completed level: the surviving frontier (slice matrix + aligned ss/se/sm
+/// statistics), the top-K so far, per-level stats, and the governance
+/// counters. The three hashes bind a checkpoint to one (engine, config,
+/// dataset) triple -- resume silently falls back to a fresh run on any
+/// mismatch, so a stale file can slow a run down but never corrupt it.
+struct CheckpointState {
+  static constexpr int kVersion = 1;
+
+  std::string engine;        ///< "native" or "la"
+  uint64_t config_hash = 0;  ///< HashConfigForCheckpoint of the run's config
+  uint64_t data_hash = 0;    ///< engine-computed dataset fingerprint
+  uint64_t aux_hash = 0;     ///< engine-specific (LA: kept_cols); 0 otherwise
+  int level = 0;             ///< last fully completed level
+  int64_t effective_sigma = 0;
+  int degradation_steps = 0;
+  int64_t candidates_capped = 0;
+  int64_t total_evaluated = 0;
+  /// Reserved for engines that consume randomness mid-run (none do today);
+  /// serialized so the format does not need a version bump to add it.
+  uint64_t rng_state[4] = {0, 0, 0, 0};
+  std::vector<LevelStats> levels;
+  std::vector<Slice> topk;  ///< descending score order
+  std::vector<double> frontier_ss;
+  std::vector<double> frontier_se;
+  std::vector<double> frontier_sm;
+  /// Surviving slice matrix: one row per frontier slice over the engine's
+  /// column space (native: one-hot columns; LA: compacted kept columns).
+  linalg::CsrMatrix frontier;
+};
+
+/// Fingerprint of the problem parameters that must match for a resume to be
+/// sound (k, alpha, sigma, level cap, pruning toggles, engine).
+uint64_t HashConfigForCheckpoint(const SliceLineConfig& config, int64_t sigma,
+                                 const std::string& engine);
+
+/// The single rolling checkpoint file inside `dir`.
+std::string CheckpointFilePath(const std::string& dir);
+
+bool CheckpointFileExists(const std::string& dir);
+
+/// Serializes `state` to CheckpointFilePath(dir): versioned text header,
+/// %.17g doubles (exact round-trip), the frontier embedded as MatrixMarket
+/// via matrix_io, and a trailing FNV-1a checksum over the payload. Written
+/// to a temp file and renamed into place so a crash mid-save leaves the
+/// previous checkpoint intact.
+Status SaveCheckpoint(const std::string& dir, const CheckpointState& state);
+
+/// Loads and validates (version, checksum, structural bounds) the
+/// checkpoint in `dir`. Hash matching against the current run is the
+/// caller's job.
+StatusOr<CheckpointState> LoadCheckpoint(const std::string& dir);
+
+/// Conversions between the native engine's SliceSet frontier and the CSR
+/// form the checkpoint stores (each slice row holds 1.0 at its one-hot
+/// columns; CSR keeps row order and sorted columns, so the round-trip is
+/// exact).
+linalg::CsrMatrix SliceSetToCsr(const SliceSet& set, int64_t cols);
+SliceSet CsrToSliceSet(const linalg::CsrMatrix& matrix);
+
+}  // namespace sliceline::core
+
+#endif  // SLICELINE_CORE_CHECKPOINT_H_

@@ -119,30 +119,45 @@ void SliceEvaluator::EvaluateOne(const int64_t* cols, int64_t len,
   *max_error = sm;
 }
 
+namespace {
+
+/// Poll stride for governance checks inside slice loops: frequent enough to
+/// stop within one batch, rare enough to stay off the profile.
+constexpr size_t kGovernanceStride = 64;
+
+}  // namespace
+
 void SliceEvaluator::EvaluateIndex(const SliceSet& set, bool parallel,
+                                   const RunContext* ctx,
                                    EvalResult* out) const {
   const int64_t count = set.size();
   auto body = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
+      if (ctx != nullptr && (i - begin) % kGovernanceStride == 0 &&
+          ctx->ShouldStop()) {
+        return;
+      }
       EvaluateOne(set.Columns(i), set.Length(i), &out->sizes[i],
                   &out->error_sums[i], &out->max_errors[i]);
     }
   };
   if (parallel) {
-    GlobalThreadPool().ParallelForRange(static_cast<size_t>(count), body);
+    GlobalThreadPool().ParallelForRange(static_cast<size_t>(count), ctx, body);
   } else {
     body(0, static_cast<size_t>(count));
   }
 }
 
 void SliceEvaluator::EvaluateScanBlock(const SliceSet& set, int block_size,
-                                       bool parallel, EvalResult* out) const {
+                                       bool parallel, const RunContext* ctx,
+                                       EvalResult* out) const {
   const int64_t count = set.size();
   const int64_t n = x0_->rows();
   const int64_t m = x0_->cols();
   const int b = std::max(1, block_size);
 
   for (int64_t block_begin = 0; block_begin < count; block_begin += b) {
+    if (ctx != nullptr && ctx->ShouldStop()) return;
     const int64_t block_end = std::min<int64_t>(block_begin + b, count);
     const int64_t bs = block_end - block_begin;
     // Column -> slices-in-block adjacency, plus required match counts.
@@ -167,6 +182,14 @@ void SliceEvaluator::EvaluateScanBlock(const SliceSet& set, int block_size,
       std::vector<int32_t> touched;
       touched.reserve(static_cast<size_t>(bs));
       for (int64_t i = row_begin; i < row_end; ++i) {
+        // Row-strided governance poll; a stop mid-scan leaves this block's
+        // partial sums incomplete, which is fine -- the caller discards the
+        // whole EvalResult on a governance status.
+        if (ctx != nullptr &&
+            (i - row_begin) % (kGovernanceStride * 64) == 0 &&
+            ctx->ShouldStop()) {
+          return;
+        }
         const int32_t* row = x0_->row(i);
         touched.clear();
         for (int64_t j = 0; j < m; ++j) {
@@ -199,7 +222,7 @@ void SliceEvaluator::EvaluateScanBlock(const SliceSet& set, int block_size,
     if (parallel && GlobalThreadPool().num_threads() > 1) {
       std::mutex merge_mutex;
       GlobalThreadPool().ParallelForRange(
-          static_cast<size_t>(n), [&](size_t rb, size_t re) {
+          static_cast<size_t>(n), ctx, [&](size_t rb, size_t re) {
             Partial acc;
             acc.ss.assign(static_cast<size_t>(bs), 0.0);
             acc.se.assign(static_cast<size_t>(bs), 0.0);
@@ -220,6 +243,7 @@ void SliceEvaluator::EvaluateScanBlock(const SliceSet& set, int block_size,
 }
 
 void SliceEvaluator::EvaluateBitset(const SliceSet& set, bool parallel,
+                                    const RunContext* ctx,
                                     EvalResult* out) const {
   const int64_t n = x0_->rows();
   const size_t words = static_cast<size_t>((n + 63) / 64);
@@ -246,6 +270,10 @@ void SliceEvaluator::EvaluateBitset(const SliceSet& set, bool parallel,
   auto body = [&](size_t begin, size_t end) {
     std::vector<uint64_t> acc(words);
     for (size_t s = begin; s < end; ++s) {
+      if (ctx != nullptr && (s - begin) % kGovernanceStride == 0 &&
+          ctx->ShouldStop()) {
+        return;
+      }
       const int64_t len = set.Length(s);
       const int64_t* cols = set.Columns(s);
       const std::vector<uint64_t>& first = bitmaps_.at(cols[0]);
@@ -275,7 +303,8 @@ void SliceEvaluator::EvaluateBitset(const SliceSet& set, bool parallel,
     }
   };
   if (parallel) {
-    GlobalThreadPool().ParallelForRange(static_cast<size_t>(set.size()), body);
+    GlobalThreadPool().ParallelForRange(static_cast<size_t>(set.size()), ctx,
+                                        body);
   } else {
     body(0, static_cast<size_t>(set.size()));
   }
@@ -283,6 +312,7 @@ void SliceEvaluator::EvaluateBitset(const SliceSet& set, bool parallel,
 
 StatusOr<EvalResult> SliceEvaluator::Evaluate(
     const SliceSet& set, const SliceLineConfig& config) const {
+  const RunContext* ctx = config.run_context;
   EvalResult out;
   const size_t count = static_cast<size_t>(set.size());
   out.sizes.assign(count, 0.0);
@@ -291,14 +321,21 @@ StatusOr<EvalResult> SliceEvaluator::Evaluate(
   if (count == 0) return out;
   switch (config.eval_strategy) {
     case SliceLineConfig::EvalStrategy::kIndex:
-      EvaluateIndex(set, config.parallel, &out);
+      EvaluateIndex(set, config.parallel, ctx, &out);
       break;
     case SliceLineConfig::EvalStrategy::kScanBlock:
-      EvaluateScanBlock(set, config.eval_block_size, config.parallel, &out);
+      EvaluateScanBlock(set, config.eval_block_size, config.parallel, ctx,
+                        &out);
       break;
     case SliceLineConfig::EvalStrategy::kBitset:
-      EvaluateBitset(set, config.parallel, &out);
+      EvaluateBitset(set, config.parallel, ctx, &out);
       break;
+  }
+  // A stop observed mid-evaluation leaves `out` incomplete; report the
+  // governance status so the engine discards it and packages best-so-far
+  // results from fully evaluated levels only.
+  if (ctx != nullptr && ctx->ShouldStop()) {
+    return StopReasonToStatus(ctx->CheckStop());
   }
   return out;
 }

@@ -27,6 +27,8 @@ class SliceSet {
 
   int64_t size() const { return static_cast<int64_t>(offsets_.size()) - 1; }
   int64_t Length(int64_t i) const { return offsets_[i + 1] - offsets_[i]; }
+  /// Total column entries across all slices (for byte accounting).
+  int64_t total_columns() const { return offsets_.back(); }
   const int64_t* Columns(int64_t i) const {
     return columns_.data() + offsets_[i];
   }
@@ -100,11 +102,15 @@ class SliceEvaluator : public EvaluatorBackend {
   const data::FeatureOffsets& offsets() const override { return *offsets_; }
 
  private:
-  void EvaluateIndex(const SliceSet& set, bool parallel, EvalResult* out) const;
+  // The strategies poll `ctx` (when non-null) at strided slice/row
+  // boundaries and bail out early on a governance stop; Evaluate() then
+  // reports the stop as a governance Status.
+  void EvaluateIndex(const SliceSet& set, bool parallel,
+                     const RunContext* ctx, EvalResult* out) const;
   void EvaluateScanBlock(const SliceSet& set, int block_size, bool parallel,
-                         EvalResult* out) const;
+                         const RunContext* ctx, EvalResult* out) const;
   void EvaluateBitset(const SliceSet& set, bool parallel,
-                      EvalResult* out) const;
+                      const RunContext* ctx, EvalResult* out) const;
   /// Evaluates one slice by scanning the shortest inverted list and probing
   /// the remaining predicates in X0.
   void EvaluateOne(const int64_t* cols, int64_t len, double* size,

@@ -18,15 +18,22 @@ struct DfsState {
   int64_t sigma;
   int max_level;
   TopK* topk;
+  const RunContext* ctx = nullptr;
+  StopReason stop = StopReason::kNone;
+  int stopped_depth = 0;  ///< DFS depth when the stop was observed
   int64_t enumerated = 0;
   std::vector<std::pair<int, int32_t>> predicates;
 };
 
+constexpr int64_t kGovernanceStride = 64;
+
 /// Extends the current slice with one predicate on each feature >= `feature`,
-/// recursing on the filtered row set.
+/// recursing on the filtered row set. Unwinds immediately once a governance
+/// stop is observed (polled every kGovernanceStride enumerated slices).
 void Dfs(DfsState& state, int feature, const std::vector<int32_t>& rows) {
   const data::IntMatrix& x0 = *state.x0;
   const int m = static_cast<int>(x0.cols());
+  if (state.stop != StopReason::kNone) return;
   if (static_cast<int>(state.predicates.size()) >= state.max_level) return;
   for (int f = feature; f < m; ++f) {
     // Partition the candidate rows by this feature's code.
@@ -45,6 +52,14 @@ void Dfs(DfsState& state, int feature, const std::vector<int32_t>& rows) {
         if (e > sm) sm = e;
       }
       ++state.enumerated;
+      if (state.ctx != nullptr && state.enumerated % kGovernanceStride == 0) {
+        state.stop = state.ctx->CheckStop();
+        if (state.stop != StopReason::kNone) {
+          state.stopped_depth =
+              static_cast<int>(state.predicates.size()) + 1;
+          return;
+        }
+      }
       state.predicates.emplace_back(f, code);
       const double score =
           state.context->Score(static_cast<int64_t>(subset.size()), se);
@@ -56,6 +71,7 @@ void Dfs(DfsState& state, int feature, const std::vector<int32_t>& rows) {
       }
       Dfs(state, f + 1, subset);
       state.predicates.pop_back();
+      if (state.stop != StopReason::kNone) return;
     }
   }
 }
@@ -96,11 +112,34 @@ StatusOr<SliceLineResult> RunExhaustive(const data::IntMatrix& x0,
                                         static_cast<int>(x0.cols()))
                         : static_cast<int>(x0.cols());
   state.topk = &topk;
+  state.ctx = config.run_context;
 
   std::vector<int32_t> all_rows(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) all_rows[i] = static_cast<int32_t>(i);
   Dfs(state, 0, all_rows);
 
+  if (state.stop != StopReason::kNone) {
+    switch (state.stop) {
+      case StopReason::kCancelled:
+        result.outcome.termination = RunOutcome::Termination::kCancelled;
+        break;
+      case StopReason::kDeadlineExceeded:
+        result.outcome.termination =
+            RunOutcome::Termination::kDeadlineExceeded;
+        break;
+      default:
+        result.outcome.termination =
+            RunOutcome::Termination::kBudgetExhausted;
+        break;
+    }
+    result.outcome.partial = true;
+    result.outcome.stopped_at_level = state.stopped_depth;
+  }
+  if (config.run_context != nullptr &&
+      config.run_context->memory_budget() != nullptr) {
+    result.outcome.peak_memory_bytes =
+        config.run_context->memory_budget()->peak_bytes();
+  }
   result.top_k = topk.Slices();
   result.total_evaluated = state.enumerated;
   result.total_seconds = watch.ElapsedSeconds();

@@ -1,0 +1,89 @@
+#include "core/governance.h"
+
+#include <algorithm>
+
+namespace sliceline::core {
+
+GovernanceController::GovernanceController(const SliceLineConfig& config,
+                                           int64_t base_sigma,
+                                           int base_max_level)
+    : ctx_(config.run_context),
+      k_(config.k),
+      base_sigma_(base_sigma),
+      effective_sigma_(base_sigma),
+      base_max_level_(base_max_level),
+      effective_max_level_(base_max_level) {}
+
+StopReason GovernanceController::CheckBoundary() const {
+  return ctx_ == nullptr ? StopReason::kNone : ctx_->CheckStop();
+}
+
+bool GovernanceController::MaybeDegrade(int current_level) {
+  if (ctx_ == nullptr) return false;
+  const MemoryBudget* budget = ctx_->memory_budget();
+  if (budget == nullptr || !budget->OverSoftLimit()) return false;
+  // One step per boundary; sustained pressure climbs further next level.
+  switch (degradation_steps_) {
+    case 0:
+      effective_sigma_ *= 2;
+      break;
+    case 1:
+      candidate_cap_ = std::max<int64_t>(64, 8 * k_);
+      break;
+    case 2:
+      effective_max_level_ =
+          std::min(effective_max_level_, current_level + 1);
+      break;
+    default:
+      effective_sigma_ *= 2;
+      break;
+  }
+  ++degradation_steps_;
+  return true;
+}
+
+void GovernanceController::RestoreDegradation(int steps,
+                                              int64_t effective_sigma,
+                                              int64_t candidates_capped) {
+  degradation_steps_ = steps;
+  effective_sigma_ = std::max(base_sigma_, effective_sigma);
+  candidates_capped_ = candidates_capped;
+  if (steps >= 2) candidate_cap_ = std::max<int64_t>(64, 8 * k_);
+}
+
+RunOutcome GovernanceController::Finish(StopReason reason,
+                                        int stopped_at_level,
+                                        bool resumed_from_checkpoint) const {
+  RunOutcome outcome;
+  switch (reason) {
+    case StopReason::kNone:
+      outcome.termination = degradation_steps_ > 0
+                                ? RunOutcome::Termination::kDegraded
+                                : RunOutcome::Termination::kCompleted;
+      break;
+    case StopReason::kCancelled:
+      outcome.termination = RunOutcome::Termination::kCancelled;
+      break;
+    case StopReason::kDeadlineExceeded:
+      outcome.termination = RunOutcome::Termination::kDeadlineExceeded;
+      break;
+    case StopReason::kBudgetExhausted:
+      outcome.termination = RunOutcome::Termination::kBudgetExhausted;
+      break;
+  }
+  outcome.partial =
+      outcome.termination != RunOutcome::Termination::kCompleted;
+  outcome.degradation_steps = degradation_steps_;
+  outcome.sigma_raised_to =
+      effective_sigma_ > base_sigma_ ? effective_sigma_ : 0;
+  outcome.candidates_capped = candidates_capped_;
+  outcome.stopped_at_level =
+      reason != StopReason::kNone ? std::max(0, stopped_at_level) : 0;
+  outcome.resumed_from_checkpoint = resumed_from_checkpoint;
+  if (ctx_ != nullptr && ctx_->memory_budget() != nullptr) {
+    outcome.peak_memory_bytes = ctx_->memory_budget()->peak_bytes();
+  }
+  return outcome;
+}
+
+}  // namespace sliceline::core

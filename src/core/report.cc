@@ -30,6 +30,11 @@ std::string FormatResult(const SliceLineResult& result,
   os << "Total: " << FormatWithCommas(result.total_evaluated)
      << " slices evaluated in " << FormatDouble(result.total_seconds, 3)
      << "s\n";
+  // Ungoverned (and fully completed) runs keep the historical report format
+  // so golden files stay stable; only a governed stop adds the outcome line.
+  if (result.outcome.partial) {
+    os << "Outcome: PARTIAL (" << result.outcome.Summary() << ")\n";
+  }
   return os.str();
 }
 

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/run_context.h"
 #include "data/encoded_dataset.h"
 #include "data/onehot.h"
 
@@ -63,6 +64,22 @@ struct SliceLineConfig {
   };
   EvalStrategy eval_strategy = EvalStrategy::kIndex;
   bool parallel = true;  ///< use the global thread pool for evaluation
+
+  // -- governance (borrowed; must outlive the run) --
+  /// Deadline / cancellation / memory-budget handle polled at level,
+  /// candidate-batch, and strided kernel-loop boundaries. nullptr imposes
+  /// nothing. On pressure the engine degrades (raises effective sigma, caps
+  /// candidates, caps levels) and, if that is not enough, returns the
+  /// best-so-far top-K with outcome.partial = true instead of an error.
+  RunContext* run_context = nullptr;
+
+  // -- checkpointing (level-wise engines: native, LA, distributed) --
+  /// When non-empty, the enumeration frontier is checkpointed to
+  /// `<checkpoint_dir>/sliceline.ckpt` after every completed level.
+  std::string checkpoint_dir;
+  /// Resume from the checkpoint in checkpoint_dir when one exists and its
+  /// config/data hashes match; a fresh run is started otherwise.
+  bool resume = false;
 };
 
 /// Per-level enumeration statistics (Figures 3/4 and Table 2 report these).
@@ -82,6 +99,9 @@ struct SliceLineResult {
   double average_error = 0.0;  ///< e-bar over the full dataset
   int64_t min_support = 0;     ///< resolved sigma
   int64_t total_evaluated = 0; ///< sum of per-level candidates
+  /// How the run ended (completed / degraded / stopped early) plus the
+  /// degradation and checkpoint bookkeeping; see RunOutcome.
+  RunOutcome outcome;
 };
 
 /// Resolves the effective minimum support: config value, or the paper's

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <queue>
 
 #include "common/stopwatch.h"
 #include "core/bounds.h"
 #include "core/evaluator.h"
+#include "core/governance.h"
 #include "core/scoring.h"
 #include "core/topk.h"
 
@@ -80,6 +82,15 @@ StatusOr<SliceLineResult> RunSliceLineBestFirst(
   std::vector<int64_t> evaluated_at_level(static_cast<size_t>(max_level) + 1,
                                           0);
 
+  GovernanceController gov(config, sigma, max_level);
+  std::optional<ScopedMemoryBudget> scoped_budget;
+  if (config.run_context != nullptr &&
+      config.run_context->memory_budget() != nullptr) {
+    scoped_budget.emplace(config.run_context->memory_budget());
+  }
+  StopReason stop = StopReason::kNone;
+  int stopped_level = 0;
+
   std::priority_queue<QueueEntry> queue;
   queue.push(QueueEntry{std::numeric_limits<double>::infinity(), {}, -1, n});
 
@@ -90,7 +101,13 @@ StatusOr<SliceLineResult> RunSliceLineBestFirst(
     // (or reach a positive score at all).
     if (entry.bound <= std::max(topk.Threshold(), 0.0)) break;
     const int level = static_cast<int>(entry.columns.size()) + 1;
-    if (level > max_level) continue;
+    stop = gov.CheckBoundary();
+    if (stop != StopReason::kNone) {
+      stopped_level = level;
+      break;
+    }
+    gov.MaybeDegrade(level);
+    if (level > gov.effective_max_level()) continue;
 
     // Expand: one extra predicate on each feature after the last bound one.
     SliceSet children;
@@ -104,8 +121,18 @@ StatusOr<SliceLineResult> RunSliceLineBestFirst(
       }
     }
     if (children.size() == 0) continue;
-    SLICELINE_ASSIGN_OR_RETURN(EvalResult stats,
-                               evaluator.Evaluate(children, config));
+    StatusOr<EvalResult> eval = evaluator.Evaluate(children, config);
+    if (!eval.ok()) {
+      // A governance stop mid-evaluation is a graceful exit with the
+      // best-so-far top-K; any other error propagates.
+      if (IsGovernanceStatus(eval.status())) {
+        stop = StopReasonFromStatus(eval.status());
+        stopped_level = level;
+        break;
+      }
+      return eval.status();
+    }
+    EvalResult stats = std::move(eval).value();
     evaluated_at_level[level] += children.size();
 
     for (int64_t i = 0; i < children.size(); ++i) {
@@ -119,11 +146,15 @@ StatusOr<SliceLineResult> RunSliceLineBestFirst(
         slice.stats = {score, se, stats.max_errors[i], size};
         topk.Offer(std::move(slice));
       }
-      if (se <= 0.0 || level >= max_level) continue;
+      if (se <= 0.0 || level >= gov.effective_max_level()) continue;
+      // Degradation raises the sigma used for *expansion* only; admission
+      // above kept the run's base sigma.
+      if (size < gov.effective_sigma()) continue;
       // Bound on descendants from the child's own (exact) statistics.
       ParentBounds bounds;
       bounds.AddParent(size, se, stats.max_errors[i]);
-      const double bound = UpperBoundScore(context, sigma, bounds);
+      const double bound =
+          UpperBoundScore(context, gov.effective_sigma(), bounds);
       if (bound > std::max(topk.Threshold(), 0.0)) {
         const int last_feature =
             offsets.FeatureOfColumn(child_columns[i].back());
@@ -141,6 +172,7 @@ StatusOr<SliceLineResult> RunSliceLineBestFirst(
     result.levels.push_back(stats);
     result.total_evaluated += evaluated_at_level[level];
   }
+  result.outcome = gov.Finish(stop, stopped_level, false);
   result.top_k = topk.Slices();
   result.total_seconds = total_watch.ElapsedSeconds();
   return result;

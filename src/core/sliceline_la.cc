@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/bounds.h"
+#include "core/checkpoint.h"
+#include "core/governance.h"
 #include "core/scoring.h"
 #include "core/topk.h"
 #include "data/onehot.h"
@@ -167,9 +171,103 @@ StatusOr<SliceLineResult> RunSliceLineLA(const data::IntMatrix& x0,
       config.max_level > 0
           ? std::min<int>(config.max_level, static_cast<int>(x0.cols()))
           : static_cast<int>(x0.cols());
+  GovernanceController gov(config, sigma, max_level);
+
+  // Install the run's memory budget so every CSR intermediate of the
+  // level-wise kernels (joins, selection tables, blocked products) charges
+  // it.
+  std::optional<ScopedMemoryBudget> scoped_budget;
+  if (config.run_context != nullptr &&
+      config.run_context->memory_budget() != nullptr) {
+    scoped_budget.emplace(config.run_context->memory_budget());
+  }
+
+  const bool checkpointing = !config.checkpoint_dir.empty();
+  uint64_t config_hash = 0;
+  uint64_t data_hash = 0;
+  uint64_t aux_hash = 0;
+  if (checkpointing) {
+    config_hash = HashConfigForCheckpoint(config, sigma, "la");
+    Fnv1a dh;
+    dh.Add64(static_cast<uint64_t>(n));
+    dh.Add64(static_cast<uint64_t>(offsets.total));
+    dh.AddDouble(total_error);
+    for (double v : ss0) dh.AddDouble(v);
+    for (double v : se0) dh.AddDouble(v);
+    data_hash = dh.hash();
+    // kept_cols defines the compacted column space the frontier matrix is
+    // expressed in; a checkpoint is only resumable when it matches exactly.
+    Fnv1a ah;
+    for (int64_t c : kept_cols) ah.Add64(static_cast<uint64_t>(c));
+    aux_hash = ah.hash();
+  }
+  const auto save_checkpoint = [&](int completed_level) {
+    CheckpointState state;
+    state.engine = "la";
+    state.config_hash = config_hash;
+    state.data_hash = data_hash;
+    state.aux_hash = aux_hash;
+    state.level = completed_level;
+    state.effective_sigma = gov.effective_sigma();
+    state.degradation_steps = gov.degradation_steps();
+    state.candidates_capped = gov.candidates_capped();
+    state.total_evaluated = result.total_evaluated;
+    state.levels = result.levels;
+    state.topk = topk.Slices();
+    state.frontier_ss = level.ss;
+    state.frontier_se = level.se;
+    state.frontier_sm = level.sm;
+    state.frontier = level.s;
+    const Status saved = SaveCheckpoint(config.checkpoint_dir, state);
+    if (!saved.ok()) {
+      LOG_WARNING << "checkpoint save failed: " << saved.ToString();
+    }
+  };
+
+  bool resumed = false;
+  int start_level = 2;
+  if (checkpointing && config.resume &&
+      CheckpointFileExists(config.checkpoint_dir)) {
+    StatusOr<CheckpointState> loaded = LoadCheckpoint(config.checkpoint_dir);
+    if (loaded.ok() && loaded->engine == "la" &&
+        loaded->config_hash == config_hash && loaded->data_hash == data_hash &&
+        loaded->aux_hash == aux_hash && loaded->frontier.cols() == p) {
+      level.s = std::move(loaded->frontier);
+      level.ss = std::move(loaded->frontier_ss);
+      level.se = std::move(loaded->frontier_se);
+      level.sm = std::move(loaded->frontier_sm);
+      topk.Restore(std::move(loaded->topk));
+      result.levels = std::move(loaded->levels);
+      result.total_evaluated = loaded->total_evaluated;
+      gov.RestoreDegradation(loaded->degradation_steps,
+                             loaded->effective_sigma,
+                             loaded->candidates_capped);
+      start_level = loaded->level + 1;
+      resumed = true;
+    } else if (!loaded.ok()) {
+      LOG_WARNING << "ignoring unusable checkpoint: "
+                  << loaded.status().ToString();
+    } else {
+      LOG_WARNING << "ignoring checkpoint for a different run "
+                     "(engine/config/data hash mismatch)";
+    }
+  }
+  if (checkpointing && !resumed) save_checkpoint(1);
 
   // c) level-wise lattice enumeration (lines 13-19).
-  for (int L = 2; L <= max_level && level.s.rows() > 0; ++L) {
+  StopReason stop = StopReason::kNone;
+  int stopped_level = 0;
+  for (int L = start_level;
+       L <= gov.effective_max_level() && level.s.rows() > 0; ++L) {
+    stop = gov.CheckBoundary();
+    if (stop != StopReason::kNone) {
+      stopped_level = L;
+      break;
+    }
+    gov.MaybeDegrade(L);
+    if (L > gov.effective_max_level()) break;
+    const int64_t sigma_eff = gov.effective_sigma();
+
     level_watch.Reset();
     LevelStats stats;
     stats.level = L;
@@ -179,7 +277,7 @@ StatusOr<SliceLineResult> RunSliceLineLA(const data::IntMatrix& x0,
     std::vector<int64_t> keep_rows;
     for (int64_t i = 0; i < level.s.rows(); ++i) {
       const bool size_ok = !config.prune_size ||
-                           level.ss[i] >= static_cast<double>(sigma);
+                           level.ss[i] >= static_cast<double>(sigma_eff);
       if (size_ok && level.se[i] > 0.0) {
         keep[i] = 1;
         keep_rows.push_back(i);
@@ -322,7 +420,7 @@ StatusOr<SliceLineResult> RunSliceLineLA(const data::IntMatrix& x0,
     std::vector<ParentBounds> survivor_bounds;
     for (const Group& group : groups) {
       bool keep_group = true;
-      if (config.prune_size && group.bounds.size_ub < sigma) {
+      if (config.prune_size && group.bounds.size_ub < sigma_eff) {
         keep_group = false;
       }
       if (keep_group && config.prune_parents) {
@@ -339,7 +437,7 @@ StatusOr<SliceLineResult> RunSliceLineLA(const data::IntMatrix& x0,
         if (np != L) keep_group = false;
       }
       if (keep_group && config.prune_score) {
-        const double ub = UpperBoundScore(context, sigma, group.bounds);
+        const double ub = UpperBoundScore(context, sigma_eff, group.bounds);
         if (!(ub > topk.Threshold() && ub >= 0.0)) keep_group = false;
       }
       if (!keep_group) {
@@ -354,6 +452,40 @@ StatusOr<SliceLineResult> RunSliceLineLA(const data::IntMatrix& x0,
       result.levels.push_back(stats);
       break;
     }
+
+    // Degraded runs keep only the most promising candidates, ranked by
+    // their Equation 7 upper bound (ties broken by enumeration order so
+    // the cap stays deterministic).
+    if (gov.candidate_cap() > 0 &&
+        static_cast<int64_t>(survivors.size()) > gov.candidate_cap()) {
+      const int64_t cap = gov.candidate_cap();
+      std::vector<int64_t> order(survivors.size());
+      for (size_t i = 0; i < order.size(); ++i) {
+        order[i] = static_cast<int64_t>(i);
+      }
+      std::vector<double> ubs(survivors.size());
+      for (size_t i = 0; i < survivors.size(); ++i) {
+        ubs[i] = UpperBoundScore(context, sigma_eff, survivor_bounds[i]);
+      }
+      std::nth_element(order.begin(), order.begin() + cap, order.end(),
+                       [&](int64_t a, int64_t b) {
+                         if (ubs[a] != ubs[b]) return ubs[a] > ubs[b];
+                         return a < b;
+                       });
+      order.resize(static_cast<size_t>(cap));
+      std::sort(order.begin(), order.end());
+      std::vector<int64_t> capped;
+      std::vector<ParentBounds> capped_bounds;
+      capped.reserve(order.size());
+      capped_bounds.reserve(order.size());
+      for (int64_t i : order) {
+        capped.push_back(survivors[i]);
+        capped_bounds.push_back(survivor_bounds[i]);
+      }
+      gov.RecordCapped(static_cast<int64_t>(survivors.size()) - cap);
+      survivors = std::move(capped);
+      survivor_bounds = std::move(capped_bounds);
+    }
     CsrMatrix s_new = linalg::GatherRows(merged, survivors);
     stats.candidates = s_new.rows();
 
@@ -364,7 +496,14 @@ StatusOr<SliceLineResult> RunSliceLineLA(const data::IntMatrix& x0,
     next.ss.assign(static_cast<size_t>(s_new.rows()), 0.0);
     next.se.assign(static_cast<size_t>(s_new.rows()), 0.0);
     next.sm.assign(static_cast<size_t>(s_new.rows()), 0.0);
+    bool stopped_mid_level = false;
     for (int64_t b0 = 0; b0 < s_new.rows(); b0 += block) {
+      stop = gov.CheckBoundary();
+      if (stop != StopReason::kNone) {
+        stopped_mid_level = true;
+        stopped_level = L;
+        break;
+      }
       const int64_t b1 = std::min<int64_t>(b0 + block, s_new.rows());
       const CsrMatrix sb = linalg::SliceRowRange(s_new, b0, b1);
       const CsrMatrix inter = linalg::FilterEquals(
@@ -379,6 +518,10 @@ StatusOr<SliceLineResult> RunSliceLineLA(const data::IntMatrix& x0,
         next.sm[b0 + j] = bsm[j];
       }
     }
+    // A level interrupted mid-evaluation is discarded wholesale: the
+    // frontier stays at the last completed level, so a checkpointed resume
+    // re-evaluates the whole level instead of trusting partial statistics.
+    if (stopped_mid_level) break;
 
     // --- top-K maintenance. ---
     for (int64_t i = 0; i < s_new.rows(); ++i) {
@@ -396,8 +539,10 @@ StatusOr<SliceLineResult> RunSliceLineLA(const data::IntMatrix& x0,
     result.levels.push_back(stats);
     result.total_evaluated += stats.candidates;
     level = std::move(next);
+    if (checkpointing) save_checkpoint(L);
   }
 
+  result.outcome = gov.Finish(stop, stopped_level, resumed);
   result.top_k = topk.Slices();
   result.total_seconds = total_watch.ElapsedSeconds();
   return result;

@@ -35,4 +35,12 @@ double TopK::Threshold() const {
   return Full() ? slices_.back().stats.score : 0.0;
 }
 
+void TopK::Restore(std::vector<Slice> slices) {
+  SLICELINE_CHECK_LE(static_cast<int>(slices.size()), k_);
+  for (size_t i = 1; i < slices.size(); ++i) {
+    SLICELINE_CHECK_GE(slices[i - 1].stats.score, slices[i].stats.score);
+  }
+  slices_ = std::move(slices);
+}
+
 }  // namespace sliceline::core

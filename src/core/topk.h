@@ -27,6 +27,12 @@ class TopK {
   /// Slices in descending score order.
   const std::vector<Slice>& Slices() const { return slices_; }
 
+  /// Replaces the held slices wholesale (checkpoint resume). The input must
+  /// already be in descending score order with at most K entries; violations
+  /// abort (corrupt checkpoints are rejected by the loader's checksum before
+  /// reaching here).
+  void Restore(std::vector<Slice> slices);
+
  private:
   int k_;
   int64_t min_support_;

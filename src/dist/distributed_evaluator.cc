@@ -173,8 +173,15 @@ StatusOr<core::EvalResult> DistributedSliceEvaluator::Evaluate(
   std::vector<core::EvalResult> partials(num_shards);
   size_t needed = num_shards;
 
+  const RunContext* ctx = config.run_context;
   for (int attempt = 0; attempt <= options_.max_retries && needed > 0;
        ++attempt) {
+    // Governance boundary: a cancelled / expired / over-budget run stops
+    // between waves instead of burning a full retry schedule. Workers also
+    // poll the same context inside their shard evaluations.
+    if (ctx != nullptr && ctx->ShouldStop()) {
+      return StopReasonToStatus(ctx->CheckStop());
+    }
     if (attempt > 0) {
       // Exponential backoff before the retry wave; simulated time only.
       const double backoff =

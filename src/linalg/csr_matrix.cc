@@ -3,9 +3,73 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/checked_math.h"
 #include "common/logging.h"
 
 namespace sliceline::linalg {
+
+Status CsrMatrix::Validate(int64_t rows, int64_t cols,
+                           const std::vector<int64_t>& row_ptr,
+                           const std::vector<int64_t>& col_idx,
+                           const std::vector<double>& values,
+                           bool check_row_contents) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("negative CSR shape " +
+                                   std::to_string(rows) + "x" +
+                                   std::to_string(cols));
+  }
+  int64_t rows_plus_one;
+  if (!CheckedAddInt64(rows, 1, &rows_plus_one)) {
+    return Status::OutOfRange("CSR row count overflows");
+  }
+  SLICELINE_RETURN_NOT_OK(CheckedNnzReservation(
+      static_cast<int64_t>(col_idx.size()), rows, cols, sizeof(int64_t)));
+  if (static_cast<int64_t>(row_ptr.size()) != rows_plus_one) {
+    return Status::InvalidArgument("CSR row_ptr size " +
+                                   std::to_string(row_ptr.size()) +
+                                   " != rows + 1");
+  }
+  if (row_ptr.front() != 0) {
+    return Status::InvalidArgument("CSR row_ptr must start at 0");
+  }
+  if (row_ptr.back() != static_cast<int64_t>(col_idx.size())) {
+    return Status::InvalidArgument("CSR row_ptr end " +
+                                   std::to_string(row_ptr.back()) +
+                                   " != nnz " +
+                                   std::to_string(col_idx.size()));
+  }
+  if (col_idx.size() != values.size()) {
+    return Status::InvalidArgument("CSR col_idx/values size mismatch");
+  }
+  if (check_row_contents) {
+    for (int64_t r = 0; r < rows; ++r) {
+      if (row_ptr[r] > row_ptr[r + 1]) {
+        return Status::InvalidArgument("CSR row_ptr not monotone at row " +
+                                       std::to_string(r));
+      }
+      for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        if (col_idx[k] < 0 || col_idx[k] >= cols) {
+          return Status::OutOfRange("CSR column index " +
+                                    std::to_string(col_idx[k]) +
+                                    " out of range at row " +
+                                    std::to_string(r));
+        }
+        if (k > row_ptr[r] && col_idx[k - 1] >= col_idx[k]) {
+          return Status::InvalidArgument(
+              "CSR column indices not strictly sorted at row " +
+              std::to_string(r));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+int64_t CsrMatrix::HeapBytes() const {
+  return static_cast<int64_t>(row_ptr_.capacity() * sizeof(int64_t) +
+                              col_idx_.capacity() * sizeof(int64_t) +
+                              values_.capacity() * sizeof(double));
+}
 
 CsrMatrix::CsrMatrix(int64_t rows, int64_t cols, std::vector<int64_t> row_ptr,
                      std::vector<int64_t> col_idx, std::vector<double> values)
@@ -14,12 +78,9 @@ CsrMatrix::CsrMatrix(int64_t rows, int64_t cols, std::vector<int64_t> row_ptr,
       row_ptr_(std::move(row_ptr)),
       col_idx_(std::move(col_idx)),
       values_(std::move(values)) {
-  SLICELINE_CHECK_GE(rows_, 0);
-  SLICELINE_CHECK_GE(cols_, 0);
-  SLICELINE_CHECK_EQ(static_cast<int64_t>(row_ptr_.size()), rows_ + 1);
-  SLICELINE_CHECK_EQ(row_ptr_.front(), 0);
-  SLICELINE_CHECK_EQ(row_ptr_.back(), static_cast<int64_t>(col_idx_.size()));
-  SLICELINE_CHECK_EQ(col_idx_.size(), values_.size());
+  const Status st =
+      Validate(rows_, cols_, row_ptr_, col_idx_, values_, /*debug only*/ false);
+  SLICELINE_CHECK(st.ok()) << st.ToString();
 #ifndef NDEBUG
   for (int64_t r = 0; r < rows_; ++r) {
     for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
@@ -28,6 +89,17 @@ CsrMatrix::CsrMatrix(int64_t rows, int64_t cols, std::vector<int64_t> row_ptr,
     }
   }
 #endif
+  charge_.Resize(HeapBytes());
+}
+
+StatusOr<CsrMatrix> CsrMatrix::Create(int64_t rows, int64_t cols,
+                                      std::vector<int64_t> row_ptr,
+                                      std::vector<int64_t> col_idx,
+                                      std::vector<double> values) {
+  SLICELINE_RETURN_NOT_OK(Validate(rows, cols, row_ptr, col_idx, values,
+                                   /*check_row_contents=*/true));
+  return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
 }
 
 CsrMatrix CsrMatrix::Zero(int64_t rows, int64_t cols) {
@@ -96,8 +168,10 @@ std::string CsrMatrix::ToString(int max_rows) const {
 }
 
 CooBuilder::CooBuilder(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {
-  SLICELINE_CHECK_GE(rows, 0);
-  SLICELINE_CHECK_GE(cols, 0);
+  // Overflow-checked up front: Build() allocates rows + 1 pointers and the
+  // CSR constructor validates against rows * cols.
+  const Status st = CheckedElementCount(rows, cols, sizeof(double), nullptr);
+  SLICELINE_CHECK(st.ok()) << st.ToString();
 }
 
 void CooBuilder::Add(int64_t r, int64_t c, double v) {

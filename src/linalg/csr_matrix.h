@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "linalg/dense_matrix.h"
 
@@ -26,6 +27,15 @@ class CsrMatrix {
   CsrMatrix(int64_t rows, int64_t cols, std::vector<int64_t> row_ptr,
             std::vector<int64_t> col_idx, std::vector<double> values);
 
+  /// Non-aborting factory for CSR arrays originating from untrusted input
+  /// (MatrixMarket files, checkpoints): validates shape/nnz overflow, array
+  /// sizes, and per-row sorted in-range column indices, returning Status
+  /// instead of aborting.
+  static StatusOr<CsrMatrix> Create(int64_t rows, int64_t cols,
+                                    std::vector<int64_t> row_ptr,
+                                    std::vector<int64_t> col_idx,
+                                    std::vector<double> values);
+
   /// All-zero matrix of the given shape.
   static CsrMatrix Zero(int64_t rows, int64_t cols);
 
@@ -36,7 +46,9 @@ class CsrMatrix {
   int64_t cols() const { return cols_; }
   int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
   double density() const {
-    return rows_ * cols_ == 0
+    // Product computed in double: rows_ * cols_ as int64_t could wrap for
+    // extreme shapes.
+    return rows_ == 0 || cols_ == 0
                ? 0.0
                : static_cast<double>(nnz()) /
                      (static_cast<double>(rows_) * static_cast<double>(cols_));
@@ -66,11 +78,25 @@ class CsrMatrix {
   std::string ToString(int max_rows = 10) const;
 
  private:
+  /// Shared validation for the aborting constructor and Create(); returns
+  /// the first structural violation found.
+  static Status Validate(int64_t rows, int64_t cols,
+                         const std::vector<int64_t>& row_ptr,
+                         const std::vector<int64_t>& col_idx,
+                         const std::vector<double>& values,
+                         bool check_row_contents);
+
+  /// Bytes held by the three CSR arrays (for budget accounting).
+  int64_t HeapBytes() const;
+
   int64_t rows_;
   int64_t cols_;
   std::vector<int64_t> row_ptr_;  // size rows_ + 1
   std::vector<int64_t> col_idx_;  // size nnz, sorted within each row
   std::vector<double> values_;    // size nnz
+  // Live-byte accounting against the ambient MemoryBudget (no-op when none
+  // is installed); copies re-charge, moves transfer.
+  MemoryCharge charge_;
 };
 
 /// Accumulates COO triplets and builds a CsrMatrix. Duplicate (r, c) entries

@@ -4,19 +4,44 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/checked_math.h"
 #include "common/logging.h"
 
 namespace sliceline::linalg {
 
-DenseMatrix::DenseMatrix(int64_t rows, int64_t cols, double fill)
-    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), fill) {
-  SLICELINE_CHECK_GE(rows, 0);
-  SLICELINE_CHECK_GE(cols, 0);
+namespace {
+
+// Validated rows * cols for the aborting constructors: a wrapping product
+// would size the backing vector from garbage.
+int64_t CheckedShapeOrDie(int64_t rows, int64_t cols) {
+  int64_t count = 0;
+  const Status st = CheckedElementCount(rows, cols, sizeof(double), &count);
+  SLICELINE_CHECK(st.ok()) << st.ToString();
+  return count;
 }
 
+}  // namespace
+
+DenseMatrix::DenseMatrix(int64_t rows, int64_t cols, double fill)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<size_t>(CheckedShapeOrDie(rows, cols)), fill),
+      charge_(static_cast<int64_t>(data_.capacity() * sizeof(double))) {}
+
 DenseMatrix::DenseMatrix(int64_t rows, int64_t cols, std::vector<double> data)
-    : rows_(rows), cols_(cols), data_(std::move(data)) {
-  SLICELINE_CHECK_EQ(static_cast<int64_t>(data_.size()), rows * cols);
+    : rows_(rows),
+      cols_(cols),
+      data_(std::move(data)),
+      charge_(static_cast<int64_t>(data_.capacity() * sizeof(double))) {
+  SLICELINE_CHECK_EQ(static_cast<int64_t>(data_.size()),
+                     CheckedShapeOrDie(rows, cols));
+}
+
+StatusOr<DenseMatrix> DenseMatrix::Create(int64_t rows, int64_t cols,
+                                          double fill) {
+  SLICELINE_RETURN_NOT_OK(
+      CheckedElementCount(rows, cols, sizeof(double), nullptr));
+  return DenseMatrix(rows, cols, fill);
 }
 
 void DenseMatrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 
 namespace sliceline::linalg {
@@ -15,8 +16,16 @@ namespace sliceline::linalg {
 class DenseMatrix {
  public:
   DenseMatrix() : rows_(0), cols_(0) {}
+  /// Aborts when the shape is negative or rows * cols overflows; use
+  /// Create() for untrusted shapes.
   DenseMatrix(int64_t rows, int64_t cols, double fill = 0.0);
   DenseMatrix(int64_t rows, int64_t cols, std::vector<double> data);
+
+  /// Overflow-checked factory for shapes originating from untrusted input
+  /// (file parsers, checkpoints): rejects negative dimensions and products
+  /// that overflow int64_t/SIZE_MAX instead of aborting.
+  static StatusOr<DenseMatrix> Create(int64_t rows, int64_t cols,
+                                      double fill = 0.0);
 
   DenseMatrix(const DenseMatrix&) = default;
   DenseMatrix& operator=(const DenseMatrix&) = default;
@@ -64,6 +73,10 @@ class DenseMatrix {
   int64_t rows_;
   int64_t cols_;
   std::vector<double> data_;
+  // Live-byte accounting against the ambient MemoryBudget (no-op when none
+  // is installed). Copies re-charge, moves transfer -- the defaulted special
+  // members above stay correct.
+  MemoryCharge charge_;
 };
 
 /// In-place Cholesky solve of the SPD system A x = b (A is n x n). Adds

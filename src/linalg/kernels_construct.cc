@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/checked_math.h"
 #include "common/logging.h"
 #include "linalg/kernels.h"
 
@@ -17,6 +18,14 @@ CsrMatrix Table(const std::vector<int64_t>& rix,
                 int64_t cols) {
   SLICELINE_CHECK_EQ(rix.size(), cix.size());
   SLICELINE_CHECK_EQ(rix.size(), weights.size());
+  // Byte-overflow check only: duplicate (r, c) triplets are summed by the
+  // builder, so the triplet count may legitimately exceed rows * cols.
+  int64_t triplet_bytes;
+  SLICELINE_CHECK(CheckedMulInt64(
+      static_cast<int64_t>(rix.size()),
+      static_cast<int64_t>(2 * sizeof(int64_t) + sizeof(double)),
+      &triplet_bytes))
+      << "COO triplet reservation overflows: " << rix.size();
   CooBuilder builder(rows, cols);
   for (size_t k = 0; k < rix.size(); ++k) {
     builder.Add(rix[k], cix[k], weights[k]);

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/checked_math.h"
 #include "common/string_util.h"
 
 namespace sliceline::linalg {
@@ -64,6 +65,22 @@ StatusOr<CsrMatrix> ParseMatrixMarket(const std::string& content) {
   size_line >> rows >> cols >> nnz;
   if (rows < 0 || cols < 0 || nnz < 0) {
     return Status::InvalidArgument("malformed size line: '" + line + "'");
+  }
+  // File-controlled sizes: reject products that would wrap before any
+  // reservation happens. For symmetric inputs the mirrored entries can at
+  // most double the count, so only the byte product is checked on 2*nnz
+  // (the dense-capacity bound applies to the declared nnz alone).
+  SLICELINE_RETURN_NOT_OK(
+      CheckedElementCount(rows, cols, sizeof(double), nullptr));
+  SLICELINE_RETURN_NOT_OK(CheckedNnzReservation(
+      nnz, rows, cols, sizeof(int64_t) + sizeof(double)));
+  int64_t mirrored_bytes;
+  if (symmetric &&
+      !CheckedMulInt64(nnz, 2 * static_cast<int64_t>(sizeof(int64_t) +
+                                                     sizeof(double)),
+                       &mirrored_bytes)) {
+    return Status::OutOfRange("symmetric nnz overflows: " +
+                              std::to_string(nnz));
   }
 
   CooBuilder builder(rows, cols);

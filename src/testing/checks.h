@@ -56,6 +56,14 @@ std::string CheckMetamorphic(const FuzzCase& fuzz_case);
 /// (bit-identical short of local fallback, with reproducible fault stats).
 std::string CheckDeterminism(const FuzzCase& fuzz_case);
 
+/// Governance robustness on the case's dataset: every engine is run
+/// pre-cancelled, under a randomized simulated-time deadline, and under a
+/// randomized memory budget. Each run must return gracefully (no error
+/// status, no crash) with a structurally well-formed RunOutcome and a
+/// sorted, finite top-K; an unconstrained governed run must match the
+/// ungoverned top-K exactly.
+std::string CheckGovernance(const FuzzCase& fuzz_case);
+
 }  // namespace sliceline::testing
 
 #endif  // SLICELINE_TESTING_CHECKS_H_

@@ -23,6 +23,7 @@ std::string RunDatasetCheck(const std::string& check, const FuzzCase& fuzz_case,
   if (check == "oracle") return CheckOracleDifferential(fuzz_case, inject);
   if (check == "metamorphic") return CheckMetamorphic(fuzz_case);
   if (check == "determinism") return CheckDeterminism(fuzz_case);
+  if (check == "governance") return CheckGovernance(fuzz_case);
   return "unknown check: " + check;
 }
 
@@ -98,7 +99,7 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
                    static_cast<long long>(fuzz_case.x0.cols()));
     }
 
-    for (const char* check : {"oracle", "metamorphic"}) {
+    for (const char* check : {"oracle", "metamorphic", "governance"}) {
       if (!CheckSelected(options, check)) continue;
       ++report.checks_run;
       std::string failure = RunDatasetCheck(check, fuzz_case, options.inject);

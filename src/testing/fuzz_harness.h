@@ -11,14 +11,14 @@
 
 namespace sliceline::testing {
 
-/// Names of the four checks, in execution order.
-inline constexpr const char* kCheckNames[] = {"oracle", "kernel",
-                                              "metamorphic", "determinism"};
+/// Names of the five checks, in execution order.
+inline constexpr const char* kCheckNames[] = {
+    "oracle", "kernel", "metamorphic", "determinism", "governance"};
 
 struct FuzzOptions {
   uint64_t seed = 1;
   int cases = 100;
-  /// Subset of kCheckNames to run; empty = all four.
+  /// Subset of kCheckNames to run; empty = all five.
   std::vector<std::string> checks;
   InjectedBug inject = InjectedBug::kNone;
   /// Directory replay files are written to; empty disables replay output.

@@ -1,14 +1,23 @@
 #!/usr/bin/env bash
 # Golden-file regression test for sliceline_cli.
 #
-# Runs the CLI on the checked-in golden_input.csv (a 120-row regression
-# dataset with a planted f1=a AND f2=x problem conjunction a linear model
-# cannot express) under a fixed configuration, once per engine, and diffs
-# the output against golden_expected.txt. Timings and the input path are
-# run-dependent and get normalized; everything else — row counts, trained
-# mean error, every reported slice with its score/size/error stats, the
-# per-level enumeration counters, the distributed cost/fault summary — must
-# match byte for byte.
+# Part 1 runs the CLI on the checked-in golden_input.csv (a 120-row
+# regression dataset with a planted f1=a AND f2=x problem conjunction a
+# linear model cannot express) under a fixed configuration, once per engine,
+# and diffs the output against golden_expected.txt. Timings and the input
+# path are run-dependent and get normalized; everything else — row counts,
+# trained mean error, every reported slice with its score/size/error stats,
+# the per-level enumeration counters, the distributed cost/fault summary —
+# must match byte for byte.
+#
+# Part 2 checks argument validation: every semantically invalid flag value
+# must be rejected before any work starts, with a non-zero exit code and a
+# specific message on stderr.
+#
+# Part 3 checks checkpoint/resume end to end: a checkpointed run is
+# SIGKILLed mid-enumeration on a generated 40k-row dataset, then re-run
+# with --resume; the resumed output must be byte-identical (after timing
+# normalization) to a run that was never interrupted.
 #
 # Usage: cli_golden_test.sh CLI_BINARY INPUT_CSV EXPECTED_FILE
 set -euo pipefail
@@ -16,6 +25,9 @@ set -euo pipefail
 cli="$1"
 input="$2"
 expected="$3"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
 
 normalize() {
   sed -E \
@@ -44,3 +56,104 @@ if ! diff -u "$expected" <(printf '%s\n' "$actual"); then
   exit 1
 fi
 echo "OK: CLI output matches golden transcript"
+
+# --- Part 2: invalid arguments are rejected with a specific message -------
+
+# expect_reject DESCRIPTION STDERR_SUBSTRING CLI_ARGS...
+expect_reject() {
+  local desc="$1" needle="$2"
+  shift 2
+  local err
+  if err="$("$cli" "$@" 2>&1 >/dev/null)"; then
+    echo "FAIL: $desc: expected non-zero exit, got success" >&2
+    exit 1
+  fi
+  if ! grep -qF -- "$needle" <<<"$err"; then
+    echo "FAIL: $desc: stderr does not mention '$needle'" >&2
+    printf '%s\n' "$err" >&2
+    exit 1
+  fi
+}
+
+valid=(--csv "$input" --label target)
+expect_reject "missing --csv/--label" "--csv and --label are required"
+expect_reject "nonexistent csv" "--csv path does not exist" \
+  --csv "$workdir/no_such_file.csv" --label target
+expect_reject "zero k" "--k must be positive" "${valid[@]}" --k 0
+expect_reject "negative k" "--k must be positive" "${valid[@]}" --k -3
+expect_reject "alpha above 1" "--alpha must be in (0, 1]" \
+  "${valid[@]}" --alpha 1.5
+expect_reject "alpha zero" "--alpha must be in (0, 1]" \
+  "${valid[@]}" --alpha 0
+expect_reject "negative sigma" "--sigma must be >= 0" \
+  "${valid[@]}" --sigma -1
+expect_reject "negative max-level" "--max-level must be >= 0" \
+  "${valid[@]}" --max-level -2
+expect_reject "zero bins" "--bins must be positive" "${valid[@]}" --bins 0
+expect_reject "unknown task" "--task must be" "${valid[@]}" --task cluster
+expect_reject "unknown engine" "--engine must be" "${valid[@]}" --engine gpu
+expect_reject "zero workers for dist" "--workers must be >= 1" \
+  "${valid[@]}" --engine dist --workers 0
+expect_reject "negative deadline" "--deadline-ms must be >= 0" \
+  "${valid[@]}" --deadline-ms -5
+expect_reject "negative memory budget" "--memory-budget-mb must be >= 0" \
+  "${valid[@]}" --memory-budget-mb -1
+expect_reject "resume without checkpoint dir" \
+  "--resume requires --checkpoint-dir" "${valid[@]}" --resume
+expect_reject "checkpoint dir is not a directory" \
+  "--checkpoint-dir is not a directory" \
+  "${valid[@]}" --checkpoint-dir "$workdir/missing_dir"
+expect_reject "unknown flag" "unknown argument" "${valid[@]}" --frobnicate
+echo "OK: invalid arguments rejected with specific messages"
+
+# --- Part 3: SIGKILL mid-enumeration, then --resume ----------------------
+
+# Generate a dataset whose enumeration takes ~2s (release build): 50k rows,
+# 10 categorical features with pairwise-interaction error the linear model
+# cannot express, so levels 3-4 stay alive and the kill below lands
+# mid-enumeration after at least one level has been checkpointed. The MINSTD
+# LCG keeps the dataset — and therefore the whole transcript — reproducible.
+big="$workdir/big.csv"
+awk 'BEGIN {
+  print "f1,f2,f3,f4,f5,f6,f7,f8,f9,f10,target"
+  s = 20240805
+  for (i = 0; i < 50000; i++) {
+    v = ""
+    for (j = 1; j <= 10; j++) {
+      s = (s * 48271) % 2147483647
+      f[j] = s % 8
+      v = v sprintf("%c%d,", 96 + j, f[j])
+    }
+    s = (s * 48271) % 2147483647
+    y = 100 * (f[1] == f[2]) + 60 * (f[3] == f[4]) \
+        + 40 * (f[5] == f[6]) + s % 10
+    printf "%s%d\n", v, y
+  }
+}' > "$big"
+
+run_big=(--csv "$big" --label target --task reg --k 50 --alpha 0.99
+         --sigma 20 --max-level 5 --engine native)
+
+"$cli" "${run_big[@]}" | normalize > "$workdir/reference.txt"
+
+ckpt="$workdir/ckpt"
+mkdir "$ckpt"
+"$cli" "${run_big[@]}" --checkpoint-dir "$ckpt" \
+  > "$workdir/victim.txt" 2>&1 &
+victim=$!
+sleep 0.5
+kill -9 "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null && killed=no || killed=yes
+
+# Whether or not the SIGKILL landed mid-run (it almost always does at this
+# dataset size), the resumed invocation must reproduce the uninterrupted
+# output bit for bit: from a mid-level checkpoint it continues, from a
+# complete or absent checkpoint it re-runs — both paths are deterministic.
+"$cli" "${run_big[@]}" --checkpoint-dir "$ckpt" --resume \
+  | normalize > "$workdir/resumed.txt"
+if ! diff -u "$workdir/reference.txt" "$workdir/resumed.txt"; then
+  echo "FAIL: resumed run diverged from uninterrupted run" >&2
+  echo "(victim killed mid-run: $killed)" >&2
+  exit 1
+fi
+echo "OK: post-SIGKILL --resume matches uninterrupted run (killed=$killed)"

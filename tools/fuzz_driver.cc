@@ -28,7 +28,8 @@ void PrintUsage() {
       "usage: fuzz_driver [options]\n"
       "  --seed=N             base seed of the case stream (default 1)\n"
       "  --cases=N            number of generated cases (default 100)\n"
-      "  --checks=a,b,...     subset of oracle,kernel,metamorphic,determinism\n"
+      "  --checks=a,b,...     subset of "
+      "oracle,kernel,metamorphic,determinism,governance\n"
       "                       (default: all)\n"
       "  --kernel-rounds=N    matrix draws per kernel case (default 2)\n"
       "  --determinism-stride=N  run the determinism check every N-th case\n"

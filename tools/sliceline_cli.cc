@@ -8,14 +8,19 @@
 //                 [--bins 10] [--drop col1,col2] [--engine native|la|dist]
 //                 [--workers 4] [--fault-seed S] [--fault-transient P]
 //                 [--fault-loss P] [--fault-straggler P] [--fault-corrupt P]
+//                 [--deadline-ms MS] [--memory-budget-mb MB]
+//                 [--checkpoint-dir DIR] [--resume]
 //
 // Exit code 0 on success, 1 on usage or data errors.
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/string_util.h"
 #include "core/report.h"
 #include "core/sliceline.h"
@@ -44,6 +49,10 @@ struct CliOptions {
   double fault_loss = 0.0;
   double fault_straggler = 0.0;
   double fault_corrupt = 0.0;
+  int64_t deadline_ms = 0;       ///< 0 = no deadline
+  int64_t memory_budget_mb = 0;  ///< 0 = unlimited
+  std::string checkpoint_dir;
+  bool resume = false;
 };
 
 void PrintUsage() {
@@ -63,7 +72,13 @@ void PrintUsage() {
       "  --fault-transient P  per-round transient worker failure rate\n"
       "  --fault-loss P       per-round permanent worker loss rate\n"
       "  --fault-straggler P  per-round straggler rate\n"
-      "  --fault-corrupt P    per-round partial-corruption rate\n");
+      "  --fault-corrupt P    per-round partial-corruption rate\n"
+      "  --deadline-ms MS     wall-clock deadline; exceeding it returns the\n"
+      "                       best-so-far top-K marked PARTIAL (0 = none)\n"
+      "  --memory-budget-mb MB  memory budget; soft pressure degrades the\n"
+      "                       search, hard pressure stops it (0 = unlimited)\n"
+      "  --checkpoint-dir DIR save a resumable checkpoint per level\n"
+      "  --resume             continue from DIR's checkpoint if compatible\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -140,6 +155,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next("--fault-corrupt");
       if (v == nullptr) return false;
       options->fault_corrupt = std::atof(v);
+    } else if (arg == "--deadline-ms") {
+      const char* v = next("--deadline-ms");
+      if (v == nullptr) return false;
+      options->deadline_ms = std::atoll(v);
+    } else if (arg == "--memory-budget-mb") {
+      const char* v = next("--memory-budget-mb");
+      if (v == nullptr) return false;
+      options->memory_budget_mb = std::atoll(v);
+    } else if (arg == "--checkpoint-dir") {
+      const char* v = next("--checkpoint-dir");
+      if (v == nullptr) return false;
+      options->checkpoint_dir = v;
+    } else if (arg == "--resume") {
+      options->resume = true;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -154,6 +183,77 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   return true;
 }
 
+/// Rejects semantically invalid option values before any work starts, with
+/// one specific message per failure (exit code 1 via main).
+bool ValidateOptions(const CliOptions& options) {
+  struct stat st;
+  if (stat(options.csv_path.c_str(), &st) != 0) {
+    std::fprintf(stderr, "--csv path does not exist: %s\n",
+                 options.csv_path.c_str());
+    return false;
+  }
+  if (options.task != "reg" && options.task != "class") {
+    std::fprintf(stderr, "--task must be 'reg' or 'class', got '%s'\n",
+                 options.task.c_str());
+    return false;
+  }
+  if (options.engine != "native" && options.engine != "la" &&
+      options.engine != "dist") {
+    std::fprintf(stderr, "--engine must be 'native', 'la' or 'dist', got "
+                 "'%s'\n", options.engine.c_str());
+    return false;
+  }
+  if (options.k <= 0) {
+    std::fprintf(stderr, "--k must be positive, got %d\n", options.k);
+    return false;
+  }
+  if (!(options.alpha > 0.0 && options.alpha <= 1.0)) {
+    std::fprintf(stderr, "--alpha must be in (0, 1], got %g\n",
+                 options.alpha);
+    return false;
+  }
+  if (options.sigma < 0) {
+    std::fprintf(stderr, "--sigma must be >= 0, got %lld\n",
+                 static_cast<long long>(options.sigma));
+    return false;
+  }
+  if (options.max_level < 0) {
+    std::fprintf(stderr, "--max-level must be >= 0, got %d\n",
+                 options.max_level);
+    return false;
+  }
+  if (options.bins <= 0) {
+    std::fprintf(stderr, "--bins must be positive, got %d\n", options.bins);
+    return false;
+  }
+  if (options.engine == "dist" && options.workers < 1) {
+    std::fprintf(stderr, "--workers must be >= 1, got %d\n", options.workers);
+    return false;
+  }
+  if (options.deadline_ms < 0) {
+    std::fprintf(stderr, "--deadline-ms must be >= 0, got %lld\n",
+                 static_cast<long long>(options.deadline_ms));
+    return false;
+  }
+  if (options.memory_budget_mb < 0) {
+    std::fprintf(stderr, "--memory-budget-mb must be >= 0, got %lld\n",
+                 static_cast<long long>(options.memory_budget_mb));
+    return false;
+  }
+  if (options.resume && options.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return false;
+  }
+  if (!options.checkpoint_dir.empty() &&
+      (stat(options.checkpoint_dir.c_str(), &st) != 0 ||
+       !S_ISDIR(st.st_mode))) {
+    std::fprintf(stderr, "--checkpoint-dir is not a directory: %s\n",
+                 options.checkpoint_dir.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -163,6 +263,7 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 1;
   }
+  if (!ValidateOptions(cli)) return 1;
 
   auto frame = data::ReadCsv(cli.csv_path);
   if (!frame.ok()) {
@@ -203,6 +304,20 @@ int main(int argc, char** argv) {
   config.alpha = cli.alpha;
   config.min_support = cli.sigma;
   config.max_level = cli.max_level;
+  config.checkpoint_dir = cli.checkpoint_dir;
+  config.resume = cli.resume;
+  RunContext run_context;
+  MemoryBudget memory_budget(cli.memory_budget_mb * (1 << 20));
+  if (cli.deadline_ms > 0 || cli.memory_budget_mb > 0) {
+    if (cli.deadline_ms > 0) {
+      run_context.SetDeadlineAfterSeconds(
+          static_cast<double>(cli.deadline_ms) / 1000.0);
+    }
+    if (cli.memory_budget_mb > 0) {
+      run_context.set_memory_budget(&memory_budget);
+    }
+    config.run_context = &run_context;
+  }
   if (cli.engine == "dist") {
     dist::DistOptions dopts;
     dopts.workers = cli.workers;
