@@ -16,6 +16,8 @@ int main() {
   using namespace sliceline;
   bench::Banner("Figure 3: Pruning Techniques on Salaries 2x2",
                 "SliceLine Figure 3(a) slices/level, 3(b) runtime");
+  bench::Reporter reporter("bench_fig3_pruning",
+                           "SliceLine Figure 3(a) slices/level, 3(b) runtime");
 
   data::EncodedDataset base = bench::Load("salaries", 397);
   data::EncodedDataset ds = data::Replicate(base, 2, 2);
@@ -58,25 +60,27 @@ int main() {
   std::vector<double> runtimes;
   for (Config& entry : configs) {
     entry.config.max_level = entry.cap;
-    auto result = core::RunSliceLine(ds, entry.config);
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s failed: %s\n", entry.label,
-                   result.status().ToString().c_str());
-      return 1;
-    }
+    core::SliceLineResult result =
+        bench::Unwrap(core::RunSliceLine(ds, entry.config), entry.label);
     std::printf("%-22s", entry.label);
+    std::vector<std::pair<std::string, double>> row = {
+        {"seconds", result.total_seconds}};
     for (int level = 1; level <= max_shown; ++level) {
-      if (level <= static_cast<int>(result->levels.size())) {
+      if (level <= static_cast<int>(result.levels.size())) {
         std::printf("%10s",
-                    FormatWithCommas(result->levels[level - 1].candidates)
+                    FormatWithCommas(result.levels[level - 1].candidates)
                         .c_str());
+        row.emplace_back(
+            "level" + std::to_string(level) + "_candidates",
+            static_cast<double>(result.levels[level - 1].candidates));
       } else {
         std::printf("%10s", "-");
       }
     }
     if (entry.cap > 0) std::printf("   (capped at L=%d)", entry.cap);
     std::printf("\n");
-    runtimes.push_back(result->total_seconds);
+    runtimes.push_back(result.total_seconds);
+    reporter.AddRow(entry.label, std::move(row));
   }
 
   std::printf("\nFigure 3(b): end-to-end runtime [s]\n");
@@ -88,5 +92,5 @@ int main() {
       "\nExpected shape (paper): every pruning technique reduces the\n"
       "enumerated slices; configs without size pruning / deduplication\n"
       "explode combinatorially (the paper's runs OOMed after level 4).\n");
-  return 0;
+  return reporter.Finish();
 }

@@ -12,6 +12,8 @@ int main() {
   using namespace sliceline;
   bench::Banner("Figure 5: Scores with Varying alpha",
                 "SliceLine Figure 5(a) top-1 score, 5(b) top-1 size");
+  bench::Reporter reporter(
+      "bench_fig5_alpha", "SliceLine Figure 5(a) top-1 score, 5(b) top-1 size");
   const std::vector<double> alphas = {0.36, 0.68, 0.84, 0.92,
                                       0.96, 0.98, 0.99};
   const std::vector<const char*> names = {"adult", "covtype", "kdd98",
@@ -35,28 +37,33 @@ int main() {
       config.alpha = alpha;
       config.k = 4;
       config.max_level = 3;
-      auto result = core::RunSliceLine(ds, config);
-      if (!result.ok()) {
-        std::fprintf(stderr, "%s failed: %s\n", name,
-                     result.status().ToString().c_str());
-        return 1;
-      }
-      if (result->top_k.empty()) {
+      core::SliceLineResult result =
+          bench::Unwrap(core::RunSliceLine(ds, config), name);
+      if (result.top_k.empty()) {
         std::printf("  %-8s %12s %12s %10s\n",
                     FormatDouble(alpha, 2).c_str(), "-", "-",
-                    FormatDouble(result->total_seconds, 3).c_str());
+                    FormatDouble(result.total_seconds, 3).c_str());
       } else {
         std::printf("  %-8s %12s %12s %10s\n",
                     FormatDouble(alpha, 2).c_str(),
-                    FormatDouble(result->top_k[0].stats.score, 4).c_str(),
-                    FormatWithCommas(result->top_k[0].stats.size).c_str(),
-                    FormatDouble(result->total_seconds, 3).c_str());
+                    FormatDouble(result.top_k[0].stats.score, 4).c_str(),
+                    FormatWithCommas(result.top_k[0].stats.size).c_str(),
+                    FormatDouble(result.total_seconds, 3).c_str());
       }
+      reporter.AddRow(
+          std::string(name) + "/alpha_" + FormatDouble(alpha, 2),
+          {{"top1_score",
+            result.top_k.empty() ? 0.0 : result.top_k[0].stats.score},
+           {"top1_size",
+            result.top_k.empty()
+                ? 0.0
+                : static_cast<double>(result.top_k[0].stats.size)},
+           {"seconds", result.total_seconds}});
     }
     std::printf("\n");
   }
   std::printf(
       "Expected shape (paper): with increasing alpha, top-1 scores increase\n"
       "and top-1 sizes decrease (the error term gains weight).\n");
-  return 0;
+  return reporter.Finish();
 }

@@ -7,13 +7,13 @@
 
 #include "bench_util.h"
 #include "common/string_util.h"
-#include "common/stopwatch.h"
 #include "core/sliceline.h"
 
 int main() {
   using namespace sliceline;
   bench::Banner("Figure 6(a): Local End-to-End Runtime",
                 "SliceLine Figure 6(a)");
+  bench::Reporter reporter("bench_fig6_runtime", "SliceLine Figure 6(a)");
   std::printf("%-12s %12s %8s %12s %12s %12s\n", "dataset", "rows", "m",
               "evaluated", "top1-score", "time[s]");
   const std::vector<const char*> names = {"salaries", "adult", "covtype",
@@ -24,26 +24,28 @@ int main() {
     config.alpha = 0.95;
     config.k = 4;
     config.max_level = 3;
-    Stopwatch watch;  // includes one-hot/index prep inside RunSliceLine
-    auto result = core::RunSliceLine(ds, config);
-    const double elapsed = watch.ElapsedSeconds();
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s failed: %s\n", name,
-                   result.status().ToString().c_str());
-      return 1;
-    }
+    core::SliceLineResult result;
+    // Timed() includes one-hot/index prep inside RunSliceLine.
+    const double elapsed = bench::Timed(
+        [&] { result = bench::Unwrap(core::RunSliceLine(ds, config), name); });
     const double top1 =
-        result->top_k.empty() ? 0.0 : result->top_k[0].stats.score;
+        result.top_k.empty() ? 0.0 : result.top_k[0].stats.score;
     std::printf("%-12s %12s %8lld %12s %12s %12s\n", name,
                 FormatWithCommas(ds.n()).c_str(),
                 static_cast<long long>(ds.m()),
-                FormatWithCommas(result->total_evaluated).c_str(),
+                FormatWithCommas(result.total_evaluated).c_str(),
                 FormatDouble(top1, 4).c_str(),
                 FormatDouble(elapsed, 3).c_str());
+    reporter.AddRow(name,
+                    {{"rows", static_cast<double>(ds.n())},
+                     {"features", static_cast<double>(ds.m())},
+                     {"evaluated", static_cast<double>(result.total_evaluated)},
+                     {"top1_score", top1},
+                     {"seconds", elapsed}});
   }
   std::printf(
       "\nExpected shape (paper): all datasets complete in interactive time\n"
       "despite many rows (uscensus), many features (kdd98), and strong\n"
       "correlations (covtype/uscensus/criteo).\n");
-  return 0;
+  return reporter.Finish();
 }

@@ -15,6 +15,7 @@ int main() {
   using namespace sliceline;
   bench::Banner("Figure 7(a): Scalability with # Rows",
                 "SliceLine Figure 7(a)");
+  bench::Reporter reporter("bench_fig7a_rows", "SliceLine Figure 7(a)");
   // Keep the base modest so 10x stays laptop-friendly.
   data::EncodedDataset base = bench::Load("uscensus", 6000);
   std::printf("base: %s n=%s (replicated row-wise)\n\n", base.name.c_str(),
@@ -35,22 +36,24 @@ int main() {
     // block (same linear-in-rows scaling behaviour).
     config.eval_strategy = core::SliceLineConfig::EvalStrategy::kScanBlock;
     config.eval_block_size = 256;
-    auto result = core::RunSliceLine(ds, config);
-    if (!result.ok()) {
-      std::fprintf(stderr, "factor %d failed: %s\n", factor,
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    if (factor == 1) base_time = result->total_seconds;
+    core::SliceLineResult result = bench::Unwrap(
+        core::RunSliceLine(ds, config), "factor " + std::to_string(factor));
+    if (factor == 1) base_time = result.total_seconds;
     std::printf("%-6d %12s %12s %12s %12s\n", factor,
                 FormatWithCommas(ds.n()).c_str(),
-                FormatDouble(result->total_seconds, 3).c_str(),
+                FormatDouble(result.total_seconds, 3).c_str(),
                 FormatDouble(base_time * factor, 3).c_str(),
-                FormatWithCommas(result->total_evaluated).c_str());
+                FormatWithCommas(result.total_evaluated).c_str());
+    reporter.AddRow(
+        "factor_" + std::to_string(factor),
+        {{"rows", static_cast<double>(ds.n())},
+         {"seconds", result.total_seconds},
+         {"ideal_seconds", base_time * factor},
+         {"evaluated", static_cast<double>(result.total_evaluated)}});
   }
   std::printf(
       "\nExpected shape (paper): near-linear scaling with rows (relative\n"
       "sigma keeps enumeration constant), with moderate deterioration from\n"
       "memory pressure at large factors.\n");
-  return 0;
+  return reporter.Finish();
 }

@@ -14,6 +14,8 @@ int main() {
   using namespace sliceline;
   bench::Banner("Section 5.3: Varying the sigma Constraint",
                 "SliceLine Section 5.3 (text experiment)");
+  bench::Reporter reporter("bench_sigma_sweep",
+                           "SliceLine Section 5.3 (text experiment)");
   const std::vector<double> fractions = {1e-4, 1e-3, 1e-2, 1e-1};
   const std::vector<const char*> names = {"adult", "uscensus"};
 
@@ -31,21 +33,23 @@ int main() {
       config.k = 10;
       config.max_level = 3;
       config.min_support = sigma;
-      auto result = core::RunSliceLine(ds, config);
-      if (!result.ok()) {
-        std::fprintf(stderr, "%s failed: %s\n", name,
-                     result.status().ToString().c_str());
-        return 1;
-      }
+      core::SliceLineResult result =
+          bench::Unwrap(core::RunSliceLine(ds, config), name);
       const double top1 =
-          result->top_k.empty() ? 0.0 : result->top_k[0].stats.score;
+          result.top_k.empty() ? 0.0 : result.top_k[0].stats.score;
       const double topk =
-          result->top_k.empty() ? 0.0 : result->top_k.back().stats.score;
+          result.top_k.empty() ? 0.0 : result.top_k.back().stats.score;
       std::printf("  %-12s %10s %12s %12s %12s\n",
                   FormatWithCommas(sigma).c_str(),
                   FormatDouble(top1, 4).c_str(), FormatDouble(topk, 4).c_str(),
-                  FormatWithCommas(result->total_evaluated).c_str(),
-                  FormatDouble(result->total_seconds, 3).c_str());
+                  FormatWithCommas(result.total_evaluated).c_str(),
+                  FormatDouble(result.total_seconds, 3).c_str());
+      reporter.AddRow(
+          std::string(name) + "/sigma_" + std::to_string(sigma),
+          {{"top1_score", top1},
+           {"topk_score", topk},
+           {"evaluated", static_cast<double>(result.total_evaluated)},
+           {"seconds", result.total_seconds}});
     }
     std::printf("\n");
   }
@@ -53,5 +57,5 @@ int main() {
       "Expected shape (paper): scores are insensitive to sigma (the size\n"
       "term already counteracts tiny slices), while runtime and enumerated\n"
       "slices grow sharply as sigma decreases.\n");
-  return 0;
+  return reporter.Finish();
 }

@@ -4,8 +4,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "core/slice.h"
 #include "data/generators/generators.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
 
 namespace sliceline::bench {
 
@@ -54,6 +61,83 @@ inline void Banner(const std::string& title, const std::string& paper_ref) {
   std::printf("scale=%.3g (set SLICELINE_BENCH_SCALE to change)\n", Scale());
   std::printf("=====================================================\n");
 }
+
+/// Checked unwrap for benchmark runs: on failure prints "<label> failed:
+/// <status>" and exits 1, so benches don't repeat the ok()-check
+/// boilerplate at every call site.
+inline core::SliceLineResult Unwrap(StatusOr<core::SliceLineResult> result,
+                                    const std::string& label) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", label.c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+/// Times one measurement on the same steady clock the obs layer uses.
+template <typename Fn>
+inline double Timed(Fn&& fn) {
+  Stopwatch watch;
+  fn();
+  return watch.ElapsedSeconds();
+}
+
+/// Shared machine-readable output for the benchmark harness: every bench_*
+/// binary records its measurement rows here, and when SLICELINE_BENCH_JSON
+/// names a path the whole run is written through obs::RunReport — the same
+/// schema_version-1 JSON the CLI's --metrics-json emits, with one numeric
+/// section per measurement group and the metrics-registry snapshot
+/// (per-level counters, kernel op counts) embedded. Construction enables
+/// the metrics registry when JSON output is requested so those counters
+/// are populated; without SLICELINE_BENCH_JSON everything stays disabled
+/// and AddRow is a cheap vector append.
+///
+/// Use "-" to write the JSON to stdout after the human-readable tables; use
+/// a file path when stdout must stay a clean table.
+class Reporter {
+ public:
+  Reporter(std::string tool, std::string paper_ref) {
+    if (const char* env = std::getenv("SLICELINE_BENCH_JSON")) {
+      json_path_ = env;
+    }
+    if (!json_path_.empty()) obs::SetMetricsEnabled(true);
+    report_.set_tool(std::move(tool));
+    report_.AddAnnotation("reproduces", paper_ref);
+    char scale[32];
+    std::snprintf(scale, sizeof(scale), "%.3g", Scale());
+    report_.AddAnnotation("scale", scale);
+  }
+
+  /// Records one measurement row under `section` (e.g. the dataset name);
+  /// rows for the same section merge into one flat numeric object.
+  void AddRow(const std::string& section,
+              std::vector<std::pair<std::string, double>> key_values) {
+    if (json_path_.empty()) return;
+    report_.AddNumericSection(section, std::move(key_values));
+  }
+
+  void Annotate(const std::string& key, const std::string& value) {
+    report_.AddAnnotation(key, value);
+  }
+
+  /// Writes the report when SLICELINE_BENCH_JSON is set. Returns main()'s
+  /// exit code: 0 on success or no JSON requested, 1 on a write failure.
+  int Finish() {
+    if (json_path_.empty()) return 0;
+    auto status = obs::WriteRunReportJson(report_, json_path_);
+    if (!status.ok()) {
+      std::fprintf(stderr, "writing SLICELINE_BENCH_JSON failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  obs::RunReport report_;
+  std::string json_path_;
+};
 
 }  // namespace sliceline::bench
 

@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sliceline::core {
 
@@ -319,6 +321,18 @@ StatusOr<EvalResult> SliceEvaluator::Evaluate(
   out.error_sums.assign(count, 0.0);
   out.max_errors.assign(count, 0.0);
   if (count == 0) return out;
+  TRACE_SPAN("evaluator/evaluate", set.size());
+  if (obs::MetricsEnabled()) {
+    static const char* kStrategyCounters[] = {
+        "evaluator/index/slices", "evaluator/scan_block/slices",
+        "evaluator/bitset/slices"};
+    obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+    registry->GetCounter("evaluator/slices_evaluated")->Add(set.size());
+    registry
+        ->GetCounter(
+            kStrategyCounters[static_cast<int>(config.eval_strategy)])
+        ->Add(set.size());
+  }
   switch (config.eval_strategy) {
     case SliceLineConfig::EvalStrategy::kIndex:
       EvaluateIndex(set, config.parallel, ctx, &out);

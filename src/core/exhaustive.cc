@@ -6,6 +6,8 @@
 #include "common/stopwatch.h"
 #include "core/scoring.h"
 #include "core/topk.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sliceline::core {
 
@@ -88,6 +90,7 @@ StatusOr<SliceLineResult> RunExhaustive(const data::IntMatrix& x0,
     return Status::InvalidArgument("error vector size mismatch");
   }
   Stopwatch watch;
+  TRACE_SPAN("exhaustive/run");
   const int64_t n = x0.rows();
   double total_error = 0.0;
   for (double e : errors) total_error += e;
@@ -116,7 +119,15 @@ StatusOr<SliceLineResult> RunExhaustive(const data::IntMatrix& x0,
 
   std::vector<int32_t> all_rows(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) all_rows[i] = static_cast<int32_t>(i);
-  Dfs(state, 0, all_rows);
+  {
+    TRACE_SPAN("exhaustive/dfs");
+    Dfs(state, 0, all_rows);
+  }
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Default()
+        ->GetCounter("exhaustive/enumerated")
+        ->Add(state.enumerated);
+  }
 
   if (state.stop != StopReason::kNone) {
     switch (state.stop) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sliceline::core {
 
 GovernanceController::GovernanceController(const SliceLineConfig& config,
@@ -26,16 +29,21 @@ bool GovernanceController::MaybeDegrade(int current_level) {
   switch (degradation_steps_) {
     case 0:
       effective_sigma_ *= 2;
+      obs::TraceInstant("governance", "degrade_raise_sigma", current_level);
       break;
     case 1:
       candidate_cap_ = std::max<int64_t>(64, 8 * k_);
+      obs::TraceInstant("governance", "degrade_cap_candidates",
+                        current_level);
       break;
     case 2:
       effective_max_level_ =
           std::min(effective_max_level_, current_level + 1);
+      obs::TraceInstant("governance", "degrade_cap_levels", current_level);
       break;
     default:
       effective_sigma_ *= 2;
+      obs::TraceInstant("governance", "degrade_raise_sigma", current_level);
       break;
   }
   ++degradation_steps_;
@@ -82,6 +90,28 @@ RunOutcome GovernanceController::Finish(StopReason reason,
   outcome.resumed_from_checkpoint = resumed_from_checkpoint;
   if (ctx_ != nullptr && ctx_->memory_budget() != nullptr) {
     outcome.peak_memory_bytes = ctx_->memory_budget()->peak_bytes();
+  }
+  switch (reason) {
+    case StopReason::kNone:
+      break;
+    case StopReason::kCancelled:
+      obs::TraceInstant("governance", "stop_cancelled", stopped_at_level);
+      break;
+    case StopReason::kDeadlineExceeded:
+      obs::TraceInstant("governance", "stop_deadline", stopped_at_level);
+      break;
+    case StopReason::kBudgetExhausted:
+      obs::TraceInstant("governance", "stop_budget", stopped_at_level);
+      break;
+  }
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+    registry->GetGauge("governance/degradation_steps")
+        ->Set(static_cast<double>(degradation_steps_));
+    registry->GetGauge("governance/candidates_capped")
+        ->Set(static_cast<double>(candidates_capped_));
+    registry->GetGauge("governance/peak_memory_bytes")
+        ->Set(static_cast<double>(outcome.peak_memory_bytes));
   }
   return outcome;
 }

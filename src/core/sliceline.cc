@@ -13,6 +13,8 @@
 #include "core/governance.h"
 #include "core/scoring.h"
 #include "core/topk.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sliceline::core {
 
@@ -121,6 +123,7 @@ StatusOr<SliceLineResult> RunSliceLineWithBackend(
   }
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   Stopwatch total_watch;
+  TRACE_SPAN("native/run");
 
   const data::FeatureOffsets& offsets = evaluator.offsets();
   const int64_t n = evaluator.n();
@@ -244,6 +247,8 @@ StatusOr<SliceLineResult> RunSliceLineWithBackend(
       }
     }
     level1.seconds = level_watch.ElapsedSeconds();
+    obs::RecordLevelMetrics("native", 1, level1.candidates, level1.valid,
+                            level1.pruned, level1.seconds);
     result.levels.push_back(level1);
     result.total_evaluated += level1.candidates;
     if (checkpointing) save_checkpoint(1, prev, prev_stats);
@@ -262,17 +267,24 @@ StatusOr<SliceLineResult> RunSliceLineWithBackend(
     gov.MaybeDegrade(level);
     if (level > gov.effective_max_level()) break;
 
+    TRACE_SPAN("native/level", level);
     level_watch.Reset();
     std::vector<ParentBounds> bounds;
     CandidateGenStats gen_stats;
-    SliceSet cands = GeneratePairCandidates(
-        prev, prev_stats, level, context, gov.effective_sigma(),
-        topk.Threshold(), config, offsets, &bounds, &gen_stats);
+    SliceSet cands;
+    {
+      TRACE_SPAN("native/candidate_gen", level);
+      cands = GeneratePairCandidates(
+          prev, prev_stats, level, context, gov.effective_sigma(),
+          topk.Threshold(), config, offsets, &bounds, &gen_stats);
+    }
     if (cands.size() == 0) {
       LevelStats stats;
       stats.level = level;
       stats.pruned = gen_stats.pruned;
       stats.seconds = level_watch.ElapsedSeconds();
+      obs::RecordLevelMetrics("native", stats.level, stats.candidates,
+                              stats.valid, stats.pruned, stats.seconds);
       result.levels.push_back(stats);
       break;
     }
@@ -315,6 +327,8 @@ StatusOr<SliceLineResult> RunSliceLineWithBackend(
       }
     }
     stats.seconds = level_watch.ElapsedSeconds();
+    obs::RecordLevelMetrics("native", stats.level, stats.candidates,
+                            stats.valid, stats.pruned, stats.seconds);
     result.levels.push_back(stats);
     result.total_evaluated += stats.candidates;
 

@@ -11,6 +11,8 @@
 #include "core/governance.h"
 #include "core/scoring.h"
 #include "core/topk.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sliceline::core {
 
@@ -58,6 +60,7 @@ StatusOr<SliceLineResult> RunSliceLineBestFirst(
     }
   }
   Stopwatch total_watch;
+  TRACE_SPAN("bestfirst/run");
 
   const data::FeatureOffsets offsets = data::ComputeOffsets(x0);
   const SliceEvaluator evaluator(x0, offsets, errors);
@@ -169,6 +172,8 @@ StatusOr<SliceLineResult> RunSliceLineBestFirst(
     LevelStats stats;
     stats.level = level;
     stats.candidates = evaluated_at_level[level];
+    obs::RecordLevelMetrics("bestfirst", stats.level, stats.candidates,
+                            stats.valid, stats.pruned, stats.seconds);
     result.levels.push_back(stats);
     result.total_evaluated += evaluated_at_level[level];
   }

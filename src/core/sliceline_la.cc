@@ -14,6 +14,8 @@
 #include "core/topk.h"
 #include "data/onehot.h"
 #include "linalg/kernels.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sliceline::core {
 
@@ -71,6 +73,7 @@ StatusOr<SliceLineResult> RunSliceLineLA(const data::IntMatrix& x0,
   }
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   Stopwatch total_watch;
+  TRACE_SPAN("la/run");
 
   // a) data preparation: offsets and one-hot encoding (lines 1-5).
   const data::FeatureOffsets offsets = data::ComputeOffsets(x0);
@@ -133,6 +136,8 @@ StatusOr<SliceLineResult> RunSliceLineLA(const data::IntMatrix& x0,
     }
   }
   level1.seconds = level_watch.ElapsedSeconds();
+  obs::RecordLevelMetrics("la", 1, level1.candidates, level1.valid,
+                          level1.pruned, level1.seconds);
   result.levels.push_back(level1);
   result.total_evaluated += level1.candidates;
 
@@ -268,6 +273,7 @@ StatusOr<SliceLineResult> RunSliceLineLA(const data::IntMatrix& x0,
     if (L > gov.effective_max_level()) break;
     const int64_t sigma_eff = gov.effective_sigma();
 
+    TRACE_SPAN("la/level", L);
     level_watch.Reset();
     LevelStats stats;
     stats.level = L;
@@ -296,21 +302,26 @@ StatusOr<SliceLineResult> RunSliceLineLA(const data::IntMatrix& x0,
 
     // --- join compatible pairs: upper.tri((S S^T) == L-2). ---
     std::vector<std::pair<int64_t, int64_t>> pairs;
-    if (L == 2) {
-      // Documented deviation: overlap target 0 is an implicit zero in the
-      // sparse product; enumerate feature-compatible pairs directly.
-      for (int64_t a = 0; a < np_rows; ++a) {
-        const int fa = feat_of[s.RowCols(a)[0]];
-        for (int64_t b = a + 1; b < np_rows; ++b) {
-          if (feat_of[s.RowCols(b)[0]] != fa) pairs.emplace_back(a, b);
+    {
+      TRACE_SPAN("la/candidate_gen", L);
+      if (L == 2) {
+        // Documented deviation: overlap target 0 is an implicit zero in the
+        // sparse product; enumerate feature-compatible pairs directly.
+        for (int64_t a = 0; a < np_rows; ++a) {
+          const int fa = feat_of[s.RowCols(a)[0]];
+          for (int64_t b = a + 1; b < np_rows; ++b) {
+            if (feat_of[s.RowCols(b)[0]] != fa) pairs.emplace_back(a, b);
+          }
         }
+      } else {
+        const CsrMatrix sst = linalg::MultiplyABt(s, s);
+        pairs = linalg::UpperTriEquals(sst, static_cast<double>(L - 2));
       }
-    } else {
-      const CsrMatrix sst = linalg::MultiplyABt(s, s);
-      pairs = linalg::UpperTriEquals(sst, static_cast<double>(L - 2));
     }
     if (pairs.empty()) {
       stats.seconds = level_watch.ElapsedSeconds();
+      obs::RecordLevelMetrics("la", stats.level, stats.candidates, stats.valid,
+                              stats.pruned, stats.seconds);
       result.levels.push_back(stats);
       break;
     }
@@ -449,6 +460,8 @@ StatusOr<SliceLineResult> RunSliceLineLA(const data::IntMatrix& x0,
     }
     if (survivors.empty()) {
       stats.seconds = level_watch.ElapsedSeconds();
+      obs::RecordLevelMetrics("la", stats.level, stats.candidates, stats.valid,
+                              stats.pruned, stats.seconds);
       result.levels.push_back(stats);
       break;
     }
@@ -497,25 +510,28 @@ StatusOr<SliceLineResult> RunSliceLineLA(const data::IntMatrix& x0,
     next.se.assign(static_cast<size_t>(s_new.rows()), 0.0);
     next.sm.assign(static_cast<size_t>(s_new.rows()), 0.0);
     bool stopped_mid_level = false;
-    for (int64_t b0 = 0; b0 < s_new.rows(); b0 += block) {
-      stop = gov.CheckBoundary();
-      if (stop != StopReason::kNone) {
-        stopped_mid_level = true;
-        stopped_level = L;
-        break;
-      }
-      const int64_t b1 = std::min<int64_t>(b0 + block, s_new.rows());
-      const CsrMatrix sb = linalg::SliceRowRange(s_new, b0, b1);
-      const CsrMatrix inter = linalg::FilterEquals(
-          linalg::MultiplyABt(x, sb), static_cast<double>(L));
-      const std::vector<double> bss = linalg::ColSums(inter);
-      const std::vector<double> bse = linalg::TransposeMatVec(inter, errors);
-      const std::vector<double> bsm =
-          linalg::ColMaxs(linalg::ScaleRows(inter, errors));
-      for (int64_t j = 0; j < b1 - b0; ++j) {
-        next.ss[b0 + j] = bss[j];
-        next.se[b0 + j] = bse[j];
-        next.sm[b0 + j] = bsm[j];
+    {
+      TRACE_SPAN("la/evaluate", L);
+      for (int64_t b0 = 0; b0 < s_new.rows(); b0 += block) {
+        stop = gov.CheckBoundary();
+        if (stop != StopReason::kNone) {
+          stopped_mid_level = true;
+          stopped_level = L;
+          break;
+        }
+        const int64_t b1 = std::min<int64_t>(b0 + block, s_new.rows());
+        const CsrMatrix sb = linalg::SliceRowRange(s_new, b0, b1);
+        const CsrMatrix inter = linalg::FilterEquals(
+            linalg::MultiplyABt(x, sb), static_cast<double>(L));
+        const std::vector<double> bss = linalg::ColSums(inter);
+        const std::vector<double> bse = linalg::TransposeMatVec(inter, errors);
+        const std::vector<double> bsm =
+            linalg::ColMaxs(linalg::ScaleRows(inter, errors));
+        for (int64_t j = 0; j < b1 - b0; ++j) {
+          next.ss[b0 + j] = bss[j];
+          next.se[b0 + j] = bse[j];
+          next.sm[b0 + j] = bsm[j];
+        }
       }
     }
     // A level interrupted mid-evaluation is discarded wholesale: the
@@ -536,6 +552,8 @@ StatusOr<SliceLineResult> RunSliceLineLA(const data::IntMatrix& x0,
       }
     }
     stats.seconds = level_watch.ElapsedSeconds();
+    obs::RecordLevelMetrics("la", stats.level, stats.candidates, stats.valid,
+                            stats.pruned, stats.seconds);
     result.levels.push_back(stats);
     result.total_evaluated += stats.candidates;
     level = std::move(next);

@@ -6,6 +6,8 @@
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sliceline::dist {
 
@@ -32,6 +34,37 @@ bool PartialInvariantsOk(const core::EvalResult& partial, int64_t shard_rows,
     }
   }
   return true;
+}
+
+/// Mirrors the cumulative cost/fault structs into registry gauges at the
+/// end of every evaluation round. The structs stay the canonical source of
+/// truth (published wholesale, never incremented twice), so the registry
+/// view cannot drift from the struct view.
+void PublishDistStats(const DistCostStats& cost, const DistFaultStats& faults) {
+  if (!obs::MetricsEnabled()) return;
+  obs::MetricsRegistry* r = obs::MetricsRegistry::Default();
+  r->GetGauge("dist/rounds")->Set(static_cast<double>(cost.rounds));
+  r->GetGauge("dist/broadcast_bytes")
+      ->Set(static_cast<double>(cost.broadcast_bytes));
+  r->GetGauge("dist/gather_bytes")
+      ->Set(static_cast<double>(cost.gather_bytes));
+  r->GetGauge("dist/worker_busy_seconds")->Set(cost.worker_busy_seconds);
+  r->GetGauge("dist/critical_path_seconds")->Set(cost.critical_path_seconds);
+  r->GetGauge("dist/transient_failures")
+      ->Set(static_cast<double>(faults.transient_failures));
+  r->GetGauge("dist/retries")->Set(static_cast<double>(faults.retries));
+  r->GetGauge("dist/backoff_events")
+      ->Set(static_cast<double>(faults.backoff_events));
+  r->GetGauge("dist/backoff_seconds")->Set(faults.backoff_seconds);
+  r->GetGauge("dist/stragglers")->Set(static_cast<double>(faults.stragglers));
+  r->GetGauge("dist/speculative_reexecutions")
+      ->Set(static_cast<double>(faults.speculative_reexecutions));
+  r->GetGauge("dist/corrupted_partials")
+      ->Set(static_cast<double>(faults.corrupted_partials));
+  r->GetGauge("dist/workers_lost")
+      ->Set(static_cast<double>(faults.workers_lost));
+  r->GetGauge("dist/reshards")->Set(static_cast<double>(faults.reshards));
+  r->GetGauge("dist/fallback_local")->Set(faults.fallback_local ? 1.0 : 0.0);
 }
 
 }  // namespace
@@ -121,11 +154,15 @@ DistributedSliceEvaluator::Create(const data::IntMatrix& x0,
 
 StatusOr<core::EvalResult> DistributedSliceEvaluator::EvaluateDegraded(
     const core::SliceSet& set, const core::SliceLineConfig& config) const {
+  if (!faults_.fallback_local) {
+    obs::TraceInstant("dist", "fallback_local");
+  }
   faults_.fallback_local = true;
   if (fallback_ == nullptr) {
     fallback_ = std::make_unique<core::SliceEvaluator>(full_x0_, offsets_,
                                                        full_errors_);
   }
+  PublishDistStats(cost_, faults_);
   return fallback_->Evaluate(set, config);
 }
 
@@ -140,6 +177,7 @@ void DistributedSliceEvaluator::ReshardLostWorkers() const {
     shard_owner_[s] = next_alive;
     next_alive = (next_alive + 1) % static_cast<int>(shards_.size());
     ++faults_.reshards;
+    obs::TraceInstant("dist", "reshard", static_cast<int64_t>(s));
   }
 }
 
@@ -153,6 +191,7 @@ StatusOr<core::EvalResult> DistributedSliceEvaluator::Evaluate(
   if (count == 0) return out;
 
   const int64_t round = next_round_++;
+  TRACE_SPAN("dist/evaluate_round", round);
   if (fallback_ != nullptr) return EvaluateDegraded(set, config);
 
   // Broadcast cost: the slice set is shipped to every participating worker
@@ -191,6 +230,7 @@ StatusOr<core::EvalResult> DistributedSliceEvaluator::Evaluate(
       faults_.backoff_seconds += backoff;
       faults_.backoff_events += 1;
       faults_.retries += static_cast<int64_t>(needed);
+      obs::TraceInstant("dist", "retry_wave", attempt);
     }
 
     // Group the still-missing shards by their (alive) owner.
@@ -265,6 +305,12 @@ StatusOr<core::EvalResult> DistributedSliceEvaluator::Evaluate(
 
     // Gather phase: process outcomes serially.
     std::vector<double> job_by_shard(num_shards, 0.0);
+    if (obs::MetricsEnabled()) {
+      obs::Histogram* worker_seconds =
+          obs::MetricsRegistry::Default()->GetHistogram(
+              "dist/worker_shard_seconds");
+      for (double seconds : job_seconds) worker_seconds->Observe(seconds);
+    }
     for (size_t j = 0; j < jobs.size(); ++j) {
       job_by_shard[jobs[j].shard_id] = job_seconds[j];
     }
@@ -274,6 +320,7 @@ StatusOr<core::EvalResult> DistributedSliceEvaluator::Evaluate(
       switch (w.fault) {
         case FaultType::kTransient:
           ++faults_.transient_failures;
+          obs::TraceInstant("dist", "transient_failure", w.id);
           break;  // its shards stay missing; the next wave retries them
         case FaultType::kPermanentLoss:
           lost_workers.push_back(w.id);
@@ -284,12 +331,14 @@ StatusOr<core::EvalResult> DistributedSliceEvaluator::Evaluate(
           double effective_seconds = w.compute_seconds;
           if (w.fault == FaultType::kStraggler) {
             ++faults_.stragglers;
+            obs::TraceInstant("dist", "straggler", w.id);
             if (options_.speculative_execution && alive_count_ > 1) {
               // Speculative re-execution: a backup copy of the whole round
               // runs on an idle survivor and finishes at normal compute
               // speed, masking the injected delay. The copy's payload is
               // cross-checked against the original below.
               ++faults_.speculative_reexecutions;
+              obs::TraceInstant("dist", "speculative_reexecution", w.id);
               cost_.worker_busy_seconds += w.compute_seconds;
             } else {
               effective_seconds += injector_.straggler_delay_seconds();
@@ -314,6 +363,8 @@ StatusOr<core::EvalResult> DistributedSliceEvaluator::Evaluate(
               SLICELINE_RETURN_NOT_OK(copy.status());
               if (ChecksumPartial(*copy) != sent_checksum) {
                 ++faults_.corrupted_partials;
+                obs::TraceInstant("dist", "corrupted_partial",
+                                  static_cast<int64_t>(s));
                 first_shard = false;
                 continue;  // shard stays missing; retried next wave
               }
@@ -324,6 +375,8 @@ StatusOr<core::EvalResult> DistributedSliceEvaluator::Evaluate(
                 !PartialInvariantsOk(partial, shards_[s].shard.range.size(),
                                      count)) {
               ++faults_.corrupted_partials;
+              obs::TraceInstant("dist", "corrupted_partial",
+                                static_cast<int64_t>(s));
               continue;  // rejected; retried next wave
             }
             partials[s] = std::move(partial);
@@ -343,6 +396,7 @@ StatusOr<core::EvalResult> DistributedSliceEvaluator::Evaluate(
         worker_alive_[static_cast<size_t>(wid)] = 0;
         --alive_count_;
         ++faults_.workers_lost;
+        obs::TraceInstant("dist", "worker_lost", wid);
       }
       const double lost_fraction =
           1.0 - static_cast<double>(alive_count_) /
@@ -371,6 +425,7 @@ StatusOr<core::EvalResult> DistributedSliceEvaluator::Evaluate(
           std::max(out.max_errors[i], partials[s].max_errors[i]);
     }
   }
+  PublishDistStats(cost_, faults_);
   return out;
 }
 

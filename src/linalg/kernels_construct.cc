@@ -4,6 +4,7 @@
 #include "common/checked_math.h"
 #include "common/logging.h"
 #include "linalg/kernels.h"
+#include "obs/kernel_scope.h"
 
 namespace sliceline::linalg {
 
@@ -16,6 +17,7 @@ CsrMatrix Table(const std::vector<int64_t>& rix,
                 const std::vector<int64_t>& cix,
                 const std::vector<double>& weights, int64_t rows,
                 int64_t cols) {
+  SLICELINE_KERNEL_SCOPE("Table");
   SLICELINE_CHECK_EQ(rix.size(), cix.size());
   SLICELINE_CHECK_EQ(rix.size(), weights.size());
   // Byte-overflow check only: duplicate (r, c) triplets are summed by the

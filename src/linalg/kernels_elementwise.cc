@@ -1,9 +1,11 @@
 #include "common/logging.h"
 #include "linalg/kernels.h"
+#include "obs/kernel_scope.h"
 
 namespace sliceline::linalg {
 
 CsrMatrix FilterEquals(const CsrMatrix& m, double target) {
+  SLICELINE_KERNEL_SCOPE("FilterEquals");
   SLICELINE_CHECK_NE(target, 0.0);  // implicit zeros would all match
   std::vector<int64_t> row_ptr(m.rows() + 1, 0);
   std::vector<int64_t> out_cols;
@@ -25,6 +27,7 @@ CsrMatrix FilterEquals(const CsrMatrix& m, double target) {
 }
 
 CsrMatrix ScaleRows(const CsrMatrix& m, const std::vector<double>& scale) {
+  SLICELINE_KERNEL_SCOPE("ScaleRows");
   SLICELINE_CHECK_EQ(m.rows(), static_cast<int64_t>(scale.size()));
   std::vector<int64_t> row_ptr(m.rows() + 1, 0);
   std::vector<int64_t> out_cols;
@@ -50,6 +53,7 @@ CsrMatrix ScaleRows(const CsrMatrix& m, const std::vector<double>& scale) {
 }
 
 CsrMatrix Add(const CsrMatrix& a, const CsrMatrix& b) {
+  SLICELINE_KERNEL_SCOPE("Add");
   SLICELINE_CHECK_EQ(a.rows(), b.rows());
   SLICELINE_CHECK_EQ(a.cols(), b.cols());
   std::vector<int64_t> row_ptr(a.rows() + 1, 0);
@@ -91,6 +95,7 @@ CsrMatrix Add(const CsrMatrix& a, const CsrMatrix& b) {
 }
 
 CsrMatrix Binarize(const CsrMatrix& m) {
+  SLICELINE_KERNEL_SCOPE("Binarize");
   std::vector<int64_t> row_ptr = m.row_ptr();
   std::vector<int64_t> cols = m.col_idx();
   std::vector<double> vals(m.values().size(), 1.0);
@@ -100,6 +105,7 @@ CsrMatrix Binarize(const CsrMatrix& m) {
 
 std::vector<std::pair<int64_t, int64_t>> UpperTriEquals(const CsrMatrix& m,
                                                         double target) {
+  SLICELINE_KERNEL_SCOPE("UpperTriEquals");
   std::vector<std::pair<int64_t, int64_t>> out;
   for (int64_t r = 0; r < m.rows(); ++r) {
     const int64_t* cols = m.RowCols(r);

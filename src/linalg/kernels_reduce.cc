@@ -3,10 +3,12 @@
 
 #include "common/logging.h"
 #include "linalg/kernels.h"
+#include "obs/kernel_scope.h"
 
 namespace sliceline::linalg {
 
 std::vector<double> ColSums(const CsrMatrix& m) {
+  SLICELINE_KERNEL_SCOPE("ColSums");
   std::vector<double> out(static_cast<size_t>(m.cols()), 0.0);
   const auto& cols = m.col_idx();
   const auto& vals = m.values();
@@ -15,6 +17,7 @@ std::vector<double> ColSums(const CsrMatrix& m) {
 }
 
 std::vector<double> ColMaxs(const CsrMatrix& m) {
+  SLICELINE_KERNEL_SCOPE("ColMaxs");
   const size_t n = static_cast<size_t>(m.cols());
   std::vector<double> out(n, -std::numeric_limits<double>::infinity());
   std::vector<int64_t> counts(n, 0);
@@ -31,6 +34,7 @@ std::vector<double> ColMaxs(const CsrMatrix& m) {
 }
 
 std::vector<double> RowSums(const CsrMatrix& m) {
+  SLICELINE_KERNEL_SCOPE("RowSums");
   std::vector<double> out(static_cast<size_t>(m.rows()), 0.0);
   for (int64_t r = 0; r < m.rows(); ++r) {
     const double* vals = m.RowVals(r);
@@ -43,6 +47,7 @@ std::vector<double> RowSums(const CsrMatrix& m) {
 }
 
 std::vector<double> RowMaxs(const CsrMatrix& m) {
+  SLICELINE_KERNEL_SCOPE("RowMaxs");
   std::vector<double> out(static_cast<size_t>(m.rows()), 0.0);
   for (int64_t r = 0; r < m.rows(); ++r) {
     const double* vals = m.RowVals(r);
@@ -84,6 +89,7 @@ double Sum(const std::vector<double>& v) {
 }
 
 std::vector<double> MatVec(const CsrMatrix& m, const std::vector<double>& x) {
+  SLICELINE_KERNEL_SCOPE("MatVec");
   SLICELINE_CHECK_EQ(m.cols(), static_cast<int64_t>(x.size()));
   std::vector<double> y(static_cast<size_t>(m.rows()), 0.0);
   for (int64_t r = 0; r < m.rows(); ++r) {
@@ -99,6 +105,7 @@ std::vector<double> MatVec(const CsrMatrix& m, const std::vector<double>& x) {
 
 std::vector<double> TransposeMatVec(const CsrMatrix& m,
                                     const std::vector<double>& x) {
+  SLICELINE_KERNEL_SCOPE("TransposeMatVec");
   SLICELINE_CHECK_EQ(m.rows(), static_cast<int64_t>(x.size()));
   std::vector<double> y(static_cast<size_t>(m.cols()), 0.0);
   for (int64_t r = 0; r < m.rows(); ++r) {

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "linalg/kernels.h"
+#include "obs/kernel_scope.h"
 
 namespace sliceline::linalg {
 
@@ -24,6 +25,7 @@ CsrMatrix SelectRows(const CsrMatrix& m, const std::vector<uint8_t>& keep) {
 }
 
 CsrMatrix GatherRows(const CsrMatrix& m, const std::vector<int64_t>& rows) {
+  SLICELINE_KERNEL_SCOPE("GatherRows");
   std::vector<int64_t> row_ptr(rows.size() + 1, 0);
   int64_t nnz = 0;
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -46,6 +48,7 @@ CsrMatrix GatherRows(const CsrMatrix& m, const std::vector<int64_t>& rows) {
 }
 
 CsrMatrix SelectColumns(const CsrMatrix& m, const std::vector<int64_t>& cols) {
+  SLICELINE_KERNEL_SCOPE("SelectColumns");
   // Map original column -> new compact index, -1 for dropped.
   std::vector<int64_t> remap(static_cast<size_t>(m.cols()), -1);
   for (size_t j = 0; j < cols.size(); ++j) {
@@ -98,6 +101,7 @@ CsrMatrix Rbind(const CsrMatrix& top, const CsrMatrix& bottom) {
 }
 
 CsrMatrix SliceRowRange(const CsrMatrix& m, int64_t begin, int64_t end) {
+  SLICELINE_KERNEL_SCOPE("SliceRowRange");
   SLICELINE_CHECK(begin >= 0 && begin <= end && end <= m.rows());
   std::vector<int64_t> rows;
   rows.reserve(end - begin);

@@ -2,10 +2,12 @@
 
 #include "common/logging.h"
 #include "linalg/kernels.h"
+#include "obs/kernel_scope.h"
 
 namespace sliceline::linalg {
 
 CsrMatrix Transpose(const CsrMatrix& m) {
+  SLICELINE_KERNEL_SCOPE("Transpose");
   const int64_t rows = m.rows();
   const int64_t cols = m.cols();
   std::vector<int64_t> out_ptr(cols + 2, 0);
@@ -31,6 +33,7 @@ CsrMatrix Transpose(const CsrMatrix& m) {
 }
 
 CsrMatrix Multiply(const CsrMatrix& a, const CsrMatrix& b) {
+  SLICELINE_KERNEL_SCOPE("Multiply");
   SLICELINE_CHECK_EQ(a.cols(), b.rows());
   const int64_t rows = a.rows();
   const int64_t cols = b.cols();
@@ -72,6 +75,7 @@ CsrMatrix Multiply(const CsrMatrix& a, const CsrMatrix& b) {
 }
 
 CsrMatrix MultiplyABt(const CsrMatrix& a, const CsrMatrix& b) {
+  SLICELINE_KERNEL_SCOPE("MultiplyABt");
   SLICELINE_CHECK_EQ(a.cols(), b.cols());
   // A * B^T = A * transpose(B); route through Gustavson, which is
   // asymptotically better than all-pairs row intersections when the result is

@@ -1,0 +1,17 @@
+#ifndef SLICELINE_OBS_JSON_VALIDATE_H_
+#define SLICELINE_OBS_JSON_VALIDATE_H_
+
+#include <string>
+
+namespace sliceline::obs {
+
+/// Validates that `text` is exactly one strict (RFC 8259) JSON document
+/// with nothing but whitespace after it. Returns the empty string when
+/// valid, otherwise "<message> at byte <offset>". Shared by the
+/// json_validate CLI tool and the schema tests, so "strict JSON" means the
+/// same thing everywhere.
+std::string ValidateStrictJson(const std::string& text);
+
+}  // namespace sliceline::obs
+
+#endif  // SLICELINE_OBS_JSON_VALIDATE_H_

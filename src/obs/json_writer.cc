@@ -1,0 +1,135 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace sliceline::obs {
+
+void JsonWriter::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key; the comma was emitted before the key
+  }
+  if (!has_value_.empty()) {
+    if (has_value_.back()) os_ << ',';
+    has_value_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  os_ << '{';
+  has_value_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  has_value_.pop_back();
+  os_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  os_ << '[';
+  has_value_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  has_value_.pop_back();
+  os_ << ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  if (!has_value_.empty()) {
+    if (has_value_.back()) os_ << ',';
+    has_value_.back() = true;
+  }
+  WriteEscaped(key);
+  os_ << ':';
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  MaybeComma();
+  WriteEscaped(value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  MaybeComma();
+  os_ << value;
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  MaybeComma();
+  os_ << value;
+}
+
+void JsonWriter::Double(double value) {
+  MaybeComma();
+  if (!std::isfinite(value)) {
+    os_ << "null";  // strict JSON has no NaN/Infinity
+    return;
+  }
+  // %.17g round-trips every double; integral values print without exponent
+  // noise ("3" not "3.0000000000000000e+00").
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  os_ << buffer;
+}
+
+void JsonWriter::Bool(bool value) {
+  MaybeComma();
+  os_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  MaybeComma();
+  os_ << "null";
+}
+
+void JsonWriter::WriteEscaped(std::string_view s) {
+  os_ << '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        os_ << "\\\"";
+        break;
+      case '\\':
+        os_ << "\\\\";
+        break;
+      case '\b':
+        os_ << "\\b";
+        break;
+      case '\f':
+        os_ << "\\f";
+        break;
+      case '\n':
+        os_ << "\\n";
+        break;
+      case '\r':
+        os_ << "\\r";
+        break;
+      case '\t':
+        os_ << "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          os_ << buffer;
+        } else {
+          os_ << static_cast<char>(c);
+        }
+    }
+  }
+  os_ << '"';
+}
+
+std::string JsonQuote(std::string_view s) {
+  std::ostringstream os;
+  JsonWriter writer(os);
+  writer.String(s);
+  return os.str();
+}
+
+}  // namespace sliceline::obs

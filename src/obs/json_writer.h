@@ -1,0 +1,52 @@
+#ifndef SLICELINE_OBS_JSON_WRITER_H_
+#define SLICELINE_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sliceline::obs {
+
+/// Minimal streaming writer for strict (RFC 8259) JSON: proper string
+/// escaping, no trailing commas, no NaN/Infinity (non-finite doubles are
+/// emitted as null), round-trippable doubles (%.17g). The run report, the
+/// Chrome trace exporter, and the CLI's machine output all go through this
+/// one writer so "strict JSON" is enforced in a single place.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Writes an object key (must be inside an object, before its value).
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+ private:
+  /// Emits a separating comma if the current container already has a value.
+  void MaybeComma();
+  void WriteEscaped(std::string_view s);
+
+  std::ostream& os_;
+  /// One flag per open container: has anything been emitted inside it?
+  std::vector<bool> has_value_;
+  bool pending_key_ = false;
+};
+
+/// Escapes `s` as a JSON string literal (with quotes).
+std::string JsonQuote(std::string_view s);
+
+}  // namespace sliceline::obs
+
+#endif  // SLICELINE_OBS_JSON_WRITER_H_

@@ -1,0 +1,24 @@
+#include "obs/kernel_scope.h"
+
+#include <string>
+
+namespace sliceline::obs {
+
+KernelMetrics& KernelMetrics::Get(const char* name) {
+  // One (deliberately immortal) instance per instrumentation site, cached
+  // by the macro in a function-local static; stays reachable forever so
+  // LeakSanitizer does not flag it.
+  KernelMetrics* metrics = new KernelMetrics();
+  const std::string base = std::string("kernel/") + name;
+  MetricsRegistry* registry = MetricsRegistry::Default();
+  metrics->calls = registry->GetCounter(base + "/calls");
+  HistogramOptions options;
+  options.base = 1e-6;   // 1 microsecond
+  options.growth = 4.0;  // ... up to ~4.3s in 16 buckets
+  options.num_buckets = 16;
+  metrics->seconds = registry->GetHistogram(base + "/seconds", options);
+  metrics->span_name = name;
+  return *metrics;
+}
+
+}  // namespace sliceline::obs

@@ -1,0 +1,91 @@
+#ifndef SLICELINE_OBS_KERNEL_SCOPE_H_
+#define SLICELINE_OBS_KERNEL_SCOPE_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sliceline::obs {
+
+/// Pre-registered handles for one kernel's metrics: call count and a
+/// duration histogram. Get() registers on first use and is intended to be
+/// cached in a function-local static, so the per-call cost is the enabled
+/// check only.
+struct KernelMetrics {
+  Counter* calls;
+  Histogram* seconds;
+  const char* span_name;
+
+  /// Registers (once) "kernel/<name>/calls" and "kernel/<name>/seconds" in
+  /// the default registry. `name` must be a string literal.
+  static KernelMetrics& Get(const char* name);
+};
+
+/// RAII measurement of one kernel invocation: bumps the call counter,
+/// observes the wall time, and (when tracing is on) records a span. When
+/// observability is disabled the constructor is one relaxed load + branch.
+class KernelScope {
+ public:
+  explicit KernelScope(KernelMetrics& metrics)
+      : metrics_(metrics),
+        metrics_active_(MetricsEnabled()),
+        trace_active_(TraceRecorder::Default()->enabled()) {
+    if (metrics_active_ || trace_active_) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ~KernelScope() {
+    if (!metrics_active_ && !trace_active_) return;
+    const auto end = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(end - start_).count();
+    if (metrics_active_) {
+      metrics_.calls->Increment();
+      metrics_.seconds->Observe(seconds);
+    }
+    if (trace_active_) {
+      TraceEvent event;
+      event.name = metrics_.span_name;
+      event.category = "kernel";
+      event.phase = 'X';
+      event.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        start_.time_since_epoch())
+                        .count();
+      event.dur_us = static_cast<int64_t>(seconds * 1e6);
+      event.tid = TraceRecorder::ThreadId();
+      TraceRecorder::Default()->Record(event);
+    }
+  }
+
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+
+ private:
+  KernelMetrics& metrics_;
+  bool metrics_active_;
+  bool trace_active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sliceline::obs
+
+/// Drops per-invocation instrumentation into a kernel function body:
+///   SLICELINE_KERNEL_SCOPE("ColSums");
+/// Registration happens once per call site (function-local static); each
+/// call then costs two relaxed loads when observability is off.
+#ifdef SLICELINE_OBS_DISABLED
+#define SLICELINE_KERNEL_SCOPE(name_literal) \
+  do {                                       \
+  } while (false)
+#else
+#define SLICELINE_KERNEL_SCOPE(name_literal)                        \
+  static ::sliceline::obs::KernelMetrics& sliceline_kernel_metrics = \
+      ::sliceline::obs::KernelMetrics::Get(name_literal);            \
+  ::sliceline::obs::KernelScope sliceline_kernel_scope(              \
+      sliceline_kernel_metrics)
+#endif
+
+#endif  // SLICELINE_OBS_KERNEL_SCOPE_H_

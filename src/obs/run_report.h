@@ -1,0 +1,98 @@
+#ifndef SLICELINE_OBS_RUN_REPORT_H_
+#define SLICELINE_OBS_RUN_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/slice.h"
+#include "obs/metrics.h"
+
+namespace sliceline::obs {
+
+/// Machine-readable description of one slice-finding run: tool/engine
+/// identity, configuration, the per-level enumeration table, the top-K, the
+/// structured RunOutcome, arbitrary numeric extension sections (distributed
+/// cost/fault stats, benchmark rows), and a snapshot of the metrics
+/// registry. Serializes to strict JSON (schema_version 1) and to the
+/// Prometheus text exposition format. The CLI's --metrics-json flag and
+/// every bench_* binary emit exactly this shape, so downstream tooling
+/// parses one schema.
+class RunReport {
+ public:
+  void set_tool(std::string tool) { tool_ = std::move(tool); }
+  void set_engine(std::string engine) { engine_ = std::move(engine); }
+  void set_dataset(std::string dataset) { dataset_ = std::move(dataset); }
+
+  /// Records the run configuration (resolved sigma comes from the result).
+  void SetConfig(const core::SliceLineConfig& config);
+
+  /// Records the result: totals, per-level table, outcome, and top-K
+  /// (rendered with `feature_names` when provided).
+  void SetResult(const core::SliceLineResult& result,
+                 const std::vector<std::string>& feature_names = {});
+
+  /// Adds (or extends) a named numeric section, serialized as a flat JSON
+  /// object of doubles. Used for DistCostStats/DistFaultStats and for
+  /// benchmark measurements.
+  void AddNumericSection(
+      const std::string& name,
+      std::vector<std::pair<std::string, double>> key_values);
+
+  /// Adds a free-form string annotation to the "annotations" object.
+  void AddAnnotation(const std::string& key, const std::string& value);
+
+  /// Serializes the report as one strict-JSON object. When `registry` is
+  /// non-null its snapshot is embedded under "metrics".
+  void WriteJson(std::ostream& os,
+                 const MetricsRegistry* registry =
+                     MetricsRegistry::Default()) const;
+
+  /// Writes the registry snapshot in Prometheus text exposition format
+  /// (metric names sanitized and prefixed with "sliceline_").
+  static void WritePrometheus(std::ostream& os,
+                              const MetricsRegistry* registry =
+                                  MetricsRegistry::Default());
+
+  bool has_result() const { return has_result_; }
+
+ private:
+  std::string tool_;
+  std::string engine_;
+  std::string dataset_;
+
+  bool has_config_ = false;
+  core::SliceLineConfig config_;
+
+  bool has_result_ = false;
+  core::SliceLineResult result_;
+  std::vector<std::string> feature_names_;
+
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, double>>>>
+      sections_;
+  std::vector<std::pair<std::string, std::string>> annotations_;
+};
+
+/// Writes `report` to `path`; "-" writes to stdout. Returns a Status for
+/// unopenable paths instead of dying inside a run that just finished.
+Status WriteRunReportJson(const RunReport& report, const std::string& path,
+                          const MetricsRegistry* registry =
+                              MetricsRegistry::Default());
+
+/// Writes the default registry's Prometheus exposition to `path` ("-" =
+/// stdout).
+Status WritePrometheusFile(const std::string& path,
+                           const MetricsRegistry* registry =
+                               MetricsRegistry::Default());
+
+/// Sanitizes a registry metric name to a Prometheus identifier: every
+/// character outside [a-zA-Z0-9_:] becomes '_', and the result is prefixed
+/// with "sliceline_".
+std::string PrometheusMetricName(const std::string& name);
+
+}  // namespace sliceline::obs
+
+#endif  // SLICELINE_OBS_RUN_REPORT_H_

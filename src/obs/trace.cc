@@ -1,0 +1,171 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+
+namespace sliceline::obs {
+
+TraceRecorder* TraceRecorder::Default() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return recorder;
+}
+
+int64_t TraceRecorder::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint32_t TraceRecorder::ThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  // One buffer per (thread, recorder); the default recorder is a singleton
+  // so in practice this is one buffer per thread, found via a thread_local
+  // cache after the first (locked) registration.
+  thread_local TraceRecorder* cached_recorder = nullptr;
+  thread_local ThreadBuffer* cached_buffer = nullptr;
+  if (cached_recorder == this && cached_buffer != nullptr) {
+    return cached_buffer;
+  }
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  cached_recorder = this;
+  cached_buffer = buffers_.back().get();
+  return cached_buffer;
+}
+
+void TraceRecorder::Record(const TraceEvent& event) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  if (buffer->events.capacity() == buffer->events.size()) {
+    buffer->events.reserve(buffer->events.size() + 1024);
+  }
+  buffer->events.push_back(event);
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+size_t TraceRecorder::EventCount() const {
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+void TraceRecorder::ExportChromeTrace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("traceEvents");
+  json.BeginArray();
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    for (const TraceEvent& event : buffer->events) {
+      json.BeginObject();
+      json.Key("name");
+      json.String(event.name);
+      json.Key("cat");
+      json.String(event.category);
+      json.Key("ph");
+      json.String(std::string(1, event.phase));
+      json.Key("ts");
+      json.Int(event.ts_us);
+      if (event.phase == 'X') {
+        json.Key("dur");
+        json.Int(event.dur_us);
+      }
+      if (event.phase == 'i') {
+        json.Key("s");
+        json.String("t");  // thread-scoped instant
+      }
+      json.Key("pid");
+      json.Int(1);
+      json.Key("tid");
+      json.Int(static_cast<int64_t>(event.tid));
+      if (event.has_arg) {
+        json.Key("args");
+        json.BeginObject();
+        json.Key("v");
+        json.Int(event.arg);
+        json.EndObject();
+      }
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  json.Key("displayTimeUnit");
+  json.String("ms");
+  json.EndObject();
+}
+
+ScopedSpan::ScopedSpan(const char* name, bool has_arg, int64_t arg)
+    : name_(name),
+      active_(TraceRecorder::Default()->enabled()),
+      has_arg_(has_arg),
+      arg_(arg) {
+  if (active_) start_us_ = TraceRecorder::NowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  TraceEvent event;
+  event.name = name_;
+  event.phase = 'X';
+  event.ts_us = start_us_;
+  event.dur_us = TraceRecorder::NowMicros() - start_us_;
+  event.tid = TraceRecorder::ThreadId();
+  event.has_arg = has_arg_;
+  event.arg = arg_;
+  TraceRecorder::Default()->Record(event);
+}
+
+namespace {
+
+void TraceInstantImpl(const char* category, const char* name, bool has_arg,
+                      int64_t arg) {
+  if (MetricsEnabled()) {
+    std::string counter_name("events/");
+    counter_name += category;
+    counter_name += '/';
+    counter_name += name;
+    MetricsRegistry::Default()->GetCounter(counter_name)->Increment();
+  }
+  TraceRecorder* recorder = TraceRecorder::Default();
+  if (!recorder->enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'i';
+  event.ts_us = TraceRecorder::NowMicros();
+  event.tid = TraceRecorder::ThreadId();
+  event.has_arg = has_arg;
+  event.arg = arg;
+  recorder->Record(event);
+}
+
+}  // namespace
+
+void TraceInstant(const char* category, const char* name) {
+  TraceInstantImpl(category, name, /*has_arg=*/false, 0);
+}
+
+void TraceInstant(const char* category, const char* name, int64_t arg) {
+  TraceInstantImpl(category, name, /*has_arg=*/true, arg);
+}
+
+}  // namespace sliceline::obs

@@ -1,0 +1,125 @@
+#ifndef SLICELINE_OBS_TRACE_H_
+#define SLICELINE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sliceline::obs {
+
+/// One trace event in the Chrome/Perfetto trace-event model. `name` and
+/// `category` are required to be string literals (or otherwise outlive the
+/// recorder) so the hot path never copies or allocates.
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "sliceline";
+  char phase = 'X';       ///< 'X' complete span, 'i' instant event
+  int64_t ts_us = 0;      ///< steady-clock timestamp, microseconds
+  int64_t dur_us = 0;     ///< span duration ('X' only)
+  uint32_t tid = 0;       ///< recording thread
+  bool has_arg = false;   ///< emit `args:{"v":arg}`?
+  int64_t arg = 0;        ///< span argument (e.g. lattice level)
+};
+
+/// Process-wide trace-span recorder. Spans append to per-thread buffers
+/// (one short uncontended lock per event); Export serializes everything to
+/// the Chrome tracing / Perfetto JSON format (chrome://tracing loads it
+/// directly). Disabled (the default) it costs one relaxed load per span.
+class TraceRecorder {
+ public:
+  static TraceRecorder* Default();
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends a finished event (called by ScopedSpan / TraceInstant).
+  void Record(const TraceEvent& event);
+
+  /// Steady-clock now in microseconds (epoch arbitrary but consistent).
+  static int64_t NowMicros();
+
+  /// Small dense id of the calling thread (Chrome traces want integers).
+  static uint32_t ThreadId();
+
+  /// Drops all recorded events.
+  void Clear();
+
+  /// Number of buffered events (diagnostics/tests).
+  size_t EventCount() const;
+
+  /// Writes the full buffered trace as strict Chrome-tracing JSON:
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  void ExportChromeTrace(std::ostream& os) const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+  };
+
+  ThreadBuffer* BufferForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex buffers_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: records a complete ('X') event covering its lifetime. The
+/// enabled check happens once, at construction; a span that starts enabled
+/// records even if tracing is flipped off before it ends.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : ScopedSpan(name, /*has_arg=*/false, 0) {}
+  ScopedSpan(const char* name, int64_t arg)
+      : ScopedSpan(name, /*has_arg=*/true, arg) {}
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  ScopedSpan(const char* name, bool has_arg, int64_t arg);
+
+  const char* name_;
+  int64_t start_us_ = 0;
+  bool active_;
+  bool has_arg_;
+  int64_t arg_;
+};
+
+/// Records an instant event (a point-in-time marker, Perfetto 'i' phase),
+/// and bumps the counter "events/<category>/<name>" in the default metrics
+/// registry so structured events are countable as well as visible on the
+/// timeline. Both `category` and `name` must be string literals.
+void TraceInstant(const char* category, const char* name);
+
+/// Instant event with a numeric argument (e.g. the level a degradation
+/// step fired at).
+void TraceInstant(const char* category, const char* name, int64_t arg);
+
+}  // namespace sliceline::obs
+
+// Span macros: `TRACE_SPAN("la/level", L)` places a scoped span. Compiling
+// with -DSLICELINE_OBS_DISABLED removes the instrumentation entirely.
+#ifdef SLICELINE_OBS_DISABLED
+#define SLICELINE_TRACE_CONCAT2(a, b) a##b
+#define SLICELINE_TRACE_CONCAT(a, b) SLICELINE_TRACE_CONCAT2(a, b)
+#define TRACE_SPAN(...) \
+  do {                  \
+  } while (false)
+#else
+#define SLICELINE_TRACE_CONCAT2(a, b) a##b
+#define SLICELINE_TRACE_CONCAT(a, b) SLICELINE_TRACE_CONCAT2(a, b)
+#define TRACE_SPAN(...)                                          \
+  ::sliceline::obs::ScopedSpan SLICELINE_TRACE_CONCAT(           \
+      sliceline_trace_span_, __LINE__)(__VA_ARGS__)
+#endif
+
+#endif  // SLICELINE_OBS_TRACE_H_

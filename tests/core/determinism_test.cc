@@ -14,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "core/sliceline.h"
 #include "dist/distributed_evaluator.h"
+#include "obs/metrics.h"
 #include "testing/checks.h"
 #include "testing/random_dataset.h"
 
@@ -156,6 +157,65 @@ TEST_F(DeterminismTest, FaultInjectedRunsMatchFaultFree) {
   ASSERT_TRUE(replay.ok());
   ExpectIdenticalTopK(*injected, *replay, "fault replay");
   EXPECT_EQ(stats1, stats2) << stats1.Summary() << " vs " << stats2.Summary();
+}
+
+TEST_F(DeterminismTest, MetricsRegistryIsDeterministicAcrossThreadCounts) {
+  // The observability layer must not be a source of nondeterminism:
+  // sharded counters commute and histogram sums accumulate in fixed point,
+  // so for a fixed dataset the full registry view (per-level counters,
+  // evaluator counters, histogram observation counts) is identical for
+  // thread-pool sizes 1, 2 and 8 — and matches the engine's own LevelStats.
+  Dataset d = MakePlanted(31, 1500);
+  SliceLineConfig config;
+  config.k = 6;
+  config.parallel = true;
+  const bool was_enabled = obs::MetricsEnabled();
+  obs::SetMetricsEnabled(true);
+  obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+
+  struct RegistryView {
+    std::vector<std::pair<std::string, int64_t>> counters;
+    std::vector<std::pair<std::string, int64_t>> histogram_counts;
+    bool operator==(const RegistryView&) const = default;
+  };
+  const auto run_and_snapshot = [&](size_t threads) {
+    ResizeGlobalThreadPoolForTesting(threads);
+    registry->ResetValues();
+    auto result = RunSliceLine(d.x0, d.errors, config);
+    EXPECT_TRUE(result.ok());
+    // Registry counters must equal the engine's own per-level table.
+    for (const LevelStats& level : result->levels) {
+      EXPECT_EQ(registry
+                    ->GetCounter(obs::LevelMetricName("native", level.level,
+                                                      "candidates"))
+                    ->Value(),
+                level.candidates)
+          << "threads=" << threads << " level " << level.level;
+    }
+    RegistryView view;
+    for (const obs::MetricSample& sample : registry->Snapshot()) {
+      if (sample.kind == obs::MetricSample::Kind::kCounter) {
+        view.counters.emplace_back(sample.name, sample.counter_value);
+      } else if (sample.kind == obs::MetricSample::Kind::kHistogram) {
+        // Observation counts are deterministic; the observed durations
+        // (and therefore sums/bucket spread) are wall-clock and are not.
+        view.histogram_counts.emplace_back(sample.name,
+                                           sample.histogram_count);
+      }
+    }
+    return view;
+  };
+
+  const RegistryView baseline = run_and_snapshot(1);
+  EXPECT_FALSE(baseline.counters.empty());
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    const RegistryView view = run_and_snapshot(threads);
+    EXPECT_EQ(baseline.counters, view.counters) << "threads=" << threads;
+    EXPECT_EQ(baseline.histogram_counts, view.histogram_counts)
+        << "threads=" << threads;
+  }
+  registry->ResetValues();
+  obs::SetMetricsEnabled(was_enabled);
 }
 
 TEST_F(DeterminismTest, HarnessDeterminismCheckPassesOnGeneratedCases) {

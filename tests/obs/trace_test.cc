@@ -1,0 +1,125 @@
+// Trace recorder: enable/disable semantics, span and instant recording
+// across threads, the structured-event counter side channel, and
+// Chrome-trace export validity (strict JSON with the traceEvents envelope).
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json_validate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sliceline::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = TraceRecorder::Default()->enabled();
+    metrics_were_enabled_ = MetricsEnabled();
+    TraceRecorder::Default()->Clear();
+    TraceRecorder::Default()->SetEnabled(true);
+    SetMetricsEnabled(true);
+    MetricsRegistry::Default()->ResetValues();
+  }
+  void TearDown() override {
+    TraceRecorder::Default()->Clear();
+    TraceRecorder::Default()->SetEnabled(was_enabled_);
+    MetricsRegistry::Default()->ResetValues();
+    SetMetricsEnabled(metrics_were_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+  bool metrics_were_enabled_ = false;
+};
+
+TEST_F(TraceTest, DisabledRecorderDropsSpans) {
+  TraceRecorder::Default()->SetEnabled(false);
+  { TRACE_SPAN("test/disabled"); }
+  TraceInstant("test", "disabled_instant");
+  EXPECT_EQ(TraceRecorder::Default()->EventCount(), 0u);
+}
+
+TEST_F(TraceTest, SpansAndInstantsAreRecorded) {
+  {
+    TRACE_SPAN("test/outer");
+    { TRACE_SPAN("test/inner", 3); }
+  }
+  TraceInstant("test", "marker", 7);
+  EXPECT_EQ(TraceRecorder::Default()->EventCount(), 3u);
+}
+
+TEST_F(TraceTest, InstantBumpsStructuredEventCounter) {
+  TraceInstant("governance", "degrade_raise_sigma", 2);
+  TraceInstant("governance", "degrade_raise_sigma", 3);
+  EXPECT_EQ(MetricsRegistry::Default()
+                ->GetCounter("events/governance/degrade_raise_sigma")
+                ->Value(),
+            2);
+}
+
+TEST_F(TraceTest, ExportIsStrictJsonWithEnvelope) {
+  {
+    TRACE_SPAN("test/span", 42);
+  }
+  TraceInstant("test", "instant");
+  std::ostringstream os;
+  TraceRecorder::Default()->ExportChromeTrace(os);
+  const std::string trace = os.str();
+  EXPECT_EQ(ValidateStrictJson(trace), "") << trace;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"test/span\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(trace.find("\"args\":{\"v\":42}"), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyTraceExportsValidJson) {
+  std::ostringstream os;
+  TraceRecorder::Default()->ExportChromeTrace(os);
+  EXPECT_EQ(ValidateStrictJson(os.str()), "") << os.str();
+}
+
+TEST_F(TraceTest, ConcurrentSpansAllLand) {
+  constexpr int kThreads = 8;
+  constexpr int kSpans = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        TRACE_SPAN("test/concurrent", i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(TraceRecorder::Default()->EventCount(),
+            static_cast<size_t>(kThreads) * kSpans);
+  std::ostringstream os;
+  TraceRecorder::Default()->ExportChromeTrace(os);
+  EXPECT_EQ(ValidateStrictJson(os.str()), "");
+}
+
+TEST_F(TraceTest, ClearDropsEverything) {
+  { TRACE_SPAN("test/span"); }
+  ASSERT_GT(TraceRecorder::Default()->EventCount(), 0u);
+  TraceRecorder::Default()->Clear();
+  EXPECT_EQ(TraceRecorder::Default()->EventCount(), 0u);
+}
+
+TEST_F(TraceTest, SpanStartedWhileEnabledRecordsAfterDisable) {
+  // The enabled check is at construction: a span that begins enabled must
+  // not vanish because tracing flipped off before it ended.
+  {
+    TRACE_SPAN("test/straddler");
+    TraceRecorder::Default()->SetEnabled(false);
+  }
+  EXPECT_EQ(TraceRecorder::Default()->EventCount(), 1u);
+}
+
+}  // namespace
+}  // namespace sliceline::obs

@@ -19,12 +19,21 @@
 # with --resume; the resumed output must be byte-identical (after timing
 # normalization) to a run that was never interrupted.
 #
-# Usage: cli_golden_test.sh CLI_BINARY INPUT_CSV EXPECTED_FILE
+# Part 4 checks the observability outputs: with --metrics-json=- stdout is
+# exactly one strict-JSON run report (validated with json_validate, human
+# output on stderr), the --trace-out file is valid Chrome-trace JSON, and
+# the deterministic report fields (outcome, dist_faults under a fixed fault
+# seed) match REPORT_EXPECTED byte for byte.
+#
+# Usage: cli_golden_test.sh CLI_BINARY INPUT_CSV EXPECTED_FILE \
+#          JSON_VALIDATE_BINARY REPORT_EXPECTED
 set -euo pipefail
 
 cli="$1"
 input="$2"
 expected="$3"
+jv="$4"
+report_expected="$5"
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
@@ -157,3 +166,64 @@ if ! diff -u "$workdir/reference.txt" "$workdir/resumed.txt"; then
   exit 1
 fi
 echo "OK: post-SIGKILL --resume matches uninterrupted run (killed=$killed)"
+
+# --- Part 4: machine-readable observability outputs ----------------------
+
+# Same fixed configuration as part 1's dist engine, so the fault counters
+# are deterministic. Exercises the --flag=value spelling on purpose.
+run_obs=(--csv "$input" --label target --task reg --k 4 --alpha=0.95
+         --sigma 10 --bins 5 --engine=dist --workers 3 --fault-seed 7
+         --fault-transient 0.2 --fault-straggler 0.2)
+
+"$cli" "${run_obs[@]}" --metrics-json=- --trace-out "$workdir/trace.json" \
+  > "$workdir/report.json" 2> "$workdir/human.txt"
+
+# stdout purity: the report must be the only thing on stdout, and it must
+# be strict JSON.
+if ! "$jv" "$workdir/report.json"; then
+  echo "FAIL: --metrics-json=- stdout is not one strict-JSON document" >&2
+  head -c 400 "$workdir/report.json" >&2
+  exit 1
+fi
+# ...while the human-readable transcript moved to stderr intact.
+if ! grep -q "fault recovery:" "$workdir/human.txt"; then
+  echo "FAIL: human output did not move to stderr under --metrics-json=-" >&2
+  exit 1
+fi
+
+# The trace file is valid JSON with the Chrome trace-event envelope and at
+# least one span from the instrumented engines.
+if ! "$jv" "$workdir/trace.json"; then
+  echo "FAIL: --trace-out file is not strict JSON" >&2
+  exit 1
+fi
+grep -q '"traceEvents"' "$workdir/trace.json" || {
+  echo "FAIL: trace file lacks the traceEvents envelope" >&2; exit 1; }
+grep -q '"name":"dist/evaluate_round"' "$workdir/trace.json" || {
+  echo "FAIL: trace file lacks the dist/evaluate_round span" >&2; exit 1; }
+
+# Golden diff of the deterministic report fields: the structured RunOutcome
+# and the fault-recovery counters (fixed seed => fixed values). Timings and
+# registry gauges are run-dependent and excluded.
+{
+  grep -o '"outcome":{[^}]*}' "$workdir/report.json"
+  grep -o '"dist_faults":{[^}]*}' "$workdir/report.json"
+} > "$workdir/report_fields.txt"
+if ! diff -u "$report_expected" "$workdir/report_fields.txt"; then
+  echo "FAIL: deterministic report fields diverged from $report_expected" >&2
+  exit 1
+fi
+
+# --metrics-json to a file keeps human output on stdout, and --log-level
+# filters stderr: an error-level run must not emit info-level lines.
+"$cli" "${run_obs[@]}" --metrics-json "$workdir/report2.json" \
+  --log-level=error > "$workdir/human2.txt" 2> "$workdir/log2.txt"
+"$jv" "$workdir/report2.json" || {
+  echo "FAIL: --metrics-json FILE is not strict JSON" >&2; exit 1; }
+grep -q "fault recovery:" "$workdir/human2.txt" || {
+  echo "FAIL: human output left stdout without --metrics-json=-" >&2
+  exit 1; }
+
+expect_reject "bad log level" "--log-level must be" \
+  "${valid[@]}" --log-level chatty
+echo "OK: observability outputs are valid and deterministic"

@@ -1,0 +1,40 @@
+// Strict (RFC 8259) JSON validator used by the shell-based regression tests
+// to assert that --metrics-json / --trace-out output is machine-parseable
+// without depending on a host python/jq. Reads one JSON document from the
+// file given as argv[1] (or stdin when absent or "-"); exits 0 when the
+// document is valid and nothing but whitespace follows it, 1 otherwise with
+// a byte-offset diagnostic on stderr. The validation itself lives in
+// obs::ValidateStrictJson so the schema tests share the exact same rules.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json_validate.h"
+
+int main(int argc, char** argv) {
+  std::string input;
+  const std::string path = argc > 1 ? argv[1] : "-";
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    input = buffer.str();
+  } else {
+    std::ifstream file(path, std::ios::in | std::ios::binary);
+    if (!file.is_open()) {
+      std::cerr << "json_validate: cannot open " << path << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    input = buffer.str();
+  }
+
+  const std::string error = sliceline::obs::ValidateStrictJson(input);
+  if (!error.empty()) {
+    std::cerr << "json_validate: " << path << ": " << error << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -10,6 +10,12 @@
 //                 [--fault-loss P] [--fault-straggler P] [--fault-corrupt P]
 //                 [--deadline-ms MS] [--memory-budget-mb MB]
 //                 [--checkpoint-dir DIR] [--resume]
+//                 [--metrics-json PATH|-] [--trace-out PATH]
+//                 [--log-level debug|info|warn|error]
+//
+// Every flag also accepts the --flag=value spelling. With --metrics-json=-
+// the JSON report owns stdout and all human-readable progress moves to
+// stderr, so `sliceline_cli ... --metrics-json=- | jq` just works.
 //
 // Exit code 0 on success, 1 on usage or data errors.
 #include <sys/stat.h>
@@ -17,9 +23,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/run_context.h"
 #include "common/string_util.h"
 #include "core/report.h"
@@ -29,6 +38,9 @@
 #include "data/preprocess.h"
 #include "dist/distributed_evaluator.h"
 #include "ml/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -53,6 +65,9 @@ struct CliOptions {
   int64_t memory_budget_mb = 0;  ///< 0 = unlimited
   std::string checkpoint_dir;
   bool resume = false;
+  std::string metrics_json;  ///< run-report path; "-" = stdout, "" = off
+  std::string trace_out;     ///< Chrome trace path; "" = tracing off
+  std::string log_level = "info";
 };
 
 void PrintUsage() {
@@ -78,13 +93,34 @@ void PrintUsage() {
       "  --memory-budget-mb MB  memory budget; soft pressure degrades the\n"
       "                       search, hard pressure stops it (0 = unlimited)\n"
       "  --checkpoint-dir DIR save a resumable checkpoint per level\n"
-      "  --resume             continue from DIR's checkpoint if compatible\n");
+      "  --resume             continue from DIR's checkpoint if compatible\n"
+      "  --metrics-json PATH  write the machine-readable run report (config,\n"
+      "                       per-level table, top-K, outcome, metrics\n"
+      "                       registry) as strict JSON; '-' writes it to\n"
+      "                       stdout and moves human output to stderr\n"
+      "  --trace-out PATH     write a Chrome/Perfetto trace of the run\n"
+      "  --log-level LEVEL    debug|info|warn|error (default info); logs go\n"
+      "                       to stderr\n"
+      "Every flag also accepts --flag=value.\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Both "--flag value" and "--flag=value" are accepted; split the inline
+    // form here so every branch below sees just the flag name.
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.size() > 2 && arg.compare(0, 2, "--") == 0) {
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    }
     auto next = [&](const char* name) -> const char* {
+      if (has_inline) return inline_value.c_str();
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", name);
         return nullptr;
@@ -167,7 +203,23 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next("--checkpoint-dir");
       if (v == nullptr) return false;
       options->checkpoint_dir = v;
+    } else if (arg == "--metrics-json") {
+      const char* v = next("--metrics-json");
+      if (v == nullptr) return false;
+      options->metrics_json = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next("--trace-out");
+      if (v == nullptr) return false;
+      options->trace_out = v;
+    } else if (arg == "--log-level") {
+      const char* v = next("--log-level");
+      if (v == nullptr) return false;
+      options->log_level = v;
     } else if (arg == "--resume") {
+      if (has_inline) {
+        std::fprintf(stderr, "--resume takes no value\n");
+        return false;
+      }
       options->resume = true;
     } else if (arg == "--help" || arg == "-h") {
       return false;
@@ -240,6 +292,13 @@ bool ValidateOptions(const CliOptions& options) {
                  static_cast<long long>(options.memory_budget_mb));
     return false;
   }
+  if (options.log_level != "debug" && options.log_level != "info" &&
+      options.log_level != "warn" && options.log_level != "error") {
+    std::fprintf(stderr,
+                 "--log-level must be debug|info|warn|error, got '%s'\n",
+                 options.log_level.c_str());
+    return false;
+  }
   if (options.resume && options.checkpoint_dir.empty()) {
     std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
     return false;
@@ -254,6 +313,48 @@ bool ValidateOptions(const CliOptions& options) {
   return true;
 }
 
+/// Shared tail for every engine: writes the optional trace file and the
+/// machine-readable run report. `dist_cost`/`dist_faults` are empty for
+/// single-node engines. Returns the process exit code.
+int EmitObservabilityOutputs(
+    const CliOptions& cli, const sliceline::core::SliceLineConfig& config,
+    const sliceline::core::SliceLineResult& result,
+    const std::vector<std::string>& feature_names,
+    std::vector<std::pair<std::string, double>> dist_cost,
+    std::vector<std::pair<std::string, double>> dist_faults) {
+  namespace obs = sliceline::obs;
+  if (!cli.trace_out.empty()) {
+    std::ofstream os(cli.trace_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot open --trace-out path: %s\n",
+                   cli.trace_out.c_str());
+      return 1;
+    }
+    obs::TraceRecorder::Default()->ExportChromeTrace(os);
+  }
+  if (!cli.metrics_json.empty()) {
+    obs::RunReport report;
+    report.set_tool("sliceline_cli");
+    report.set_engine(cli.engine);
+    report.set_dataset(cli.csv_path);
+    report.SetConfig(config);
+    report.SetResult(result, feature_names);
+    if (!dist_cost.empty()) {
+      report.AddNumericSection("dist_cost", std::move(dist_cost));
+    }
+    if (!dist_faults.empty()) {
+      report.AddNumericSection("dist_faults", std::move(dist_faults));
+    }
+    auto status = obs::WriteRunReportJson(report, cli.metrics_json);
+    if (!status.ok()) {
+      std::fprintf(stderr, "writing --metrics-json failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -265,16 +366,31 @@ int main(int argc, char** argv) {
   }
   if (!ValidateOptions(cli)) return 1;
 
+  if (cli.log_level == "debug") {
+    SetLogLevel(LogLevel::kDebug);
+  } else if (cli.log_level == "warn") {
+    SetLogLevel(LogLevel::kWarning);
+  } else if (cli.log_level == "error") {
+    SetLogLevel(LogLevel::kError);
+  } else {
+    SetLogLevel(LogLevel::kInfo);
+  }
+  if (!cli.metrics_json.empty()) obs::SetMetricsEnabled(true);
+  if (!cli.trace_out.empty()) obs::TraceRecorder::Default()->SetEnabled(true);
+  // With --metrics-json=- the JSON report owns stdout; human-readable
+  // progress moves to stderr so stdout stays machine-parseable.
+  std::FILE* human = cli.metrics_json == "-" ? stderr : stdout;
+
   auto frame = data::ReadCsv(cli.csv_path);
   if (!frame.ok()) {
     std::fprintf(stderr, "error reading CSV: %s\n",
                  frame.status().ToString().c_str());
     return 1;
   }
-  std::printf("read %lld rows x %lld columns from %s\n",
-              static_cast<long long>(frame->num_rows()),
-              static_cast<long long>(frame->num_columns()),
-              cli.csv_path.c_str());
+  std::fprintf(human, "read %lld rows x %lld columns from %s\n",
+               static_cast<long long>(frame->num_rows()),
+               static_cast<long long>(frame->num_columns()),
+               cli.csv_path.c_str());
 
   data::PreprocessOptions popts;
   popts.label_column = cli.label;
@@ -295,9 +411,9 @@ int main(int argc, char** argv) {
                  mean_error.status().ToString().c_str());
     return 1;
   }
-  std::printf("trained %s; mean error = %.6f\n",
-              popts.task == data::Task::kRegression ? "lm" : "mlogit",
-              *mean_error);
+  std::fprintf(human, "trained %s; mean error = %.6f\n",
+               popts.task == data::Task::kRegression ? "lm" : "mlogit",
+               *mean_error);
 
   core::SliceLineConfig config;
   config.k = cli.k;
@@ -335,15 +451,37 @@ int main(int argc, char** argv) {
                    result.status().ToString().c_str());
       return 1;
     }
-    std::printf("distributed: %d workers, %lld rounds, simulated wall-clock "
-                "%.3fs (compute %.3fs + comm %.3fs)\n",
-                dopts.workers, static_cast<long long>(cost.rounds),
-                cost.critical_path_seconds + cost.EstimatedCommSeconds(dopts),
-                cost.critical_path_seconds, cost.EstimatedCommSeconds(dopts));
-    std::printf("fault recovery: %s\n", faults.Summary().c_str());
-    std::printf("\n%s",
-                core::FormatResult(*result, ds->feature_names).c_str());
-    return 0;
+    std::fprintf(human,
+                 "distributed: %d workers, %lld rounds, simulated wall-clock "
+                 "%.3fs (compute %.3fs + comm %.3fs)\n",
+                 dopts.workers, static_cast<long long>(cost.rounds),
+                 cost.critical_path_seconds + cost.EstimatedCommSeconds(dopts),
+                 cost.critical_path_seconds, cost.EstimatedCommSeconds(dopts));
+    std::fprintf(human, "fault recovery: %s\n", faults.Summary().c_str());
+    std::fprintf(human, "\n%s",
+                 core::FormatResult(*result, ds->feature_names).c_str());
+    return EmitObservabilityOutputs(
+        cli, config, *result, ds->feature_names,
+        {{"workers", static_cast<double>(dopts.workers)},
+         {"rounds", static_cast<double>(cost.rounds)},
+         {"broadcast_bytes", static_cast<double>(cost.broadcast_bytes)},
+         {"gather_bytes", static_cast<double>(cost.gather_bytes)},
+         {"worker_busy_seconds", cost.worker_busy_seconds},
+         {"critical_path_seconds", cost.critical_path_seconds},
+         {"estimated_comm_seconds", cost.EstimatedCommSeconds(dopts)}},
+        {{"transient_failures",
+          static_cast<double>(faults.transient_failures)},
+         {"retries", static_cast<double>(faults.retries)},
+         {"backoff_events", static_cast<double>(faults.backoff_events)},
+         {"backoff_seconds", faults.backoff_seconds},
+         {"stragglers", static_cast<double>(faults.stragglers)},
+         {"speculative_reexecutions",
+          static_cast<double>(faults.speculative_reexecutions)},
+         {"corrupted_partials",
+          static_cast<double>(faults.corrupted_partials)},
+         {"workers_lost", static_cast<double>(faults.workers_lost)},
+         {"reshards", static_cast<double>(faults.reshards)},
+         {"fallback_local", faults.fallback_local ? 1.0 : 0.0}});
   }
   auto result = cli.engine == "la"
                     ? core::RunSliceLineLA(*ds, config)
@@ -353,6 +491,8 @@ int main(int argc, char** argv) {
                  result.status().ToString().c_str());
     return 1;
   }
-  std::printf("\n%s", core::FormatResult(*result, ds->feature_names).c_str());
-  return 0;
+  std::fprintf(human, "\n%s",
+               core::FormatResult(*result, ds->feature_names).c_str());
+  return EmitObservabilityOutputs(cli, config, *result, ds->feature_names,
+                                  {}, {});
 }
