@@ -1,10 +1,18 @@
-// Microbenchmarks (google-benchmark) of the linear-algebra kernels the
-// SliceLine enumeration is built from: one-hot encoding, colSums, the
-// vector-matrix error aggregation e^T X, the S*S^T pair join, the X*S^T
-// evaluation product, and table()-based selection-matrix construction.
-#include <benchmark/benchmark.h>
+// Microbenchmarks of the linear-algebra kernels the SliceLine enumeration
+// is built from: one-hot encoding, colSums, the vector-matrix error
+// aggregation e^T X, the S*S^T pair join, the X*S^T evaluation product, and
+// table()-based selection-matrix construction. Each kernel is timed over
+// repeated runs on the shared harness (bench_util.h); the best wall-clock
+// per run and the derived items/s are printed, and recorded through
+// bench::Reporter when SLICELINE_BENCH_JSON is set.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "common/rng.h"
+#include "common/string_util.h"
 #include "data/generators/generators.h"
 #include "data/onehot.h"
 #include "linalg/kernels.h"
@@ -15,55 +23,42 @@ using namespace sliceline;
 
 const data::EncodedDataset& AdultDataset() {
   static const data::EncodedDataset* ds = [] {
-    data::DatasetOptions options;
-    options.rows = 20000;
-    return new data::EncodedDataset(data::MakeAdult(options));
+    return new data::EncodedDataset(bench::Load("adult", 20000));
   }();
   return *ds;
 }
 
-void BM_OneHotEncode(benchmark::State& state) {
-  const data::EncodedDataset& ds = AdultDataset();
-  const data::FeatureOffsets offsets = data::ComputeOffsets(ds.x0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(data::OneHotEncode(ds.x0, offsets));
-  }
-  state.SetItemsProcessed(state.iterations() * ds.n());
-}
-BENCHMARK(BM_OneHotEncode);
+/// Checksum sink: forces each kernel's result to be materialized so the
+/// timed call cannot be optimized away; the total is printed at the end.
+volatile double g_sink = 0.0;
 
-void BM_OneHotEncodeViaTable(benchmark::State& state) {
-  const data::EncodedDataset& ds = AdultDataset();
-  const data::FeatureOffsets offsets = data::ComputeOffsets(ds.x0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(data::OneHotEncodeViaTable(ds.x0, offsets));
+/// Times `fn` over `reps` runs (after one untimed warm-up) and reports the
+/// best run plus items/s at that best. `items` is the per-run work unit
+/// (rows or nonzeros), 0 to skip the throughput column.
+template <typename Fn>
+void RunCase(bench::Reporter& reporter, const std::string& name,
+             int64_t items, Fn&& fn) {
+  constexpr int kReps = 5;
+  g_sink = g_sink + fn();
+  double best = 0.0;
+  double total = 0.0;
+  for (int r = 0; r < kReps; ++r) {
+    const double seconds = bench::Timed([&] { g_sink = g_sink + fn(); });
+    total += seconds;
+    if (r == 0 || seconds < best) best = seconds;
   }
-  state.SetItemsProcessed(state.iterations() * ds.n());
-}
-BENCHMARK(BM_OneHotEncodeViaTable);
-
-void BM_ColSums(benchmark::State& state) {
-  const data::EncodedDataset& ds = AdultDataset();
-  const data::FeatureOffsets offsets = data::ComputeOffsets(ds.x0);
-  const linalg::CsrMatrix x = data::OneHotEncode(ds.x0, offsets);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(linalg::ColSums(x));
+  std::string throughput = "-";
+  if (items > 0 && best > 0.0) {
+    throughput =
+        FormatWithCommas(static_cast<int64_t>(items / best)) + "/s";
   }
-  state.SetItemsProcessed(state.iterations() * x.nnz());
+  std::printf("  %-28s %12s %12s %18s\n", name.c_str(),
+              FormatDouble(best, 6).c_str(),
+              FormatDouble(total / kReps, 6).c_str(), throughput.c_str());
+  reporter.AddRow(name, {{"best_seconds", best},
+                         {"mean_seconds", total / kReps},
+                         {"items", static_cast<double>(items)}});
 }
-BENCHMARK(BM_ColSums);
-
-void BM_ErrorAggregation(benchmark::State& state) {
-  // se0 = (e^T X)^T, Equation 4.
-  const data::EncodedDataset& ds = AdultDataset();
-  const data::FeatureOffsets offsets = data::ComputeOffsets(ds.x0);
-  const linalg::CsrMatrix x = data::OneHotEncode(ds.x0, offsets);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(linalg::TransposeMatVec(x, ds.errors));
-  }
-  state.SetItemsProcessed(state.iterations() * x.nnz());
-}
-BENCHMARK(BM_ErrorAggregation);
 
 linalg::CsrMatrix RandomSliceMatrix(int64_t slices, int64_t cols, int level,
                                     uint64_t seed) {
@@ -77,56 +72,72 @@ linalg::CsrMatrix RandomSliceMatrix(int64_t slices, int64_t cols, int level,
   return builder.Build();
 }
 
-void BM_PairJoinSSt(benchmark::State& state) {
-  const linalg::CsrMatrix s =
-      RandomSliceMatrix(state.range(0), 162, 2, 7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(linalg::MultiplyABt(s, s));
-  }
-}
-BENCHMARK(BM_PairJoinSSt)->Arg(128)->Arg(512)->Arg(2048);
-
-void BM_EvalProductXSt(benchmark::State& state) {
-  const data::EncodedDataset& ds = AdultDataset();
-  const data::FeatureOffsets offsets = data::ComputeOffsets(ds.x0);
-  const linalg::CsrMatrix x = data::OneHotEncode(ds.x0, offsets);
-  const linalg::CsrMatrix s =
-      RandomSliceMatrix(state.range(0), offsets.total, 2, 11);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        linalg::FilterEquals(linalg::MultiplyABt(x, s), 2.0));
-  }
-  state.SetItemsProcessed(state.iterations() * x.rows() * state.range(0));
-}
-BENCHMARK(BM_EvalProductXSt)->Arg(16)->Arg(64);
-
-void BM_TableConstruction(benchmark::State& state) {
-  Rng rng(13);
-  const int64_t n = state.range(0);
-  std::vector<int64_t> rix(n);
-  std::vector<int64_t> cix(n);
-  for (int64_t i = 0; i < n; ++i) {
-    rix[i] = i;
-    cix[i] = static_cast<int64_t>(rng.NextUint64(n));
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(linalg::Table(rix, cix, n, n));
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_TableConstruction)->Arg(10000)->Arg(100000);
-
-void BM_SpGemmTranspose(benchmark::State& state) {
-  const data::EncodedDataset& ds = AdultDataset();
-  const data::FeatureOffsets offsets = data::ComputeOffsets(ds.x0);
-  const linalg::CsrMatrix x = data::OneHotEncode(ds.x0, offsets);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(linalg::Transpose(x));
-  }
-  state.SetItemsProcessed(state.iterations() * x.nnz());
-}
-BENCHMARK(BM_SpGemmTranspose);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  bench::Banner("Linear-Algebra Kernel Microbenchmarks",
+                "SliceLine Section 3 kernels (Equations 3-6)");
+  bench::Reporter reporter("bench_kernels",
+                           "SliceLine Section 3 kernels (Equations 3-6)");
+
+  const data::EncodedDataset& ds = AdultDataset();
+  const data::FeatureOffsets offsets = data::ComputeOffsets(ds.x0);
+  const linalg::CsrMatrix x = data::OneHotEncode(ds.x0, offsets);
+  std::printf("adult: n=%s, m=%lld, onehot cols=%lld, nnz=%s\n\n",
+              FormatWithCommas(ds.n()).c_str(),
+              static_cast<long long>(ds.m()),
+              static_cast<long long>(offsets.total),
+              FormatWithCommas(x.nnz()).c_str());
+  std::printf("  %-28s %12s %12s %18s\n", "kernel", "best[s]", "mean[s]",
+              "throughput");
+
+  RunCase(reporter, "onehot_encode", ds.n(), [&] {
+    return static_cast<double>(data::OneHotEncode(ds.x0, offsets).nnz());
+  });
+  RunCase(reporter, "onehot_encode_via_table", ds.n(), [&] {
+    return static_cast<double>(
+        data::OneHotEncodeViaTable(ds.x0, offsets).nnz());
+  });
+  RunCase(reporter, "col_sums", x.nnz(), [&] {
+    const std::vector<double> sums = linalg::ColSums(x);
+    return sums.empty() ? 0.0 : sums[0];
+  });
+  // se0 = (e^T X)^T, Equation 4.
+  RunCase(reporter, "error_aggregation_etx", x.nnz(), [&] {
+    const std::vector<double> se = linalg::TransposeMatVec(x, ds.errors);
+    return se.empty() ? 0.0 : se[0];
+  });
+  for (const int64_t slices : {128, 512, 2048}) {
+    const linalg::CsrMatrix s = RandomSliceMatrix(slices, 162, 2, 7);
+    RunCase(reporter, "pair_join_sst/" + std::to_string(slices),
+            slices * slices, [&] {
+              return static_cast<double>(linalg::MultiplyABt(s, s).nnz());
+            });
+  }
+  for (const int64_t slices : {16, 64}) {
+    const linalg::CsrMatrix s = RandomSliceMatrix(slices, offsets.total, 2, 11);
+    RunCase(reporter, "eval_product_xst/" + std::to_string(slices),
+            x.rows() * slices, [&] {
+              return static_cast<double>(
+                  linalg::FilterEquals(linalg::MultiplyABt(x, s), 2.0).nnz());
+            });
+  }
+  for (const int64_t n : {10000, 100000}) {
+    Rng rng(13);
+    std::vector<int64_t> rix(n);
+    std::vector<int64_t> cix(n);
+    for (int64_t i = 0; i < n; ++i) {
+      rix[i] = i;
+      cix[i] = static_cast<int64_t>(rng.NextUint64(n));
+    }
+    RunCase(reporter, "table_construction/" + std::to_string(n), n, [&] {
+      return static_cast<double>(linalg::Table(rix, cix, n, n).nnz());
+    });
+  }
+  RunCase(reporter, "spgemm_transpose", x.nnz(), [&] {
+    return static_cast<double>(linalg::Transpose(x).nnz());
+  });
+
+  std::printf("\nchecksum: %s\n", FormatDouble(g_sink, 1).c_str());
+  return reporter.Finish();
+}

@@ -1,0 +1,19 @@
+#include "common/hashing.h"
+
+namespace sliceline {
+
+void Fnv1a::AddBytes(const void* data, size_t len) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    hash_ ^= bytes[i];
+    hash_ *= 1099511628211ULL;
+  }
+}
+
+uint64_t HashString(const std::string& s) {
+  Fnv1a h;
+  h.AddString(s);
+  return h.hash();
+}
+
+}  // namespace sliceline

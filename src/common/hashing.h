@@ -1,0 +1,31 @@
+#ifndef SLICELINE_COMMON_HASHING_H_
+#define SLICELINE_COMMON_HASHING_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sliceline {
+
+/// Incremental FNV-1a hasher shared by the checkpoint format (config/data
+/// fingerprints, file checksum) and the serving layer (dataset registry
+/// keys, result-cache keys). One implementation so "the same bytes hash to
+/// the same fingerprint" holds across subsystems; the checkpoint format in
+/// particular depends on these exact constants staying put.
+class Fnv1a {
+ public:
+  void AddBytes(const void* data, size_t len);
+  void Add64(uint64_t v) { AddBytes(&v, sizeof(v)); }
+  void AddDouble(double v) { AddBytes(&v, sizeof(v)); }
+  void AddString(const std::string& s) { AddBytes(s.data(), s.size()); }
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 1469598103934665603ULL;
+};
+
+/// One-shot convenience: FNV-1a of a byte string.
+uint64_t HashString(const std::string& s);
+
+}  // namespace sliceline
+
+#endif  // SLICELINE_COMMON_HASHING_H_

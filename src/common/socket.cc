@@ -1,0 +1,279 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace sliceline {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+/// SIGPIPE on a peer-closed socket must surface as an EPIPE Status, not
+/// kill the server; MSG_NOSIGNAL handles it per-send without touching the
+/// process signal disposition.
+ssize_t SendSome(int fd, const char* data, size_t len) {
+  return ::send(fd, data, len, MSG_NOSIGNAL);
+}
+
+}  // namespace
+
+SocketConnection::~SocketConnection() { Close(); }
+
+SocketConnection::SocketConnection(SocketConnection&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+SocketConnection& SocketConnection::operator=(
+    SocketConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void SocketConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+StatusOr<std::string> SocketConnection::ReadLine(size_t max_bytes) {
+  if (fd_ < 0) return Status::InvalidArgument("read on closed connection");
+  for (;;) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (line.size() > max_bytes) {
+        return Status::ResourceExhausted("line exceeds " +
+                                         std::to_string(max_bytes) + " bytes");
+      }
+      return line;
+    }
+    if (buffer_.size() > max_bytes) {
+      return Status::ResourceExhausted("line exceeds " +
+                                       std::to_string(max_bytes) + " bytes");
+    }
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (got == 0) {
+      if (buffer_.empty()) return Status::NotFound("eof");
+      // Tolerate a missing trailing newline on the final line.
+      std::string line = std::move(buffer_);
+      buffer_.clear();
+      if (line.size() > max_bytes) {
+        return Status::ResourceExhausted("line exceeds " +
+                                         std::to_string(max_bytes) + " bytes");
+      }
+      return line;
+    }
+    buffer_.append(chunk, static_cast<size_t>(got));
+  }
+}
+
+StatusOr<std::string> SocketConnection::ReadAll(size_t max_bytes) {
+  if (fd_ < 0) return Status::InvalidArgument("read on closed connection");
+  std::string out = std::move(buffer_);
+  buffer_.clear();
+  char chunk[4096];
+  while (out.size() < max_bytes) {
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (got == 0) return out;
+    out.append(chunk, static_cast<size_t>(got));
+  }
+  return Status::ResourceExhausted("response exceeds " +
+                                   std::to_string(max_bytes) + " bytes");
+}
+
+StatusOr<bool> SocketConnection::WaitReadable(int timeout_ms) {
+  if (fd_ < 0) return Status::InvalidArgument("poll on closed connection");
+  if (!buffer_.empty()) return true;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return false;
+    return Errno("poll");
+  }
+  return ready > 0;
+}
+
+Status SocketConnection::WriteAll(const std::string& data) {
+  if (fd_ < 0) return Status::InvalidArgument("write on closed connection");
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = SendSome(fd_, data.data() + sent, data.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+ListenSocket::~ListenSocket() { Close(); }
+
+ListenSocket::ListenSocket(ListenSocket&& other) noexcept
+    : fd_(other.fd_), port_(other.port_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+  other.path_.clear();
+}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+void ListenSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+}
+
+StatusOr<ListenSocket> ListenSocket::ListenTcp(int port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Errno("bind 127.0.0.1:" + std::to_string(port));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status st = Errno("getsockname");
+    ::close(fd);
+    return st;
+  }
+  ListenSocket out;
+  out.fd_ = fd;
+  out.port_ = ntohs(bound.sin_port);
+  return out;
+}
+
+StatusOr<ListenSocket> ListenSocket::ListenUnix(const std::string& path,
+                                                int backlog) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Errno("bind " + path);
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status st = Errno("listen " + path);
+    ::close(fd);
+    return st;
+  }
+  ListenSocket out;
+  out.fd_ = fd;
+  out.path_ = path;
+  return out;
+}
+
+StatusOr<SocketConnection> ListenSocket::Accept(int timeout_ms) {
+  if (fd_ < 0) return Status::InvalidArgument("accept on closed listener");
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return Status::NotFound("accept timeout");
+    return Errno("poll");
+  }
+  if (ready == 0) return Status::NotFound("accept timeout");
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    if (errno == EINTR) return Status::NotFound("accept timeout");
+    return Errno("accept");
+  }
+  return SocketConnection(client);
+}
+
+StatusOr<SocketConnection> ConnectTcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Errno("connect 127.0.0.1:" + std::to_string(port));
+    ::close(fd);
+    return st;
+  }
+  return SocketConnection(fd);
+}
+
+StatusOr<SocketConnection> ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Errno("connect " + path);
+    ::close(fd);
+    return st;
+  }
+  return SocketConnection(fd);
+}
+
+}  // namespace sliceline

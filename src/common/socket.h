@@ -1,0 +1,101 @@
+#ifndef SLICELINE_COMMON_SOCKET_H_
+#define SLICELINE_COMMON_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace sliceline {
+
+/// Thin RAII wrapper over a connected stream socket (TCP or Unix-domain).
+/// The serving layer's wire protocol is newline-delimited JSON, so the
+/// primary read primitive is a length-guarded ReadLine; writes are
+/// write-all with EINTR retry. Move-only; the destructor closes the fd.
+class SocketConnection {
+ public:
+  SocketConnection() = default;
+  explicit SocketConnection(int fd) : fd_(fd) {}
+  ~SocketConnection();
+
+  SocketConnection(const SocketConnection&) = delete;
+  SocketConnection& operator=(const SocketConnection&) = delete;
+  SocketConnection(SocketConnection&& other) noexcept;
+  SocketConnection& operator=(SocketConnection&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Reads until '\n' (consumed, not returned) or EOF. A line longer than
+  /// `max_bytes` returns ResourceExhausted without consuming the rest --
+  /// the caller should drop the connection (the stream is desynchronized).
+  /// EOF with no buffered bytes returns NotFound("eof").
+  StatusOr<std::string> ReadLine(size_t max_bytes);
+
+  /// Reads until EOF or `max_bytes` (whichever first) and returns everything,
+  /// including bytes buffered by a previous ReadLine. Used for HTTP-style
+  /// responses that are terminated by connection close.
+  StatusOr<std::string> ReadAll(size_t max_bytes);
+
+  /// Waits up to `timeout_ms` for the connection to become readable (or to
+  /// reach EOF). Returns true when readable, false on timeout. Lets a server
+  /// poll for the next request while checking its shutdown flag.
+  StatusOr<bool> WaitReadable(int timeout_ms);
+
+  /// Writes all of `data`, retrying on EINTR / short writes.
+  Status WriteAll(const std::string& data);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+/// Listening socket bound to either a loopback TCP port or a Unix-domain
+/// socket path. Accept() polls with a timeout so a server can interleave
+/// accepting with shutdown checks.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket();
+
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+  ListenSocket(ListenSocket&& other) noexcept;
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+
+  /// Binds 127.0.0.1:`port` (port 0 = kernel-assigned; see bound_port()).
+  static StatusOr<ListenSocket> ListenTcp(int port, int backlog = 64);
+
+  /// Binds a Unix-domain socket at `path` (an existing socket file at the
+  /// path is unlinked first; the file is unlinked again on destruction).
+  static StatusOr<ListenSocket> ListenUnix(const std::string& path,
+                                           int backlog = 64);
+
+  bool valid() const { return fd_ >= 0; }
+  int bound_port() const { return port_; }
+  const std::string& unix_path() const { return path_; }
+
+  /// Waits up to `timeout_ms` for a connection. Returns the accepted
+  /// connection, or NotFound("accept timeout") when the poll expires
+  /// (callers loop on that while checking their shutdown flag).
+  StatusOr<SocketConnection> Accept(int timeout_ms);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int port_ = -1;
+  std::string path_;
+};
+
+/// Connects to 127.0.0.1:`port`.
+StatusOr<SocketConnection> ConnectTcp(int port);
+
+/// Connects to the Unix-domain socket at `path`.
+StatusOr<SocketConnection> ConnectUnix(const std::string& path);
+
+}  // namespace sliceline
+
+#endif  // SLICELINE_COMMON_SOCKET_H_

@@ -9,12 +9,12 @@
 
 namespace sliceline {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, bool inline_when_single) {
   if (num_threads == 0) {
     num_threads = std::thread::hardware_concurrency();
     if (num_threads == 0) num_threads = 1;
   }
-  if (num_threads <= 1) return;  // inline mode
+  if (num_threads <= 1 && inline_when_single) return;  // inline mode
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
@@ -28,6 +28,14 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Run(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();
+    return;
+  }
+  Submit(std::move(task));
 }
 
 void ThreadPool::Submit(std::function<void()> task) {

@@ -20,14 +20,23 @@ class RunContext;
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads` workers; 0 means
-  /// hardware_concurrency().
-  explicit ThreadPool(size_t num_threads = 0);
+  /// hardware_concurrency(). `inline_when_single` keeps the historical
+  /// degradation to inline execution for <= 1 thread; pass false to force a
+  /// dedicated worker thread even then (the serve scheduler needs Run() to
+  /// be asynchronous regardless of worker count).
+  explicit ThreadPool(size_t num_threads = 0, bool inline_when_single = true);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   size_t num_threads() const { return threads_.empty() ? 1 : threads_.size(); }
+
+  /// Enqueues one independent task for asynchronous execution (the serve
+  /// scheduler's job dispatch). In inline mode the task runs on the calling
+  /// thread. Tasks must not throw; completion signalling and error capture
+  /// are the caller's responsibility.
+  void Run(std::function<void()> task);
 
   /// Runs body(i) for i in [0, count), blocking until all iterations finish.
   /// Iterations are chunked to amortize dispatch overhead. If any iteration

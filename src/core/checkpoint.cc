@@ -53,14 +53,6 @@ Status ReadScalar(std::istringstream& in, const char* key, T* out) {
 
 }  // namespace
 
-void Fnv1a::AddBytes(const void* data, size_t len) {
-  const unsigned char* bytes = static_cast<const unsigned char*>(data);
-  for (size_t i = 0; i < len; ++i) {
-    hash_ ^= bytes[i];
-    hash_ *= 1099511628211ULL;
-  }
-}
-
 uint64_t HashConfigForCheckpoint(const SliceLineConfig& config, int64_t sigma,
                                  const std::string& engine) {
   Fnv1a h;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hashing.h"
 #include "common/status.h"
 #include "core/evaluator.h"
 #include "core/slice.h"
@@ -12,19 +13,10 @@
 
 namespace sliceline::core {
 
-/// Incremental FNV-1a hasher used for the checkpoint's config/data
-/// fingerprints and the file checksum.
-class Fnv1a {
- public:
-  void AddBytes(const void* data, size_t len);
-  void Add64(uint64_t v) { AddBytes(&v, sizeof(v)); }
-  void AddDouble(double v) { AddBytes(&v, sizeof(v)); }
-  void AddString(const std::string& s) { AddBytes(s.data(), s.size()); }
-  uint64_t hash() const { return hash_; }
-
- private:
-  uint64_t hash_ = 1469598103934665603ULL;
-};
+/// The checkpoint's config/data fingerprints and file checksum use the
+/// shared FNV-1a hasher from common/hashing.h (also the serving layer's
+/// registry and result-cache key hash, so fingerprints agree everywhere).
+using ::sliceline::Fnv1a;
 
 /// Everything a level-wise engine needs to continue a run from the end of a
 /// completed level: the surviving frontier (slice matrix + aligned ss/se/sm

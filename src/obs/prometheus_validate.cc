@@ -1,0 +1,174 @@
+#include "obs/prometheus_validate.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace sliceline::obs {
+
+namespace {
+
+bool IsMetricNameChar(char c, bool first) {
+  const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                     c == '_' || c == ':';
+  if (first) return alpha;
+  return alpha || (c >= '0' && c <= '9');
+}
+
+bool IsMetricName(const std::string& s) {
+  if (s.empty()) return false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (!IsMetricNameChar(s[i], i == 0)) return false;
+  }
+  return true;
+}
+
+bool ParseNumber(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+/// Splits a sample line into (name, optional le label, value token).
+bool SplitSample(const std::string& line, std::string* name, bool* has_le,
+                 std::string* le, std::string* value) {
+  *has_le = false;
+  size_t i = 0;
+  while (i < line.size() && IsMetricNameChar(line[i], i == 0)) ++i;
+  if (i == 0) return false;
+  *name = line.substr(0, i);
+  if (i < line.size() && line[i] == '{') {
+    const std::string prefix = "{le=\"";
+    if (line.compare(i, prefix.size(), prefix) != 0) return false;
+    i += prefix.size();
+    const size_t close = line.find("\"}", i);
+    if (close == std::string::npos) return false;
+    *le = line.substr(i, close - i);
+    *has_le = true;
+    i = close + 2;
+  }
+  if (i >= line.size() || line[i] != ' ') return false;
+  *value = line.substr(i + 1);
+  return !value->empty() && value->find(' ') == std::string::npos;
+}
+
+}  // namespace
+
+std::string ValidatePrometheusText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+
+  std::string family;       // current # TYPE family name
+  std::string family_type;  // counter | gauge | histogram
+  // Histogram bookkeeping for the current family.
+  double last_bucket = 0.0;
+  bool saw_inf_bucket = false;
+  bool saw_sum = false;
+  bool saw_count = false;
+  double inf_bucket_value = 0.0;
+  double prev_cumulative = -1.0;
+
+  const auto fail = [&lineno](const std::string& message) {
+    return message + " at line " + std::to_string(lineno);
+  };
+
+  const auto finish_family = [&]() -> std::string {
+    if (family_type == "histogram") {
+      if (!saw_inf_bucket) return "histogram missing le=\"+Inf\" bucket";
+      if (!saw_sum) return "histogram missing _sum sample";
+      if (!saw_count) return "histogram missing _count sample";
+    }
+    return "";
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const std::string err = finish_family();
+      if (!err.empty()) return fail(err);
+      std::istringstream fields(line);
+      std::string hash, kw, name, type;
+      std::string extra;
+      if (!(fields >> hash >> kw >> name >> type) || hash != "#" ||
+          kw != "TYPE" || (fields >> extra)) {
+        return fail("malformed # TYPE line");
+      }
+      if (!IsMetricName(name)) return fail("invalid metric name '" + name +
+                                           "'");
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        return fail("unknown metric type '" + type + "'");
+      }
+      family = name;
+      family_type = type;
+      last_bucket = 0.0;
+      saw_inf_bucket = saw_sum = saw_count = false;
+      prev_cumulative = -1.0;
+      inf_bucket_value = 0.0;
+      continue;
+    }
+
+    std::string name, le, value_token;
+    bool has_le = false;
+    if (!SplitSample(line, &name, &has_le, &le, &value_token)) {
+      return fail("malformed sample line '" + line + "'");
+    }
+    double value = 0.0;
+    if (!ParseNumber(value_token, &value)) {
+      return fail("non-numeric sample value '" + value_token + "'");
+    }
+    if (family.empty()) return fail("sample before any # TYPE line");
+
+    if (family_type == "histogram") {
+      if (name == family + "_bucket") {
+        if (!has_le) return fail("histogram bucket without le label");
+        if (saw_inf_bucket) return fail("bucket after le=\"+Inf\"");
+        if (le == "+Inf") {
+          saw_inf_bucket = true;
+          inf_bucket_value = value;
+        } else {
+          double bound = 0.0;
+          if (!ParseNumber(le, &bound)) {
+            return fail("non-numeric bucket bound '" + le + "'");
+          }
+          if (prev_cumulative >= 0.0 && bound <= last_bucket) {
+            return fail("bucket bounds not increasing");
+          }
+          last_bucket = bound;
+        }
+        if (prev_cumulative >= 0.0 && value < prev_cumulative) {
+          return fail("bucket counts not cumulative");
+        }
+        prev_cumulative = value;
+      } else if (name == family + "_sum") {
+        if (has_le) return fail("unexpected le label on _sum");
+        saw_sum = true;
+      } else if (name == family + "_count") {
+        if (has_le) return fail("unexpected le label on _count");
+        saw_count = true;
+        if (saw_inf_bucket && value != inf_bucket_value) {
+          return fail("_count differs from le=\"+Inf\" bucket");
+        }
+      } else {
+        return fail("sample '" + name + "' outside family '" + family + "'");
+      }
+    } else {
+      if (has_le) return fail("unexpected le label on " + family_type);
+      if (name != family) {
+        return fail("sample '" + name + "' outside family '" + family + "'");
+      }
+      if (family_type == "counter" && value < 0.0) {
+        return fail("negative counter value");
+      }
+    }
+  }
+  ++lineno;
+  const std::string err = finish_family();
+  if (!err.empty()) return fail(err);
+  return "";
+}
+
+}  // namespace sliceline::obs

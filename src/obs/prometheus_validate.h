@@ -1,0 +1,24 @@
+#ifndef SLICELINE_OBS_PROMETHEUS_VALIDATE_H_
+#define SLICELINE_OBS_PROMETHEUS_VALIDATE_H_
+
+#include <string>
+
+namespace sliceline::obs {
+
+/// Validates `text` against the Prometheus text exposition format subset
+/// that RunReport::WritePrometheus emits:
+///   * every metric family is introduced by exactly one
+///     `# TYPE <name> counter|gauge|histogram` line;
+///   * sample lines are `<name>[{le="<bound>"}] <value>` where <name> is a
+///     valid Prometheus identifier matching the family (histograms may
+///     append _bucket/_sum/_count) and <value> parses as a decimal number;
+///   * histogram bucket counts are cumulative and end with an le="+Inf"
+///     bucket equal to <name>_count.
+/// Returns the empty string when valid, otherwise "<message> at line <n>".
+/// Shared by the /metrics endpoint tests and the run-report schema tests so
+/// "valid exposition" means the same thing everywhere.
+std::string ValidatePrometheusText(const std::string& text);
+
+}  // namespace sliceline::obs
+
+#endif  // SLICELINE_OBS_PROMETHEUS_VALIDATE_H_

@@ -1,0 +1,134 @@
+#include "serve/client.h"
+
+#include <utility>
+
+namespace sliceline::serve {
+
+namespace {
+
+StatusOr<SocketConnection> ConnectEndpoint(const Endpoint& endpoint) {
+  if (!endpoint.unix_socket.empty()) {
+    return ConnectUnix(endpoint.unix_socket);
+  }
+  if (endpoint.tcp_port >= 0) return ConnectTcp(endpoint.tcp_port);
+  return Status::InvalidArgument("endpoint has neither socket path nor port");
+}
+
+}  // namespace
+
+StatusOr<Client> Client::Connect(const Endpoint& endpoint) {
+  SLICELINE_ASSIGN_OR_RETURN(SocketConnection connection,
+                             ConnectEndpoint(endpoint));
+  return Client(std::move(connection));
+}
+
+StatusOr<obs::JsonValue> Client::Call(Request request) {
+  if (request.id.empty()) {
+    request.id = "c" + std::to_string(next_id_++);
+  }
+  SLICELINE_RETURN_NOT_OK(connection_.WriteAll(SerializeRequest(request)));
+  SLICELINE_ASSIGN_OR_RETURN(const std::string line,
+                             connection_.ReadLine(kMaxLineBytes));
+  last_response_line_ = line;
+  SLICELINE_ASSIGN_OR_RETURN(obs::JsonValue response, obs::ParseJson(line));
+  if (!response.is_object()) {
+    return Status::Internal("response is not a JSON object");
+  }
+  const obs::JsonValue* ok = response.Find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    return Status::Internal("response missing boolean 'ok'");
+  }
+  if (!ok->bool_value()) {
+    const obs::JsonValue* error = response.Find("error");
+    if (error == nullptr || !error->is_object()) {
+      return Status::Internal("error response missing 'error' object");
+    }
+    return StatusFromError(error->GetStringOr("code", "internal"),
+                           error->GetStringOr("message", ""));
+  }
+  return response;
+}
+
+StatusOr<obs::JsonValue> Client::RegisterDataset(
+    const RegisterDatasetRequest& r) {
+  Request request;
+  request.type = RequestType::kRegisterDataset;
+  request.register_dataset = r;
+  return Call(std::move(request));
+}
+
+StatusOr<FindSlicesReply> Client::FindSlices(const FindSlicesRequest& r) {
+  Request request;
+  request.type = RequestType::kFindSlices;
+  request.find_slices = r;
+  SLICELINE_ASSIGN_OR_RETURN(const obs::JsonValue response,
+                             Call(std::move(request)));
+  if (!r.wait) {
+    // Async submission: no result yet; surface the job id via the reply.
+    FindSlicesReply reply;
+    SLICELINE_ASSIGN_OR_RETURN(reply.job_id, response.RequireInt("job"));
+    return reply;
+  }
+  return UnpackFindSlicesReply(response);
+}
+
+StatusOr<obs::JsonValue> Client::GetStatus(int64_t job_id) {
+  Request request;
+  request.type = RequestType::kGetStatus;
+  request.job_id = job_id;
+  return Call(std::move(request));
+}
+
+StatusOr<obs::JsonValue> Client::Cancel(int64_t job_id) {
+  Request request;
+  request.type = RequestType::kCancel;
+  request.job_id = job_id;
+  return Call(std::move(request));
+}
+
+StatusOr<obs::JsonValue> Client::ListDatasets() {
+  Request request;
+  request.type = RequestType::kListDatasets;
+  return Call(std::move(request));
+}
+
+StatusOr<obs::JsonValue> Client::ServerStats() {
+  Request request;
+  request.type = RequestType::kServerStats;
+  return Call(std::move(request));
+}
+
+StatusOr<FindSlicesReply> UnpackFindSlicesReply(
+    const obs::JsonValue& response) {
+  const obs::JsonValue* result = response.Find("result");
+  if (result == nullptr) {
+    return Status::Internal("response missing 'result' object");
+  }
+  FindSlicesReply reply;
+  reply.job_id = response.GetIntOr("job", -1);
+  reply.cache_hit = response.GetBoolOr("cache_hit", false);
+  SLICELINE_ASSIGN_OR_RETURN(reply.result,
+                             ParseResultJson(*result, &reply.feature_names));
+  return reply;
+}
+
+StatusOr<std::string> FetchMetrics(const Endpoint& endpoint) {
+  SLICELINE_ASSIGN_OR_RETURN(SocketConnection connection,
+                             ConnectEndpoint(endpoint));
+  SLICELINE_RETURN_NOT_OK(
+      connection.WriteAll("GET /metrics HTTP/1.0\r\n\r\n"));
+  SLICELINE_ASSIGN_OR_RETURN(const std::string response,
+                             connection.ReadAll(8 * kMaxLineBytes));
+  const size_t body_start = response.find("\r\n\r\n");
+  if (body_start == std::string::npos) {
+    return Status::Internal("malformed HTTP response");
+  }
+  if (response.rfind("HTTP/1.0 200", 0) != 0) {
+    const size_t eol = response.find("\r\n");
+    return Status::Internal("metrics fetch failed: " +
+                            response.substr(0, eol));
+  }
+  return response.substr(body_start + 4);
+}
+
+}  // namespace sliceline::serve

@@ -1,0 +1,86 @@
+#ifndef SLICELINE_SERVE_CLIENT_H_
+#define SLICELINE_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/socket.h"
+#include "common/status.h"
+#include "core/slice.h"
+#include "obs/json_parse.h"
+#include "serve/protocol.h"
+
+namespace sliceline::serve {
+
+/// Where a server is listening: exactly one of the two fields set.
+struct Endpoint {
+  std::string unix_socket;
+  int tcp_port = -1;
+
+  static Endpoint Unix(std::string path) {
+    Endpoint e;
+    e.unix_socket = std::move(path);
+    return e;
+  }
+  static Endpoint Tcp(int port) {
+    Endpoint e;
+    e.tcp_port = port;
+    return e;
+  }
+};
+
+/// A find_slices (or done get_status) response unpacked into the same types
+/// the in-process engines return, so callers can feed it straight into
+/// core::FormatResult. Doubles round-trip exactly through the %.17g wire
+/// encoding, which makes the formatted output bit-identical to a local run.
+struct FindSlicesReply {
+  int64_t job_id = -1;  ///< -1 on a cache hit (no job ran)
+  bool cache_hit = false;
+  core::SliceLineResult result;
+  std::vector<std::string> feature_names;
+};
+
+/// Synchronous protocol client: one connection, one in-flight request.
+/// Every method sends one request line and blocks for the response line;
+/// server-side errors come back as the Status carried in the structured
+/// error object (see StatusFromError).
+class Client {
+ public:
+  static StatusOr<Client> Connect(const Endpoint& endpoint);
+
+  /// Sends `request` (the id is auto-assigned when empty) and returns the
+  /// parsed response object after checking "ok" and unwrapping errors.
+  StatusOr<obs::JsonValue> Call(Request request);
+
+  StatusOr<obs::JsonValue> RegisterDataset(const RegisterDatasetRequest& r);
+  StatusOr<FindSlicesReply> FindSlices(const FindSlicesRequest& r);
+  StatusOr<obs::JsonValue> GetStatus(int64_t job_id);
+  StatusOr<obs::JsonValue> Cancel(int64_t job_id);
+  StatusOr<obs::JsonValue> ListDatasets();
+  StatusOr<obs::JsonValue> ServerStats();
+
+  /// Raw response line of the last Call (tooling that wants to print the
+  /// server's JSON verbatim instead of re-serializing the parse tree).
+  const std::string& last_response_line() const { return last_response_line_; }
+
+ private:
+  explicit Client(SocketConnection connection)
+      : connection_(std::move(connection)) {}
+
+  SocketConnection connection_;
+  int64_t next_id_ = 1;
+  std::string last_response_line_;
+};
+
+/// Unpacks a response object holding "result" (+ "job"/"cache_hit") into a
+/// FindSlicesReply; shared by Client::FindSlices and get_status pollers.
+StatusOr<FindSlicesReply> UnpackFindSlicesReply(const obs::JsonValue& response);
+
+/// Fetches the /metrics payload over a fresh connection using a minimal
+/// HTTP/1.0 GET, strips the headers, and returns the Prometheus text body.
+StatusOr<std::string> FetchMetrics(const Endpoint& endpoint);
+
+}  // namespace sliceline::serve
+
+#endif  // SLICELINE_SERVE_CLIENT_H_

@@ -1,0 +1,104 @@
+#include "serve/dataset_registry.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/hashing.h"
+#include "data/csv.h"
+#include "data/preprocess.h"
+#include "ml/pipeline.h"
+#include "obs/trace.h"
+
+namespace sliceline::serve {
+
+uint64_t HashEncodedDataset(const data::EncodedDataset& dataset) {
+  Fnv1a hasher;
+  hasher.Add64(static_cast<uint64_t>(dataset.n()));
+  hasher.Add64(static_cast<uint64_t>(dataset.m()));
+  hasher.AddString(dataset.task == data::Task::kRegression ? "reg" : "class");
+  const std::vector<int32_t>& codes = dataset.x0.data();
+  hasher.AddBytes(codes.data(), codes.size() * sizeof(int32_t));
+  for (double error : dataset.errors) hasher.AddDouble(error);
+  return hasher.hash();
+}
+
+StatusOr<DatasetRegistry::RegisterOutcome> DatasetRegistry::Register(
+    const RegisterDatasetRequest& request) {
+  TRACE_SPAN("serve/register_dataset");
+  if (request.name.empty()) {
+    return Status::InvalidArgument("dataset name must be non-empty");
+  }
+  data::Task task;
+  if (request.task == "reg") {
+    task = data::Task::kRegression;
+  } else if (request.task == "class") {
+    task = data::Task::kClassification;
+  } else {
+    return Status::InvalidArgument("task must be 'reg' or 'class', got '" +
+                                   request.task + "'");
+  }
+  if (request.bins < 2) {
+    return Status::InvalidArgument("bins must be >= 2");
+  }
+
+  // Load/train outside the lock: this is the expensive part, and the map
+  // only needs protecting around the final publish.
+  const auto start = std::chrono::steady_clock::now();
+  SLICELINE_ASSIGN_OR_RETURN(data::Frame frame,
+                             data::ReadCsv(request.csv_path));
+  data::PreprocessOptions options;
+  options.label_column = request.label;
+  options.task = task;
+  options.num_bins = static_cast<int>(request.bins);
+  options.drop_columns = request.drop;
+  SLICELINE_ASSIGN_OR_RETURN(data::EncodedDataset encoded,
+                             data::Preprocess(frame, options));
+  encoded.name = request.name;
+  SLICELINE_ASSIGN_OR_RETURN(const double mean_error,
+                             ml::TrainAndMaterializeErrors(&encoded));
+
+  auto registered = std::make_shared<RegisteredDataset>();
+  registered->name = request.name;
+  registered->csv_path = request.csv_path;
+  registered->dataset = std::move(encoded);
+  registered->data_hash = HashEncodedDataset(registered->dataset);
+  registered->mean_error = mean_error;
+  registered->load_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = datasets_.emplace(request.name, registered);
+  if (inserted) return RegisterOutcome{std::move(registered), false};
+  if (it->second->data_hash == registered->data_hash) {
+    // Idempotent re-registration: same name, same content. Keep the
+    // original so concurrent find_slices requests see one instance.
+    return RegisterOutcome{it->second, true};
+  }
+  return Status::InvalidArgument(
+      "dataset '" + request.name +
+      "' is already registered with different content");
+}
+
+std::shared_ptr<const RegisteredDataset> DatasetRegistry::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<const RegisteredDataset>> DatasetRegistry::List()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<const RegisteredDataset>> out;
+  out.reserve(datasets_.size());
+  for (const auto& [name, dataset] : datasets_) out.push_back(dataset);
+  return out;
+}
+
+int64_t DatasetRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(datasets_.size());
+}
+
+}  // namespace sliceline::serve

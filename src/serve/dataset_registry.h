@@ -1,0 +1,68 @@
+#ifndef SLICELINE_SERVE_DATASET_REGISTRY_H_
+#define SLICELINE_SERVE_DATASET_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/encoded_dataset.h"
+#include "serve/protocol.h"
+
+namespace sliceline::serve {
+
+/// One dataset loaded, preprocessed, and error-materialized exactly once,
+/// then shared immutably across every request that names it. The data hash
+/// fingerprints the encoded feature matrix plus the materialized error
+/// vector (shared FNV-1a from common/hashing.h), and is one half of the
+/// result-cache key.
+struct RegisteredDataset {
+  std::string name;
+  std::string csv_path;
+  data::EncodedDataset dataset;  ///< errors materialized; never mutated
+  uint64_t data_hash = 0;
+  double mean_error = 0.0;  ///< training-error mean from the ml pipeline
+  double load_seconds = 0.0;
+};
+
+/// Fingerprint of an encoded dataset's slice-finding-relevant content:
+/// dimensions, per-column domains, every feature code, and every
+/// materialized error. Two registrations with equal hashes produce
+/// identical find_slices results for any config.
+uint64_t HashEncodedDataset(const data::EncodedDataset& dataset);
+
+/// Thread-safe name -> RegisteredDataset map. Loading happens outside the
+/// registry lock (CSV parse + model training dominate); concurrent
+/// registrations of the same name race benignly -- the first insert wins and
+/// the loser is accepted iff its content hash matches (idempotent retry) and
+/// rejected otherwise.
+class DatasetRegistry {
+ public:
+  struct RegisterOutcome {
+    std::shared_ptr<const RegisteredDataset> dataset;
+    bool already_registered = false;  ///< idempotent re-registration
+  };
+
+  /// Loads `request.csv_path`, preprocesses (recode/bin/drop), trains the
+  /// task's model to materialize errors, and publishes the result.
+  StatusOr<RegisterOutcome> Register(const RegisterDatasetRequest& request);
+
+  /// nullptr when unknown.
+  std::shared_ptr<const RegisteredDataset> Find(const std::string& name) const;
+
+  /// Registration-name-sorted snapshot.
+  std::vector<std::shared_ptr<const RegisteredDataset>> List() const;
+
+  int64_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const RegisteredDataset>> datasets_;
+};
+
+}  // namespace sliceline::serve
+
+#endif  // SLICELINE_SERVE_DATASET_REGISTRY_H_

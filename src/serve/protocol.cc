@@ -1,0 +1,480 @@
+#include "serve/protocol.h"
+
+#include <sstream>
+
+#include "obs/json_validate.h"
+
+namespace sliceline::serve {
+
+namespace {
+
+struct CodeName {
+  StatusCode code;
+  const char* name;
+};
+
+constexpr CodeName kCodeNames[] = {
+    {StatusCode::kInvalidArgument, "invalid_argument"},
+    {StatusCode::kOutOfRange, "out_of_range"},
+    {StatusCode::kNotFound, "not_found"},
+    {StatusCode::kIoError, "io_error"},
+    {StatusCode::kNotImplemented, "not_implemented"},
+    {StatusCode::kInternal, "internal"},
+    {StatusCode::kCancelled, "cancelled"},
+    {StatusCode::kDeadlineExceeded, "deadline_exceeded"},
+    {StatusCode::kResourceExhausted, "resource_exhausted"},
+};
+
+const char* TerminationNameOf(RunOutcome::Termination t) {
+  return RunOutcome::TerminationName(t);
+}
+
+StatusOr<RunOutcome::Termination> TerminationFromName(
+    const std::string& name) {
+  using T = RunOutcome::Termination;
+  for (T t : {T::kCompleted, T::kDegraded, T::kDeadlineExceeded, T::kCancelled,
+              T::kBudgetExhausted}) {
+    if (name == TerminationNameOf(t)) return t;
+  }
+  return Status::InvalidArgument("unknown termination '" + name + "'");
+}
+
+/// Integer-typed object member: accepts any JSON number (the parser stores
+/// numbers as doubles; protocol integers stay well under 2^53).
+StatusOr<int64_t> OptionalInt(const obs::JsonValue& object,
+                              const std::string& key, int64_t fallback) {
+  const obs::JsonValue* member = object.Find(key);
+  if (member == nullptr) return fallback;
+  if (!member->is_number()) {
+    return Status::InvalidArgument("field '" + key + "' must be a number");
+  }
+  return static_cast<int64_t>(member->number_value());
+}
+
+StatusOr<double> OptionalDouble(const obs::JsonValue& object,
+                                const std::string& key, double fallback) {
+  const obs::JsonValue* member = object.Find(key);
+  if (member == nullptr) return fallback;
+  if (!member->is_number()) {
+    return Status::InvalidArgument("field '" + key + "' must be a number");
+  }
+  return member->number_value();
+}
+
+StatusOr<std::string> OptionalString(const obs::JsonValue& object,
+                                     const std::string& key,
+                                     const std::string& fallback) {
+  const obs::JsonValue* member = object.Find(key);
+  if (member == nullptr) return fallback;
+  if (!member->is_string()) {
+    return Status::InvalidArgument("field '" + key + "' must be a string");
+  }
+  return member->string_value();
+}
+
+StatusOr<bool> OptionalBool(const obs::JsonValue& object,
+                            const std::string& key, bool fallback) {
+  const obs::JsonValue* member = object.Find(key);
+  if (member == nullptr) return fallback;
+  if (!member->is_bool()) {
+    return Status::InvalidArgument("field '" + key + "' must be a boolean");
+  }
+  return member->bool_value();
+}
+
+}  // namespace
+
+std::string ErrorCodeForStatus(const Status& status) {
+  for (const CodeName& entry : kCodeNames) {
+    if (entry.code == status.code()) return entry.name;
+  }
+  return "internal";
+}
+
+Status StatusFromError(const std::string& code, const std::string& message) {
+  for (const CodeName& entry : kCodeNames) {
+    if (code == entry.name) return Status(entry.code, message);
+  }
+  return Status::Internal("(" + code + ") " + message);
+}
+
+const char* RequestTypeName(RequestType type) {
+  switch (type) {
+    case RequestType::kRegisterDataset: return "register_dataset";
+    case RequestType::kFindSlices: return "find_slices";
+    case RequestType::kGetStatus: return "get_status";
+    case RequestType::kCancel: return "cancel";
+    case RequestType::kListDatasets: return "list_datasets";
+    case RequestType::kServerStats: return "server_stats";
+  }
+  return "unknown";
+}
+
+StatusOr<RequestType> RequestTypeFromName(const std::string& name) {
+  for (RequestType t :
+       {RequestType::kRegisterDataset, RequestType::kFindSlices,
+        RequestType::kGetStatus, RequestType::kCancel,
+        RequestType::kListDatasets, RequestType::kServerStats}) {
+    if (name == RequestTypeName(t)) return t;
+  }
+  return Status::InvalidArgument("unknown request type '" + name + "'");
+}
+
+StatusOr<Request> ParseRequest(const std::string& line) {
+  // Validate first so malformed requests get the validator's precise
+  // message; ParseJson accepts exactly the same grammar.
+  const std::string error = obs::ValidateStrictJson(line);
+  if (!error.empty()) {
+    return Status::InvalidArgument("malformed request: " + error);
+  }
+  SLICELINE_ASSIGN_OR_RETURN(obs::JsonValue root, obs::ParseJson(line));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+
+  Request request;
+  SLICELINE_ASSIGN_OR_RETURN(const std::string type_name,
+                             root.RequireString("type"));
+  SLICELINE_ASSIGN_OR_RETURN(request.type, RequestTypeFromName(type_name));
+  SLICELINE_ASSIGN_OR_RETURN(request.id, OptionalString(root, "id", ""));
+
+  switch (request.type) {
+    case RequestType::kRegisterDataset: {
+      RegisterDatasetRequest& r = request.register_dataset;
+      SLICELINE_ASSIGN_OR_RETURN(r.name, root.RequireString("name"));
+      SLICELINE_ASSIGN_OR_RETURN(r.csv_path, root.RequireString("csv"));
+      SLICELINE_ASSIGN_OR_RETURN(r.label, root.RequireString("label"));
+      SLICELINE_ASSIGN_OR_RETURN(r.task, OptionalString(root, "task", "reg"));
+      SLICELINE_ASSIGN_OR_RETURN(r.bins, OptionalInt(root, "bins", 10));
+      if (const obs::JsonValue* drop = root.Find("drop")) {
+        if (!drop->is_array()) {
+          return Status::InvalidArgument("field 'drop' must be an array");
+        }
+        for (const obs::JsonValue& item : drop->array_items()) {
+          if (!item.is_string()) {
+            return Status::InvalidArgument(
+                "field 'drop' must contain only strings");
+          }
+          r.drop.push_back(item.string_value());
+        }
+      }
+      break;
+    }
+    case RequestType::kFindSlices: {
+      FindSlicesRequest& f = request.find_slices;
+      SLICELINE_ASSIGN_OR_RETURN(f.dataset, root.RequireString("dataset"));
+      SLICELINE_ASSIGN_OR_RETURN(f.engine,
+                                 OptionalString(root, "engine", "native"));
+      SLICELINE_ASSIGN_OR_RETURN(f.k, OptionalInt(root, "k", 4));
+      SLICELINE_ASSIGN_OR_RETURN(f.alpha, OptionalDouble(root, "alpha", 0.95));
+      SLICELINE_ASSIGN_OR_RETURN(f.sigma, OptionalInt(root, "sigma", 0));
+      SLICELINE_ASSIGN_OR_RETURN(f.max_level,
+                                 OptionalInt(root, "max_level", 0));
+      SLICELINE_ASSIGN_OR_RETURN(f.deadline_ms,
+                                 OptionalInt(root, "deadline_ms", 0));
+      SLICELINE_ASSIGN_OR_RETURN(f.memory_budget_mb,
+                                 OptionalInt(root, "memory_budget_mb", 0));
+      SLICELINE_ASSIGN_OR_RETURN(f.wait, OptionalBool(root, "wait", true));
+      break;
+    }
+    case RequestType::kGetStatus:
+    case RequestType::kCancel: {
+      SLICELINE_ASSIGN_OR_RETURN(request.job_id, root.RequireInt("job"));
+      break;
+    }
+    case RequestType::kListDatasets:
+    case RequestType::kServerStats:
+      break;
+  }
+  return request;
+}
+
+std::string SerializeRequest(const Request& request) {
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  writer.BeginObject();
+  writer.Key("type");
+  writer.String(RequestTypeName(request.type));
+  if (!request.id.empty()) {
+    writer.Key("id");
+    writer.String(request.id);
+  }
+  switch (request.type) {
+    case RequestType::kRegisterDataset: {
+      const RegisterDatasetRequest& r = request.register_dataset;
+      writer.Key("name");
+      writer.String(r.name);
+      writer.Key("csv");
+      writer.String(r.csv_path);
+      writer.Key("label");
+      writer.String(r.label);
+      writer.Key("task");
+      writer.String(r.task);
+      writer.Key("bins");
+      writer.Int(r.bins);
+      if (!r.drop.empty()) {
+        writer.Key("drop");
+        writer.BeginArray();
+        for (const std::string& column : r.drop) writer.String(column);
+        writer.EndArray();
+      }
+      break;
+    }
+    case RequestType::kFindSlices: {
+      const FindSlicesRequest& f = request.find_slices;
+      writer.Key("dataset");
+      writer.String(f.dataset);
+      writer.Key("engine");
+      writer.String(f.engine);
+      writer.Key("k");
+      writer.Int(f.k);
+      writer.Key("alpha");
+      writer.Double(f.alpha);
+      writer.Key("sigma");
+      writer.Int(f.sigma);
+      writer.Key("max_level");
+      writer.Int(f.max_level);
+      writer.Key("deadline_ms");
+      writer.Int(f.deadline_ms);
+      writer.Key("memory_budget_mb");
+      writer.Int(f.memory_budget_mb);
+      writer.Key("wait");
+      writer.Bool(f.wait);
+      break;
+    }
+    case RequestType::kGetStatus:
+    case RequestType::kCancel:
+      writer.Key("job");
+      writer.Int(request.job_id);
+      break;
+    case RequestType::kListDatasets:
+    case RequestType::kServerStats:
+      break;
+  }
+  writer.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+std::string MakeErrorLine(const std::string& id, const Status& status) {
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  writer.BeginObject();
+  writer.Key("id");
+  writer.String(id);
+  writer.Key("ok");
+  writer.Bool(false);
+  writer.Key("error");
+  writer.BeginObject();
+  writer.Key("code");
+  writer.String(ErrorCodeForStatus(status));
+  writer.Key("message");
+  writer.String(status.message());
+  writer.EndObject();
+  writer.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+void BeginOkResponse(obs::JsonWriter* writer, const std::string& id) {
+  writer->BeginObject();
+  writer->Key("id");
+  writer->String(id);
+  writer->Key("ok");
+  writer->Bool(true);
+}
+
+void WriteResultJson(obs::JsonWriter* writer,
+                     const core::SliceLineResult& result,
+                     const std::vector<std::string>& feature_names) {
+  writer->BeginObject();
+  writer->Key("min_support");
+  writer->Int(result.min_support);
+  writer->Key("average_error");
+  writer->Double(result.average_error);
+  writer->Key("total_seconds");
+  writer->Double(result.total_seconds);
+  writer->Key("total_evaluated");
+  writer->Int(result.total_evaluated);
+
+  writer->Key("feature_names");
+  writer->BeginArray();
+  for (const std::string& name : feature_names) writer->String(name);
+  writer->EndArray();
+
+  writer->Key("top_k");
+  writer->BeginArray();
+  for (const core::Slice& slice : result.top_k) {
+    writer->BeginObject();
+    writer->Key("score");
+    writer->Double(slice.stats.score);
+    writer->Key("error_sum");
+    writer->Double(slice.stats.error_sum);
+    writer->Key("max_error");
+    writer->Double(slice.stats.max_error);
+    writer->Key("size");
+    writer->Int(slice.stats.size);
+    writer->Key("predicates");
+    writer->BeginArray();
+    for (const auto& [feature, code] : slice.predicates) {
+      writer->BeginObject();
+      writer->Key("feature");
+      writer->Int(feature);
+      writer->Key("code");
+      writer->Int(code);
+      writer->EndObject();
+    }
+    writer->EndArray();
+    writer->EndObject();
+  }
+  writer->EndArray();
+
+  writer->Key("levels");
+  writer->BeginArray();
+  for (const core::LevelStats& level : result.levels) {
+    writer->BeginObject();
+    writer->Key("level");
+    writer->Int(level.level);
+    writer->Key("candidates");
+    writer->Int(level.candidates);
+    writer->Key("valid");
+    writer->Int(level.valid);
+    writer->Key("pruned");
+    writer->Int(level.pruned);
+    writer->Key("seconds");
+    writer->Double(level.seconds);
+    writer->EndObject();
+  }
+  writer->EndArray();
+
+  const RunOutcome& outcome = result.outcome;
+  writer->Key("outcome");
+  writer->BeginObject();
+  writer->Key("termination");
+  writer->String(TerminationNameOf(outcome.termination));
+  writer->Key("partial");
+  writer->Bool(outcome.partial);
+  writer->Key("degradation_steps");
+  writer->Int(outcome.degradation_steps);
+  writer->Key("sigma_raised_to");
+  writer->Int(outcome.sigma_raised_to);
+  writer->Key("candidates_capped");
+  writer->Int(outcome.candidates_capped);
+  writer->Key("stopped_at_level");
+  writer->Int(outcome.stopped_at_level);
+  writer->Key("resumed_from_checkpoint");
+  writer->Bool(outcome.resumed_from_checkpoint);
+  writer->Key("peak_memory_bytes");
+  writer->Int(outcome.peak_memory_bytes);
+  writer->EndObject();
+
+  writer->EndObject();
+}
+
+StatusOr<core::SliceLineResult> ParseResultJson(
+    const obs::JsonValue& value, std::vector<std::string>* feature_names) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("result must be a JSON object");
+  }
+  core::SliceLineResult result;
+  SLICELINE_ASSIGN_OR_RETURN(result.min_support,
+                             value.RequireInt("min_support"));
+  SLICELINE_ASSIGN_OR_RETURN(result.average_error,
+                             value.RequireNumber("average_error"));
+  SLICELINE_ASSIGN_OR_RETURN(result.total_seconds,
+                             value.RequireNumber("total_seconds"));
+  SLICELINE_ASSIGN_OR_RETURN(result.total_evaluated,
+                             value.RequireInt("total_evaluated"));
+
+  if (feature_names != nullptr) {
+    feature_names->clear();
+    if (const obs::JsonValue* names = value.Find("feature_names")) {
+      if (!names->is_array()) {
+        return Status::InvalidArgument("'feature_names' must be an array");
+      }
+      for (const obs::JsonValue& name : names->array_items()) {
+        if (!name.is_string()) {
+          return Status::InvalidArgument("feature names must be strings");
+        }
+        feature_names->push_back(name.string_value());
+      }
+    }
+  }
+
+  const obs::JsonValue* top_k = value.Find("top_k");
+  if (top_k == nullptr || !top_k->is_array()) {
+    return Status::InvalidArgument("missing 'top_k' array");
+  }
+  for (const obs::JsonValue& item : top_k->array_items()) {
+    if (!item.is_object()) {
+      return Status::InvalidArgument("top_k entries must be objects");
+    }
+    core::Slice slice;
+    SLICELINE_ASSIGN_OR_RETURN(slice.stats.score, item.RequireNumber("score"));
+    SLICELINE_ASSIGN_OR_RETURN(slice.stats.error_sum,
+                               item.RequireNumber("error_sum"));
+    SLICELINE_ASSIGN_OR_RETURN(slice.stats.max_error,
+                               item.RequireNumber("max_error"));
+    SLICELINE_ASSIGN_OR_RETURN(slice.stats.size, item.RequireInt("size"));
+    const obs::JsonValue* predicates = item.Find("predicates");
+    if (predicates == nullptr || !predicates->is_array()) {
+      return Status::InvalidArgument("missing 'predicates' array");
+    }
+    for (const obs::JsonValue& predicate : predicates->array_items()) {
+      if (!predicate.is_object()) {
+        return Status::InvalidArgument("predicates must be objects");
+      }
+      SLICELINE_ASSIGN_OR_RETURN(const int64_t feature,
+                                 predicate.RequireInt("feature"));
+      SLICELINE_ASSIGN_OR_RETURN(const int64_t code,
+                                 predicate.RequireInt("code"));
+      slice.predicates.emplace_back(static_cast<int>(feature),
+                                    static_cast<int32_t>(code));
+    }
+    result.top_k.push_back(std::move(slice));
+  }
+
+  const obs::JsonValue* levels = value.Find("levels");
+  if (levels == nullptr || !levels->is_array()) {
+    return Status::InvalidArgument("missing 'levels' array");
+  }
+  for (const obs::JsonValue& item : levels->array_items()) {
+    if (!item.is_object()) {
+      return Status::InvalidArgument("levels entries must be objects");
+    }
+    core::LevelStats level;
+    SLICELINE_ASSIGN_OR_RETURN(const int64_t level_index,
+                               item.RequireInt("level"));
+    level.level = static_cast<int>(level_index);
+    SLICELINE_ASSIGN_OR_RETURN(level.candidates,
+                               item.RequireInt("candidates"));
+    SLICELINE_ASSIGN_OR_RETURN(level.valid, item.RequireInt("valid"));
+    SLICELINE_ASSIGN_OR_RETURN(level.pruned, item.RequireInt("pruned"));
+    SLICELINE_ASSIGN_OR_RETURN(level.seconds, item.RequireNumber("seconds"));
+    result.levels.push_back(level);
+  }
+
+  const obs::JsonValue* outcome = value.Find("outcome");
+  if (outcome == nullptr || !outcome->is_object()) {
+    return Status::InvalidArgument("missing 'outcome' object");
+  }
+  RunOutcome& out = result.outcome;
+  SLICELINE_ASSIGN_OR_RETURN(const std::string termination,
+                             outcome->RequireString("termination"));
+  SLICELINE_ASSIGN_OR_RETURN(out.termination,
+                             TerminationFromName(termination));
+  out.partial = outcome->GetBoolOr("partial", false);
+  out.degradation_steps =
+      static_cast<int>(outcome->GetIntOr("degradation_steps", 0));
+  out.sigma_raised_to = outcome->GetIntOr("sigma_raised_to", 0);
+  out.candidates_capped = outcome->GetIntOr("candidates_capped", 0);
+  out.stopped_at_level =
+      static_cast<int>(outcome->GetIntOr("stopped_at_level", 0));
+  out.resumed_from_checkpoint =
+      outcome->GetBoolOr("resumed_from_checkpoint", false);
+  out.peak_memory_bytes = outcome->GetIntOr("peak_memory_bytes", 0);
+
+  return result;
+}
+
+}  // namespace sliceline::serve

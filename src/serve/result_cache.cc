@@ -1,0 +1,75 @@
+#include "serve/result_cache.h"
+
+#include "obs/metrics.h"
+
+namespace sliceline::serve {
+
+namespace {
+
+/// Registry counters mirror the local counters so /metrics exports cache
+/// effectiveness without reaching into the cache object.
+void CountCacheEvent(const char* name) {
+  obs::MetricsRegistry::Default()->GetCounter(name)->Increment();
+}
+
+}  // namespace
+
+ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const CachedResult> ResultCache::Lookup(uint64_t data_hash,
+                                                        uint64_t config_hash) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(Key{data_hash, config_hash});
+  if (it == entries_.end()) {
+    ++misses_;
+    CountCacheEvent("serve/cache/misses");
+    return nullptr;
+  }
+  ++hits_;
+  CountCacheEvent("serve/cache/hits");
+  lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+  return it->second.result;
+}
+
+void ResultCache::Insert(uint64_t data_hash, uint64_t config_hash,
+                         std::shared_ptr<const CachedResult> result) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Key key{data_hash, config_hash};
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.result = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    return;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(result), lru_.begin()});
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+    CountCacheEvent("serve/cache/evictions");
+  }
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+int64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+int64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+int64_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace sliceline::serve

@@ -1,0 +1,78 @@
+#ifndef SLICELINE_SERVE_RESULT_CACHE_H_
+#define SLICELINE_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/slice.h"
+
+namespace sliceline::serve {
+
+/// One cached find_slices result. Immutable once inserted; shared with
+/// every response that hits it.
+struct CachedResult {
+  core::SliceLineResult result;
+  std::vector<std::string> feature_names;
+};
+
+/// LRU cache of completed slice-finding results keyed by
+/// (dataset content hash, canonicalized config hash). The config half is
+/// core::HashConfigForCheckpoint over the resolved sigma and engine, i.e.
+/// exactly the parameters the result depends on -- requests that differ only
+/// in presentation (correlation id, wait flag, deadline) share an entry.
+/// Only runs with outcome kCompleted are inserted: partial/degraded results
+/// depend on transient resource pressure and must not be replayed.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity);
+
+  /// Returns the entry (bumping it to most-recently-used) or nullptr.
+  /// Counts a hit or a miss either way.
+  std::shared_ptr<const CachedResult> Lookup(uint64_t data_hash,
+                                             uint64_t config_hash);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// entry when over capacity. Capacity 0 disables caching entirely.
+  void Insert(uint64_t data_hash, uint64_t config_hash,
+              std::shared_ptr<const CachedResult> result);
+
+  size_t size() const;
+  int64_t hits() const;
+  int64_t misses() const;
+  int64_t evictions() const;
+
+ private:
+  using Key = std::pair<uint64_t, uint64_t>;  ///< (data_hash, config_hash)
+
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      // The halves are already FNV-1a hashes; a multiplicative mix is
+      // enough to decorrelate them for bucket selection.
+      return static_cast<size_t>(key.first * 0x9e3779b97f4a7c15ULL ^
+                                 key.second);
+    }
+  };
+
+  struct Entry {
+    std::shared_ptr<const CachedResult> result;
+    std::list<Key>::iterator lru_position;
+  };
+
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  std::list<Key> lru_;  ///< front = most recently used
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace sliceline::serve
+
+#endif  // SLICELINE_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,287 @@
+#include "serve/scheduler.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/sliceline.h"
+#include "core/sliceline_la.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sliceline::serve {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+obs::Histogram* JobSecondsHistogram() {
+  // Base 1ms, growth 4x, 12 buckets: ~1ms .. ~70min plus overflow.
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Default()->GetHistogram(
+          "serve/job_seconds", obs::HistogramOptions{1e-3, 4.0, 12});
+  return histogram;
+}
+
+}  // namespace
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+JobState Job::CurrentState() const {
+  std::lock_guard<std::mutex> lock(mutex);
+  return state;
+}
+
+bool Job::Terminal() const {
+  const JobState s = CurrentState();
+  return s == JobState::kDone || s == JobState::kFailed ||
+         s == JobState::kCancelled;
+}
+
+void Job::WaitDone() const {
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [this] {
+    return state == JobState::kDone || state == JobState::kFailed ||
+           state == JobState::kCancelled;
+  });
+}
+
+Scheduler::Scheduler(const Options& options)
+    : options_(options),
+      shared_budget_(options.memory_budget_bytes, options.soft_fraction),
+      pool_(static_cast<size_t>(options.workers > 0 ? options.workers : 1),
+            /*inline_when_single=*/false) {}
+
+Scheduler::~Scheduler() { DrainAndStop(); }
+
+StatusOr<std::shared_ptr<Job>> Scheduler::Submit(JobSpec spec) {
+  auto job = std::make_shared<Job>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      ++rejected_;
+      return Status::Cancelled("server is draining; not accepting jobs");
+    }
+    if (queued_ + running_ >= options_.max_queue) {
+      ++rejected_;
+      obs::MetricsRegistry::Default()
+          ->GetCounter("serve/jobs_rejected")
+          ->Increment();
+      return Status::ResourceExhausted(
+          "job queue full (" + std::to_string(queued_ + running_) + "/" +
+          std::to_string(options_.max_queue) + " in flight)");
+    }
+    job->id = next_job_id_++;
+    job->spec = std::move(spec);
+    ++queued_;
+    ++admitted_;
+    jobs_.emplace(job->id, job);
+  }
+  obs::MetricsRegistry::Default()
+      ->GetCounter("serve/jobs_admitted")
+      ->Increment();
+  UpdateQueueDepthGauge();
+
+  // Wire governance before dispatch so Cancel() on a queued job is visible
+  // the moment the worker picks it up.
+  if (job->spec.memory_budget_bytes > 0) {
+    job->own_budget = std::make_unique<MemoryBudget>(
+        job->spec.memory_budget_bytes, options_.soft_fraction);
+    job->run_context.set_memory_budget(job->own_budget.get());
+  } else {
+    job->run_context.set_memory_budget(&shared_budget_);
+  }
+  job->spec.config.run_context = &job->run_context;
+
+  const double submit_seconds = NowSeconds();
+  pool_.Run([this, job, submit_seconds] {
+    {
+      // Status polls read the timing fields under job->mutex.
+      std::lock_guard<std::mutex> lock(job->mutex);
+      job->queued_seconds = NowSeconds() - submit_seconds;
+    }
+    Execute(job);
+  });
+  return job;
+}
+
+void Scheduler::Execute(const std::shared_ptr<Job>& job) {
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    if (job->state == JobState::kCancelled) {
+      // Cancelled while queued; the cancel path already did the
+      // bookkeeping, this closure just retires.
+      return;
+    }
+    job->state = JobState::kRunning;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --queued_;
+    ++running_;
+  }
+  UpdateQueueDepthGauge();
+  TRACE_SPAN("serve/job", job->id);
+
+  // The deadline is measured from execution start, not submission: a job
+  // should not burn its whole budget sitting in the queue.
+  if (job->spec.deadline_seconds > 0.0) {
+    job->run_context.SetDeadlineAfterSeconds(job->spec.deadline_seconds);
+  }
+
+  const double start = NowSeconds();
+  StatusOr<core::SliceLineResult> result =
+      job->spec.engine == "la"
+          ? core::RunSliceLineLA(job->spec.dataset->dataset, job->spec.config)
+          : core::RunSliceLine(job->spec.dataset->dataset, job->spec.config);
+  const double run_seconds = NowSeconds() - start;
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    job->run_seconds = run_seconds;
+  }
+  JobSecondsHistogram()->Observe(run_seconds);
+
+  if (result.ok()) {
+    FinishJob(job, JobState::kDone, Status::OK(),
+              std::move(result).value());
+  } else {
+    FinishJob(job, JobState::kFailed, result.status(),
+              core::SliceLineResult{});
+  }
+}
+
+void Scheduler::FinishJob(const std::shared_ptr<Job>& job, JobState terminal,
+                          Status error, core::SliceLineResult result) {
+  {
+    // Both locks (scheduler first, then job) so the terminal state and the
+    // scheduler counters become visible atomically: a waiter released by
+    // WaitDone must see the updated counters, and a drained scheduler must
+    // only hold terminal jobs. No other path nests these two mutexes in the
+    // opposite order.
+    std::lock_guard<std::mutex> scheduler_lock(mutex_);
+    std::lock_guard<std::mutex> job_lock(job->mutex);
+    job->error = std::move(error);
+    job->result = std::move(result);
+    job->state = terminal;
+    --running_;
+    if (terminal == JobState::kDone) {
+      ++completed_;
+    } else {
+      ++failed_;
+    }
+  }
+  job->cv.notify_all();
+  obs::MetricsRegistry::Default()
+      ->GetCounter(terminal == JobState::kDone ? "serve/jobs_completed"
+                                               : "serve/jobs_failed")
+      ->Increment();
+  drain_cv_.notify_all();
+  UpdateQueueDepthGauge();
+}
+
+std::shared_ptr<Job> Scheduler::Find(int64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+StatusOr<JobState> Scheduler::Cancel(int64_t id) {
+  std::shared_ptr<Job> job = Find(id);
+  if (job == nullptr) {
+    return Status::NotFound("unknown job " + std::to_string(id));
+  }
+  bool cancelled_while_queued = false;
+  JobState state_after;
+  {
+    // Same lock order as FinishJob (scheduler, then job) so the state flip
+    // and the queued_/cancelled_ counters land atomically.
+    std::lock_guard<std::mutex> scheduler_lock(mutex_);
+    std::lock_guard<std::mutex> job_lock(job->mutex);
+    if (job->state == JobState::kQueued) {
+      job->state = JobState::kCancelled;
+      cancelled_while_queued = true;
+      --queued_;
+      ++cancelled_;
+    } else if (job->state == JobState::kRunning) {
+      // Cooperative: the engine notices at the next governance boundary
+      // and returns best-so-far results with outcome kCancelled.
+      job->run_context.cancellation().Cancel();
+    }
+    state_after = job->state;
+  }
+  if (cancelled_while_queued) {
+    job->cv.notify_all();
+    obs::MetricsRegistry::Default()
+        ->GetCounter("serve/jobs_cancelled")
+        ->Increment();
+    drain_cv_.notify_all();
+    UpdateQueueDepthGauge();
+  }
+  return state_after;
+}
+
+void Scheduler::DrainAndStop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  drain_cv_.wait(lock, [this] { return queued_ + running_ == 0; });
+}
+
+int64_t Scheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+int64_t Scheduler::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+int64_t Scheduler::jobs_admitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admitted_;
+}
+
+int64_t Scheduler::jobs_rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+int64_t Scheduler::jobs_completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+int64_t Scheduler::jobs_failed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_;
+}
+
+int64_t Scheduler::jobs_cancelled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cancelled_;
+}
+
+void Scheduler::UpdateQueueDepthGauge() const {
+  int64_t depth;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    depth = queued_;
+  }
+  obs::MetricsRegistry::Default()
+      ->GetGauge("serve/queue_depth")
+      ->Set(static_cast<double>(depth));
+}
+
+}  // namespace sliceline::serve

@@ -1,0 +1,147 @@
+#ifndef SLICELINE_SERVE_SCHEDULER_H_
+#define SLICELINE_SERVE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/run_context.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/slice.h"
+#include "serve/dataset_registry.h"
+
+namespace sliceline::serve {
+
+/// What one find_slices job runs: the (immutable, shared) dataset, the
+/// engine, the fully resolved config, and the per-job resource envelope.
+struct JobSpec {
+  std::shared_ptr<const RegisteredDataset> dataset;
+  std::string engine = "native";  ///< "native" | "la"
+  core::SliceLineConfig config;
+  double deadline_seconds = 0.0;     ///< 0 = none; from execution start
+  int64_t memory_budget_bytes = 0;   ///< 0 = the scheduler's shared budget
+};
+
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,       ///< result available (possibly partial, see outcome)
+  kFailed,     ///< error status available
+  kCancelled,  ///< cancelled while still queued; never ran
+};
+
+const char* JobStateName(JobState state);
+
+/// One submitted job. State transitions are guarded by `mutex` and
+/// announced on `cv`; the result/error fields are written exactly once,
+/// before the transition to a terminal state. A job cancelled mid-run still
+/// ends kDone -- the engines honor cooperative cancellation by returning
+/// best-so-far results with outcome.termination == kCancelled.
+struct Job {
+  int64_t id = 0;
+  JobSpec spec;
+  RunContext run_context;  ///< cancellation + deadline + budget for the run
+  /// Owned per-job budget when the spec overrides the shared one.
+  std::unique_ptr<MemoryBudget> own_budget;
+
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  JobState state = JobState::kQueued;
+  Status error;  ///< kFailed only
+  core::SliceLineResult result;  ///< kDone only
+  double queued_seconds = 0.0;  ///< guarded by `mutex` (status polls read it)
+  double run_seconds = 0.0;     ///< guarded by `mutex`
+
+  JobState CurrentState() const;
+  bool Terminal() const;
+
+  /// Blocks until the job reaches a terminal state.
+  void WaitDone() const;
+};
+
+/// Bounded-queue job scheduler over the shared ThreadPool. Admission
+/// control is a hard bound on jobs admitted but not yet finished
+/// (queued + running): past the bound Submit returns ResourceExhausted and
+/// the server maps that to a structured protocol error instead of letting
+/// latecomers starve everything. All jobs share one server-wide memory
+/// budget (so concurrent heavy queries degrade cooperatively) unless their
+/// spec carries its own.
+class Scheduler {
+ public:
+  struct Options {
+    int workers = 4;
+    /// Maximum jobs admitted and not yet terminal (queued + running).
+    int max_queue = 16;
+    /// Server-wide memory budget; <= 0 = unlimited (accounting only).
+    int64_t memory_budget_bytes = 0;
+    double soft_fraction = 0.8;
+  };
+
+  explicit Scheduler(const Options& options);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admits and dispatches a job, or rejects with ResourceExhausted (queue
+  /// full) / Cancelled (scheduler draining).
+  StatusOr<std::shared_ptr<Job>> Submit(JobSpec spec);
+
+  /// nullptr when the id was never issued (or already forgotten).
+  std::shared_ptr<Job> Find(int64_t id) const;
+
+  /// Cancels a job: a queued job flips to kCancelled without running; a
+  /// running job gets its cancellation token set and finishes with a
+  /// partial result. Terminal jobs are left untouched (returns their
+  /// state). NotFound for unknown ids.
+  StatusOr<JobState> Cancel(int64_t id);
+
+  /// Stops admitting and waits for every admitted job to reach a terminal
+  /// state (the SIGTERM drain path). Idempotent.
+  void DrainAndStop();
+
+  int64_t queue_depth() const;  ///< admitted, not yet running
+  int64_t running() const;
+  int64_t jobs_admitted() const;
+  int64_t jobs_rejected() const;
+  int64_t jobs_completed() const;  ///< kDone
+  int64_t jobs_failed() const;
+  int64_t jobs_cancelled() const;  ///< cancelled while queued
+
+  MemoryBudget* shared_budget() { return &shared_budget_; }
+
+ private:
+  void Execute(const std::shared_ptr<Job>& job);
+  void FinishJob(const std::shared_ptr<Job>& job, JobState terminal,
+                 Status error, core::SliceLineResult result);
+  void UpdateQueueDepthGauge() const;
+
+  const Options options_;
+  MemoryBudget shared_budget_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable drain_cv_;
+  bool draining_ = false;
+  int64_t next_job_id_ = 1;
+  int64_t queued_ = 0;
+  int64_t running_ = 0;
+  int64_t admitted_ = 0;
+  int64_t rejected_ = 0;
+  int64_t completed_ = 0;
+  int64_t failed_ = 0;
+  int64_t cancelled_ = 0;
+  std::map<int64_t, std::shared_ptr<Job>> jobs_;
+
+  // Last member on purpose: destroyed first, so ~ThreadPool joins the
+  // workers -- waiting out any closure still inside FinishJob -- while the
+  // mutex, condition variable, and counters above are all still alive.
+  ThreadPool pool_;
+};
+
+}  // namespace sliceline::serve
+
+#endif  // SLICELINE_SERVE_SCHEDULER_H_

@@ -1,0 +1,572 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+
+namespace sliceline::serve {
+
+namespace {
+
+constexpr int kPollMillis = 200;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+obs::Histogram* RequestSecondsHistogram() {
+  // Base 100us, growth 4x, 12 buckets: ~100us .. ~7min plus overflow.
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Default()->GetHistogram(
+          "serve/request_seconds", obs::HistogramOptions{1e-4, 4.0, 12});
+  return histogram;
+}
+
+/// Registers every serve metric up front so /metrics exposes the full
+/// family set (queue depth, cache hit/miss, latency histogram) from the
+/// first scrape, not only after the first event of each kind.
+void PreregisterServeMetrics() {
+  obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+  for (const char* name :
+       {"serve/jobs_admitted", "serve/jobs_rejected", "serve/jobs_completed",
+        "serve/jobs_failed", "serve/jobs_cancelled", "serve/cache/hits",
+        "serve/cache/misses", "serve/cache/evictions",
+        "serve/connections_total", "serve/connections_rejected",
+        "serve/requests_total", "serve/requests_malformed"}) {
+    registry->GetCounter(name);
+  }
+  registry->GetGauge("serve/queue_depth")->Set(0.0);
+  registry->GetGauge("serve/open_connections")->Set(0.0);
+  RequestSecondsHistogram();
+}
+
+void CountRequest(const char* name) {
+  obs::MetricsRegistry::Default()->GetCounter(name)->Increment();
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      cache_(static_cast<size_t>(
+          options.cache_capacity > 0 ? options.cache_capacity : 0)) {
+  Scheduler::Options scheduler_options;
+  scheduler_options.workers = options.workers;
+  scheduler_options.max_queue = options.max_queue;
+  scheduler_options.memory_budget_bytes =
+      options.memory_budget_mb > 0 ? options.memory_budget_mb * (1 << 20) : 0;
+  scheduler_ = std::make_unique<Scheduler>(scheduler_options);
+}
+
+Server::~Server() {
+  RequestShutdown();
+  if (started_ && !waited_) Wait();
+}
+
+Status Server::Start() {
+  if (options_.unix_socket.empty() && options_.tcp_port < 0) {
+    return Status::InvalidArgument(
+        "server needs a unix socket path or a TCP port");
+  }
+  obs::SetMetricsEnabled(true);
+  PreregisterServeMetrics();
+  if (!options_.trace_out.empty()) {
+    obs::TraceRecorder::Default()->SetEnabled(true);
+  }
+  if (options_.tcp_port >= 0) {
+    SLICELINE_ASSIGN_OR_RETURN(tcp_listener_,
+                               ListenSocket::ListenTcp(options_.tcp_port));
+    tcp_port_ = tcp_listener_.bound_port();
+    accept_threads_.emplace_back([this] { AcceptLoop(&tcp_listener_); });
+  }
+  if (!options_.unix_socket.empty()) {
+    SLICELINE_ASSIGN_OR_RETURN(unix_listener_,
+                               ListenSocket::ListenUnix(options_.unix_socket));
+    accept_threads_.emplace_back([this] { AcceptLoop(&unix_listener_); });
+  }
+  start_seconds_ = NowSeconds();
+  started_ = true;
+  std::ostringstream endpoints;
+  if (tcp_port_ >= 0) endpoints << " on 127.0.0.1:" << tcp_port_;
+  if (!options_.unix_socket.empty()) endpoints << " on " << options_.unix_socket;
+  LOG_INFO << "serve: listening" << endpoints.str();
+  return Status::OK();
+}
+
+int Server::Wait() {
+  for (std::thread& thread : accept_threads_) thread.join();
+  accept_threads_.clear();
+  // Listeners are closed before the connection drain so new connect()
+  // attempts fail fast instead of queueing behind the drain.
+  tcp_listener_.Close();
+  unix_listener_.Close();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (std::thread& thread : connection_threads_) thread.join();
+    connection_threads_.clear();
+  }
+  // Wait:false jobs may still be queued or running with no connection
+  // attached; the drain promise covers them too.
+  scheduler_->DrainAndStop();
+  if (!options_.trace_out.empty()) {
+    std::ofstream out(options_.trace_out);
+    if (out) {
+      obs::TraceRecorder::Default()->ExportChromeTrace(out);
+    } else {
+      LOG_WARNING << "serve: cannot write trace to " << options_.trace_out;
+    }
+  }
+  waited_ = true;
+  LOG_INFO << "serve: drained, exiting";
+  return 0;
+}
+
+void Server::AcceptLoop(ListenSocket* listener) {
+  while (!ShutdownRequested()) {
+    StatusOr<SocketConnection> accepted = listener->Accept(kPollMillis);
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kNotFound) continue;
+      if (!ShutdownRequested()) {
+        LOG_WARNING << "serve: accept failed: " << accepted.status().message();
+      }
+      return;
+    }
+    CountRequest("serve/connections_total");
+    if (open_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      CountRequest("serve/connections_rejected");
+      SocketConnection rejected = std::move(accepted).value();
+      (void)rejected.WriteAll(MakeErrorLine(
+          "", Status::ResourceExhausted("too many open connections")));
+      continue;  // closed by destructor
+    }
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::Default()
+        ->GetGauge("serve/open_connections")
+        ->Set(open_connections_.load(std::memory_order_relaxed));
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connection_threads_.emplace_back(
+        [this, connection = std::move(accepted).value()]() mutable {
+          HandleConnection(std::move(connection));
+          open_connections_.fetch_sub(1, std::memory_order_relaxed);
+          obs::MetricsRegistry::Default()
+              ->GetGauge("serve/open_connections")
+              ->Set(open_connections_.load(std::memory_order_relaxed));
+        });
+  }
+}
+
+void Server::HandleConnection(SocketConnection connection) {
+  // The loop polls between requests so an idle connection notices shutdown
+  // within kPollMillis; a request already being served always completes.
+  while (!ShutdownRequested()) {
+    StatusOr<bool> readable = connection.WaitReadable(kPollMillis);
+    if (!readable.ok()) return;
+    if (!readable.value()) continue;
+    StatusOr<std::string> line = connection.ReadLine(kMaxLineBytes);
+    if (!line.ok()) {
+      if (line.status().code() == StatusCode::kResourceExhausted) {
+        // Overlong line: the stream is desynchronized; report and drop.
+        (void)connection.WriteAll(MakeErrorLine("", line.status()));
+      }
+      return;
+    }
+    if (line.value().empty()) continue;
+    if (line.value().rfind("GET ", 0) == 0) {
+      HandleHttp(&connection, line.value());
+      return;
+    }
+    const std::string response = HandleRequestLine(line.value());
+    if (!connection.WriteAll(response).ok()) return;
+  }
+}
+
+std::string Server::HandleRequestLine(const std::string& line) {
+  TRACE_SPAN("serve/request");
+  const double start = NowSeconds();
+  CountRequest("serve/requests_total");
+  std::string response;
+  StatusOr<Request> parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    CountRequest("serve/requests_malformed");
+    response = MakeErrorLine("", parsed.status());
+  } else {
+    const Request& request = parsed.value();
+    switch (request.type) {
+      case RequestType::kRegisterDataset:
+        response = HandleRegisterDataset(request);
+        break;
+      case RequestType::kFindSlices:
+        response = HandleFindSlices(request);
+        break;
+      case RequestType::kGetStatus:
+        response = HandleGetStatus(request);
+        break;
+      case RequestType::kCancel:
+        response = HandleCancel(request);
+        break;
+      case RequestType::kListDatasets:
+        response = HandleListDatasets(request);
+        break;
+      case RequestType::kServerStats:
+        response = HandleServerStats(request);
+        break;
+    }
+  }
+  RequestSecondsHistogram()->Observe(NowSeconds() - start);
+  return response;
+}
+
+std::string Server::HandleRegisterDataset(const Request& request) {
+  StatusOr<DatasetRegistry::RegisterOutcome> outcome =
+      registry_.Register(request.register_dataset);
+  if (!outcome.ok()) return MakeErrorLine(request.id, outcome.status());
+  const RegisteredDataset& dataset = *outcome.value().dataset;
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  BeginOkResponse(&writer, request.id);
+  writer.Key("type");
+  writer.String("register_dataset");
+  writer.Key("name");
+  writer.String(dataset.name);
+  writer.Key("n");
+  writer.Int(dataset.dataset.n());
+  writer.Key("m");
+  writer.Int(dataset.dataset.m());
+  writer.Key("one_hot_width");
+  writer.Int(dataset.dataset.OneHotWidth());
+  writer.Key("mean_error");
+  writer.Double(dataset.mean_error);
+  // As a string: JSON numbers are doubles on the wire and 64-bit hashes do
+  // not survive the round-trip.
+  writer.Key("data_hash");
+  writer.String(std::to_string(dataset.data_hash));
+  writer.Key("already_registered");
+  writer.Bool(outcome.value().already_registered);
+  writer.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+std::string Server::HandleFindSlices(const Request& request) {
+  const FindSlicesRequest& find = request.find_slices;
+  if (find.engine != "native" && find.engine != "la") {
+    return MakeErrorLine(request.id,
+                         Status::InvalidArgument(
+                             "engine must be 'native' or 'la', got '" +
+                             find.engine + "'"));
+  }
+  if (find.k < 1) {
+    return MakeErrorLine(request.id,
+                         Status::InvalidArgument("k must be >= 1"));
+  }
+  if (!(find.alpha > 0.0 && find.alpha <= 1.0)) {
+    return MakeErrorLine(
+        request.id, Status::InvalidArgument("alpha must be in (0, 1]"));
+  }
+  if (find.sigma < 0 || find.max_level < 0 || find.deadline_ms < 0 ||
+      find.memory_budget_mb < 0) {
+    return MakeErrorLine(
+        request.id,
+        Status::InvalidArgument(
+            "sigma, max_level, deadline_ms, memory_budget_mb must be >= 0"));
+  }
+  std::shared_ptr<const RegisteredDataset> dataset =
+      registry_.Find(find.dataset);
+  if (dataset == nullptr) {
+    return MakeErrorLine(request.id, Status::NotFound("unknown dataset '" +
+                                                      find.dataset + "'"));
+  }
+
+  core::SliceLineConfig config;
+  config.k = static_cast<int>(find.k);
+  config.alpha = find.alpha;
+  config.min_support = find.sigma;
+  config.max_level = static_cast<int>(find.max_level);
+
+  // Cache key: dataset content x the parameters the result depends on
+  // (resolved sigma canonicalizes "sigma 0" vs "sigma it resolves to").
+  const int64_t resolved_sigma =
+      core::ResolveMinSupport(config, dataset->dataset.n());
+  const uint64_t config_hash =
+      core::HashConfigForCheckpoint(config, resolved_sigma, find.engine);
+
+  if (find.wait) {
+    if (std::shared_ptr<const CachedResult> cached =
+            cache_.Lookup(dataset->data_hash, config_hash)) {
+      return MakeResultResponse(request.id, /*job_id=*/-1, /*cache_hit=*/true,
+                                cached->result, cached->feature_names);
+    }
+  }
+
+  JobSpec spec;
+  spec.dataset = dataset;
+  spec.engine = find.engine;
+  spec.config = config;
+  spec.deadline_seconds = find.deadline_ms > 0
+                              ? static_cast<double>(find.deadline_ms) / 1e3
+                              : options_.default_deadline_seconds;
+  spec.memory_budget_bytes =
+      find.memory_budget_mb > 0 ? find.memory_budget_mb * (1 << 20) : 0;
+
+  StatusOr<std::shared_ptr<Job>> submitted = scheduler_->Submit(std::move(spec));
+  if (!submitted.ok()) return MakeErrorLine(request.id, submitted.status());
+  const std::shared_ptr<Job>& job = submitted.value();
+
+  if (!find.wait) {
+    std::ostringstream os;
+    obs::JsonWriter writer(os);
+    BeginOkResponse(&writer, request.id);
+    writer.Key("type");
+    writer.String("find_slices");
+    writer.Key("job");
+    writer.Int(job->id);
+    writer.Key("state");
+    writer.String(JobStateName(job->CurrentState()));
+    writer.EndObject();
+    os << '\n';
+    return os.str();
+  }
+
+  job->WaitDone();
+  std::lock_guard<std::mutex> lock(job->mutex);
+  if (job->state == JobState::kFailed) {
+    return MakeErrorLine(request.id, job->error);
+  }
+  if (job->state == JobState::kCancelled) {
+    return MakeErrorLine(request.id,
+                         Status::Cancelled("job cancelled while queued"));
+  }
+  if (job->result.outcome.termination ==
+      RunOutcome::Termination::kCompleted) {
+    auto cached = std::make_shared<CachedResult>();
+    cached->result = job->result;
+    cached->feature_names = dataset->dataset.feature_names;
+    cache_.Insert(dataset->data_hash, config_hash, std::move(cached));
+  }
+  return MakeResultResponse(request.id, job->id, /*cache_hit=*/false,
+                            job->result, dataset->dataset.feature_names);
+}
+
+std::string Server::HandleGetStatus(const Request& request) {
+  std::shared_ptr<Job> job = scheduler_->Find(request.job_id);
+  if (job == nullptr) {
+    return MakeErrorLine(request.id, Status::NotFound(
+                                         "unknown job " +
+                                         std::to_string(request.job_id)));
+  }
+  std::lock_guard<std::mutex> lock(job->mutex);
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  BeginOkResponse(&writer, request.id);
+  writer.Key("type");
+  writer.String("get_status");
+  writer.Key("job");
+  writer.Int(job->id);
+  writer.Key("state");
+  writer.String(JobStateName(job->state));
+  writer.Key("queued_seconds");
+  writer.Double(job->queued_seconds);
+  writer.Key("run_seconds");
+  writer.Double(job->run_seconds);
+  if (job->state == JobState::kDone) {
+    writer.Key("result");
+    WriteResultJson(&writer, job->result,
+                    job->spec.dataset->dataset.feature_names);
+  } else if (job->state == JobState::kFailed) {
+    writer.Key("error");
+    writer.BeginObject();
+    writer.Key("code");
+    writer.String(ErrorCodeForStatus(job->error));
+    writer.Key("message");
+    writer.String(job->error.message());
+    writer.EndObject();
+  }
+  writer.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+std::string Server::HandleCancel(const Request& request) {
+  StatusOr<JobState> state = scheduler_->Cancel(request.job_id);
+  if (!state.ok()) return MakeErrorLine(request.id, state.status());
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  BeginOkResponse(&writer, request.id);
+  writer.Key("type");
+  writer.String("cancel");
+  writer.Key("job");
+  writer.Int(request.job_id);
+  writer.Key("state");
+  writer.String(JobStateName(state.value()));
+  writer.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+std::string Server::HandleListDatasets(const Request& request) {
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  BeginOkResponse(&writer, request.id);
+  writer.Key("type");
+  writer.String("list_datasets");
+  writer.Key("datasets");
+  writer.BeginArray();
+  for (const std::shared_ptr<const RegisteredDataset>& dataset :
+       registry_.List()) {
+    writer.BeginObject();
+    writer.Key("name");
+    writer.String(dataset->name);
+    writer.Key("n");
+    writer.Int(dataset->dataset.n());
+    writer.Key("m");
+    writer.Int(dataset->dataset.m());
+    writer.Key("one_hot_width");
+    writer.Int(dataset->dataset.OneHotWidth());
+    writer.Key("mean_error");
+    writer.Double(dataset->mean_error);
+    writer.Key("data_hash");
+    writer.String(std::to_string(dataset->data_hash));
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+std::string Server::HandleServerStats(const Request& request) {
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  BeginOkResponse(&writer, request.id);
+  writer.Key("type");
+  writer.String("server_stats");
+  writer.Key("protocol_version");
+  writer.Int(kProtocolVersion);
+  writer.Key("uptime_seconds");
+  writer.Double(NowSeconds() - start_seconds_);
+  writer.Key("workers");
+  writer.Int(options_.workers);
+  writer.Key("max_queue");
+  writer.Int(options_.max_queue);
+  writer.Key("queue_depth");
+  writer.Int(scheduler_->queue_depth());
+  writer.Key("running");
+  writer.Int(scheduler_->running());
+  writer.Key("draining");
+  writer.Bool(ShutdownRequested());
+  writer.Key("jobs");
+  writer.BeginObject();
+  writer.Key("admitted");
+  writer.Int(scheduler_->jobs_admitted());
+  writer.Key("rejected");
+  writer.Int(scheduler_->jobs_rejected());
+  writer.Key("completed");
+  writer.Int(scheduler_->jobs_completed());
+  writer.Key("failed");
+  writer.Int(scheduler_->jobs_failed());
+  writer.Key("cancelled");
+  writer.Int(scheduler_->jobs_cancelled());
+  writer.EndObject();
+  writer.Key("cache");
+  writer.BeginObject();
+  writer.Key("size");
+  writer.Int(static_cast<int64_t>(cache_.size()));
+  writer.Key("hits");
+  writer.Int(cache_.hits());
+  writer.Key("misses");
+  writer.Int(cache_.misses());
+  writer.Key("evictions");
+  writer.Int(cache_.evictions());
+  writer.EndObject();
+  writer.Key("datasets");
+  writer.Int(registry_.size());
+  const MemoryBudget* budget = scheduler_->shared_budget();
+  writer.Key("memory");
+  writer.BeginObject();
+  writer.Key("used_bytes");
+  writer.Int(budget->used_bytes());
+  writer.Key("peak_bytes");
+  writer.Int(budget->peak_bytes());
+  writer.Key("limit_bytes");
+  writer.Int(budget->limit_bytes());
+  writer.EndObject();
+  writer.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+std::string Server::MakeResultResponse(
+    const std::string& id, int64_t job_id, bool cache_hit,
+    const core::SliceLineResult& result,
+    const std::vector<std::string>& feature_names) {
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  BeginOkResponse(&writer, id);
+  writer.Key("type");
+  writer.String("find_slices");
+  if (job_id >= 0) {
+    writer.Key("job");
+    writer.Int(job_id);
+  }
+  writer.Key("cache_hit");
+  writer.Bool(cache_hit);
+  writer.Key("result");
+  WriteResultJson(&writer, result, feature_names);
+  writer.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+std::string Server::MetricsText() {
+  std::ostringstream os;
+  obs::RunReport::WritePrometheus(os);
+  return os.str();
+}
+
+void Server::HandleHttp(SocketConnection* connection,
+                        const std::string& request_line) {
+  TRACE_SPAN("serve/http");
+  // "GET <path> HTTP/1.x"; the header block is drained so well-behaved
+  // clients (curl) do not see a reset while still sending.
+  for (;;) {
+    StatusOr<std::string> header = connection->ReadLine(kMaxLineBytes);
+    if (!header.ok()) break;
+    const std::string& value = header.value();
+    if (value.empty() || value == "\r") break;
+  }
+  std::string path = request_line.substr(4);
+  const size_t space = path.find(' ');
+  if (space != std::string::npos) path.resize(space);
+
+  std::string body;
+  std::string status_line;
+  std::string content_type = "text/plain; charset=utf-8";
+  if (path == "/metrics") {
+    status_line = "HTTP/1.0 200 OK";
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = MetricsText();
+  } else {
+    status_line = "HTTP/1.0 404 Not Found";
+    body = "only /metrics is served over HTTP\n";
+  }
+  std::ostringstream os;
+  os << status_line << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n"
+     << "\r\n"
+     << body;
+  (void)connection->WriteAll(os.str());
+}
+
+}  // namespace sliceline::serve

@@ -1,0 +1,129 @@
+#ifndef SLICELINE_SERVE_SERVER_H_
+#define SLICELINE_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.h"
+#include "common/status.h"
+#include "serve/dataset_registry.h"
+#include "serve/protocol.h"
+#include "serve/result_cache.h"
+#include "serve/scheduler.h"
+
+namespace sliceline::serve {
+
+struct ServerOptions {
+  /// Unix-domain socket path; listened on when non-empty.
+  std::string unix_socket;
+  /// Loopback TCP port; listened on when >= 0 (0 = kernel-assigned, see
+  /// Server::tcp_port()). At least one of the two listeners must be set.
+  int tcp_port = -1;
+  int workers = 4;
+  /// Admission bound: jobs admitted and not yet finished.
+  int max_queue = 16;
+  /// Server-wide memory budget shared by all jobs; 0 = unlimited.
+  int64_t memory_budget_mb = 0;
+  /// Result-cache entries; 0 disables caching.
+  int64_t cache_capacity = 128;
+  /// Concurrent connections; excess connections get one structured
+  /// resource_exhausted error line and are closed.
+  int max_connections = 64;
+  /// Applied to find_slices requests that carry no deadline; 0 = none.
+  double default_deadline_seconds = 0.0;
+  /// When non-empty, spans are recorded and the Chrome trace is flushed
+  /// here during shutdown.
+  std::string trace_out;
+};
+
+/// The slice-finding daemon: accepts newline-delimited JSON requests over
+/// TCP and/or a Unix-domain socket (see protocol.h), plus a minimal
+/// HTTP GET /metrics endpoint exposing the metrics registry in Prometheus
+/// text format on the same listeners. One thread per connection; jobs run
+/// on the scheduler's worker pool.
+///
+/// Shutdown (SIGTERM path): RequestShutdown() is async-signal-safe (one
+/// atomic store). Wait() then stops accepting, lets every connection finish
+/// the request it is serving, drains admitted jobs, flushes the trace, and
+/// returns 0.
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listeners and starts the accept threads.
+  Status Start();
+
+  /// Begins graceful shutdown. Safe to call from a signal handler and from
+  /// any thread; idempotent.
+  void RequestShutdown() { shutdown_.store(true, std::memory_order_release); }
+  bool ShutdownRequested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until shutdown is requested and the drain completes. Returns
+  /// the process exit code (0 on a clean drain).
+  int Wait();
+
+  /// Bound TCP port after Start() (-1 when no TCP listener).
+  int tcp_port() const { return tcp_port_; }
+
+  // -- test access ----------------------------------------------------------
+  Scheduler& scheduler() { return *scheduler_; }
+  DatasetRegistry& registry() { return registry_; }
+  ResultCache& cache() { return cache_; }
+
+  /// The /metrics payload (Prometheus text exposition of the registry).
+  static std::string MetricsText();
+
+ private:
+  void AcceptLoop(ListenSocket* listener);
+  void HandleConnection(SocketConnection connection);
+  /// Serves one protocol request line; returns the LF-terminated response.
+  std::string HandleRequestLine(const std::string& line);
+  std::string HandleRegisterDataset(const Request& request);
+  std::string HandleFindSlices(const Request& request);
+  std::string HandleGetStatus(const Request& request);
+  std::string HandleCancel(const Request& request);
+  std::string HandleListDatasets(const Request& request);
+  std::string HandleServerStats(const Request& request);
+  /// Serves "GET <path> HTTP/1.x": drains the header block, writes a full
+  /// HTTP/1.0 response, and leaves the connection to be closed.
+  void HandleHttp(SocketConnection* connection, const std::string& request_line);
+  /// Builds the find_slices/get_status success payload around a result.
+  std::string MakeResultResponse(const std::string& id, int64_t job_id,
+                                 bool cache_hit,
+                                 const core::SliceLineResult& result,
+                                 const std::vector<std::string>& feature_names);
+
+  const ServerOptions options_;
+  DatasetRegistry registry_;
+  ResultCache cache_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  ListenSocket tcp_listener_;
+  ListenSocket unix_listener_;
+  int tcp_port_ = -1;
+
+  std::atomic<bool> shutdown_{false};
+  bool started_ = false;
+  bool waited_ = false;
+  double start_seconds_ = 0.0;
+
+  std::vector<std::thread> accept_threads_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::atomic<int> open_connections_{0};
+};
+
+}  // namespace sliceline::serve
+
+#endif  // SLICELINE_SERVE_SERVER_H_

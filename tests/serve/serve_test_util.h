@@ -1,0 +1,124 @@
+#ifndef SLICELINE_TESTS_SERVE_SERVE_TEST_UTIL_H_
+#define SLICELINE_TESTS_SERVE_SERVE_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/report.h"
+#include "core/slice.h"
+#include "core/sliceline.h"
+#include "data/csv.h"
+#include "data/preprocess.h"
+#include "ml/pipeline.h"
+#include "serve/dataset_registry.h"
+
+namespace sliceline::serve {
+
+/// Deterministic CSV: `features` categorical columns (domain values
+/// "v0".."v<domain-1>") plus a numeric "target"; rows in the c0=v1 & c1=v1
+/// subgroup carry much larger residual noise, so slice finding has a planted
+/// signal. Same (rows, features, domain, seed) -> byte-identical text.
+inline std::string MakeCsvText(int rows, int features, int domain,
+                               uint64_t seed) {
+  Rng rng(seed);
+  std::string csv;
+  for (int j = 0; j < features; ++j) {
+    csv += 'c';
+    csv += std::to_string(j);
+    csv += ',';
+  }
+  csv += "target\n";
+  for (int i = 0; i < rows; ++i) {
+    std::vector<int> codes(features);
+    for (int j = 0; j < features; ++j) {
+      codes[j] = static_cast<int>(rng.NextUint64(domain));
+      csv += 'v';
+      csv += std::to_string(codes[j]);
+      csv += ',';
+    }
+    double target = static_cast<double>(codes[0]) +
+                    0.1 * static_cast<double>(codes[features - 1]);
+    if (codes[0] == 1 && codes[1] == 1) {
+      target += rng.NextGaussian() * 6.0;
+    } else {
+      target += rng.NextGaussian() * 0.3;
+    }
+    csv += std::to_string(target) + "\n";
+  }
+  return csv;
+}
+
+inline void WriteFileOrDie(const std::string& path,
+                           const std::string& content) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out.good()) << path;
+  out << content;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Builds a RegisteredDataset straight from CSV text -- the same pipeline
+/// DatasetRegistry::Register runs on a file (parse, preprocess, train,
+/// hash), minus the file. Lets scheduler tests share immutable datasets
+/// without touching disk.
+inline StatusOr<std::shared_ptr<const RegisteredDataset>>
+BuildRegisteredDataset(const std::string& name, const std::string& csv_text) {
+  SLICELINE_ASSIGN_OR_RETURN(data::Frame frame, data::ParseCsv(csv_text));
+  data::PreprocessOptions options;
+  options.label_column = "target";
+  options.task = data::Task::kRegression;
+  SLICELINE_ASSIGN_OR_RETURN(data::EncodedDataset encoded,
+                             data::Preprocess(frame, options));
+  encoded.name = name;
+  SLICELINE_ASSIGN_OR_RETURN(const double mean_error,
+                             ml::TrainAndMaterializeErrors(&encoded));
+  auto registered = std::make_shared<RegisteredDataset>();
+  registered->name = name;
+  registered->csv_path = "<memory>";
+  registered->dataset = std::move(encoded);
+  registered->data_hash = HashEncodedDataset(registered->dataset);
+  registered->mean_error = mean_error;
+  return std::shared_ptr<const RegisteredDataset>(std::move(registered));
+}
+
+/// Copy with the wall-clock fields zeroed; everything else in a
+/// SliceLineResult is deterministic for a given dataset + config.
+inline core::SliceLineResult StripTimings(core::SliceLineResult result) {
+  result.total_seconds = 0.0;
+  for (core::LevelStats& level : result.levels) level.seconds = 0.0;
+  return result;
+}
+
+/// Asserts two results are identical up to timings: the CLI report renders
+/// byte-for-byte equal, and the top-K statistics match bit-exactly (the
+/// engines are deterministic and the wire round-trips doubles exactly).
+inline void ExpectSameResult(const core::SliceLineResult& actual,
+                             const core::SliceLineResult& expected,
+                             const std::vector<std::string>& feature_names) {
+  EXPECT_EQ(core::FormatResult(StripTimings(actual), feature_names),
+            core::FormatResult(StripTimings(expected), feature_names));
+  ASSERT_EQ(actual.top_k.size(), expected.top_k.size());
+  for (size_t i = 0; i < actual.top_k.size(); ++i) {
+    EXPECT_EQ(actual.top_k[i].predicates, expected.top_k[i].predicates) << i;
+    EXPECT_EQ(actual.top_k[i].stats.score, expected.top_k[i].stats.score) << i;
+    EXPECT_EQ(actual.top_k[i].stats.error_sum,
+              expected.top_k[i].stats.error_sum)
+        << i;
+    EXPECT_EQ(actual.top_k[i].stats.max_error,
+              expected.top_k[i].stats.max_error)
+        << i;
+    EXPECT_EQ(actual.top_k[i].stats.size, expected.top_k[i].stats.size) << i;
+  }
+  EXPECT_EQ(actual.min_support, expected.min_support);
+  EXPECT_EQ(actual.average_error, expected.average_error);
+  EXPECT_EQ(actual.total_evaluated, expected.total_evaluated);
+}
+
+}  // namespace sliceline::serve
+
+#endif  // SLICELINE_TESTS_SERVE_SERVE_TEST_UTIL_H_

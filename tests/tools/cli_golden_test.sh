@@ -25,8 +25,15 @@
 # the deterministic report fields (outcome, dist_faults under a fixed fault
 # seed) match REPORT_EXPECTED byte for byte.
 #
+# Part 5 checks the serving daemon end to end: sliceline_server on a Unix
+# socket, the golden CSV registered over the wire, the part-1 native
+# configuration served twice (second response must be a result-cache hit),
+# both responses byte-identical to the CLI's slice report, and a SIGTERM
+# drain that exits 0.
+#
 # Usage: cli_golden_test.sh CLI_BINARY INPUT_CSV EXPECTED_FILE \
-#          JSON_VALIDATE_BINARY REPORT_EXPECTED
+#          JSON_VALIDATE_BINARY REPORT_EXPECTED \
+#          [SERVER_BINARY CLIENT_BINARY]
 set -euo pipefail
 
 cli="$1"
@@ -227,3 +234,78 @@ grep -q "fault recovery:" "$workdir/human2.txt" || {
 expect_reject "bad log level" "--log-level must be" \
   "${valid[@]}" --log-level chatty
 echo "OK: observability outputs are valid and deterministic"
+
+# --- Part 5: server round-trip over a Unix-domain socket ------------------
+
+# Starts sliceline_server on a Unix socket, registers the golden CSV,
+# runs the part-1 native configuration through the wire twice, and checks
+# that (a) both responses render bit-for-bit the same slice report as
+# sliceline_cli on the same data and config — the protocol round-trips
+# doubles exactly — (b) the second response is a cache hit, and (c) SIGTERM
+# drains and exits 0. Skipped when the server/client binaries are not
+# passed (old five-argument invocations).
+server="${6:-}"
+client="${7:-}"
+if [[ -n "$server" && -n "$client" ]]; then
+  sock="$workdir/serve.sock"
+  "$server" --socket "$sock" --workers 2 > "$workdir/server.log" 2>&1 &
+  server_pid=$!
+  trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+  for _ in $(seq 1 100); do
+    [[ -S "$sock" ]] && break
+    sleep 0.05
+  done
+  [[ -S "$sock" ]] || {
+    echo "FAIL: server did not open $sock" >&2
+    cat "$workdir/server.log" >&2
+    exit 1
+  }
+
+  "$client" --socket "$sock" register --name golden --csv "$input" \
+      --label target --bins 5 > "$workdir/register.json"
+  grep -q '"already_registered":false' "$workdir/register.json" || {
+    echo "FAIL: register_dataset did not report a fresh registration" >&2
+    cat "$workdir/register.json" >&2
+    exit 1
+  }
+
+  find_args=(find --dataset golden --k 4 --alpha 0.95 --sigma 10)
+  "$client" --socket "$sock" "${find_args[@]}" \
+      > "$workdir/served1.txt" 2> "$workdir/served1.err"
+  "$client" --socket "$sock" "${find_args[@]}" \
+      > "$workdir/served2.txt" 2> "$workdir/served2.err"
+
+  grep -q 'cache_hit=false' "$workdir/served1.err" || {
+    echo "FAIL: first served find was not a cache miss" >&2
+    cat "$workdir/served1.err" >&2; exit 1; }
+  grep -q 'cache_hit=true' "$workdir/served2.err" || {
+    echo "FAIL: repeated served find did not hit the result cache" >&2
+    cat "$workdir/served2.err" >&2; exit 1; }
+
+  # The CLI's slice report for the same data and config (its read/train
+  # header lines have no wire counterpart and are stripped).
+  "$cli" --csv "$input" --label target --task reg --k 4 --alpha 0.95 \
+      --sigma 10 --bins 5 --engine native \
+    | sed -n '/^Top-/,$p' | normalize > "$workdir/cli_reference.txt"
+  normalize < "$workdir/served1.txt" > "$workdir/served1.norm"
+  normalize < "$workdir/served2.txt" > "$workdir/served2.norm"
+  if ! diff -u "$workdir/cli_reference.txt" "$workdir/served1.norm"; then
+    echo "FAIL: served result diverged from the CLI on the same config" >&2
+    exit 1
+  fi
+  if ! diff -u "$workdir/served1.norm" "$workdir/served2.norm"; then
+    echo "FAIL: cached served result diverged from the computed one" >&2
+    exit 1
+  fi
+
+  # SIGTERM drain: the server must exit 0 on its own.
+  kill -TERM "$server_pid"
+  server_rc=0
+  wait "$server_pid" || server_rc=$?
+  if [[ "$server_rc" -ne 0 ]]; then
+    echo "FAIL: server exited $server_rc after SIGTERM (want 0)" >&2
+    cat "$workdir/server.log" >&2
+    exit 1
+  fi
+  echo "OK: server round-trip matches the CLI, caches, and drains cleanly"
+fi

@@ -11,11 +11,12 @@
 #
 # Finally builds the tsan preset (-fsanitize=thread) and runs the
 # concurrency-sensitive suites under it (governance/checkpoint, determinism,
-# thread pool, and the observability registry/trace suites): cross-thread
-# cancellation, the ambient memory-budget accounting, and the sharded
-# metric counters are exactly the code where a missed acquire/release shows
-# up as a data race rather than a wrong answer. Skip with
-# SLICELINE_SKIP_TSAN=1.
+# thread pool, the observability registry/trace suites, and the serving
+# subsystem's scheduler/cache/server suites): cross-thread cancellation,
+# the ambient memory-budget accounting, the sharded metric counters, and
+# the scheduler's state/counter handoff are exactly the code where a missed
+# acquire/release shows up as a data race rather than a wrong answer. Skip
+# with SLICELINE_SKIP_TSAN=1.
 #
 # Usage: tools/run_sanitized_tests.sh [ctest-args...]
 set -euo pipefail

@@ -1,0 +1,262 @@
+// Command-line client for the slice-finding daemon. Speaks the
+// newline-delimited strict-JSON protocol from src/serve/protocol.h.
+//
+// Usage:
+//   sliceline_client (--socket PATH | --port N) <command> [options]
+//
+// Commands:
+//   register --name N --csv F --label L [--task reg|class] [--bins B]
+//            [--drop a,b,c]
+//   find     --dataset N [--engine native|la] [--k K] [--alpha A]
+//            [--sigma S] [--max-level L] [--deadline-ms MS]
+//            [--memory-budget-mb MB] [--no-wait]
+//   status   --job ID
+//   cancel   --job ID
+//   list
+//   stats
+//   metrics
+//
+// `find` prints the top-K report in exactly the sliceline_cli format (the
+// wire protocol round-trips doubles bit-exactly), with the cache-hit flag
+// on stderr; the other commands print the server's JSON response verbatim.
+// `metrics` fetches GET /metrics and prints the Prometheus text -- a
+// curl-free scrape. Exit code 0 on success, 1 on any error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/report.h"
+#include "serve/client.h"
+
+namespace {
+
+using sliceline::serve::Client;
+using sliceline::serve::Endpoint;
+
+struct ClientCliOptions {
+  Endpoint endpoint;
+  std::string command;
+  sliceline::serve::RegisterDatasetRequest register_request;
+  sliceline::serve::FindSlicesRequest find_request;
+  int64_t job_id = -1;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: sliceline_client (--socket PATH | --port N) COMMAND [options]\n"
+      "commands:\n"
+      "  register --name N --csv F --label L [--task reg|class] [--bins B]\n"
+      "           [--drop a,b,c]\n"
+      "  find     --dataset N [--engine native|la] [--k K] [--alpha A]\n"
+      "           [--sigma S] [--max-level L] [--deadline-ms MS]\n"
+      "           [--memory-budget-mb MB] [--no-wait]\n"
+      "  status   --job ID\n"
+      "  cancel   --job ID\n"
+      "  list\n"
+      "  stats\n"
+      "  metrics\n"
+      "Every flag also accepts --flag=value.\n");
+}
+
+bool ParseArgs(int argc, char** argv, ClientCliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.compare(0, 2, "--") != 0) {
+      if (!options->command.empty()) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        return false;
+      }
+      options->command = arg;
+      continue;
+    }
+    std::string inline_value;
+    bool has_inline = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg.resize(eq);
+      has_inline = true;
+    }
+    auto next = [&](const char* name) -> const char* {
+      if (has_inline) return inline_value.c_str();
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", name);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      const char* v = next("--socket");
+      if (v == nullptr) return false;
+      options->endpoint.unix_socket = v;
+    } else if (arg == "--port") {
+      const char* v = next("--port");
+      if (v == nullptr) return false;
+      options->endpoint.tcp_port = std::atoi(v);
+    } else if (arg == "--name") {
+      const char* v = next("--name");
+      if (v == nullptr) return false;
+      options->register_request.name = v;
+    } else if (arg == "--csv") {
+      const char* v = next("--csv");
+      if (v == nullptr) return false;
+      options->register_request.csv_path = v;
+    } else if (arg == "--label") {
+      const char* v = next("--label");
+      if (v == nullptr) return false;
+      options->register_request.label = v;
+    } else if (arg == "--task") {
+      const char* v = next("--task");
+      if (v == nullptr) return false;
+      options->register_request.task = v;
+    } else if (arg == "--bins") {
+      const char* v = next("--bins");
+      if (v == nullptr) return false;
+      options->register_request.bins = std::atoll(v);
+    } else if (arg == "--drop") {
+      const char* v = next("--drop");
+      if (v == nullptr) return false;
+      options->register_request.drop = sliceline::Split(v, ',');
+    } else if (arg == "--dataset") {
+      const char* v = next("--dataset");
+      if (v == nullptr) return false;
+      options->find_request.dataset = v;
+    } else if (arg == "--engine") {
+      const char* v = next("--engine");
+      if (v == nullptr) return false;
+      options->find_request.engine = v;
+    } else if (arg == "--k") {
+      const char* v = next("--k");
+      if (v == nullptr) return false;
+      options->find_request.k = std::atoll(v);
+    } else if (arg == "--alpha") {
+      const char* v = next("--alpha");
+      if (v == nullptr) return false;
+      options->find_request.alpha = std::atof(v);
+    } else if (arg == "--sigma") {
+      const char* v = next("--sigma");
+      if (v == nullptr) return false;
+      options->find_request.sigma = std::atoll(v);
+    } else if (arg == "--max-level") {
+      const char* v = next("--max-level");
+      if (v == nullptr) return false;
+      options->find_request.max_level = std::atoll(v);
+    } else if (arg == "--deadline-ms") {
+      const char* v = next("--deadline-ms");
+      if (v == nullptr) return false;
+      options->find_request.deadline_ms = std::atoll(v);
+    } else if (arg == "--memory-budget-mb") {
+      const char* v = next("--memory-budget-mb");
+      if (v == nullptr) return false;
+      options->find_request.memory_budget_mb = std::atoll(v);
+    } else if (arg == "--no-wait") {
+      options->find_request.wait = false;
+    } else if (arg == "--job") {
+      const char* v = next("--job");
+      if (v == nullptr) return false;
+      options->job_id = std::atoll(v);
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int Fail(const sliceline::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClientCliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage();
+    return 1;
+  }
+  if (options.command.empty()) {
+    std::fprintf(stderr, "missing command\n");
+    PrintUsage();
+    return 1;
+  }
+  if (options.endpoint.unix_socket.empty() && options.endpoint.tcp_port < 0) {
+    std::fprintf(stderr, "need --socket or --port\n");
+    PrintUsage();
+    return 1;
+  }
+
+  if (options.command == "metrics") {
+    auto metrics = sliceline::serve::FetchMetrics(options.endpoint);
+    if (!metrics.ok()) return Fail(metrics.status());
+    std::fputs(metrics.value().c_str(), stdout);
+    return 0;
+  }
+
+  auto client = Client::Connect(options.endpoint);
+  if (!client.ok()) return Fail(client.status());
+
+  if (options.command == "register") {
+    if (options.register_request.name.empty() ||
+        options.register_request.csv_path.empty() ||
+        options.register_request.label.empty()) {
+      std::fprintf(stderr, "register needs --name, --csv, --label\n");
+      return 1;
+    }
+    auto response = client.value().RegisterDataset(options.register_request);
+    if (!response.ok()) return Fail(response.status());
+    std::printf("%s\n", client.value().last_response_line().c_str());
+    return 0;
+  }
+  if (options.command == "find") {
+    if (options.find_request.dataset.empty()) {
+      std::fprintf(stderr, "find needs --dataset\n");
+      return 1;
+    }
+    auto reply = client.value().FindSlices(options.find_request);
+    if (!reply.ok()) return Fail(reply.status());
+    if (!options.find_request.wait) {
+      std::printf("job %lld submitted\n",
+                  static_cast<long long>(reply.value().job_id));
+      return 0;
+    }
+    std::fprintf(stderr, "cache_hit=%s job=%lld\n",
+                 reply.value().cache_hit ? "true" : "false",
+                 static_cast<long long>(reply.value().job_id));
+    std::fputs(sliceline::core::FormatResult(reply.value().result,
+                                             reply.value().feature_names)
+                   .c_str(),
+               stdout);
+    return 0;
+  }
+  if (options.command == "status" || options.command == "cancel") {
+    if (options.job_id < 0) {
+      std::fprintf(stderr, "%s needs --job\n", options.command.c_str());
+      return 1;
+    }
+    auto response = options.command == "status"
+                        ? client.value().GetStatus(options.job_id)
+                        : client.value().Cancel(options.job_id);
+    if (!response.ok()) return Fail(response.status());
+    std::printf("%s\n", client.value().last_response_line().c_str());
+    return 0;
+  }
+  if (options.command == "list" || options.command == "stats") {
+    auto response = options.command == "list" ? client.value().ListDatasets()
+                                              : client.value().ServerStats();
+    if (!response.ok()) return Fail(response.status());
+    std::printf("%s\n", client.value().last_response_line().c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command: %s\n", options.command.c_str());
+  PrintUsage();
+  return 1;
+}
