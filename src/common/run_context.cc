@@ -224,6 +224,7 @@ std::string RunOutcome::Summary() const {
   if (peak_memory_bytes > 0) {
     os << ", peak memory " << peak_memory_bytes << " bytes";
   }
+  if (dist_fallback_local) os << ", distributed fallback to local";
   return os.str();
 }
 

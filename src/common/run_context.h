@@ -199,6 +199,12 @@ struct RunOutcome {
   bool resumed_from_checkpoint = false;
   /// Peak governed memory use observed (0 when no budget installed).
   int64_t peak_memory_bytes = 0;
+  /// True when a distributed run lost too many workers (or exhausted its
+  /// retry budget) and finished on the coordinator's local fallback
+  /// evaluator. The results are still exact -- the fallback evaluates the
+  /// full matrix -- so this does not make the run partial; it records that
+  /// the cluster, not the search, degraded.
+  bool dist_fallback_local = false;
 
   static const char* TerminationName(Termination t);
 

@@ -1,6 +1,7 @@
 #include "common/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -9,6 +10,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -18,6 +20,21 @@ namespace {
 
 Status Errno(const std::string& what) {
   return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Remaining milliseconds of a deadline started `start` seconds ago with
+/// budget `timeout_ms`; clamped at 0 once expired, -1 stays -1 (infinite).
+int RemainingMillis(double start, int timeout_ms) {
+  if (timeout_ms < 0) return -1;
+  const double elapsed_ms = (MonotonicSeconds() - start) * 1e3;
+  const double left = static_cast<double>(timeout_ms) - elapsed_ms;
+  return left > 0.0 ? static_cast<int>(left) : 0;
 }
 
 /// SIGPIPE on a peer-closed socket must surface as an EPIPE Status, not
@@ -93,6 +110,44 @@ StatusOr<std::string> SocketConnection::ReadLine(size_t max_bytes) {
   }
 }
 
+StatusOr<std::string> SocketConnection::ReadLine(size_t max_bytes,
+                                                 int timeout_ms) {
+  if (fd_ < 0) return Status::InvalidArgument("read on closed connection");
+  const double start = MonotonicSeconds();
+  for (;;) {
+    // Serve from the buffer first: a fragmented line completed by an earlier
+    // read must not wait on the poll below.
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos || buffer_.size() > max_bytes) {
+      return ReadLine(max_bytes);  // completes (or rejects) without blocking
+    }
+    const int left = RemainingMillis(start, timeout_ms);
+    if (left == 0) {
+      return Status::DeadlineExceeded("read timed out after " +
+                                      std::to_string(timeout_ms) + "ms");
+    }
+    SLICELINE_ASSIGN_OR_RETURN(const bool readable, WaitReadable(left));
+    if (!readable) continue;  // EINTR or spurious wakeup; deadline re-checked
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (got == 0) {
+      if (buffer_.empty()) return Status::NotFound("eof");
+      std::string line = std::move(buffer_);
+      buffer_.clear();
+      if (line.size() > max_bytes) {
+        return Status::ResourceExhausted("line exceeds " +
+                                         std::to_string(max_bytes) + " bytes");
+      }
+      return line;
+    }
+    buffer_.append(chunk, static_cast<size_t>(got));
+  }
+}
+
 StatusOr<std::string> SocketConnection::ReadAll(size_t max_bytes) {
   if (fd_ < 0) return Status::InvalidArgument("read on closed connection");
   std::string out = std::move(buffer_);
@@ -114,13 +169,22 @@ StatusOr<std::string> SocketConnection::ReadAll(size_t max_bytes) {
 StatusOr<bool> SocketConnection::WaitReadable(int timeout_ms) {
   if (fd_ < 0) return Status::InvalidArgument("poll on closed connection");
   if (!buffer_.empty()) return true;
-  pollfd pfd{fd_, POLLIN, 0};
-  const int ready = ::poll(&pfd, 1, timeout_ms);
-  if (ready < 0) {
-    if (errno == EINTR) return false;
-    return Errno("poll");
+  const double start = MonotonicSeconds();
+  for (;;) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, RemainingMillis(start, timeout_ms));
+    if (ready < 0) {
+      // A signal (e.g. a child-reaping SIGCHLD in the chaos harness) must
+      // not be reported as a timeout with budget left: re-poll for the
+      // remaining time.
+      if (errno == EINTR) {
+        if (RemainingMillis(start, timeout_ms) == 0) return false;
+        continue;
+      }
+      return Errno("poll");
+    }
+    return ready > 0;
   }
-  return ready > 0;
 }
 
 Status SocketConnection::WriteAll(const std::string& data) {
@@ -135,6 +199,21 @@ Status SocketConnection::WriteAll(const std::string& data) {
     sent += static_cast<size_t>(n);
   }
   return Status::OK();
+}
+
+Status SocketConnection::WriteLine(const std::string& line, size_t max_bytes) {
+  // Mirror ReadLine's accounting: the guard covers the payload, not the
+  // terminator, so a line that round-trips reads back under the same limit.
+  const bool terminated = !line.empty() && line.back() == '\n';
+  const size_t payload = line.size() - (terminated ? 1 : 0);
+  if (payload > max_bytes) {
+    return Status::ResourceExhausted("line exceeds " +
+                                     std::to_string(max_bytes) + " bytes");
+  }
+  if (!terminated) {
+    return Status::InvalidArgument("protocol line missing trailing newline");
+  }
+  return WriteAll(line);
 }
 
 ListenSocket::~ListenSocket() { Close(); }
@@ -244,22 +323,97 @@ StatusOr<SocketConnection> ListenSocket::Accept(int timeout_ms) {
   return SocketConnection(client);
 }
 
-StatusOr<SocketConnection> ConnectTcp(int port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Errno("socket");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const Status st = Errno("connect 127.0.0.1:" + std::to_string(port));
+namespace {
+
+/// Shared connect tail: blocking connect when `timeout_ms < 0`, otherwise a
+/// non-blocking connect polled for writability with the connect result read
+/// back via SO_ERROR (the portable deadline-bounded connect idiom). The fd
+/// is returned to blocking mode before it is wrapped.
+StatusOr<SocketConnection> ConnectWithTimeout(int fd, const sockaddr* addr,
+                                              socklen_t addr_len,
+                                              const std::string& what,
+                                              int timeout_ms) {
+  if (timeout_ms < 0) {
+    int rc;
+    do {
+      rc = ::connect(fd, addr, addr_len);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      const Status st = Errno("connect " + what);
+      ::close(fd);
+      return st;
+    }
+    return SocketConnection(fd);
+  }
+
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    const Status st = Errno("fcntl " + what);
+    ::close(fd);
+    return st;
+  }
+  if (::connect(fd, addr, addr_len) != 0 && errno != EINPROGRESS &&
+      errno != EINTR) {
+    const Status st = Errno("connect " + what);
+    ::close(fd);
+    return st;
+  }
+  const double start = MonotonicSeconds();
+  for (;;) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, RemainingMillis(start, timeout_ms));
+    if (ready < 0) {
+      if (errno == EINTR) {
+        if (RemainingMillis(start, timeout_ms) > 0) continue;
+      } else {
+        const Status st = Errno("poll " + what);
+        ::close(fd);
+        return st;
+      }
+    }
+    if (ready <= 0) {
+      ::close(fd);
+      return Status::DeadlineExceeded("connect " + what + " timed out after " +
+                                      std::to_string(timeout_ms) + "ms");
+    }
+    break;
+  }
+  int so_error = 0;
+  socklen_t len = sizeof(so_error);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+    const Status st = Errno("getsockopt " + what);
+    ::close(fd);
+    return st;
+  }
+  if (so_error != 0) {
+    ::close(fd);
+    return Status::IoError("connect " + what + ": " +
+                           std::strerror(so_error));
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    const Status st = Errno("fcntl " + what);
     ::close(fd);
     return st;
   }
   return SocketConnection(fd);
 }
 
-StatusOr<SocketConnection> ConnectUnix(const std::string& path) {
+}  // namespace
+
+StatusOr<SocketConnection> ConnectTcp(int port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  return ConnectWithTimeout(fd, reinterpret_cast<sockaddr*>(&addr),
+                            sizeof(addr), "127.0.0.1:" + std::to_string(port),
+                            timeout_ms);
+}
+
+StatusOr<SocketConnection> ConnectUnix(const std::string& path,
+                                       int timeout_ms) {
   sockaddr_un addr{};
   if (path.size() >= sizeof(addr.sun_path)) {
     return Status::InvalidArgument("unix socket path too long: " + path);
@@ -268,12 +422,8 @@ StatusOr<SocketConnection> ConnectUnix(const std::string& path) {
   if (fd < 0) return Errno("socket");
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const Status st = Errno("connect " + path);
-    ::close(fd);
-    return st;
-  }
-  return SocketConnection(fd);
+  return ConnectWithTimeout(fd, reinterpret_cast<sockaddr*>(&addr),
+                            sizeof(addr), path, timeout_ms);
 }
 
 }  // namespace sliceline

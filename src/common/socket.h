@@ -32,6 +32,14 @@ class SocketConnection {
   /// EOF with no buffered bytes returns NotFound("eof").
   StatusOr<std::string> ReadLine(size_t max_bytes);
 
+  /// ReadLine with a wall-clock deadline: waits at most `timeout_ms` in
+  /// total (across however many reads the line needs) and returns
+  /// DeadlineExceeded when the peer has not completed a line in time.
+  /// `timeout_ms < 0` blocks indefinitely (same as the overload above).
+  /// Bytes read before the deadline stay buffered, so a later retry on the
+  /// same connection resumes mid-line instead of desynchronizing.
+  StatusOr<std::string> ReadLine(size_t max_bytes, int timeout_ms);
+
   /// Reads until EOF or `max_bytes` (whichever first) and returns everything,
   /// including bytes buffered by a previous ReadLine. Used for HTTP-style
   /// responses that are terminated by connection close.
@@ -42,8 +50,17 @@ class SocketConnection {
   /// poll for the next request while checking its shutdown flag.
   StatusOr<bool> WaitReadable(int timeout_ms);
 
-  /// Writes all of `data`, retrying on EINTR / short writes.
+  /// Writes all of `data`, retrying on EINTR / short writes. A closed peer
+  /// surfaces as an EPIPE IoError Status (MSG_NOSIGNAL), never as SIGPIPE.
   Status WriteAll(const std::string& data);
+
+  /// Length-guarded write of one LF-terminated protocol line: the same
+  /// `max_bytes` guard the read side enforces, applied before anything hits
+  /// the wire. `line` must include its trailing '\n' (which does not count
+  /// against the guard, mirroring ReadLine). An oversized line returns
+  /// ResourceExhausted without writing a single byte, so the stream stays
+  /// synchronized and the caller can send a structured error instead.
+  Status WriteLine(const std::string& line, size_t max_bytes);
 
   void Close();
 
@@ -90,11 +107,15 @@ class ListenSocket {
   std::string path_;
 };
 
-/// Connects to 127.0.0.1:`port`.
-StatusOr<SocketConnection> ConnectTcp(int port);
+/// Connects to 127.0.0.1:`port`. With `timeout_ms >= 0` the connect is
+/// performed non-blocking and polled, so a black-holed peer surfaces as
+/// DeadlineExceeded after `timeout_ms` instead of hanging for the kernel's
+/// SYN-retry budget; `timeout_ms < 0` (default) blocks indefinitely.
+StatusOr<SocketConnection> ConnectTcp(int port, int timeout_ms = -1);
 
-/// Connects to the Unix-domain socket at `path`.
-StatusOr<SocketConnection> ConnectUnix(const std::string& path);
+/// Connects to the Unix-domain socket at `path` (same timeout contract).
+StatusOr<SocketConnection> ConnectUnix(const std::string& path,
+                                       int timeout_ms = -1);
 
 }  // namespace sliceline
 

@@ -1,0 +1,209 @@
+#ifndef SLICELINE_DIST_COORDINATOR_H_
+#define SLICELINE_DIST_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/socket.h"
+#include "common/status.h"
+#include "core/evaluator.h"
+#include "core/sliceline.h"
+#include "dist/distributed_evaluator.h"
+#include "dist/partition.h"
+#include "obs/json_parse.h"
+#include "serve/worker_protocol.h"
+
+namespace sliceline::dist {
+
+/// Address of one sliceline_worker process: a Unix-domain socket path, or a
+/// loopback TCP port when the path is empty.
+struct WorkerEndpoint {
+  std::string unix_socket;
+  int tcp_port = 0;
+};
+
+/// Configuration of the real (socket) coordinator. The fault-tolerance
+/// knobs mirror DistOptions, re-targeted from simulated fault draws at real
+/// I/O: timeouts detect dead or wedged workers, the retry budget bounds how
+/// long a worker may misbehave before it is declared lost, and losses past
+/// max_lost_fraction degrade the run to the local evaluator.
+struct RemoteDistOptions {
+  std::vector<WorkerEndpoint> endpoints;
+
+  int connect_timeout_ms = 1000;   ///< per connect() attempt
+  int request_timeout_ms = 5000;   ///< round-trip deadline; expiry = transient
+  /// An eval_block in flight longer than this is a straggler: a speculative
+  /// backup copy is dispatched to an idle survivor and the first valid
+  /// response wins.
+  int straggler_after_ms = 1000;
+  /// Idle connected workers are probed at this period so a silently dead
+  /// worker is noticed before work is routed to it.
+  int heartbeat_interval_ms = 500;
+
+  /// Consecutive transient failures a task tolerates on one worker before
+  /// that worker is declared lost (its shards reshard onto survivors and
+  /// the task restarts its budget there).
+  int max_retries = 3;
+  /// Real exponential backoff before retry k (1-based):
+  /// backoff_base_seconds * backoff_multiplier^(k-1), applied per worker
+  /// link so healthy links keep flowing while one backs off.
+  double backoff_base_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+  bool speculative_execution = true;
+  /// Lost-worker fraction beyond which the run degrades to single-node.
+  double max_lost_fraction = 0.5;
+
+  /// Largest slice block per eval_block request; big sets are split so a
+  /// lost request forfeits bounded work.
+  int64_t max_block_slices = 256;
+  /// Target cells (rows x features) per load_shard chunk; keeps every
+  /// shard-transfer line well under kWorkerMaxLineBytes.
+  int64_t load_chunk_cells = 1 << 16;
+};
+
+/// Slice-evaluation backend over real sliceline_worker processes: each
+/// worker owns a row shard of the input (shipped once over the worker
+/// protocol and fingerprint-checked on reconnect), every Evaluate()
+/// broadcasts candidate blocks to the shard owners, and the gathered
+/// partial (ss, se, sm) vectors are merged in shard order -- the same
+/// aggregation as the simulated DistributedSliceEvaluator, so results are
+/// bit-identical to it (and to a single-node run whenever the error values
+/// make FP addition order-independent, e.g. the dyadic rationals the chaos
+/// suite uses).
+///
+/// The PR 1 fault model applies to real sockets: I/O errors and round-trip
+/// timeouts are transient failures retried with per-link exponential
+/// backoff; a worker that exhausts a task's retry budget is lost and its
+/// shards reshard onto survivors (re-shipping as needed); stragglers get
+/// speculative backups; payloads are checksum- and invariant-validated; and
+/// losses past max_lost_fraction degrade the run to the local evaluator
+/// (recorded in DistFaultStats::fallback_local and, via
+/// RunSliceLineRemote, in RunOutcome::dist_fallback_local). Shard
+/// boundaries never change, so recovery never perturbs the result.
+class RemoteSliceEvaluator : public core::EvaluatorBackend {
+ public:
+  /// Validates inputs, materializes one row shard per endpoint, connects
+  /// and enlists every worker, ships the shards, and merges the workers'
+  /// level-1 statistics. Worker setup failures follow the fault model
+  /// (retry -> lose -> reshard -> degrade), so Create only fails on invalid
+  /// input, never on a flaky cluster.
+  static StatusOr<std::unique_ptr<RemoteSliceEvaluator>> Create(
+      const data::IntMatrix& x0, const std::vector<double>& errors,
+      const RemoteDistOptions& options);
+
+  ~RemoteSliceEvaluator() override;
+
+  StatusOr<core::EvalResult> Evaluate(
+      const core::SliceSet& set,
+      const core::SliceLineConfig& config) const override;
+
+  const std::vector<int64_t>& basic_sizes() const override {
+    return basic_sizes_;
+  }
+  const std::vector<double>& basic_error_sums() const override {
+    return basic_error_sums_;
+  }
+  const std::vector<double>& basic_max_errors() const override {
+    return basic_max_errors_;
+  }
+  int64_t n() const override { return n_; }
+  double total_error() const override { return total_error_; }
+  const data::FeatureOffsets& offsets() const override { return offsets_; }
+
+  int workers() const { return static_cast<int>(links_.size()); }
+  int alive_workers() const { return alive_count_; }
+  const DistCostStats& cost() const { return cost_; }
+  const DistFaultStats& faults() const { return faults_; }
+  /// Content fingerprint shipped in every shard-addressed request.
+  const std::string& dataset_hash() const { return dataset_hash_; }
+
+  /// Test hook invoked at the start of every Evaluate() with its round
+  /// number -- the chaos harness kills / suspends / restarts worker
+  /// processes here, i.e. exactly at level boundaries.
+  void set_round_hook(std::function<void(int64_t)> hook) {
+    round_hook_ = std::move(hook);
+  }
+
+ private:
+  /// Coordinator-side state of one worker connection.
+  struct Link {
+    WorkerEndpoint endpoint;
+    SocketConnection conn;
+    bool connected = false;
+    bool alive = true;
+    std::string session;          ///< last enlisted worker session
+    std::set<int64_t> loaded;     ///< shards confirmed loaded this session
+    double ready_at = 0.0;        ///< backoff gate (monotonic seconds)
+    double last_heartbeat = 0.0;  ///< last successful exchange
+    int64_t next_request = 0;     ///< correlation-id counter
+  };
+
+  RemoteSliceEvaluator(const data::IntMatrix& x0,
+                       const std::vector<double>& errors,
+                       const RemoteDistOptions& options);
+
+  /// Connects, enlists, ships shards, and merges basic statistics.
+  void SetupCluster();
+  /// Switches to (or continues on) the degraded single-node path.
+  StatusOr<core::EvalResult> EvaluateDegraded(
+      const core::SliceSet& set, const core::SliceLineConfig& config) const;
+  /// Builds the local fallback evaluator and sources the level-1 statistics
+  /// from it (setup-time degradation, before stats were merged).
+  void DegradeSetup();
+
+  /// Synchronous request/response on one link; validates the ok/error
+  /// shape and the echoed correlation id, and accounts wire bytes.
+  StatusOr<obs::JsonValue> RoundTrip(Link& link, serve::WorkerRequest request,
+                                     int timeout_ms) const;
+  /// Connects + enlists if needed; a changed worker session (process
+  /// restart) invalidates every shard the coordinator believed loaded.
+  Status EnsureReady(Link& link) const;
+  /// has_shard probe, then chunked load_shard transfer if needed.
+  Status EnsureShardLoaded(Link& link, int64_t shard) const;
+
+  /// Marks a worker permanently lost and reshards its shards onto
+  /// survivors. Returns false when the loss crosses max_lost_fraction (the
+  /// caller must degrade).
+  bool LoseWorker(size_t worker) const;
+  void ReshardLostWorkers() const;
+
+  RemoteDistOptions options_;
+  data::FeatureOffsets offsets_;
+  std::vector<Shard> shards_;  ///< coordinator copies; re-shipped on demand
+  std::string dataset_hash_;
+  int64_t n_ = 0;
+  double total_error_ = 0.0;
+  std::vector<int64_t> basic_sizes_;
+  std::vector<double> basic_error_sums_;
+  std::vector<double> basic_max_errors_;
+
+  /// Full input copy backing the graceful-degradation path.
+  data::IntMatrix full_x0_;
+  std::vector<double> full_errors_;
+
+  std::function<void(int64_t)> round_hook_;
+
+  mutable std::vector<Link> links_;
+  mutable std::vector<int> shard_owner_;
+  mutable int alive_count_ = 0;
+  mutable std::unique_ptr<core::SliceEvaluator> fallback_;
+  mutable int64_t next_round_ = 0;
+  mutable DistCostStats cost_;
+  mutable DistFaultStats faults_;
+};
+
+/// Runs the full SliceLine enumeration against real worker processes;
+/// mirrors RunSliceLineDistributed (cost/fault stats out-params, outcome
+/// records cluster degradation).
+StatusOr<core::SliceLineResult> RunSliceLineRemote(
+    const data::IntMatrix& x0, const std::vector<double>& errors,
+    const core::SliceLineConfig& config, const RemoteDistOptions& options,
+    DistCostStats* cost_out = nullptr, DistFaultStats* faults_out = nullptr);
+
+}  // namespace sliceline::dist
+
+#endif  // SLICELINE_DIST_COORDINATOR_H_

@@ -11,11 +11,6 @@
 
 namespace sliceline::dist {
 
-namespace {
-
-/// Driver-side sanity checks on a gathered partial: correct shape, sizes
-/// integral and within [0, shard rows], statistics finite. A corrupted
-/// payload that somehow survives the checksum is still rejected here.
 bool PartialInvariantsOk(const core::EvalResult& partial, int64_t shard_rows,
                          size_t count) {
   if (partial.sizes.size() != count || partial.error_sums.size() != count ||
@@ -36,10 +31,6 @@ bool PartialInvariantsOk(const core::EvalResult& partial, int64_t shard_rows,
   return true;
 }
 
-/// Mirrors the cumulative cost/fault structs into registry gauges at the
-/// end of every evaluation round. The structs stay the canonical source of
-/// truth (published wholesale, never incremented twice), so the registry
-/// view cannot drift from the struct view.
 void PublishDistStats(const DistCostStats& cost, const DistFaultStats& faults) {
   if (!obs::MetricsEnabled()) return;
   obs::MetricsRegistry* r = obs::MetricsRegistry::Default();
@@ -66,8 +57,6 @@ void PublishDistStats(const DistCostStats& cost, const DistFaultStats& faults) {
   r->GetGauge("dist/reshards")->Set(static_cast<double>(faults.reshards));
   r->GetGauge("dist/fallback_local")->Set(faults.fallback_local ? 1.0 : 0.0);
 }
-
-}  // namespace
 
 std::string DistFaultStats::Summary() const {
   std::ostringstream out;
@@ -438,6 +427,7 @@ StatusOr<core::SliceLineResult> RunSliceLineDistributed(
                                                                options));
   SLICELINE_ASSIGN_OR_RETURN(core::SliceLineResult result,
                              core::RunSliceLineWithBackend(*eval, config));
+  result.outcome.dist_fallback_local = eval->faults().fallback_local;
   if (cost_out != nullptr) *cost_out = eval->cost();
   if (faults_out != nullptr) *faults_out = eval->faults();
   return result;

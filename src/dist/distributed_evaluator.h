@@ -83,6 +83,20 @@ struct DistFaultStats {
   std::string Summary() const;
 };
 
+/// Mirrors the cumulative cost/fault structs into registry gauges
+/// ("dist/rounds", "dist/retries", ...). The structs stay the canonical
+/// source of truth (published wholesale, never incremented twice), so the
+/// registry view cannot drift from the struct view. Shared by the simulated
+/// evaluator and the real socket coordinator; no-op when metrics are off.
+void PublishDistStats(const DistCostStats& cost, const DistFaultStats& faults);
+
+/// Driver-side sanity checks on a gathered partial: correct shape, sizes
+/// integral and within [0, shard rows], statistics finite. A corrupted
+/// payload that somehow survives the checksum is still rejected here.
+/// Shared by the simulated evaluator and the socket coordinator.
+bool PartialInvariantsOk(const core::EvalResult& partial, int64_t shard_rows,
+                         size_t count);
+
 /// Simulated distributed slice evaluation (Section 4.4's data-parallel
 /// formulation): X is row-partitioned into worker shards once, every
 /// Evaluate() broadcasts the slice set to all workers, each worker evaluates

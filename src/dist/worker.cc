@@ -1,0 +1,350 @@
+#include "dist/worker.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "dist/fault_injection.h"
+#include "obs/json_writer.h"
+#include "serve/protocol.h"
+
+namespace sliceline::dist {
+
+namespace {
+
+/// Process-global instance counter: a Worker restarted in-process (tests)
+/// must present a fresh session just like a restarted OS process would.
+std::atomic<int64_t> g_worker_instances{0};
+
+/// Rebuilds FeatureOffsets from shipped per-feature domains. Unlike
+/// data::ComputeOffsets this does not derive domains from the matrix -- a
+/// shard may not observe every code of a feature, and the worker must use
+/// the coordinator's global column space for partials to align.
+data::FeatureOffsets OffsetsFromDomains(const std::vector<int32_t>& fdom) {
+  data::FeatureOffsets offsets;
+  offsets.fdom = fdom;
+  offsets.fb.resize(fdom.size());
+  offsets.fe.resize(fdom.size());
+  int64_t column = 0;
+  for (size_t j = 0; j < fdom.size(); ++j) {
+    offsets.fb[j] = column;
+    column += fdom[j];
+    offsets.fe[j] = column;
+  }
+  offsets.total = column;
+  return offsets;
+}
+
+StatusOr<core::SliceLineConfig::EvalStrategy> StrategyFromName(
+    const std::string& name) {
+  if (name == "index") return core::SliceLineConfig::EvalStrategy::kIndex;
+  if (name == "scan") return core::SliceLineConfig::EvalStrategy::kScanBlock;
+  if (name == "bitset") return core::SliceLineConfig::EvalStrategy::kBitset;
+  return Status::InvalidArgument("unknown eval strategy '" + name + "'");
+}
+
+}  // namespace
+
+Worker::Worker(const WorkerOptions& options) : options_(options) {
+  session_ = "w" + std::to_string(getpid()) + "-" +
+             std::to_string(g_worker_instances.fetch_add(1));
+}
+
+Worker::~Worker() {
+  RequestShutdown();
+  Wait();
+}
+
+Status Worker::Start() {
+  if (!options_.unix_socket.empty()) {
+    SLICELINE_ASSIGN_OR_RETURN(listener_,
+                               ListenSocket::ListenUnix(options_.unix_socket));
+  } else {
+    SLICELINE_ASSIGN_OR_RETURN(listener_,
+                               ListenSocket::ListenTcp(options_.tcp_port));
+    tcp_port_ = listener_.bound_port();
+  }
+  thread_ = std::thread(&Worker::Serve, this);
+  return Status::OK();
+}
+
+void Worker::Wait() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Worker::Serve() {
+  while (!shutdown_.load()) {
+    StatusOr<SocketConnection> conn = listener_.Accept(100);
+    if (!conn.ok()) continue;  // accept timeout or transient error
+    ServeConnection(std::move(conn).value());
+  }
+  listener_.Close();
+}
+
+void Worker::ServeConnection(SocketConnection conn) {
+  while (!shutdown_.load()) {
+    StatusOr<bool> readable = conn.WaitReadable(100);
+    if (!readable.ok()) return;
+    if (!readable.value()) continue;
+
+    StatusOr<std::string> line =
+        conn.ReadLine(serve::kWorkerMaxLineBytes);
+    if (!line.ok()) {
+      // Oversized line: the stream is desynchronized -- answer with a
+      // structured error, then drop the connection. EOF / I/O error: just
+      // drop; the coordinator reconnects.
+      if (line.status().code() == StatusCode::kResourceExhausted) {
+        (void)conn.WriteLine(serve::MakeErrorLine("", line.status()),
+                             serve::kWorkerMaxLineBytes);
+      }
+      return;
+    }
+
+    ++requests_seen_;
+    if (options_.drop_every > 0 &&
+        requests_seen_ % options_.drop_every == 0) {
+      // Injected transient failure: vanish mid-protocol without a response.
+      return;
+    }
+
+    StatusOr<serve::WorkerRequest> request =
+        serve::ParseWorkerRequest(line.value());
+    std::string response;
+    bool stop_after_reply = false;
+    if (!request.ok()) {
+      response = serve::MakeErrorLine("", request.status());
+    } else {
+      response = Handle(request.value());
+      stop_after_reply =
+          request.value().type == serve::WorkerRequestType::kShutdown;
+    }
+    if (!conn.WriteLine(response, serve::kWorkerMaxLineBytes).ok()) return;
+    requests_served_.fetch_add(1);
+    if (stop_after_reply) {
+      shutdown_.store(true);
+      return;
+    }
+  }
+}
+
+std::string Worker::Handle(const serve::WorkerRequest& request) {
+  StatusOr<std::string> response = Status::Internal("unhandled request");
+  switch (request.type) {
+    case serve::WorkerRequestType::kEnlist:
+      response = HandleEnlist(request);
+      break;
+    case serve::WorkerRequestType::kHasShard: {
+      std::ostringstream os;
+      obs::JsonWriter writer(os);
+      serve::BeginOkResponse(&writer, request.id);
+      writer.Key("loaded");
+      writer.Bool(shards_.count({request.dataset_hash, request.shard}) > 0);
+      writer.EndObject();
+      os << '\n';
+      response = os.str();
+      break;
+    }
+    case serve::WorkerRequestType::kLoadShard:
+      response = HandleLoadShard(request);
+      break;
+    case serve::WorkerRequestType::kBasicStats:
+      response = HandleBasicStats(request);
+      break;
+    case serve::WorkerRequestType::kEvalBlock:
+      response = HandleEvalBlock(request);
+      break;
+    case serve::WorkerRequestType::kHeartbeat:
+    case serve::WorkerRequestType::kShutdown: {
+      std::ostringstream os;
+      obs::JsonWriter writer(os);
+      serve::BeginOkResponse(&writer, request.id);
+      writer.EndObject();
+      os << '\n';
+      response = os.str();
+      break;
+    }
+  }
+  if (!response.ok()) return serve::MakeErrorLine(request.id, response.status());
+  return std::move(response).value();
+}
+
+StatusOr<std::string> Worker::HandleEnlist(
+    const serve::WorkerRequest& request) {
+  if (request.protocol != serve::kWorkerProtocolVersion) {
+    return Status::InvalidArgument(
+        "worker protocol mismatch: coordinator speaks " +
+        std::to_string(request.protocol) + ", worker speaks " +
+        std::to_string(serve::kWorkerProtocolVersion));
+  }
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  serve::BeginOkResponse(&writer, request.id);
+  writer.Key("protocol");
+  writer.Int(serve::kWorkerProtocolVersion);
+  writer.Key("session");
+  writer.String(session_);
+  writer.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+StatusOr<std::string> Worker::HandleLoadShard(
+    const serve::WorkerRequest& request) {
+  const serve::LoadShardChunk& c = request.chunk;
+  const ShardKey key{request.dataset_hash, request.shard};
+  if (request.shard < 0) {
+    return Status::InvalidArgument("load_shard requires shard >= 0");
+  }
+  const int64_t shard_rows = c.row_end - c.row_begin;
+  if (shard_rows <= 0 || c.cols <= 0 || c.chunks < 1 || c.chunk < 0 ||
+      c.chunk >= c.chunks) {
+    return Status::InvalidArgument("malformed load_shard geometry");
+  }
+  if (c.errors.empty() ||
+      c.codes.size() != c.errors.size() * static_cast<size_t>(c.cols)) {
+    return Status::InvalidArgument(
+        "load_shard codes/errors sizes disagree with cols");
+  }
+
+  if (c.chunk == 0) {
+    // (Re-)starting a transfer invalidates any previous copy of the shard.
+    shards_.erase(key);
+    if (c.fdom.size() != static_cast<size_t>(c.cols)) {
+      return Status::InvalidArgument(
+          "load_shard chunk 0 must carry one fdom entry per column");
+    }
+    ShardStaging staging;
+    staging.row_begin = c.row_begin;
+    staging.row_end = c.row_end;
+    staging.cols = c.cols;
+    staging.chunks = c.chunks;
+    staging.fdom = c.fdom;
+    staging_[key] = std::move(staging);
+  }
+
+  auto it = staging_.find(key);
+  if (it == staging_.end()) {
+    return Status::InvalidArgument(
+        "load_shard chunk arrived with no transfer in progress");
+  }
+  ShardStaging& staging = it->second;
+  const int64_t rows_so_far =
+      static_cast<int64_t>(staging.errors.size());
+  if (c.chunk != staging.next_chunk || c.chunks != staging.chunks ||
+      c.row_begin != staging.row_begin || c.row_end != staging.row_end ||
+      c.cols != staging.cols ||
+      c.chunk_row_begin != staging.row_begin + rows_so_far) {
+    staging_.erase(it);
+    return Status::InvalidArgument(
+        "out-of-order load_shard chunk; restart the transfer");
+  }
+  staging.codes.insert(staging.codes.end(), c.codes.begin(), c.codes.end());
+  staging.errors.insert(staging.errors.end(), c.errors.begin(),
+                        c.errors.end());
+  ++staging.next_chunk;
+
+  bool loaded = false;
+  if (staging.next_chunk == staging.chunks) {
+    const int64_t rows = static_cast<int64_t>(staging.errors.size());
+    if (rows != shard_rows) {
+      staging_.erase(it);
+      return Status::InvalidArgument(
+          "load_shard transfer ended with " + std::to_string(rows) +
+          " rows, expected " + std::to_string(shard_rows));
+    }
+    auto state = std::make_unique<ShardState>();
+    state->x0 = data::IntMatrix(rows, staging.cols);
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t j = 0; j < staging.cols; ++j) {
+        const int32_t code = staging.codes[r * staging.cols + j];
+        if (code < 1 || code > staging.fdom[j]) {
+          staging_.erase(it);
+          return Status::InvalidArgument(
+              "shard code out of domain at row " + std::to_string(r) +
+              ", feature " + std::to_string(j));
+        }
+        state->x0.At(r, j) = code;
+      }
+    }
+    state->errors = std::move(staging.errors);
+    state->offsets = OffsetsFromDomains(staging.fdom);
+    state->row_begin = staging.row_begin;
+    state->row_end = staging.row_end;
+    state->evaluator = std::make_unique<core::SliceEvaluator>(
+        state->x0, state->offsets, state->errors);
+    staging_.erase(it);
+    shards_[key] = std::move(state);
+    loaded = true;
+    LOG_DEBUG << "worker " << session_ << ": loaded shard " << request.shard
+              << " (" << rows << " rows) of dataset " << request.dataset_hash;
+  }
+
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  serve::BeginOkResponse(&writer, request.id);
+  writer.Key("loaded");
+  writer.Bool(loaded);
+  writer.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+StatusOr<std::string> Worker::HandleBasicStats(
+    const serve::WorkerRequest& request) {
+  auto it = shards_.find({request.dataset_hash, request.shard});
+  if (it == shards_.end()) {
+    return Status::NotFound("shard " + std::to_string(request.shard) +
+                            " is not loaded in this session");
+  }
+  const core::SliceEvaluator& evaluator = *it->second->evaluator;
+  serve::ShardBasicStats stats;
+  stats.n = evaluator.n();
+  stats.total_error = evaluator.total_error();
+  stats.sizes = evaluator.basic_sizes();
+  stats.error_sums = evaluator.basic_error_sums();
+  stats.max_errors = evaluator.basic_max_errors();
+
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  serve::BeginOkResponse(&writer, request.id);
+  serve::WriteBasicStatsPayload(&writer, stats);
+  writer.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+StatusOr<std::string> Worker::HandleEvalBlock(
+    const serve::WorkerRequest& request) {
+  auto it = shards_.find({request.dataset_hash, request.shard});
+  if (it == shards_.end()) {
+    return Status::NotFound("shard " + std::to_string(request.shard) +
+                            " is not loaded in this session");
+  }
+  core::SliceLineConfig config;
+  SLICELINE_ASSIGN_OR_RETURN(config.eval_strategy,
+                             StrategyFromName(request.strategy));
+  if (request.block_size < 1) {
+    return Status::InvalidArgument("block_size must be >= 1");
+  }
+  config.eval_block_size = static_cast<int>(request.block_size);
+  // Worker-side evaluation is single-threaded: intra-worker determinism is
+  // part of the bit-identical aggregation contract.
+  config.parallel = false;
+  SLICELINE_ASSIGN_OR_RETURN(
+      core::EvalResult partial,
+      it->second->evaluator->Evaluate(request.slices, config));
+  const uint64_t checksum = ChecksumPartial(partial);
+
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  serve::BeginOkResponse(&writer, request.id);
+  serve::WriteEvalPayload(&writer, partial, checksum);
+  writer.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace sliceline::dist

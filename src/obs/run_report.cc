@@ -78,6 +78,8 @@ void WriteOutcome(JsonWriter& json, const RunOutcome& outcome) {
   json.Bool(outcome.resumed_from_checkpoint);
   json.Key("peak_memory_bytes");
   json.Int(outcome.peak_memory_bytes);
+  json.Key("dist_fallback_local");
+  json.Bool(outcome.dist_fallback_local);
   json.Key("summary");
   json.String(outcome.Summary());
   json.EndObject();

@@ -1,36 +1,65 @@
 #include "serve/client.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace sliceline::serve {
 
 namespace {
 
-StatusOr<SocketConnection> ConnectEndpoint(const Endpoint& endpoint) {
+StatusOr<SocketConnection> ConnectEndpoint(const Endpoint& endpoint,
+                                           int timeout_ms) {
   if (!endpoint.unix_socket.empty()) {
-    return ConnectUnix(endpoint.unix_socket);
+    return ConnectUnix(endpoint.unix_socket, timeout_ms);
   }
-  if (endpoint.tcp_port >= 0) return ConnectTcp(endpoint.tcp_port);
+  if (endpoint.tcp_port >= 0) return ConnectTcp(endpoint.tcp_port, timeout_ms);
   return Status::InvalidArgument("endpoint has neither socket path nor port");
 }
 
 }  // namespace
 
-StatusOr<Client> Client::Connect(const Endpoint& endpoint) {
-  SLICELINE_ASSIGN_OR_RETURN(SocketConnection connection,
-                             ConnectEndpoint(endpoint));
-  return Client(std::move(connection));
+StatusOr<Client> Client::Connect(const Endpoint& endpoint,
+                                 const ClientOptions& options) {
+  double backoff = options.backoff_base_seconds;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= options.max_retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff *= options.backoff_multiplier;
+    }
+    auto connection = ConnectEndpoint(endpoint, options.connect_timeout_ms);
+    if (connection.ok()) {
+      return Client(std::move(connection).value(), endpoint, options);
+    }
+    if (connection.status().code() == StatusCode::kInvalidArgument) {
+      return connection.status();  // a bad endpoint never becomes reachable
+    }
+    last = connection.status();
+  }
+  return last;
 }
 
-StatusOr<obs::JsonValue> Client::Call(Request request) {
-  if (request.id.empty()) {
-    request.id = "c" + std::to_string(next_id_++);
+StatusOr<obs::JsonValue> Client::CallOnce(const Request& request, bool* wrote,
+                                          bool* got_response) {
+  *wrote = false;
+  *got_response = false;
+  const std::string line = SerializeRequest(request);
+  const Status write_status = connection_.WriteLine(line, kMaxLineBytes);
+  if (!write_status.ok()) {
+    // The length guard rejects before writing a byte; anything else may
+    // have put a partial request on the wire.
+    *wrote = write_status.code() != StatusCode::kResourceExhausted;
+    return write_status;
   }
-  SLICELINE_RETURN_NOT_OK(connection_.WriteAll(SerializeRequest(request)));
-  SLICELINE_ASSIGN_OR_RETURN(const std::string line,
-                             connection_.ReadLine(kMaxLineBytes));
-  last_response_line_ = line;
-  SLICELINE_ASSIGN_OR_RETURN(obs::JsonValue response, obs::ParseJson(line));
+  *wrote = true;
+  SLICELINE_ASSIGN_OR_RETURN(
+      const std::string response_line,
+      connection_.ReadLine(kMaxLineBytes, options_.request_timeout_ms));
+  *got_response = true;
+  last_response_line_ = response_line;
+  SLICELINE_ASSIGN_OR_RETURN(obs::JsonValue response,
+                             obs::ParseJson(response_line));
   if (!response.is_object()) {
     return Status::Internal("response is not a JSON object");
   }
@@ -47,6 +76,55 @@ StatusOr<obs::JsonValue> Client::Call(Request request) {
                            error->GetStringOr("message", ""));
   }
   return response;
+}
+
+StatusOr<obs::JsonValue> Client::Call(Request request) {
+  if (request.id.empty()) {
+    request.id = "c" + std::to_string(next_id_++);
+  }
+  // find_slices may enqueue (or synchronously run) a job: once the request
+  // line has hit the wire, a blind resend could run it twice, so only its
+  // connect-phase failures are retried. Everything else is idempotent.
+  const bool idempotent = request.type != RequestType::kFindSlices;
+  double backoff = options_.backoff_base_seconds;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff *= options_.backoff_multiplier;
+    }
+    if (!connection_.valid()) {
+      auto connection =
+          ConnectEndpoint(endpoint_, options_.connect_timeout_ms);
+      if (!connection.ok()) {
+        if (connection.status().code() == StatusCode::kInvalidArgument) {
+          return connection.status();
+        }
+        last = connection.status();
+        continue;
+      }
+      connection_ = std::move(connection).value();
+    }
+    bool wrote = false;
+    bool got_response = false;
+    auto response = CallOnce(request, &wrote, &got_response);
+    if (response.ok()) return response;
+    // Once a response line was consumed, the failure is the server's final
+    // answer (a structured error or an unparseable reply) -- never retried.
+    // A write-guard rejection (oversized request, wrote == false with a
+    // ResourceExhausted code) is a caller bug and equally final.
+    if (got_response) return response;
+    if (!wrote &&
+        response.status().code() == StatusCode::kResourceExhausted) {
+      return response;
+    }
+    // Transport failure: the connection is dead or desynchronized.
+    connection_.Close();
+    last = response.status();
+    if (wrote && !idempotent) return response;
+  }
+  return last;
 }
 
 StatusOr<obs::JsonValue> Client::RegisterDataset(
@@ -114,7 +192,7 @@ StatusOr<FindSlicesReply> UnpackFindSlicesReply(
 
 StatusOr<std::string> FetchMetrics(const Endpoint& endpoint) {
   SLICELINE_ASSIGN_OR_RETURN(SocketConnection connection,
-                             ConnectEndpoint(endpoint));
+                             ConnectEndpoint(endpoint, /*timeout_ms=*/5000));
   SLICELINE_RETURN_NOT_OK(
       connection.WriteAll("GET /metrics HTTP/1.0\r\n\r\n"));
   SLICELINE_ASSIGN_OR_RETURN(const std::string response,

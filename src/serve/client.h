@@ -30,6 +30,23 @@ struct Endpoint {
   }
 };
 
+/// Client-side fault tolerance: connect and per-request deadlines plus a
+/// bounded retry budget with exponential backoff. Retries only fire on
+/// transport-level failures (connect refused, I/O error, response deadline,
+/// peer hangup) -- a structured error response from the server is a final
+/// answer and is never retried. find_slices is not idempotent once the
+/// request line has hit the wire (the server may already be running the
+/// job), so it only retries connect-phase failures; read-only requests
+/// (status/list/stats) and idempotent mutations (register/cancel) reconnect
+/// and resend.
+struct ClientOptions {
+  int connect_timeout_ms = 5000;   ///< per-attempt connect deadline
+  int request_timeout_ms = 60000;  ///< response deadline; < 0 waits forever
+  int max_retries = 2;             ///< extra attempts after the first
+  double backoff_base_seconds = 0.1;
+  double backoff_multiplier = 2.0;
+};
+
 /// A find_slices (or done get_status) response unpacked into the same types
 /// the in-process engines return, so callers can feed it straight into
 /// core::FormatResult. Doubles round-trip exactly through the %.17g wire
@@ -47,10 +64,13 @@ struct FindSlicesReply {
 /// error object (see StatusFromError).
 class Client {
  public:
-  static StatusOr<Client> Connect(const Endpoint& endpoint);
+  static StatusOr<Client> Connect(const Endpoint& endpoint,
+                                  const ClientOptions& options = {});
 
   /// Sends `request` (the id is auto-assigned when empty) and returns the
   /// parsed response object after checking "ok" and unwrapping errors.
+  /// Transient transport failures are retried per ClientOptions; see the
+  /// idempotency note there.
   StatusOr<obs::JsonValue> Call(Request request);
 
   StatusOr<obs::JsonValue> RegisterDataset(const RegisterDatasetRequest& r);
@@ -64,12 +84,28 @@ class Client {
   /// server's JSON verbatim instead of re-serializing the parse tree).
   const std::string& last_response_line() const { return last_response_line_; }
 
+  /// Transport-level retries performed over the client's lifetime.
+  int64_t retries() const { return retries_; }
+
  private:
-  explicit Client(SocketConnection connection)
-      : connection_(std::move(connection)) {}
+  Client(SocketConnection connection, Endpoint endpoint, ClientOptions options)
+      : connection_(std::move(connection)),
+        endpoint_(std::move(endpoint)),
+        options_(options) {}
+
+  /// One request/response exchange on the current connection. On failure
+  /// `*wrote` says whether any part of the request reached the wire (the
+  /// boundary that decides whether a non-idempotent request may retry) and
+  /// `*got_response` whether a full response line was consumed (making the
+  /// failure the server's final answer rather than a transport fault).
+  StatusOr<obs::JsonValue> CallOnce(const Request& request, bool* wrote,
+                                    bool* got_response);
 
   SocketConnection connection_;
+  Endpoint endpoint_;
+  ClientOptions options_;
   int64_t next_id_ = 1;
+  int64_t retries_ = 0;
   std::string last_response_line_;
 };
 

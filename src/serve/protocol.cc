@@ -366,6 +366,8 @@ void WriteResultJson(obs::JsonWriter* writer,
   writer->Bool(outcome.resumed_from_checkpoint);
   writer->Key("peak_memory_bytes");
   writer->Int(outcome.peak_memory_bytes);
+  writer->Key("dist_fallback_local");
+  writer->Bool(outcome.dist_fallback_local);
   writer->EndObject();
 
   writer->EndObject();
@@ -473,6 +475,7 @@ StatusOr<core::SliceLineResult> ParseResultJson(
   out.resumed_from_checkpoint =
       outcome->GetBoolOr("resumed_from_checkpoint", false);
   out.peak_memory_bytes = outcome->GetIntOr("peak_memory_bytes", 0);
+  out.dist_fallback_local = outcome->GetBoolOr("dist_fallback_local", false);
 
   return result;
 }

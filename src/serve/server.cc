@@ -145,8 +145,10 @@ void Server::AcceptLoop(ListenSocket* listener) {
         options_.max_connections) {
       CountRequest("serve/connections_rejected");
       SocketConnection rejected = std::move(accepted).value();
-      (void)rejected.WriteAll(MakeErrorLine(
-          "", Status::ResourceExhausted("too many open connections")));
+      (void)rejected.WriteLine(
+          MakeErrorLine("",
+                        Status::ResourceExhausted("too many open connections")),
+          kMaxLineBytes);
       continue;  // closed by destructor
     }
     open_connections_.fetch_add(1, std::memory_order_relaxed);
@@ -176,7 +178,8 @@ void Server::HandleConnection(SocketConnection connection) {
     if (!line.ok()) {
       if (line.status().code() == StatusCode::kResourceExhausted) {
         // Overlong line: the stream is desynchronized; report and drop.
-        (void)connection.WriteAll(MakeErrorLine("", line.status()));
+        (void)connection.WriteLine(MakeErrorLine("", line.status()),
+                                   kMaxLineBytes);
       }
       return;
     }
@@ -186,7 +189,15 @@ void Server::HandleConnection(SocketConnection connection) {
       return;
     }
     const std::string response = HandleRequestLine(line.value());
-    if (!connection.WriteAll(response).ok()) return;
+    Status write_status = connection.WriteLine(response, kMaxLineBytes);
+    if (write_status.code() == StatusCode::kResourceExhausted) {
+      // The response tripped the framing guard before a single byte went
+      // out: the stream is still synchronized, so substitute a structured
+      // error the client can parse instead of going silent.
+      write_status =
+          connection.WriteLine(MakeErrorLine("", write_status), kMaxLineBytes);
+    }
+    if (!write_status.ok()) return;
   }
 }
 

@@ -1,0 +1,202 @@
+// Wire-protocol edge cases for the newline-delimited strict-JSON protocol:
+// abrupt peer disconnects mid-request, oversized-line rejection, fragmented
+// frame reads, malformed-but-length-valid JSON, and the client's bounded
+// retry behavior against a flaky peer. These drive the server over raw
+// sockets (no Client) wherever the client would hide the framing.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "common/socket.h"
+#include "obs/json_parse.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace sliceline::serve {
+namespace {
+
+ServerOptions UnixOptions(const std::string& socket_name) {
+  ServerOptions options;
+  options.unix_socket = ::testing::TempDir() + "/" +
+                        std::to_string(::getpid()) + "_" + socket_name;
+  return options;
+}
+
+/// Starts a server on a fresh Unix socket; shuts it down when destroyed.
+struct ServerGuard {
+  explicit ServerGuard(ServerOptions options) : server(options) {
+    const Status started = server.Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+  ~ServerGuard() {
+    server.RequestShutdown();
+    EXPECT_EQ(server.Wait(), 0);
+  }
+  Server server;
+};
+
+StatusOr<SocketConnection> RawConnect(const ServerOptions& options) {
+  return ConnectUnix(options.unix_socket, /*timeout_ms=*/2000);
+}
+
+TEST(WireEdgeTest, AbruptDisconnectMidRequestLeavesServerServing) {
+  ServerOptions options = UnixOptions("wire_abrupt.sock");
+  ServerGuard guard(options);
+
+  // Half a request, no newline, then hang up.
+  {
+    auto conn = RawConnect(options);
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    ASSERT_TRUE(conn->WriteAll(R"({"id":"x","type":"serv)").ok());
+  }  // destructor closes mid-frame
+
+  // The server must shrug that off and keep serving new connections.
+  auto client = Client::Connect(Endpoint::Unix(options.unix_socket));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto stats = client->ServerStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+}
+
+TEST(WireEdgeTest, OversizedLineGetsStructuredErrorAndDrop) {
+  ServerOptions options = UnixOptions("wire_oversized.sock");
+  ServerGuard guard(options);
+
+  auto conn = RawConnect(options);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  // One byte past the guard. The payload never parses, so junk is fine.
+  std::string line(kMaxLineBytes + 1, 'a');
+  line.push_back('\n');
+  ASSERT_TRUE(conn->WriteAll(line).ok());
+
+  auto response = conn->ReadLine(kMaxLineBytes, /*timeout_ms=*/5000);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  auto parsed = obs::ParseJson(response.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed->GetBoolOr("ok", true));
+  const obs::JsonValue* error = parsed->Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->GetStringOr("code", ""), "resource_exhausted");
+
+  // The stream is desynchronized: the server drops the connection.
+  auto next = conn->ReadLine(kMaxLineBytes, /*timeout_ms=*/5000);
+  EXPECT_FALSE(next.ok());
+}
+
+TEST(WireEdgeTest, FragmentedFramesReassembleIntoOneRequest) {
+  ServerOptions options = UnixOptions("wire_fragmented.sock");
+  ServerGuard guard(options);
+
+  auto conn = RawConnect(options);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  const std::string request = R"({"id":"f1","type":"server_stats"})"
+                              "\n";
+  // Dribble the request one byte at a time with real pauses: the server's
+  // ReadLine must buffer partial frames across reads.
+  for (char ch : request) {
+    ASSERT_TRUE(conn->WriteAll(std::string(1, ch)).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto response = conn->ReadLine(kMaxLineBytes, /*timeout_ms=*/5000);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  auto parsed = obs::ParseJson(response.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetStringOr("id", ""), "f1");
+  EXPECT_TRUE(parsed->GetBoolOr("ok", false));
+}
+
+TEST(WireEdgeTest, MalformedJsonGetsStructuredErrorNotDisconnect) {
+  ServerOptions options = UnixOptions("wire_malformed.sock");
+  ServerGuard guard(options);
+
+  auto conn = RawConnect(options);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  // Length-valid but not strict JSON: trailing comma plus a lone brace.
+  ASSERT_TRUE(conn->WriteAll("{\"id\":\"m1\",}\n").ok());
+  auto response = conn->ReadLine(kMaxLineBytes, /*timeout_ms=*/5000);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  auto parsed = obs::ParseJson(response.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed->GetBoolOr("ok", true));
+  const obs::JsonValue* error = parsed->Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->GetStringOr("code", ""), "invalid_argument");
+
+  // The frame boundary survived, so the connection is still usable.
+  ASSERT_TRUE(
+      conn->WriteAll("{\"id\":\"m2\",\"type\":\"server_stats\"}\n").ok());
+  auto next = conn->ReadLine(kMaxLineBytes, /*timeout_ms=*/5000);
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  auto next_parsed = obs::ParseJson(next.value());
+  ASSERT_TRUE(next_parsed.ok());
+  EXPECT_TRUE(next_parsed->GetBoolOr("ok", false));
+}
+
+TEST(WireEdgeTest, ClientRetriesIdempotentRequestAfterPeerHangup) {
+  // A hand-rolled flaky peer: hangs up on the first connection before
+  // answering, serves the second one normally.
+  auto listener = ListenSocket::ListenTcp(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const int port = listener->bound_port();
+  std::thread peer([&listener] {
+    {
+      auto first = listener->Accept(5000);
+      ASSERT_TRUE(first.ok());
+      auto line = first->ReadLine(kMaxLineBytes, 5000);
+      ASSERT_TRUE(line.ok());
+      first->Close();  // hangup after the request hit the wire
+    }
+    auto second = listener->Accept(5000);
+    ASSERT_TRUE(second.ok());
+    auto line = second->ReadLine(kMaxLineBytes, 5000);
+    ASSERT_TRUE(line.ok());
+    ASSERT_TRUE(
+        second->WriteLine("{\"id\":\"c1\",\"ok\":true}\n", kMaxLineBytes)
+            .ok());
+  });
+
+  ClientOptions client_options;
+  client_options.max_retries = 2;
+  client_options.backoff_base_seconds = 0.01;
+  auto client = Client::Connect(Endpoint::Tcp(port), client_options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto stats = client->ServerStats();  // idempotent: retried after hangup
+  peer.join();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(client->retries(), 1);
+}
+
+TEST(WireEdgeTest, ClientDoesNotRetryFindSlicesAfterWrite) {
+  // The peer hangs up after reading the find_slices request; the client
+  // must surface the failure instead of resending a non-idempotent job.
+  auto listener = ListenSocket::ListenTcp(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const int port = listener->bound_port();
+  std::thread peer([&listener] {
+    auto first = listener->Accept(5000);
+    ASSERT_TRUE(first.ok());
+    auto line = first->ReadLine(kMaxLineBytes, 5000);
+    ASSERT_TRUE(line.ok());
+    first->Close();
+    // A retry would show up as a second connection; fail the test if so.
+    auto second = listener->Accept(500);
+    EXPECT_FALSE(second.ok()) << "non-idempotent request was resent";
+  });
+
+  ClientOptions client_options;
+  client_options.max_retries = 3;
+  client_options.backoff_base_seconds = 0.01;
+  auto client = Client::Connect(Endpoint::Tcp(port), client_options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  FindSlicesRequest find;
+  find.dataset = "whatever";
+  auto reply = client->FindSlices(find);
+  peer.join();
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(client->retries(), 0);
+}
+
+}  // namespace
+}  // namespace sliceline::serve

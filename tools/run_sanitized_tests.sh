@@ -11,10 +11,12 @@
 #
 # Finally builds the tsan preset (-fsanitize=thread) and runs the
 # concurrency-sensitive suites under it (governance/checkpoint, determinism,
-# thread pool, the observability registry/trace suites, and the serving
-# subsystem's scheduler/cache/server suites): cross-thread cancellation,
-# the ambient memory-budget accounting, the sharded metric counters, and
-# the scheduler's state/counter handoff are exactly the code where a missed
+# thread pool, the observability registry/trace suites, the serving
+# subsystem's scheduler/cache/server suites, and the remote-distribution
+# coordinator/worker suites plus the wire-protocol edge cases): cross-thread
+# cancellation, the ambient memory-budget accounting, the sharded metric
+# counters, the scheduler's state/counter handoff, and the worker serving
+# thread's shutdown handshake are exactly the code where a missed
 # acquire/release shows up as a data race rather than a wrong answer. Skip
 # with SLICELINE_SKIP_TSAN=1.
 #

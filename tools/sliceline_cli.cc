@@ -5,9 +5,11 @@
 // Usage:
 //   sliceline_cli --csv data.csv --label target [--task reg|class]
 //                 [--k 4] [--alpha 0.95] [--sigma 0] [--max-level 0]
-//                 [--bins 10] [--drop col1,col2] [--engine native|la|dist]
+//                 [--bins 10] [--drop col1,col2]
+//                 [--engine native|la|dist|remote]
 //                 [--workers 4] [--fault-seed S] [--fault-transient P]
 //                 [--fault-loss P] [--fault-straggler P] [--fault-corrupt P]
+//                 [--worker-ports p1,p2,...]
 //                 [--deadline-ms MS] [--memory-budget-mb MB]
 //                 [--checkpoint-dir DIR] [--resume]
 //                 [--metrics-json PATH|-] [--trace-out PATH]
@@ -36,6 +38,7 @@
 #include "core/sliceline_la.h"
 #include "data/csv.h"
 #include "data/preprocess.h"
+#include "dist/coordinator.h"
 #include "dist/distributed_evaluator.h"
 #include "ml/pipeline.h"
 #include "obs/metrics.h"
@@ -50,6 +53,7 @@ struct CliOptions {
   std::string task = "reg";
   std::string engine = "native";
   std::vector<std::string> drop;
+  std::vector<std::string> worker_ports;
   int k = 4;
   double alpha = 0.95;
   int64_t sigma = 0;
@@ -81,8 +85,12 @@ void PrintUsage() {
       "  --max-level L        lattice depth cap; 0 = unbounded\n"
       "  --bins B             equi-width bins for numeric features (10)\n"
       "  --drop a,b,c         columns to drop (e.g. ID columns)\n"
-      "  --engine native|la|dist  enumeration engine (default native)\n"
+      "  --engine native|la|dist|remote  enumeration engine (default\n"
+      "                       native); 'remote' runs against real\n"
+      "                       sliceline_worker processes\n"
       "  --workers N          simulated workers for --engine dist (4)\n"
+      "  --worker-ports p1,p2,...  loopback TCP ports of running\n"
+      "                       sliceline_worker processes (--engine remote)\n"
       "  --fault-seed S       fault-injection seed for --engine dist\n"
       "  --fault-transient P  per-round transient worker failure rate\n"
       "  --fault-loss P       per-round permanent worker loss rate\n"
@@ -167,6 +175,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next("--drop");
       if (v == nullptr) return false;
       options->drop = sliceline::Split(v, ',');
+    } else if (arg == "--worker-ports") {
+      const char* v = next("--worker-ports");
+      if (v == nullptr) return false;
+      options->worker_ports = sliceline::Split(v, ',');
     } else if (arg == "--workers") {
       const char* v = next("--workers");
       if (v == nullptr) return false;
@@ -250,9 +262,14 @@ bool ValidateOptions(const CliOptions& options) {
     return false;
   }
   if (options.engine != "native" && options.engine != "la" &&
-      options.engine != "dist") {
-    std::fprintf(stderr, "--engine must be 'native', 'la' or 'dist', got "
+      options.engine != "dist" && options.engine != "remote") {
+    std::fprintf(stderr,
+                 "--engine must be 'native', 'la', 'dist' or 'remote', got "
                  "'%s'\n", options.engine.c_str());
+    return false;
+  }
+  if (options.engine == "remote" && options.worker_ports.empty()) {
+    std::fprintf(stderr, "--engine remote needs --worker-ports\n");
     return false;
   }
   if (options.k <= 0) {
@@ -469,6 +486,56 @@ int main(int argc, char** argv) {
          {"worker_busy_seconds", cost.worker_busy_seconds},
          {"critical_path_seconds", cost.critical_path_seconds},
          {"estimated_comm_seconds", cost.EstimatedCommSeconds(dopts)}},
+        {{"transient_failures",
+          static_cast<double>(faults.transient_failures)},
+         {"retries", static_cast<double>(faults.retries)},
+         {"backoff_events", static_cast<double>(faults.backoff_events)},
+         {"backoff_seconds", faults.backoff_seconds},
+         {"stragglers", static_cast<double>(faults.stragglers)},
+         {"speculative_reexecutions",
+          static_cast<double>(faults.speculative_reexecutions)},
+         {"corrupted_partials",
+          static_cast<double>(faults.corrupted_partials)},
+         {"workers_lost", static_cast<double>(faults.workers_lost)},
+         {"reshards", static_cast<double>(faults.reshards)},
+         {"fallback_local", faults.fallback_local ? 1.0 : 0.0}});
+  }
+  if (cli.engine == "remote") {
+    dist::RemoteDistOptions ropts;
+    for (const std::string& port : cli.worker_ports) {
+      dist::WorkerEndpoint endpoint;
+      endpoint.tcp_port = std::atoi(port.c_str());
+      if (endpoint.tcp_port <= 0) {
+        std::fprintf(stderr, "bad --worker-ports entry: '%s'\n", port.c_str());
+        return 1;
+      }
+      ropts.endpoints.push_back(endpoint);
+    }
+    dist::DistCostStats cost;
+    dist::DistFaultStats faults;
+    auto result = dist::RunSliceLineRemote(ds->x0, ds->errors, config, ropts,
+                                           &cost, &faults);
+    if (!result.ok()) {
+      std::fprintf(stderr, "slice finding failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(human,
+                 "remote: %zu workers, %lld rounds, coordinator wall-clock "
+                 "%.3fs (worker busy %.3fs)\n",
+                 ropts.endpoints.size(), static_cast<long long>(cost.rounds),
+                 cost.critical_path_seconds, cost.worker_busy_seconds);
+    std::fprintf(human, "fault recovery: %s\n", faults.Summary().c_str());
+    std::fprintf(human, "\n%s",
+                 core::FormatResult(*result, ds->feature_names).c_str());
+    return EmitObservabilityOutputs(
+        cli, config, *result, ds->feature_names,
+        {{"workers", static_cast<double>(ropts.endpoints.size())},
+         {"rounds", static_cast<double>(cost.rounds)},
+         {"broadcast_bytes", static_cast<double>(cost.broadcast_bytes)},
+         {"gather_bytes", static_cast<double>(cost.gather_bytes)},
+         {"worker_busy_seconds", cost.worker_busy_seconds},
+         {"critical_path_seconds", cost.critical_path_seconds}},
         {{"transient_failures",
           static_cast<double>(faults.transient_failures)},
          {"retries", static_cast<double>(faults.retries)},

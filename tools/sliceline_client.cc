@@ -39,6 +39,7 @@ using sliceline::serve::Endpoint;
 struct ClientCliOptions {
   Endpoint endpoint;
   std::string command;
+  sliceline::serve::ClientOptions client;
   sliceline::serve::RegisterDatasetRequest register_request;
   sliceline::serve::FindSlicesRequest find_request;
   int64_t job_id = -1;
@@ -59,7 +60,13 @@ void PrintUsage() {
       "  list\n"
       "  stats\n"
       "  metrics\n"
-      "Every flag also accepts --flag=value.\n");
+      "connection options (before or after the command):\n"
+      "  --connect-timeout-ms MS   per-attempt connect deadline\n"
+      "  --request-timeout-ms MS   per-request response deadline\n"
+      "  --retries N               transient-failure retry budget\n"
+      "Every flag also accepts --flag=value.\n"
+      "Exit code 0 on success, 1 on any error (including a job whose\n"
+      "status reports a failure).\n");
 }
 
 bool ParseArgs(int argc, char** argv, ClientCliOptions* options) {
@@ -159,6 +166,18 @@ bool ParseArgs(int argc, char** argv, ClientCliOptions* options) {
       const char* v = next("--job");
       if (v == nullptr) return false;
       options->job_id = std::atoll(v);
+    } else if (arg == "--connect-timeout-ms") {
+      const char* v = next("--connect-timeout-ms");
+      if (v == nullptr) return false;
+      options->client.connect_timeout_ms = std::atoi(v);
+    } else if (arg == "--request-timeout-ms") {
+      const char* v = next("--request-timeout-ms");
+      if (v == nullptr) return false;
+      options->client.request_timeout_ms = std::atoi(v);
+    } else if (arg == "--retries") {
+      const char* v = next("--retries");
+      if (v == nullptr) return false;
+      options->client.max_retries = std::atoi(v);
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       std::exit(0);
@@ -201,7 +220,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  auto client = Client::Connect(options.endpoint);
+  auto client = Client::Connect(options.endpoint, options.client);
   if (!client.ok()) return Fail(client.status());
 
   if (options.command == "register") {
@@ -247,6 +266,18 @@ int main(int argc, char** argv) {
                         : client.value().Cancel(options.job_id);
     if (!response.ok()) return Fail(response.status());
     std::printf("%s\n", client.value().last_response_line().c_str());
+    // A job that terminated in failure answers ok:true (the status query
+    // itself succeeded) with state "failed" and an embedded error object;
+    // surface that as a nonzero exit so scripts can branch on it.
+    const std::string state = response.value().GetStringOr("state", "");
+    if (state == "failed") {
+      const sliceline::obs::JsonValue* error = response.value().Find("error");
+      std::fprintf(stderr, "job %lld failed: %s\n",
+                   static_cast<long long>(options.job_id),
+                   error != nullptr ? error->GetStringOr("message", "").c_str()
+                                    : "");
+      return 1;
+    }
     return 0;
   }
   if (options.command == "list" || options.command == "stats") {

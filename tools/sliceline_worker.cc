@@ -1,0 +1,153 @@
+// One slice-evaluation worker of the distributed execution mode. Listens on
+// a Unix-domain socket or a loopback TCP port for worker-protocol requests
+// (see src/serve/worker_protocol.h): a coordinator enlists, ships a row
+// shard of the one-hot matrix once, and then broadcasts candidate blocks to
+// evaluate. Shards are kept per dataset fingerprint, so a coordinator that
+// reconnects (or a second run over the same dataset) skips the transfer.
+//
+// Usage:
+//   sliceline_worker [--socket PATH | --port N] [--log-level LEVEL]
+//                    [--drop-every N]
+//
+// --port 0 binds a kernel-assigned port. Once listening, one READY line is
+// printed to stdout ("READY port=N" / "READY socket=PATH") so the
+// coordinator's launcher can wait for startup and discover the bound port.
+// --drop-every N is a chaos knob for the fault-tolerance test suite: every
+// Nth request is answered by abruptly closing the connection.
+#include <csignal>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+#include "dist/worker.h"
+
+namespace {
+
+std::atomic<sliceline::dist::Worker*> g_worker{nullptr};
+
+// Only an atomic load/store happens here; the serving thread notices the
+// flag at its next accept/read poll.
+void HandleSignal(int) {
+  sliceline::dist::Worker* worker = g_worker.load(std::memory_order_acquire);
+  if (worker != nullptr) worker->RequestShutdown();
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: sliceline_worker [--socket PATH | --port N] [options]\n"
+      "  --socket PATH      listen on a Unix-domain socket\n"
+      "  --port N           listen on 127.0.0.1:N (0 = kernel-assigned)\n"
+      "  --log-level LEVEL  debug|info|warn|error (default info)\n"
+      "  --drop-every N     chaos: close the connection on every Nth\n"
+      "                     request instead of serving it (0 = off)\n"
+      "Every flag also accepts --flag=value.\n");
+}
+
+struct WorkerCliOptions {
+  sliceline::dist::WorkerOptions worker;
+  std::string log_level = "info";
+  bool have_endpoint = false;
+};
+
+bool ParseArgs(int argc, char** argv, WorkerCliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.size() > 2 && arg.compare(0, 2, "--") == 0) {
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    }
+    auto next = [&](const char* name) -> const char* {
+      if (has_inline) return inline_value.c_str();
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", name);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      const char* v = next("--socket");
+      if (v == nullptr) return false;
+      options->worker.unix_socket = v;
+      options->have_endpoint = true;
+    } else if (arg == "--port") {
+      const char* v = next("--port");
+      if (v == nullptr) return false;
+      options->worker.tcp_port = std::atoi(v);
+      options->have_endpoint = true;
+    } else if (arg == "--drop-every") {
+      const char* v = next("--drop-every");
+      if (v == nullptr) return false;
+      options->worker.drop_every = std::atoll(v);
+    } else if (arg == "--log-level") {
+      const char* v = next("--log-level");
+      if (v == nullptr) return false;
+      options->log_level = v;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  WorkerCliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage();
+    return 1;
+  }
+  if (options.log_level == "debug") {
+    sliceline::SetLogLevel(sliceline::LogLevel::kDebug);
+  } else if (options.log_level == "warn") {
+    sliceline::SetLogLevel(sliceline::LogLevel::kWarning);
+  } else if (options.log_level == "error") {
+    sliceline::SetLogLevel(sliceline::LogLevel::kError);
+  } else {
+    sliceline::SetLogLevel(sliceline::LogLevel::kInfo);
+  }
+  if (!options.have_endpoint) {
+    std::fprintf(stderr, "need --socket or --port\n");
+    PrintUsage();
+    return 1;
+  }
+  if (options.worker.drop_every < 0) {
+    std::fprintf(stderr, "--drop-every must be >= 0\n");
+    return 1;
+  }
+
+  sliceline::dist::Worker worker(options.worker);
+  const sliceline::Status started = worker.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "startup failed: %s\n", started.message().c_str());
+    return 1;
+  }
+  g_worker.store(&worker, std::memory_order_release);
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  if (!options.worker.unix_socket.empty()) {
+    std::printf("READY socket=%s\n", options.worker.unix_socket.c_str());
+  } else {
+    std::printf("READY port=%d\n", worker.tcp_port());
+  }
+  std::fflush(stdout);
+
+  worker.Wait();
+  g_worker.store(nullptr, std::memory_order_release);
+  return 0;
+}
