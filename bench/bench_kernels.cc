@@ -5,9 +5,11 @@
 // repeated runs on the shared harness (bench_util.h); the best wall-clock
 // per run and the derived items/s are printed, and recorded through
 // bench::Reporter when SLICELINE_BENCH_JSON is set.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -15,7 +17,9 @@
 #include "common/string_util.h"
 #include "data/generators/generators.h"
 #include "data/onehot.h"
+#include "linalg/bitmap.h"
 #include "linalg/kernels.h"
+#include "linalg/kernels_simd.h"
 
 namespace {
 
@@ -34,10 +38,11 @@ volatile double g_sink = 0.0;
 
 /// Times `fn` over `reps` runs (after one untimed warm-up) and reports the
 /// best run plus items/s at that best. `items` is the per-run work unit
-/// (rows or nonzeros), 0 to skip the throughput column.
+/// (rows or nonzeros), 0 to skip the throughput column. Returns the best
+/// wall-clock so callers can derive speedup ratios between cases.
 template <typename Fn>
-void RunCase(bench::Reporter& reporter, const std::string& name,
-             int64_t items, Fn&& fn) {
+double RunCase(bench::Reporter& reporter, const std::string& name,
+               int64_t items, Fn&& fn) {
   constexpr int kReps = 5;
   g_sink = g_sink + fn();
   double best = 0.0;
@@ -58,6 +63,7 @@ void RunCase(bench::Reporter& reporter, const std::string& name,
   reporter.AddRow(name, {{"best_seconds", best},
                          {"mean_seconds", total / kReps},
                          {"items", static_cast<double>(items)}});
+  return best;
 }
 
 linalg::CsrMatrix RandomSliceMatrix(int64_t slices, int64_t cols, int level,
@@ -70,6 +76,50 @@ linalg::CsrMatrix RandomSliceMatrix(int64_t slices, int64_t cols, int level,
     }
   }
   return builder.Build();
+}
+
+/// Packs every one-hot column of the dataset into a row bitmap — the
+/// dataset-side input of the bit-packed evaluation kernels.
+std::vector<linalg::Bitmap> PackColumns(const data::IntMatrix& x0,
+                                        const data::FeatureOffsets& offsets) {
+  std::vector<linalg::Bitmap> columns;
+  columns.reserve(static_cast<size_t>(offsets.total));
+  for (int64_t c = 0; c < offsets.total; ++c) {
+    columns.emplace_back(x0.rows());
+  }
+  for (int64_t r = 0; r < x0.rows(); ++r) {
+    for (int64_t j = 0; j < x0.cols(); ++j) {
+      const int32_t code = x0.At(r, j);
+      if (code > 0) columns[static_cast<size_t>(offsets.fb[j] + code - 1)]
+          .Set(r);
+    }
+  }
+  return columns;
+}
+
+/// `count` level-`level` candidates drawn as random column conjunctions from
+/// distinct features (the shape the enumerator actually evaluates).
+std::vector<std::vector<const uint64_t*>> DrawCandidates(
+    const std::vector<linalg::Bitmap>& columns,
+    const data::FeatureOffsets& offsets, int64_t count, int level,
+    uint64_t seed) {
+  Rng rng(seed);
+  const int m = offsets.num_features();
+  std::vector<std::vector<const uint64_t*>> candidates;
+  candidates.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    std::vector<const uint64_t*> cols;
+    int feature = static_cast<int>(rng.NextUint64(m));
+    for (int k = 0; k < level; ++k) {
+      const int64_t lo = offsets.fb[feature];
+      const int64_t span = offsets.fe[feature] - lo;
+      cols.push_back(
+          columns[static_cast<size_t>(lo + rng.NextUint64(span))].data());
+      feature = (feature + 1 + static_cast<int>(rng.NextUint64(m - 1))) % m;
+    }
+    candidates.push_back(std::move(cols));
+  }
+  return candidates;
 }
 
 }  // namespace
@@ -137,6 +187,110 @@ int main() {
   RunCase(reporter, "spgemm_transpose", x.nnz(), [&] {
     return static_cast<double>(linalg::Transpose(x).nnz());
   });
+
+  // --- Bit-packed SIMD evaluation kernels ---------------------------------
+  // The candidate-count kernel (word-AND + popcount membership) and the
+  // masked error reductions, scalar reference vs every vector ISA this host
+  // executes. The per-ISA candidate_eval rows are THE perf baseline for the
+  // packed hot path: speedup = scalar best / ISA best, recorded under
+  // simd_speedup in BENCH_kernels.json.
+  std::printf("\nbit-packed evaluation kernels (row words=%lld)\n",
+              static_cast<long long>(linalg::BitmapWords(ds.n())));
+  std::printf("  %-28s %12s %12s %18s\n", "kernel", "best[s]", "mean[s]",
+              "throughput");
+  const std::vector<linalg::Bitmap> packed = PackColumns(ds.x0, offsets);
+  const int64_t words = linalg::BitmapWords(ds.n());
+  std::vector<double> bench_errors(static_cast<size_t>(words) * 64, 0.0);
+  for (int64_t r = 0; r < ds.n(); ++r) bench_errors[r] = ds.errors[r];
+
+  std::vector<std::pair<std::string, double>> speedups;
+  for (const int level : {2, 4}) {
+    const int64_t num_candidates = 512;
+    const auto candidate_cols =
+        DrawCandidates(packed, offsets, num_candidates, level, 17 + level);
+    std::vector<linalg::CandidateColumns> candidates;
+    for (const auto& cols : candidate_cols) {
+      candidates.push_back({cols.data(), static_cast<int32_t>(cols.size())});
+    }
+    std::vector<double> sizes(num_candidates), sums(num_candidates),
+        maxes(num_candidates);
+    double scalar_best = 0.0;
+    for (linalg::SimdIsa isa : linalg::AvailableIsas()) {
+      const linalg::SimdKernels& kernels = linalg::KernelsFor(isa);
+      const std::string name = std::string("candidate_eval/L") +
+                               std::to_string(level) + "/" +
+                               linalg::IsaName(isa);
+      const double best =
+          RunCase(reporter, name, num_candidates * ds.n(), [&] {
+            std::fill(sizes.begin(), sizes.end(), 0.0);
+            std::fill(sums.begin(), sums.end(), 0.0);
+            std::fill(maxes.begin(), maxes.end(), 0.0);
+            linalg::EvaluateCandidatesBlocked(
+                kernels, candidates.data(), num_candidates, words,
+                bench_errors.data(), sizes.data(), sums.data(), maxes.data());
+            return sizes[0] + sums[0];
+          });
+      if (isa == linalg::SimdIsa::kScalar) {
+        scalar_best = best;
+      } else if (scalar_best > 0.0 && best > 0.0) {
+        speedups.emplace_back("candidate_eval_L" + std::to_string(level) +
+                                  "_" + linalg::IsaName(isa),
+                              scalar_best / best);
+      }
+    }
+  }
+  // Micro rows: the raw AND+popcount membership count and the masked error
+  // reduction, isolated from the blocked loop.
+  {
+    const uint64_t* a = packed[0].data();
+    const uint64_t* b = packed[packed.size() / 2].data();
+    double scalar_and = 0.0;
+    double scalar_masked = 0.0;
+    for (linalg::SimdIsa isa : linalg::AvailableIsas()) {
+      const linalg::SimdKernels& kernels = linalg::KernelsFor(isa);
+      const char* isa_name = linalg::IsaName(isa);
+      constexpr int kInner = 64;  // amortize timer granularity
+      const double and_best = RunCase(
+          reporter, std::string("and_popcount/") + isa_name,
+          ds.n() * kInner, [&] {
+            int64_t total = 0;
+            for (int i = 0; i < kInner; ++i) {
+              total += kernels.and_popcount(a, b, words);
+            }
+            return static_cast<double>(total);
+          });
+      const double masked_best = RunCase(
+          reporter, std::string("masked_stats/") + isa_name,
+          ds.n() * kInner, [&] {
+            linalg::MaskedStats acc;
+            for (int i = 0; i < kInner; ++i) {
+              kernels.masked_stats(a, words, bench_errors.data(), &acc);
+            }
+            return acc.sum;
+          });
+      if (isa == linalg::SimdIsa::kScalar) {
+        scalar_and = and_best;
+        scalar_masked = masked_best;
+      } else {
+        if (scalar_and > 0.0 && and_best > 0.0) {
+          speedups.emplace_back(std::string("and_popcount_") + isa_name,
+                                scalar_and / and_best);
+        }
+        if (scalar_masked > 0.0 && masked_best > 0.0) {
+          speedups.emplace_back(std::string("masked_stats_") + isa_name,
+                                scalar_masked / masked_best);
+        }
+      }
+    }
+  }
+  if (!speedups.empty()) {
+    std::printf("\nSIMD speedup over scalar (target >= 5x on "
+                "candidate_eval):\n");
+    for (const auto& [name, ratio] : speedups) {
+      std::printf("  %-34s %8.2fx\n", name.c_str(), ratio);
+    }
+    reporter.AddRow("simd_speedup", std::move(speedups));
+  }
 
   std::printf("\nchecksum: %s\n", FormatDouble(g_sink, 1).c_str());
   return reporter.Finish();

@@ -11,6 +11,7 @@
 #include "common/stopwatch.h"
 #include "core/slice.h"
 #include "data/generators/generators.h"
+#include "linalg/kernels_simd.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 
@@ -51,6 +52,20 @@ inline data::EncodedDataset Load(const std::string& name,
     std::exit(1);
   }
   return std::move(ds).value();
+}
+
+/// The git revision benchmark JSON is attributed to: the SLICELINE_GIT_SHA
+/// environment variable when set (CI exports the exact commit under test),
+/// else the revision captured at configure time, else "unknown" (source
+/// tarball builds). Perf numbers without a revision are unattributable, so
+/// every Reporter stamps this into its annotations.
+inline std::string GitSha() {
+  if (const char* env = std::getenv("SLICELINE_GIT_SHA")) return env;
+#ifdef SLICELINE_GIT_SHA_CONFIGURE
+  return SLICELINE_GIT_SHA_CONFIGURE;
+#else
+  return "unknown";
+#endif
 }
 
 /// Prints a benchmark banner with the paper reference.
@@ -107,6 +122,13 @@ class Reporter {
     char scale[32];
     std::snprintf(scale, sizeof(scale), "%.3g", Scale());
     report_.AddAnnotation("scale", scale);
+    // Attribution: the ISA the packed kernels dispatch at and the revision
+    // under test, so BENCH_*.json files are comparable across machines and
+    // commits. (WriteJson also emits a top-level "simd_isa", but that one is
+    // sampled at write time; this one is the dispatch in effect when the
+    // reporter — and thus the measurement run — started.)
+    report_.AddAnnotation("simd_isa", linalg::SelectedIsaName());
+    report_.AddAnnotation("git_sha", GitSha());
   }
 
   /// Records one measurement row under `section` (e.g. the dataset name);

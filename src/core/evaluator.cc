@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "linalg/kernels_simd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -24,7 +25,8 @@ void SliceSet::Reserve(int64_t slices, int64_t total_columns) {
 SliceEvaluator::SliceEvaluator(const data::IntMatrix& x0,
                                const data::FeatureOffsets& offsets,
                                const std::vector<double>& errors)
-    : x0_(&x0), offsets_(&offsets), errors_(&errors) {
+    : x0_(&x0), offsets_(&offsets), errors_(&errors),
+      packed_bitmaps_(x0.rows(), offsets.total) {
   const int64_t n = x0.rows();
   const int64_t m = x0.cols();
   const int64_t l = offsets.total;
@@ -247,61 +249,58 @@ void SliceEvaluator::EvaluateScanBlock(const SliceSet& set, int block_size,
 void SliceEvaluator::EvaluateBitset(const SliceSet& set, bool parallel,
                                     const RunContext* ctx,
                                     EvalResult* out) const {
-  const int64_t n = x0_->rows();
-  const size_t words = static_cast<size_t>((n + 63) / 64);
+  // Resolve the ISA dispatch once on the coordinating thread; every worker
+  // uses the same kernel table, so a concurrent ForceIsa cannot split one
+  // evaluation across ISA levels.
+  const linalg::SimdKernels& kernels = linalg::ActiveKernels();
 
-  // Serial pre-pass: materialize bitmaps for every distinct column that is
-  // not cached yet (lazy, so ultra-wide one-hot spaces only pay for the
-  // columns candidate slices actually touch).
+  // Serial pre-pass: pack bitmaps for every distinct column that is not
+  // cached yet (lazy, so ultra-wide one-hot spaces only pay for the columns
+  // candidate slices actually touch). Each column packs its CSC inverted
+  // list exactly once per dataset lifetime.
   {
     std::lock_guard<std::mutex> lock(bitmap_mutex_);
     for (int64_t s = 0; s < set.size(); ++s) {
       for (int64_t k = 0; k < set.Length(s); ++k) {
         const int64_t c = set.Columns(s)[k];
-        auto [it, inserted] = bitmaps_.try_emplace(c);
-        if (!inserted) continue;
-        it->second.assign(words, 0);
-        for (int64_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
-          const int32_t r = rows_[p];
-          it->second[r >> 6] |= uint64_t{1} << (r & 63);
+        if (!packed_bitmaps_.Has(c)) {
+          packed_bitmaps_.Build(c, rows_.data() + col_ptr_[c],
+                                col_ptr_[c + 1] - col_ptr_[c]);
         }
       }
     }
   }
 
+  const int64_t words = packed_bitmaps_.words();
+  const double* errors = errors_->data();
   auto body = [&](size_t begin, size_t end) {
-    std::vector<uint64_t> acc(words);
+    // Gather each candidate's column bitmap pointers into one arena, then
+    // hand contiguous chunks to the cache-blocked SIMD loop. Chunks double
+    // as the strided governance poll boundary.
+    int64_t range_columns = 0;
+    for (size_t s = begin; s < end; ++s) range_columns += set.Length(s);
+    std::vector<const uint64_t*> arena;
+    arena.reserve(static_cast<size_t>(range_columns));
+    std::vector<size_t> arena_offsets(end - begin);
     for (size_t s = begin; s < end; ++s) {
-      if (ctx != nullptr && (s - begin) % kGovernanceStride == 0 &&
-          ctx->ShouldStop()) {
-        return;
+      arena_offsets[s - begin] = arena.size();
+      for (int64_t k = 0; k < set.Length(s); ++k) {
+        arena.push_back(packed_bitmaps_.Get(set.Columns(s)[k]));
       }
-      const int64_t len = set.Length(s);
-      const int64_t* cols = set.Columns(s);
-      const std::vector<uint64_t>& first = bitmaps_.at(cols[0]);
-      std::copy(first.begin(), first.end(), acc.begin());
-      for (int64_t k = 1; k < len; ++k) {
-        const std::vector<uint64_t>& bm = bitmaps_.at(cols[k]);
-        for (size_t w = 0; w < words; ++w) acc[w] &= bm[w];
-      }
-      double ss = 0.0;
-      double se = 0.0;
-      double sm = 0.0;
-      for (size_t w = 0; w < words; ++w) {
-        uint64_t bits = acc[w];
-        while (bits != 0) {
-          const int bit = __builtin_ctzll(bits);
-          bits &= bits - 1;
-          const int64_t r = static_cast<int64_t>(w) * 64 + bit;
-          const double e = (*errors_)[r];
-          ss += 1.0;
-          se += e;
-          if (e > sm) sm = e;
-        }
-      }
-      out->sizes[s] = ss;
-      out->error_sums[s] = se;
-      out->max_errors[s] = sm;
+    }
+    std::vector<linalg::CandidateColumns> candidates(end - begin);
+    for (size_t s = begin; s < end; ++s) {
+      candidates[s - begin] = {arena.data() + arena_offsets[s - begin],
+                               static_cast<int32_t>(set.Length(s))};
+    }
+    for (size_t chunk = begin; chunk < end; chunk += kGovernanceStride) {
+      if (ctx != nullptr && ctx->ShouldStop()) return;
+      const size_t chunk_end = std::min(end, chunk + kGovernanceStride);
+      linalg::EvaluateCandidatesBlocked(
+          kernels, candidates.data() + (chunk - begin),
+          static_cast<int64_t>(chunk_end - chunk), words, errors,
+          out->sizes.data() + chunk, out->error_sums.data() + chunk,
+          out->max_errors.data() + chunk);
     }
   };
   if (parallel) {
@@ -332,6 +331,14 @@ StatusOr<EvalResult> SliceEvaluator::Evaluate(
         ->GetCounter(
             kStrategyCounters[static_cast<int>(config.eval_strategy)])
         ->Add(set.size());
+    if (config.eval_strategy == SliceLineConfig::EvalStrategy::kBitset) {
+      // Which ISA level the packed kernels dispatched at, attributable in
+      // registry snapshots and RunReport JSON.
+      registry
+          ->GetCounter(std::string("evaluator/simd_isa/") +
+                       linalg::SelectedIsaName())
+          ->Add(set.size());
+    }
   }
   switch (config.eval_strategy) {
     case SliceLineConfig::EvalStrategy::kIndex:

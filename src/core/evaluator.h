@@ -3,13 +3,13 @@
 
 #include <cstdint>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "core/slice.h"
 #include "data/int_matrix.h"
 #include "data/onehot.h"
+#include "linalg/bitmap.h"
 
 namespace sliceline::core {
 
@@ -73,8 +73,10 @@ class EvaluatorBackend {
 /// Evaluates slice candidates against a dataset (Section 4.4's
 /// I = (X * S^T == L) with ss/se/sm aggregations). Holds the inverted
 /// one-hot index (the CSC view of X) plus the raw codes for O(1) predicate
-/// checks, and implements both the per-slice intersection strategy and the
-/// scan-shared block strategy whose block size b Figure 6(b) sweeps.
+/// checks, and implements the per-slice intersection strategy, the
+/// scan-shared block strategy whose block size b Figure 6(b) sweeps, and
+/// the bit-packed kBitset strategy evaluated with the runtime-dispatched
+/// SIMD kernels (AVX2/AVX-512/NEON with a portable scalar reference).
 class SliceEvaluator : public EvaluatorBackend {
  public:
   SliceEvaluator(const data::IntMatrix& x0,
@@ -126,11 +128,14 @@ class SliceEvaluator : public EvaluatorBackend {
   std::vector<int64_t> col_ptr_;
   std::vector<int32_t> rows_;
 
-  // Lazily materialized per-column row bitmaps for the kBitset strategy
-  // (only columns that appear in evaluated slices are built, which keeps
-  // ultra-wide datasets affordable). Guarded by bitmap_mutex_ during the
-  // serial fill pass at the start of each Evaluate call.
-  mutable std::unordered_map<int64_t, std::vector<uint64_t>> bitmaps_;
+  // Bit-packed per-column row bitmaps for the kBitset strategy, evaluated
+  // with the runtime-dispatched SIMD kernels (linalg/kernels_simd.h).
+  // Lazily materialized: only columns that appear in evaluated slices are
+  // built, which keeps ultra-wide datasets affordable. Guarded by
+  // bitmap_mutex_ during the serial fill pass at the start of each Evaluate
+  // call; built columns are immutable afterwards, so the parallel candidate
+  // loop reads them without locking.
+  mutable linalg::ColumnBitmaps packed_bitmaps_;
   mutable std::mutex bitmap_mutex_;
 
   std::vector<int64_t> basic_sizes_;

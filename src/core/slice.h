@@ -58,11 +58,16 @@ struct SliceLineConfig {
   /// huge b to one data-parallel scan.
   int eval_block_size = 16;
   enum class EvalStrategy {
-    kIndex,      ///< per-slice sorted inverted-list intersection (default)
+    kIndex,      ///< per-slice sorted inverted-list intersection
     kScanBlock,  ///< scan-shared row sweep over blocks of b slices
-    kBitset,     ///< per-slice AND of lazily built per-column row bitmaps
+    kBitset,     ///< bit-packed column bitmaps evaluated by the
+                 ///< runtime-dispatched SIMD kernels (default)
   };
-  EvalStrategy eval_strategy = EvalStrategy::kIndex;
+  /// kBitset is the default hot path: all three strategies return
+  /// bit-identical results (ascending-row error accumulation everywhere),
+  /// and the packed kernels dominate on every measured workload — see
+  /// BENCH_kernels.json and DESIGN.md "Vectorized kernels".
+  EvalStrategy eval_strategy = EvalStrategy::kBitset;
   bool parallel = true;  ///< use the global thread pool for evaluation
 
   // -- governance (borrowed; must outlive the run) --

@@ -1,0 +1,119 @@
+#ifndef SLICELINE_LINALG_KERNELS_SIMD_H_
+#define SLICELINE_LINALG_KERNELS_SIMD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sliceline::linalg {
+
+/// Runtime-dispatched ISA levels of the bit-packed evaluation kernels, in
+/// ascending preference. kScalar (portable std::popcount) is always
+/// compiled and is the differential reference for every other level; the
+/// x86 levels are compiled with per-function target attributes and selected
+/// by cpuid at startup; kNeon is the aarch64 build's vector path.
+enum class SimdIsa {
+  kScalar = 0,
+  kNeon = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+/// Lower-case ISA name ("scalar", "neon", "avx2", "avx512"); stable — it is
+/// recorded in RunReport JSON and matched against SLICELINE_FORCE_ISA.
+const char* IsaName(SimdIsa isa);
+
+/// Parses an IsaName; returns false on an unknown name.
+bool ParseIsaName(const std::string& name, SimdIsa* out);
+
+/// ISAs usable on this host in ascending preference; always starts with
+/// kScalar. The differential test rig iterates this to prove every compiled
+/// path bit-identical to the scalar reference.
+const std::vector<SimdIsa>& AvailableIsas();
+
+/// The ISA the dispatched kernels run at: the forced ISA if ForceIsa was
+/// called, else the SLICELINE_FORCE_ISA environment override (when it names
+/// an ISA this host supports; unknown or unsupported values fall back to
+/// the detected best with a warning), else the best available level.
+SimdIsa SelectedIsa();
+const char* SelectedIsaName();
+
+/// Overrides dispatch for tests, benchmarks, and the CI ISA matrix. An ISA
+/// this host cannot execute is clamped to kScalar. ClearForcedIsa restores
+/// environment/auto selection.
+void ForceIsa(SimdIsa isa);
+void ClearForcedIsa();
+
+/// Masked reduction output: count/sum/max of the error vector over the set
+/// rows of a mask. `sum` accumulates in ascending row order (the same order
+/// as the scalar kernels and the inverted-list evaluator), which is what
+/// keeps top-K results bit-identical across ISA levels and evaluation
+/// strategies. `max` is 0 when the mask is empty (errors are >= 0).
+struct MaskedStats {
+  int64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+};
+
+/// One evaluation candidate: the packed column bitmaps of its predicates.
+/// A row belongs to the slice iff it is set in all `len` bitmaps — the
+/// bit-packed form of the paper's |X·S^T| == level membership test.
+struct CandidateColumns {
+  const uint64_t* const* cols = nullptr;
+  int32_t len = 0;
+};
+
+/// Kernel table of one ISA level. Every entry is bit-exact against the
+/// kScalar table on identical inputs: counts are integer popcounts, word
+/// outputs are identical bit patterns, and masked sums add in ascending row
+/// order at every level (the vector units accelerate the AND/popcount and
+/// zero-word skipping, never the float accumulation order).
+struct SimdKernels {
+  SimdIsa isa;
+  /// dst[w] &= src[w] for w in [0, words).
+  void (*and_inplace)(uint64_t* dst, const uint64_t* src, int64_t words);
+  /// Total set bits of a[0..words).
+  int64_t (*popcount)(const uint64_t* a, int64_t words);
+  /// Total set bits of a & b without materializing the intersection — the
+  /// candidate-count kernel (|X·S^T| == level membership via word-AND +
+  /// popcount) for pair candidates.
+  int64_t (*and_popcount)(const uint64_t* a, const uint64_t* b,
+                          int64_t words);
+  /// dst = cols[0] & ... & cols[len-1]; returns popcount(dst). len >= 1;
+  /// len == 1 copies. The general candidate-count kernel.
+  int64_t (*intersect_columns)(const uint64_t* const* cols, int32_t len,
+                               uint64_t* dst, int64_t words);
+  /// Accumulates count/sum/max of errors[r] over set rows r of mask into
+  /// *acc, in ascending row order. errors must cover [0, words*64); bits are
+  /// only read where set, so zero padding words never touch out-of-range
+  /// errors. Accumulating into a caller-held running MaskedStats (instead of
+  /// returning a fresh one) is what lets the cache-blocked candidate loop
+  /// keep ONE continuous add sequence per candidate across word tiles —
+  /// sum-of-tile-sums rounds differently, an extended accumulation does not.
+  void (*masked_stats)(const uint64_t* mask, int64_t words,
+                       const double* errors, MaskedStats* acc);
+};
+
+/// Kernel table of a specific level; `isa` must be in AvailableIsas().
+const SimdKernels& KernelsFor(SimdIsa isa);
+
+/// Kernel table of SelectedIsa().
+const SimdKernels& ActiveKernels();
+
+/// Evaluates `count` candidates over a `words`-word row space with the
+/// given kernel table, accumulating into sizes/error_sums/max_errors
+/// (+=/max, so outputs must be zero-initialized by the caller). The loop is
+/// cache-blocked: candidates x row-words are tiled so the bitmap slices of
+/// a candidate tile stay resident in L2 while its candidates intersect
+/// them, instead of streaming every full-length bitmap once per candidate.
+/// Accumulation order over row tiles is ascending, so results are
+/// bit-identical to an unblocked ascending scan.
+void EvaluateCandidatesBlocked(const SimdKernels& kernels,
+                               const CandidateColumns* candidates,
+                               int64_t count, int64_t words,
+                               const double* errors, double* sizes,
+                               double* error_sums, double* max_errors);
+
+}  // namespace sliceline::linalg
+
+#endif  // SLICELINE_LINALG_KERNELS_SIMD_H_

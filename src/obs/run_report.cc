@@ -5,6 +5,7 @@
 #include <functional>
 #include <iostream>
 
+#include "linalg/kernels_simd.h"
 #include "obs/json_writer.h"
 
 namespace sliceline::obs {
@@ -126,6 +127,11 @@ void RunReport::WriteJson(std::ostream& os,
   json.String(tool_);
   json.Key("engine");
   json.String(engine_);
+  // The ISA level the bit-packed evaluation kernels dispatched at (scalar /
+  // neon / avx2 / avx512), so perf numbers in BENCH_*.json and --metrics-json
+  // reports are attributable to the vector path that produced them.
+  json.Key("simd_isa");
+  json.String(linalg::SelectedIsaName());
   if (!dataset_.empty()) {
     json.Key("dataset");
     json.String(dataset_);

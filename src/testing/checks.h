@@ -56,6 +56,15 @@ std::string CheckMetamorphic(const FuzzCase& fuzz_case);
 /// (bit-identical short of local fallback, with reproducible fault stats).
 std::string CheckDeterminism(const FuzzCase& fuzz_case);
 
+/// SIMD differential: every bit-packed evaluation kernel
+/// (linalg/kernels_simd.h) at every ISA level available on this host against
+/// the always-compiled scalar reference — seeded random bitmaps (word-tail
+/// row counts, all-zero and full columns) through each kernel, then the
+/// case's dataset end to end: RunSliceLine on the kBitset strategy under
+/// each forced ISA must return a top-K bit-identical to the scalar-forced
+/// run (scores, error sums, max errors, predicates).
+std::string CheckSimdDifferential(const FuzzCase& fuzz_case);
+
 /// Governance robustness on the case's dataset: every engine is run
 /// pre-cancelled, under a randomized simulated-time deadline, and under a
 /// randomized memory budget. Each run must return gracefully (no error

@@ -24,6 +24,7 @@ std::string RunDatasetCheck(const std::string& check, const FuzzCase& fuzz_case,
   if (check == "metamorphic") return CheckMetamorphic(fuzz_case);
   if (check == "determinism") return CheckDeterminism(fuzz_case);
   if (check == "governance") return CheckGovernance(fuzz_case);
+  if (check == "kernels-simd") return CheckSimdDifferential(fuzz_case);
   return "unknown check: " + check;
 }
 
@@ -99,7 +100,8 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
                    static_cast<long long>(fuzz_case.x0.cols()));
     }
 
-    for (const char* check : {"oracle", "metamorphic", "governance"}) {
+    for (const char* check :
+         {"oracle", "metamorphic", "governance", "kernels-simd"}) {
       if (!CheckSelected(options, check)) continue;
       ++report.checks_run;
       std::string failure = RunDatasetCheck(check, fuzz_case, options.inject);

@@ -11,14 +11,15 @@
 
 namespace sliceline::testing {
 
-/// Names of the five checks, in execution order.
+/// Names of the six checks, in execution order.
 inline constexpr const char* kCheckNames[] = {
-    "oracle", "kernel", "metamorphic", "determinism", "governance"};
+    "oracle",      "kernel",     "metamorphic",
+    "determinism", "governance", "kernels-simd"};
 
 struct FuzzOptions {
   uint64_t seed = 1;
   int cases = 100;
-  /// Subset of kCheckNames to run; empty = all five.
+  /// Subset of kCheckNames to run; empty = all six.
   std::vector<std::string> checks;
   InjectedBug inject = InjectedBug::kNone;
   /// Directory replay files are written to; empty disables replay output.

@@ -1,0 +1,207 @@
+// SIMD differential check of the fuzzing subsystem: every bit-packed
+// evaluation kernel at every ISA level this host can execute, against the
+// always-compiled scalar reference — first on random bitmaps regenerated
+// from the case seed (word tails, all-zero and full columns), then end to
+// end on the case's dataset: the full RunSliceLine top-K under each forced
+// ISA must be BIT-identical to the scalar-forced run.
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/sliceline.h"
+#include "linalg/bitmap.h"
+#include "linalg/kernels_simd.h"
+#include "testing/checks.h"
+
+namespace sliceline::testing {
+namespace {
+
+using linalg::Bitmap;
+using linalg::MaskedStats;
+using linalg::SimdIsa;
+using linalg::SimdKernels;
+
+std::string DescribeCase(const FuzzCase& fuzz_case) {
+  std::ostringstream os;
+  os << "[profile=" << fuzz_case.profile << " seed=" << fuzz_case.seed
+     << " n=" << fuzz_case.x0.rows() << " m=" << fuzz_case.x0.cols() << "]";
+  return os.str();
+}
+
+bool BitEqual(double a, double b) {
+  uint64_t ab = 0;
+  uint64_t bb = 0;
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ab == bb;
+}
+
+/// One seeded kernel round: random bitmaps over a random row count (biased
+/// toward word-boundary tails) run through every kernel of `isa` and of the
+/// scalar reference; any divergence is returned as a diagnostic.
+std::string RunKernelRound(Rng& rng, SimdIsa isa) {
+  const SimdKernels& simd = linalg::KernelsFor(isa);
+  const SimdKernels& scalar = linalg::KernelsFor(SimdIsa::kScalar);
+  std::ostringstream os;
+  os << "isa=" << linalg::IsaName(isa) << " ";
+
+  // Row counts hug the word boundaries where packing bugs live.
+  static constexpr int64_t kRowChoices[] = {1, 63, 64, 65, 127, 255, 1024,
+                                            4099};
+  const int64_t rows = kRowChoices[rng.NextUint64(std::size(kRowChoices))];
+  const int64_t words = linalg::BitmapWords(rows);
+
+  const int num_cols = static_cast<int>(rng.NextInt(2, 5));
+  std::vector<Bitmap> bitmaps;
+  for (int c = 0; c < num_cols; ++c) {
+    Bitmap b(rows);
+    // Mix of empty, full, and random-density columns.
+    const double density = rng.NextBool(0.2)   ? 0.0
+                           : rng.NextBool(0.2) ? 1.1
+                                               : rng.NextDouble();
+    for (int64_t r = 0; r < rows; ++r) {
+      if (rng.NextBool(density)) b.Set(r);
+    }
+    bitmaps.push_back(std::move(b));
+  }
+  std::vector<double> errors(static_cast<size_t>(words) * 64);
+  for (double& e : errors) e = rng.NextDouble() * 2.0;
+
+  for (int c = 0; c + 1 < num_cols; ++c) {
+    const Bitmap& a = bitmaps[static_cast<size_t>(c)];
+    const Bitmap& b = bitmaps[static_cast<size_t>(c + 1)];
+    if (simd.popcount(a.data(), words) != scalar.popcount(a.data(), words)) {
+      os << "popcount diverges from scalar (rows=" << rows << ")";
+      return os.str();
+    }
+    if (simd.and_popcount(a.data(), b.data(), words) !=
+        scalar.and_popcount(a.data(), b.data(), words)) {
+      os << "and_popcount diverges from scalar (rows=" << rows << ")";
+      return os.str();
+    }
+    std::vector<uint64_t> got(a.data(), a.data() + words);
+    std::vector<uint64_t> want = got;
+    simd.and_inplace(got.data(), b.data(), words);
+    scalar.and_inplace(want.data(), b.data(), words);
+    if (got != want) {
+      os << "and_inplace diverges from scalar (rows=" << rows << ")";
+      return os.str();
+    }
+    MaskedStats simd_stats;
+    simd.masked_stats(a.data(), words, errors.data(), &simd_stats);
+    MaskedStats scalar_stats;
+    scalar.masked_stats(a.data(), words, errors.data(), &scalar_stats);
+    if (simd_stats.count != scalar_stats.count ||
+        !BitEqual(simd_stats.sum, scalar_stats.sum) ||
+        !BitEqual(simd_stats.max, scalar_stats.max)) {
+      os << "masked_stats diverges from scalar (rows=" << rows
+         << " count=" << simd_stats.count << "/" << scalar_stats.count << ")";
+      return os.str();
+    }
+  }
+
+  std::vector<const uint64_t*> cols;
+  for (const Bitmap& b : bitmaps) cols.push_back(b.data());
+  std::vector<uint64_t> got(static_cast<size_t>(words));
+  std::vector<uint64_t> want(static_cast<size_t>(words));
+  const int64_t got_count = simd.intersect_columns(
+      cols.data(), static_cast<int32_t>(cols.size()), got.data(), words);
+  const int64_t want_count = scalar.intersect_columns(
+      cols.data(), static_cast<int32_t>(cols.size()), want.data(), words);
+  if (got_count != want_count || got != want) {
+    os << "intersect_columns diverges from scalar (rows=" << rows
+       << " len=" << cols.size() << " count=" << got_count << "/"
+       << want_count << ")";
+    return os.str();
+  }
+  return "";
+}
+
+/// Restores environment/auto ISA selection on scope exit, so a failing check
+/// never leaves the process pinned to a test ISA.
+struct ScopedIsaReset {
+  ~ScopedIsaReset() { linalg::ClearForcedIsa(); }
+};
+
+std::string CompareTopKBitIdentical(const core::SliceLineResult& base,
+                                    const core::SliceLineResult& run,
+                                    const std::string& label) {
+  std::ostringstream os;
+  if (base.top_k.size() != run.top_k.size()) {
+    os << label << ": top-K size " << run.top_k.size() << " vs scalar "
+       << base.top_k.size();
+    return os.str();
+  }
+  for (size_t i = 0; i < base.top_k.size(); ++i) {
+    const core::Slice& a = base.top_k[i];
+    const core::Slice& b = run.top_k[i];
+    if (a.predicates != b.predicates) {
+      os << label << ": rank " << i << " predicates differ";
+      return os.str();
+    }
+    if (a.stats.size != b.stats.size ||
+        !BitEqual(a.stats.score, b.stats.score) ||
+        !BitEqual(a.stats.error_sum, b.stats.error_sum) ||
+        !BitEqual(a.stats.max_error, b.stats.max_error)) {
+      os << label << ": rank " << i << " stats not bit-identical"
+         << " (score " << a.stats.score << " vs " << b.stats.score << ")";
+      return os.str();
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string CheckSimdDifferential(const FuzzCase& fuzz_case) {
+  // (1) Seeded kernel rounds at every available ISA. The scalar-vs-scalar
+  // round is not skipped: it exercises the kernels on this round's shapes
+  // even on hosts with no vector units.
+  Rng rng(fuzz_case.seed * 0x9e3779b97f4a7c15ULL + 1);
+  for (SimdIsa isa : linalg::AvailableIsas()) {
+    std::string failure = RunKernelRound(rng, isa);
+    if (!failure.empty()) {
+      return DescribeCase(fuzz_case) + " " + failure;
+    }
+  }
+
+  // (2) End-to-end: the case's dataset through the native engine on the
+  // bit-packed strategy, once per ISA, all bit-identical to scalar. The
+  // fuzzed ablation toggles are NOT honored here: with pruning disabled and
+  // depth unbounded some generated cases enumerate combinatorially (the
+  // known ablation pathology the governance smoke also sidesteps), and this
+  // check's subject is the kernels, not the pruning logic. Full pruning plus
+  // a depth cap keeps every case's run bounded.
+  ScopedIsaReset reset;
+  core::SliceLineConfig config = fuzz_case.config;
+  config.eval_strategy = core::SliceLineConfig::EvalStrategy::kBitset;
+  config.prune_size = true;
+  config.prune_score = true;
+  config.prune_parents = true;
+  config.deduplicate = true;
+  config.max_level = config.max_level == 0 ? 3 : std::min(config.max_level, 3);
+
+  linalg::ForceIsa(SimdIsa::kScalar);
+  auto base = core::RunSliceLine(fuzz_case.x0, fuzz_case.errors, config);
+  if (!base.ok()) return "";  // invalid inputs are the oracle check's domain
+
+  for (SimdIsa isa : linalg::AvailableIsas()) {
+    if (isa == SimdIsa::kScalar) continue;
+    linalg::ForceIsa(isa);
+    auto run = core::RunSliceLine(fuzz_case.x0, fuzz_case.errors, config);
+    if (!run.ok()) {
+      return DescribeCase(fuzz_case) + " isa=" + linalg::IsaName(isa) +
+             " run failed: " + run.status().ToString();
+    }
+    std::string diff = CompareTopKBitIdentical(
+        *base, *run, std::string("isa=") + linalg::IsaName(isa));
+    if (!diff.empty()) return DescribeCase(fuzz_case) + " " + diff;
+  }
+  return "";
+}
+
+}  // namespace sliceline::testing

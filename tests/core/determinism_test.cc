@@ -14,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "core/sliceline.h"
 #include "dist/distributed_evaluator.h"
+#include "linalg/kernels_simd.h"
 #include "obs/metrics.h"
 #include "testing/checks.h"
 #include "testing/random_dataset.h"
@@ -56,14 +57,22 @@ void ExpectIdenticalTopK(const SliceLineResult& a, const SliceLineResult& b,
         << label << " rank " << i;
     EXPECT_EQ(a.top_k[i].stats.size, b.top_k[i].stats.size)
         << label << " rank " << i;
+    EXPECT_EQ(a.top_k[i].stats.error_sum, b.top_k[i].stats.error_sum)
+        << label << " rank " << i;
+    EXPECT_EQ(a.top_k[i].stats.max_error, b.top_k[i].stats.max_error)
+        << label << " rank " << i;
   }
 }
 
 class DeterminismTest : public ::testing::Test {
  protected:
-  // Whatever a test does to the global pool, restore the default so later
-  // suites in the same binary see the normal configuration.
-  void TearDown() override { ResizeGlobalThreadPoolForTesting(0); }
+  // Whatever a test does to the global pool or the kernel dispatch, restore
+  // the defaults so later suites in the same binary see the normal
+  // configuration (even when an assertion aborts a test mid-way).
+  void TearDown() override {
+    ResizeGlobalThreadPoolForTesting(0);
+    linalg::ClearForcedIsa();
+  }
 };
 
 TEST_F(DeterminismTest, RepeatedRunsAreBitIdentical) {
@@ -104,6 +113,36 @@ TEST_F(DeterminismTest, ThreadPoolSizeDoesNotChangeResult) {
                           "threads=" + std::to_string(threads));
     }
   }
+}
+
+TEST_F(DeterminismTest, SimdDispatchDoesNotChangeResult) {
+  // The bit-packed strategy must return the same top-K no matter which
+  // vector ISA the kernels dispatch at and how the candidate loop is split
+  // across threads: the SIMD levels only accelerate AND/popcount and
+  // zero-word skipping, never the (ascending-row) float accumulation order.
+  // Baseline: forced-scalar kernels on a single thread.
+  Dataset d = MakePlanted(37, 1500);
+  SliceLineConfig config;
+  config.k = 6;
+  config.parallel = true;
+  config.eval_strategy = SliceLineConfig::EvalStrategy::kBitset;
+  linalg::ForceIsa(linalg::SimdIsa::kScalar);
+  ResizeGlobalThreadPoolForTesting(1);
+  auto baseline = RunSliceLine(d.x0, d.errors, config);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_FALSE(baseline->top_k.empty());
+  for (linalg::SimdIsa isa : linalg::AvailableIsas()) {
+    linalg::ForceIsa(isa);
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      ResizeGlobalThreadPoolForTesting(threads);
+      auto result = RunSliceLine(d.x0, d.errors, config);
+      ASSERT_TRUE(result.ok());
+      ExpectIdenticalTopK(*baseline, *result,
+                          std::string("isa=") + linalg::IsaName(isa) +
+                              " threads=" + std::to_string(threads));
+    }
+  }
+  linalg::ClearForcedIsa();
 }
 
 TEST_F(DeterminismTest, ShardCountDoesNotChangeResult) {

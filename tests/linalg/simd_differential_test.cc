@@ -1,0 +1,336 @@
+// Differential kernel-test rig: every SIMD kernel, at every ISA level this
+// host can execute, over seeded typical and pathological bitmap shapes, must
+// be BIT-identical to the always-compiled scalar reference — integer counts
+// equal, output words memcmp-equal, and masked float reductions equal down
+// to the last ulp (the vector units only accelerate AND/popcount and
+// zero-word skipping; accumulation order is ascending rows at every level).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/bitmap.h"
+#include "linalg/kernels_simd.h"
+
+namespace sliceline::linalg {
+namespace {
+
+// Bit-exact double comparison: NaN-safe and distinguishes -0.0 from +0.0,
+// which EXPECT_DOUBLE_EQ does not.
+void ExpectBitEqual(double expected, double actual, const std::string& what) {
+  uint64_t eb = 0;
+  uint64_t ab = 0;
+  std::memcpy(&eb, &expected, sizeof(eb));
+  std::memcpy(&ab, &actual, sizeof(ab));
+  EXPECT_EQ(eb, ab) << what << ": expected " << expected << " got " << actual;
+}
+
+// One seeded input shape: a row count plus per-column fill probabilities.
+// Shapes deliberately include every packing pathology: a single row, tails
+// not filling a word (63/65/97), exact word multiples, all-zero columns,
+// full columns, and a row space wide enough to need many words.
+struct Shape {
+  const char* name;
+  int64_t rows;
+  std::vector<double> densities;  // one bitmap per entry; <0 = all rows set
+};
+
+std::vector<Shape> TestShapes() {
+  return {
+      {"single_row", 1, {0.0, 1.0, -1.0}},
+      {"tail_63", 63, {0.5, 0.0, -1.0, 0.9}},
+      {"word_64", 64, {0.5, 0.1, -1.0}},
+      {"tail_65", 65, {0.5, 0.0, 1.0, -1.0}},
+      {"tail_97", 97, {0.3, 0.7, 0.0}},
+      {"two_words_128", 128, {0.5, 0.05}},
+      {"wide_sparse", 5000, {0.01, 0.02, 0.5, 0.0, -1.0}},
+      {"wide_dense", 4099, {0.9, 0.8, 0.95}},
+  };
+}
+
+// Builds the shape's bitmaps deterministically from a fixed seed.
+std::vector<Bitmap> BuildBitmaps(const Shape& shape, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bitmap> out;
+  for (double density : shape.densities) {
+    Bitmap b(shape.rows);
+    for (int64_t r = 0; r < shape.rows; ++r) {
+      if (density < 0 || rng.NextBool(density)) b.Set(r);
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+// Error vector covering the padded word range (masked_stats contract: errors
+// cover [0, words*64), read only where bits are set). Values include exact
+// and non-representable-sum doubles so accumulation-order bugs surface.
+std::vector<double> BuildErrors(int64_t words, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> errors(static_cast<size_t>(words) * 64);
+  for (double& e : errors) e = rng.NextDouble() * 3.0;
+  return errors;
+}
+
+class SimdDifferentialTest : public ::testing::TestWithParam<SimdIsa> {
+ protected:
+  static bool IsAvailable(SimdIsa isa) {
+    for (SimdIsa available : AvailableIsas()) {
+      if (available == isa) return true;
+    }
+    return false;
+  }
+
+  void SetUp() override {
+    if (!IsAvailable(GetParam())) {
+      GTEST_SKIP() << "ISA " << IsaName(GetParam())
+                   << " not executable on this host";
+    }
+  }
+};
+
+TEST_P(SimdDifferentialTest, KernelTableReportsItsIsa) {
+  EXPECT_EQ(KernelsFor(GetParam()).isa, GetParam());
+}
+
+TEST_P(SimdDifferentialTest, PopcountMatchesScalar) {
+  const SimdKernels& simd = KernelsFor(GetParam());
+  const SimdKernels& scalar = KernelsFor(SimdIsa::kScalar);
+  uint64_t seed = 11;
+  for (const Shape& shape : TestShapes()) {
+    for (const Bitmap& b : BuildBitmaps(shape, seed++)) {
+      EXPECT_EQ(simd.popcount(b.data(), b.words()),
+                scalar.popcount(b.data(), b.words()))
+          << shape.name;
+      // Unpadded word counts exercise the kernels' tail loops (the evaluator
+      // always passes padded buffers, tests and fuzzers may not).
+      for (int64_t words : {int64_t{1}, b.words() - 1, b.words()}) {
+        if (words < 1) continue;
+        EXPECT_EQ(simd.popcount(b.data(), words),
+                  scalar.popcount(b.data(), words))
+            << shape.name << " words=" << words;
+      }
+    }
+  }
+}
+
+TEST_P(SimdDifferentialTest, AndInplaceMatchesScalar) {
+  const SimdKernels& simd = KernelsFor(GetParam());
+  const SimdKernels& scalar = KernelsFor(SimdIsa::kScalar);
+  uint64_t seed = 23;
+  for (const Shape& shape : TestShapes()) {
+    std::vector<Bitmap> bitmaps = BuildBitmaps(shape, seed++);
+    for (size_t i = 0; i + 1 < bitmaps.size(); ++i) {
+      const Bitmap& a = bitmaps[i];
+      const Bitmap& b = bitmaps[i + 1];
+      std::vector<uint64_t> got(a.data(), a.data() + a.words());
+      std::vector<uint64_t> want = got;
+      simd.and_inplace(got.data(), b.data(), a.words());
+      scalar.and_inplace(want.data(), b.data(), a.words());
+      EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                            got.size() * sizeof(uint64_t)),
+                0)
+          << shape.name << " pair " << i;
+    }
+  }
+}
+
+TEST_P(SimdDifferentialTest, AndPopcountMatchesScalar) {
+  const SimdKernels& simd = KernelsFor(GetParam());
+  const SimdKernels& scalar = KernelsFor(SimdIsa::kScalar);
+  uint64_t seed = 37;
+  for (const Shape& shape : TestShapes()) {
+    std::vector<Bitmap> bitmaps = BuildBitmaps(shape, seed++);
+    for (size_t i = 0; i + 1 < bitmaps.size(); ++i) {
+      const Bitmap& a = bitmaps[i];
+      const Bitmap& b = bitmaps[i + 1];
+      EXPECT_EQ(simd.and_popcount(a.data(), b.data(), a.words()),
+                scalar.and_popcount(a.data(), b.data(), a.words()))
+          << shape.name << " pair " << i;
+    }
+  }
+}
+
+TEST_P(SimdDifferentialTest, IntersectColumnsMatchesScalar) {
+  const SimdKernels& simd = KernelsFor(GetParam());
+  const SimdKernels& scalar = KernelsFor(SimdIsa::kScalar);
+  uint64_t seed = 53;
+  for (const Shape& shape : TestShapes()) {
+    std::vector<Bitmap> bitmaps = BuildBitmaps(shape, seed++);
+    const int64_t words = bitmaps.front().words();
+    std::vector<const uint64_t*> cols;
+    for (const Bitmap& b : bitmaps) cols.push_back(b.data());
+    // Every prefix length, including len == 1 (copy) and the widest
+    // available intersection.
+    for (int32_t len = 1; len <= static_cast<int32_t>(cols.size()); ++len) {
+      std::vector<uint64_t> got(static_cast<size_t>(words), ~uint64_t{0});
+      std::vector<uint64_t> want(static_cast<size_t>(words), 0);
+      const int64_t got_count =
+          simd.intersect_columns(cols.data(), len, got.data(), words);
+      const int64_t want_count =
+          scalar.intersect_columns(cols.data(), len, want.data(), words);
+      EXPECT_EQ(got_count, want_count) << shape.name << " len=" << len;
+      EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                            got.size() * sizeof(uint64_t)),
+                0)
+          << shape.name << " len=" << len;
+    }
+  }
+}
+
+TEST_P(SimdDifferentialTest, MaskedStatsMatchesScalarBitExact) {
+  const SimdKernels& simd = KernelsFor(GetParam());
+  const SimdKernels& scalar = KernelsFor(SimdIsa::kScalar);
+  uint64_t seed = 71;
+  for (const Shape& shape : TestShapes()) {
+    std::vector<Bitmap> bitmaps = BuildBitmaps(shape, seed++);
+    const int64_t words = bitmaps.front().words();
+    const std::vector<double> errors = BuildErrors(words, seed * 31);
+    for (size_t i = 0; i < bitmaps.size(); ++i) {
+      MaskedStats got;
+      simd.masked_stats(bitmaps[i].data(), words, errors.data(), &got);
+      MaskedStats want;
+      scalar.masked_stats(bitmaps[i].data(), words, errors.data(), &want);
+      const std::string what =
+          std::string(shape.name) + " column " + std::to_string(i);
+      EXPECT_EQ(got.count, want.count) << what;
+      ExpectBitEqual(want.sum, got.sum, what + " sum");
+      ExpectBitEqual(want.max, got.max, what + " max");
+    }
+  }
+}
+
+TEST_P(SimdDifferentialTest, MaskedStatsEmptyMaskIsZero) {
+  const SimdKernels& simd = KernelsFor(GetParam());
+  const int64_t words = BitmapWords(256);
+  const std::vector<uint64_t> mask(static_cast<size_t>(words), 0);
+  const std::vector<double> errors = BuildErrors(words, 5);
+  MaskedStats stats;
+  simd.masked_stats(mask.data(), words, errors.data(), &stats);
+  EXPECT_EQ(stats.count, 0);
+  ExpectBitEqual(0.0, stats.sum, "empty sum");
+  ExpectBitEqual(0.0, stats.max, "empty max");
+}
+
+// Unblocked, unvectorized reference for the cache-blocked candidate loop:
+// intersect each candidate's columns over the full row range, then reduce.
+void EvaluateCandidatesReference(const CandidateColumns* candidates,
+                                 int64_t count, int64_t words,
+                                 const double* errors, double* sizes,
+                                 double* error_sums, double* max_errors) {
+  const SimdKernels& scalar = KernelsFor(SimdIsa::kScalar);
+  std::vector<uint64_t> scratch(static_cast<size_t>(words));
+  for (int64_t c = 0; c < count; ++c) {
+    scalar.intersect_columns(candidates[c].cols, candidates[c].len,
+                             scratch.data(), words);
+    MaskedStats stats;
+    scalar.masked_stats(scratch.data(), words, errors, &stats);
+    sizes[c] += static_cast<double>(stats.count);
+    error_sums[c] += stats.sum;
+    if (stats.max > max_errors[c]) max_errors[c] = stats.max;
+  }
+}
+
+TEST_P(SimdDifferentialTest, BlockedCandidateLoopMatchesUnblockedScalar) {
+  const SimdKernels& simd = KernelsFor(GetParam());
+  Rng rng(1729);
+  // A row space large enough that the word tiling actually splits it
+  // (> kWordTile words), with enough candidates to cross candidate tiles.
+  const int64_t rows = 200000;  // 3125 words > one 2048-word tile
+  const int64_t words = BitmapWords(rows);
+  const int num_columns = 24;
+  std::vector<Bitmap> bitmaps;
+  for (int c = 0; c < num_columns; ++c) {
+    Bitmap b(rows);
+    // Mixed densities, plus one all-zero and one full column.
+    const double density = (c == 0) ? 0.0 : (c == 1) ? 1.1 : 0.02 * c;
+    for (int64_t r = 0; r < rows; ++r) {
+      if (rng.NextBool(density)) b.Set(r);
+    }
+    bitmaps.push_back(std::move(b));
+  }
+  const std::vector<double> errors = BuildErrors(words, 99);
+
+  // 100 candidates of widths 1..4 over random columns (> kCandidateTile=64,
+  // so the candidate tiling splits too).
+  const int64_t count = 100;
+  std::vector<std::vector<const uint64_t*>> column_sets;
+  column_sets.reserve(static_cast<size_t>(count));
+  std::vector<CandidateColumns> candidates;
+  for (int64_t i = 0; i < count; ++i) {
+    std::vector<const uint64_t*> cols;
+    const int len = static_cast<int>(rng.NextInt(1, 4));
+    for (int j = 0; j < len; ++j) {
+      cols.push_back(
+          bitmaps[static_cast<size_t>(rng.NextInt(0, num_columns - 1))]
+              .data());
+    }
+    column_sets.push_back(std::move(cols));
+    candidates.push_back(
+        {column_sets.back().data(),
+         static_cast<int32_t>(column_sets.back().size())});
+  }
+
+  std::vector<double> got_sizes(count, 0), got_sums(count, 0),
+      got_max(count, 0);
+  EvaluateCandidatesBlocked(simd, candidates.data(), count, words,
+                            errors.data(), got_sizes.data(), got_sums.data(),
+                            got_max.data());
+
+  std::vector<double> want_sizes(count, 0), want_sums(count, 0),
+      want_max(count, 0);
+  EvaluateCandidatesReference(candidates.data(), count, words, errors.data(),
+                              want_sizes.data(), want_sums.data(),
+                              want_max.data());
+
+  for (int64_t i = 0; i < count; ++i) {
+    const std::string what = "candidate " + std::to_string(i);
+    ExpectBitEqual(want_sizes[static_cast<size_t>(i)],
+                   got_sizes[static_cast<size_t>(i)], what + " size");
+    ExpectBitEqual(want_sums[static_cast<size_t>(i)],
+                   got_sums[static_cast<size_t>(i)], what + " error_sum");
+    ExpectBitEqual(want_max[static_cast<size_t>(i)],
+                   got_max[static_cast<size_t>(i)], what + " max_error");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, SimdDifferentialTest,
+                         ::testing::Values(SimdIsa::kScalar, SimdIsa::kNeon,
+                                           SimdIsa::kAvx2, SimdIsa::kAvx512),
+                         [](const ::testing::TestParamInfo<SimdIsa>& info) {
+                           return std::string(IsaName(info.param));
+                         });
+
+TEST(SimdDispatchTest, AvailableStartsWithScalar) {
+  const std::vector<SimdIsa>& isas = AvailableIsas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), SimdIsa::kScalar);
+}
+
+TEST(SimdDispatchTest, ForceIsaOverridesSelection) {
+  for (SimdIsa isa : AvailableIsas()) {
+    ForceIsa(isa);
+    EXPECT_EQ(SelectedIsa(), isa);
+    EXPECT_EQ(ActiveKernels().isa, isa);
+    EXPECT_STREQ(SelectedIsaName(), IsaName(isa));
+  }
+  ClearForcedIsa();
+}
+
+TEST(SimdDispatchTest, IsaNamesRoundTrip) {
+  for (SimdIsa isa : {SimdIsa::kScalar, SimdIsa::kNeon, SimdIsa::kAvx2,
+                      SimdIsa::kAvx512}) {
+    SimdIsa parsed;
+    ASSERT_TRUE(ParseIsaName(IsaName(isa), &parsed));
+    EXPECT_EQ(parsed, isa);
+  }
+  SimdIsa parsed;
+  EXPECT_FALSE(ParseIsaName("sse9", &parsed));
+  EXPECT_FALSE(ParseIsaName("", &parsed));
+}
+
+}  // namespace
+}  // namespace sliceline::linalg
