@@ -36,21 +36,31 @@ const data::EncodedDataset& AdultDataset() {
 /// timed call cannot be optimized away; the total is printed at the end.
 volatile double g_sink = 0.0;
 
-/// Times `fn` over `reps` runs (after one untimed warm-up) and reports the
+/// Times `fn` over repeated runs (after one untimed warm-up) and reports the
 /// best run plus items/s at that best. `items` is the per-run work unit
 /// (rows or nonzeros), 0 to skip the throughput column. Returns the best
 /// wall-clock so callers can derive speedup ratios between cases.
+///
+/// Repetition is time-budgeted, not a fixed count: fast cases repeat until
+/// ~kTimeBudget of wall clock accumulates (so a 10us kernel gets thousands
+/// of samples and its best stabilizes), slow cases stop after kMinReps.
+/// Fixed-count best-of-5 left sub-10ms cases swinging 2-3x between runs,
+/// which no regression threshold survives.
 template <typename Fn>
 double RunCase(bench::Reporter& reporter, const std::string& name,
                int64_t items, Fn&& fn) {
-  constexpr int kReps = 5;
+  constexpr int kMinReps = 5;
+  constexpr int kMaxReps = 20000;
+  constexpr double kTimeBudget = 0.25;  // seconds of samples per case
   g_sink = g_sink + fn();
   double best = 0.0;
   double total = 0.0;
-  for (int r = 0; r < kReps; ++r) {
+  int reps = 0;
+  while (reps < kMinReps || (total < kTimeBudget && reps < kMaxReps)) {
     const double seconds = bench::Timed([&] { g_sink = g_sink + fn(); });
     total += seconds;
-    if (r == 0 || seconds < best) best = seconds;
+    if (reps == 0 || seconds < best) best = seconds;
+    ++reps;
   }
   std::string throughput = "-";
   if (items > 0 && best > 0.0) {
@@ -59,9 +69,9 @@ double RunCase(bench::Reporter& reporter, const std::string& name,
   }
   std::printf("  %-28s %12s %12s %18s\n", name.c_str(),
               FormatDouble(best, 6).c_str(),
-              FormatDouble(total / kReps, 6).c_str(), throughput.c_str());
+              FormatDouble(total / reps, 6).c_str(), throughput.c_str());
   reporter.AddRow(name, {{"best_seconds", best},
-                         {"mean_seconds", total / kReps},
+                         {"mean_seconds", total / reps},
                          {"items", static_cast<double>(items)}});
   return best;
 }

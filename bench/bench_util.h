@@ -1,8 +1,11 @@
 #ifndef SLICELINE_BENCH_BENCH_UTIL_H_
 #define SLICELINE_BENCH_BENCH_UTIL_H_
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
 #include <utility>
 #include <vector>
@@ -68,6 +71,27 @@ inline std::string GitSha() {
 #endif
 }
 
+/// The machine benchmark JSON is attributed to (perf numbers from different
+/// hosts must never be compared silently).
+inline std::string Hostname() {
+  char name[256] = {};
+  if (::gethostname(name, sizeof(name) - 1) != 0) return "unknown";
+  return name[0] != '\0' ? name : "unknown";
+}
+
+/// Measurement timestamp: SLICELINE_BENCH_TIMESTAMP when set (CI injects a
+/// fixed value so report diffs stay deterministic), else the wall clock in
+/// UTC ISO-8601.
+inline std::string BenchTimestamp() {
+  if (const char* env = std::getenv("SLICELINE_BENCH_TIMESTAMP")) return env;
+  std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
+
 /// Prints a benchmark banner with the paper reference.
 inline void Banner(const std::string& title, const std::string& paper_ref) {
   std::printf("=====================================================\n");
@@ -129,6 +153,8 @@ class Reporter {
     // reporter — and thus the measurement run — started.)
     report_.AddAnnotation("simd_isa", linalg::SelectedIsaName());
     report_.AddAnnotation("git_sha", GitSha());
+    report_.AddAnnotation("hostname", Hostname());
+    report_.AddAnnotation("timestamp", BenchTimestamp());
   }
 
   /// Records one measurement row under `section` (e.g. the dataset name);

@@ -65,6 +65,7 @@ RemoteSliceEvaluator::RemoteSliceEvaluator(const data::IntMatrix& x0,
     shards_.push_back(MakeShard(x0, errors, range));
   }
   links_.resize(shards_.size());
+  link_obs_.resize(shards_.size());
   shard_owner_.resize(shards_.size());
   for (size_t w = 0; w < links_.size(); ++w) {
     links_[w].endpoint = options.endpoints[w];
@@ -108,13 +109,16 @@ StatusOr<std::unique_ptr<RemoteSliceEvaluator>> RemoteSliceEvaluator::Create(
 StatusOr<obs::JsonValue> RemoteSliceEvaluator::RoundTrip(
     Link& link, serve::WorkerRequest request, int timeout_ms) const {
   request.id = "q" + std::to_string(link.next_request++);
+  request.trace_id = options_.trace_id;
   const std::string line = serve::SerializeWorkerRequest(request);
+  const int64_t send_us = obs::TraceRecorder::NowMicros();
   SLICELINE_RETURN_NOT_OK(
       link.conn.WriteLine(line, serve::kWorkerMaxLineBytes));
   cost_.broadcast_bytes += static_cast<int64_t>(line.size());
   SLICELINE_ASSIGN_OR_RETURN(
       const std::string reply,
       link.conn.ReadLine(serve::kWorkerMaxLineBytes, timeout_ms));
+  const int64_t recv_us = obs::TraceRecorder::NowMicros();
   cost_.gather_bytes += static_cast<int64_t>(reply.size());
   SLICELINE_ASSIGN_OR_RETURN(obs::JsonValue root, obs::ParseJson(reply));
   if (!root.is_object()) {
@@ -130,6 +134,23 @@ StatusOr<obs::JsonValue> RemoteSliceEvaluator::RoundTrip(
                                     error->GetStringOr("message", ""));
     }
     return Status::IoError("worker reply missing error detail");
+  }
+  // Clock-offset estimation from replies carrying the worker's steady-clock
+  // sample (enlist / heartbeat / get_spans): assume the sample was taken at
+  // the round-trip midpoint and keep the minimum-RTT estimate, whose
+  // midpoint uncertainty is tightest.
+  const obs::JsonValue* now_us = root.Find("now_us");
+  if (now_us != nullptr && now_us->is_number()) {
+    const size_t w = static_cast<size_t>(&link - links_.data());
+    if (w < link_obs_.size()) {
+      LinkObs& lo = link_obs_[w];
+      const int64_t rtt_us = recv_us - send_us;
+      if (rtt_us <= lo.best_rtt_us) {
+        lo.best_rtt_us = rtt_us;
+        lo.clock_offset_us = static_cast<int64_t>(now_us->number_value()) -
+                             (send_us + recv_us) / 2;
+      }
+    }
   }
   link.last_heartbeat = MonotonicSeconds();
   return root;
@@ -164,9 +185,15 @@ Status RemoteSliceEvaluator::EnsureReady(Link& link) const {
   }
   if (session != link.session) {
     // A new session means a restarted worker process: every shard this
-    // coordinator believed loaded is gone.
+    // coordinator believed loaded is gone, and so are its counters.
     link.loaded.clear();
     link.session = session;
+    const size_t w = static_cast<size_t>(&link - links_.data());
+    if (w < link_obs_.size()) {
+      link_obs_[w].session = session;
+      link_obs_[w].os_pid = reply->GetIntOr("pid", 0);
+      link_obs_[w].counter_baseline.clear();
+    }
   }
   return Status::OK();
 }
@@ -222,6 +249,51 @@ Status RemoteSliceEvaluator::EnsureShardLoaded(Link& link,
   }
   link.loaded.insert(shard);
   return Status::OK();
+}
+
+Status RemoteSliceEvaluator::CollectWorkerObs(size_t w, bool baseline) const {
+  Link& link = links_[w];
+  serve::WorkerRequest request;
+  request.type = serve::WorkerRequestType::kGetSpans;
+  SLICELINE_ASSIGN_OR_RETURN(
+      obs::JsonValue reply,
+      RoundTrip(link, std::move(request), options_.request_timeout_ms));
+  std::vector<obs::RemoteSpan> spans;
+  std::vector<std::pair<std::string, double>> counters;
+  SLICELINE_RETURN_NOT_OK(serve::ParseSpansPayload(reply, &spans, &counters));
+  LinkObs& lo = link_obs_[w];
+  lo.os_pid = reply.GetIntOr("pid", lo.os_pid);
+  if (lo.session.empty()) {
+    lo.session = reply.GetStringOr("session", "");
+  }
+  for (obs::RemoteSpan& span : spans) {
+    // The worker drains its whole buffer; keep only spans belonging to our
+    // trace (a daemon-held worker may hold leftovers from earlier jobs).
+    if (span.trace_id == options_.trace_id) {
+      lo.spans.push_back(std::move(span));
+    }
+  }
+  for (const auto& [name, value] : counters) {
+    auto [it, inserted] = lo.counter_baseline.try_emplace(name, 0.0);
+    if (!baseline && !inserted) {
+      const double delta = value - it->second;
+      if (delta != 0.0) lo.counter_deltas[name] += delta;
+    } else if (!baseline && inserted) {
+      // Counter born after the baseline pass: it started at zero.
+      if (value != 0.0) lo.counter_deltas[name] += value;
+    }
+    it->second = value;
+  }
+  return Status::OK();
+}
+
+void RemoteSliceEvaluator::CollectRoundObs() const {
+  if (options_.trace_id == 0) return;
+  for (size_t w = 0; w < links_.size(); ++w) {
+    if (!links_[w].alive || !links_[w].connected) continue;
+    // Best-effort: a failed drain only costs this round's remote spans.
+    (void)CollectWorkerObs(w, /*baseline=*/false);
+  }
 }
 
 bool RemoteSliceEvaluator::LoseWorker(size_t worker) const {
@@ -342,6 +414,16 @@ void RemoteSliceEvaluator::SetupCluster() {
       basic_error_sums_[c] += stats[s].error_sums[c];
       basic_max_errors_[c] =
           std::max(basic_max_errors_[c], stats[s].max_errors[c]);
+    }
+  }
+
+  // Baseline pass for fleet tracing: drain setup-time spans now and pin
+  // counter baselines, so a worker reused across jobs does not leak earlier
+  // jobs' counts into this job's deltas.
+  if (options_.trace_id != 0) {
+    for (size_t w = 0; w < links_.size(); ++w) {
+      if (!links_[w].alive || !links_[w].connected) continue;
+      (void)CollectWorkerObs(w, /*baseline=*/true);
     }
   }
 }
@@ -471,6 +553,10 @@ StatusOr<core::EvalResult> RemoteSliceEvaluator::Evaluate(
     request.shard = task.shard;
     request.strategy = StrategyName(config.eval_strategy);
     request.block_size = config.eval_block_size;
+    // Propagate the trace context: the worker stamps its spans with the
+    // trace id and records the 1-based round as their remote parent.
+    request.trace_id = options_.trace_id;
+    request.parent_span_id = round + 1;
     for (int64_t i = task.begin; i < task.end; ++i) {
       request.slices.Add(set.Columns(i), set.Columns(i) + set.Length(i));
     }
@@ -636,6 +722,7 @@ StatusOr<core::EvalResult> RemoteSliceEvaluator::Evaluate(
       }
       task.done = true;
       (void)speculative;
+      eval_slices_accepted_ += task.end - task.begin;
       ++tasks_done;
       // If a twin of this task is still in flight elsewhere (the straggling
       // primary, or a backup the primary beat), cancel it by dropping that
@@ -686,13 +773,66 @@ StatusOr<core::EvalResult> RemoteSliceEvaluator::Evaluate(
   }
   cost_.critical_path_seconds += round_watch.ElapsedSeconds();
   PublishDistStats(cost_, faults_);
+  // Round boundary: drain worker span buffers + counter deltas while the
+  // connections are warm (outside the critical-path clock).
+  CollectRoundObs();
   return out;
+}
+
+obs::DistObsBundle RemoteSliceEvaluator::TakeObsBundle() {
+  obs::DistObsBundle bundle;
+  bundle.trace_id = options_.trace_id;
+  for (size_t w = 0; w < link_obs_.size(); ++w) {
+    LinkObs& lo = link_obs_[w];
+    if (lo.spans.empty() && lo.counter_deltas.empty()) continue;
+    obs::ProcessObs process;
+    process.label =
+        "worker " +
+        (lo.session.empty() ? "#" + std::to_string(w) : lo.session);
+    process.os_pid = lo.os_pid;
+    process.clock_offset_us =
+        lo.best_rtt_us == std::numeric_limits<int64_t>::max()
+            ? 0
+            : lo.clock_offset_us;
+    process.spans = std::move(lo.spans);
+    lo.spans.clear();
+    for (const auto& [name, value] : lo.counter_deltas) {
+      process.counters.emplace_back(name, value);
+    }
+    lo.counter_deltas.clear();
+    bundle.workers.push_back(std::move(process));
+  }
+  bundle.sections["dist_cost"] = {
+      {"rounds", static_cast<double>(cost_.rounds)},
+      {"broadcast_bytes", static_cast<double>(cost_.broadcast_bytes)},
+      {"gather_bytes", static_cast<double>(cost_.gather_bytes)},
+      {"worker_busy_seconds", cost_.worker_busy_seconds},
+      {"critical_path_seconds", cost_.critical_path_seconds},
+      {"eval_slices_accepted", static_cast<double>(eval_slices_accepted_)},
+      {"workers", static_cast<double>(links_.size())},
+      {"alive_workers", static_cast<double>(alive_count_)},
+  };
+  bundle.sections["dist_faults"] = {
+      {"transient_failures", static_cast<double>(faults_.transient_failures)},
+      {"retries", static_cast<double>(faults_.retries)},
+      {"backoff_events", static_cast<double>(faults_.backoff_events)},
+      {"backoff_seconds", faults_.backoff_seconds},
+      {"stragglers", static_cast<double>(faults_.stragglers)},
+      {"speculative_reexecutions",
+       static_cast<double>(faults_.speculative_reexecutions)},
+      {"corrupted_partials", static_cast<double>(faults_.corrupted_partials)},
+      {"workers_lost", static_cast<double>(faults_.workers_lost)},
+      {"reshards", static_cast<double>(faults_.reshards)},
+      {"fallback_local", faults_.fallback_local ? 1.0 : 0.0},
+  };
+  return bundle;
 }
 
 StatusOr<core::SliceLineResult> RunSliceLineRemote(
     const data::IntMatrix& x0, const std::vector<double>& errors,
     const core::SliceLineConfig& config, const RemoteDistOptions& options,
-    DistCostStats* cost_out, DistFaultStats* faults_out) {
+    DistCostStats* cost_out, DistFaultStats* faults_out,
+    obs::DistObsBundle* obs_out) {
   SLICELINE_ASSIGN_OR_RETURN(std::unique_ptr<RemoteSliceEvaluator> eval,
                              RemoteSliceEvaluator::Create(x0, errors,
                                                           options));
@@ -701,6 +841,7 @@ StatusOr<core::SliceLineResult> RunSliceLineRemote(
   result.outcome.dist_fallback_local = eval->faults().fallback_local;
   if (cost_out != nullptr) *cost_out = eval->cost();
   if (faults_out != nullptr) *faults_out = eval->faults();
+  if (obs_out != nullptr) *obs_out = eval->TakeObsBundle();
   return result;
 }
 

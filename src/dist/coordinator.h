@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -15,6 +17,7 @@
 #include "dist/distributed_evaluator.h"
 #include "dist/partition.h"
 #include "obs/json_parse.h"
+#include "obs/trace_merge.h"
 #include "serve/worker_protocol.h"
 
 namespace sliceline::dist {
@@ -63,6 +66,13 @@ struct RemoteDistOptions {
   /// Target cells (rows x features) per load_shard chunk; keeps every
   /// shard-transfer line well under kWorkerMaxLineBytes.
   int64_t load_chunk_cells = 1 << 16;
+
+  /// Nonzero enables fleet tracing: every worker request carries this
+  /// distributed-trace id (plus the round number as the parent span),
+  /// workers record spans while handling our requests, and the coordinator
+  /// drains them back -- with metrics-counter deltas -- via get_spans at
+  /// round boundaries (see TakeObsBundle()).
+  uint64_t trace_id = 0;
 };
 
 /// Slice-evaluation backend over real sliceline_worker processes: each
@@ -121,6 +131,13 @@ class RemoteSliceEvaluator : public core::EvaluatorBackend {
   /// Content fingerprint shipped in every shard-addressed request.
   const std::string& dataset_hash() const { return dataset_hash_; }
 
+  /// Moves out everything collected for the fleet trace and run report:
+  /// per-worker spans (steady-clock offsets estimated from the minimum-RTT
+  /// now_us round-trip samples), per-worker counter deltas, and the
+  /// coordinator's cost/fault numbers as flat report sections. Meaningful
+  /// after the run; empty worker list when tracing was off.
+  obs::DistObsBundle TakeObsBundle();
+
   /// Test hook invoked at the start of every Evaluate() with its round
   /// number -- the chaos harness kills / suspends / restarts worker
   /// processes here, i.e. exactly at level boundaries.
@@ -171,6 +188,15 @@ class RemoteSliceEvaluator : public core::EvaluatorBackend {
   bool LoseWorker(size_t worker) const;
   void ReshardLostWorkers() const;
 
+  /// get_spans round-trip on worker `w`: appends trace-matching spans and
+  /// (unless `baseline`) counter deltas to link_obs_[w]. In baseline mode
+  /// the current counter values only (re)set the per-session baseline --
+  /// run at the end of setup so pre-existing counts of a reused worker are
+  /// not attributed to this job.
+  Status CollectWorkerObs(size_t w, bool baseline) const;
+  /// Best-effort get_spans sweep over the connected fleet (round boundary).
+  void CollectRoundObs() const;
+
   RemoteDistOptions options_;
   data::FeatureOffsets offsets_;
   std::vector<Shard> shards_;  ///< coordinator copies; re-shipped on demand
@@ -187,11 +213,26 @@ class RemoteSliceEvaluator : public core::EvaluatorBackend {
 
   std::function<void(int64_t)> round_hook_;
 
+  /// Per-link observability state, parallel to links_. Survives session
+  /// changes except the counter baseline (a restarted worker restarts its
+  /// counters at zero).
+  struct LinkObs {
+    std::string session;
+    int64_t os_pid = 0;
+    int64_t clock_offset_us = 0;  ///< worker steady clock minus ours
+    int64_t best_rtt_us = std::numeric_limits<int64_t>::max();
+    std::vector<obs::RemoteSpan> spans;
+    std::map<std::string, double> counter_deltas;
+    std::map<std::string, double> counter_baseline;
+  };
+
   mutable std::vector<Link> links_;
+  mutable std::vector<LinkObs> link_obs_;
   mutable std::vector<int> shard_owner_;
   mutable int alive_count_ = 0;
   mutable std::unique_ptr<core::SliceEvaluator> fallback_;
   mutable int64_t next_round_ = 0;
+  mutable int64_t eval_slices_accepted_ = 0;
   mutable DistCostStats cost_;
   mutable DistFaultStats faults_;
 };
@@ -202,7 +243,8 @@ class RemoteSliceEvaluator : public core::EvaluatorBackend {
 StatusOr<core::SliceLineResult> RunSliceLineRemote(
     const data::IntMatrix& x0, const std::vector<double>& errors,
     const core::SliceLineConfig& config, const RemoteDistOptions& options,
-    DistCostStats* cost_out = nullptr, DistFaultStats* faults_out = nullptr);
+    DistCostStats* cost_out = nullptr, DistFaultStats* faults_out = nullptr,
+    obs::DistObsBundle* obs_out = nullptr);
 
 }  // namespace sliceline::dist
 

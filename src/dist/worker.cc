@@ -9,6 +9,9 @@
 #include "common/logging.h"
 #include "dist/fault_injection.h"
 #include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_merge.h"
 #include "serve/protocol.h"
 
 namespace sliceline::dist {
@@ -131,6 +134,18 @@ void Worker::ServeConnection(SocketConnection conn) {
 }
 
 std::string Worker::Handle(const serve::WorkerRequest& request) {
+  // A coordinator that sends a trace id has fleet tracing on: start
+  // recording (idempotent) and stamp everything this request records so
+  // get_spans can ship it back attributed to the right job.
+  if (request.trace_id != 0 && !obs::TraceRecorder::Default()->enabled()) {
+    obs::TraceRecorder::Default()->SetProcessLabel("worker " + session_);
+    obs::TraceRecorder::Default()->SetEnabled(true);
+    // Counter deltas ship alongside the spans; without this the work
+    // accounting (worker/eval_blocks, worker/eval_slices) stays zero.
+    obs::SetMetricsEnabled(true);
+  }
+  obs::ScopedTraceContext trace_context(
+      obs::TraceContext{request.trace_id, request.parent_span_id});
   StatusOr<std::string> response = Status::Internal("unhandled request");
   switch (request.type) {
     case serve::WorkerRequestType::kEnlist:
@@ -156,7 +171,21 @@ std::string Worker::Handle(const serve::WorkerRequest& request) {
     case serve::WorkerRequestType::kEvalBlock:
       response = HandleEvalBlock(request);
       break;
-    case serve::WorkerRequestType::kHeartbeat:
+    case serve::WorkerRequestType::kGetSpans:
+      response = HandleGetSpans(request);
+      break;
+    case serve::WorkerRequestType::kHeartbeat: {
+      std::ostringstream os;
+      obs::JsonWriter writer(os);
+      serve::BeginOkResponse(&writer, request.id);
+      // Steady-clock sample for the coordinator's offset estimation.
+      writer.Key("now_us");
+      writer.Int(obs::TraceRecorder::NowMicros());
+      writer.EndObject();
+      os << '\n';
+      response = os.str();
+      break;
+    }
     case serve::WorkerRequestType::kShutdown: {
       std::ostringstream os;
       obs::JsonWriter writer(os);
@@ -186,6 +215,10 @@ StatusOr<std::string> Worker::HandleEnlist(
   writer.Int(serve::kWorkerProtocolVersion);
   writer.Key("session");
   writer.String(session_);
+  writer.Key("now_us");
+  writer.Int(obs::TraceRecorder::NowMicros());
+  writer.Key("pid");
+  writer.Int(static_cast<int64_t>(getpid()));
   writer.EndObject();
   os << '\n';
   return os.str();
@@ -294,6 +327,7 @@ StatusOr<std::string> Worker::HandleLoadShard(
 
 StatusOr<std::string> Worker::HandleBasicStats(
     const serve::WorkerRequest& request) {
+  TRACE_SPAN("worker/basic_stats", request.shard);
   auto it = shards_.find({request.dataset_hash, request.shard});
   if (it == shards_.end()) {
     return Status::NotFound("shard " + std::to_string(request.shard) +
@@ -318,6 +352,7 @@ StatusOr<std::string> Worker::HandleBasicStats(
 
 StatusOr<std::string> Worker::HandleEvalBlock(
     const serve::WorkerRequest& request) {
+  TRACE_SPAN("worker/eval_block", request.shard);
   auto it = shards_.find({request.dataset_hash, request.shard});
   if (it == shards_.end()) {
     return Status::NotFound("shard " + std::to_string(request.shard) +
@@ -337,11 +372,51 @@ StatusOr<std::string> Worker::HandleEvalBlock(
       core::EvalResult partial,
       it->second->evaluator->Evaluate(request.slices, config));
   const uint64_t checksum = ChecksumPartial(partial);
+  // Per-worker work accounting, shipped back via get_spans; the coordinator
+  // cross-checks the fleet-wide sum against its own DistCost.
+  obs::MetricsRegistry::Default()->GetCounter("worker/eval_blocks")
+      ->Increment();
+  obs::MetricsRegistry::Default()->GetCounter("worker/eval_slices")
+      ->Add(request.slices.size());
 
   std::ostringstream os;
   obs::JsonWriter writer(os);
   serve::BeginOkResponse(&writer, request.id);
   serve::WriteEvalPayload(&writer, partial, checksum);
+  writer.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+StatusOr<std::string> Worker::HandleGetSpans(
+    const serve::WorkerRequest& request) {
+  // Drain the recorder (one coordinator per worker, so everything buffered
+  // belongs to it) and ship absolute counter values; the coordinator owns
+  // the per-session baselines and turns them into deltas.
+  std::vector<obs::RemoteSpan> spans;
+  for (const obs::TraceEvent& event :
+       obs::TraceRecorder::Default()->TakeEvents()) {
+    spans.push_back(obs::RemoteSpanFromEvent(event));
+  }
+  std::vector<std::pair<std::string, double>> counters;
+  for (const obs::MetricSample& sample :
+       obs::MetricsRegistry::Default()->Snapshot()) {
+    if (sample.kind == obs::MetricSample::Kind::kCounter) {
+      counters.emplace_back(sample.name,
+                            static_cast<double>(sample.counter_value));
+    }
+  }
+
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  serve::BeginOkResponse(&writer, request.id);
+  writer.Key("now_us");
+  writer.Int(obs::TraceRecorder::NowMicros());
+  writer.Key("pid");
+  writer.Int(static_cast<int64_t>(getpid()));
+  writer.Key("session");
+  writer.String(session_);
+  serve::WriteSpansPayload(&writer, spans, counters);
   writer.EndObject();
   os << '\n';
   return os.str();

@@ -105,6 +105,7 @@ class Worker {
   StatusOr<std::string> HandleLoadShard(const serve::WorkerRequest& request);
   StatusOr<std::string> HandleBasicStats(const serve::WorkerRequest& request);
   StatusOr<std::string> HandleEvalBlock(const serve::WorkerRequest& request);
+  StatusOr<std::string> HandleGetSpans(const serve::WorkerRequest& request);
 
   WorkerOptions options_;
   std::string session_;

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -63,6 +64,7 @@ std::string ValidatePrometheusText(const std::string& text) {
 
   std::string family;       // current # TYPE family name
   std::string family_type;  // counter | gauge | histogram
+  std::set<std::string> seen_families;
   // Histogram bookkeeping for the current family.
   double last_bucket = 0.0;
   bool saw_inf_bucket = false;
@@ -101,6 +103,9 @@ std::string ValidatePrometheusText(const std::string& text) {
                                            "'");
       if (type != "counter" && type != "gauge" && type != "histogram") {
         return fail("unknown metric type '" + type + "'");
+      }
+      if (!seen_families.insert(name).second) {
+        return fail("duplicate # TYPE for family '" + name + "'");
       }
       family = name;
       family_type = type;

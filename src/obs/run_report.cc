@@ -4,6 +4,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <set>
 
 #include "linalg/kernels_simd.h"
 #include "obs/json_writer.h"
@@ -293,8 +294,18 @@ void RunReport::WritePrometheus(std::ostream& os,
     std::snprintf(buffer, sizeof(buffer), "%.17g", v);
     return buffer;
   };
+  // Distinct registry names can sanitize to the same exposition name
+  // ("eval time" and "eval.time" both become sliceline_eval_time); a second
+  // # TYPE line for an already-introduced family is invalid exposition, so
+  // collisions get a numeric suffix. Snapshot() is sorted by registry name,
+  // which makes the suffix assignment deterministic.
+  std::set<std::string> emitted;
   for (const MetricSample& sample : registry->Snapshot()) {
-    const std::string name = PrometheusMetricName(sample.name);
+    std::string name = PrometheusMetricName(sample.name);
+    const std::string base = name;
+    for (int k = 2; !emitted.insert(name).second; ++k) {
+      name = base + "_" + std::to_string(k);
+    }
     switch (sample.kind) {
       case MetricSample::Kind::kCounter:
         os << "# TYPE " << name << " counter\n";

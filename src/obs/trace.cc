@@ -1,11 +1,33 @@
 #include "obs/trace.h"
 
 #include <chrono>
+#include <utility>
 
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 
 namespace sliceline::obs {
+
+namespace {
+
+thread_local TraceContext g_trace_context;
+
+/// Stamps the thread's trace context onto an event about to be recorded.
+void StampContext(TraceEvent* event) {
+  event->trace_id = g_trace_context.trace_id;
+  event->parent_span_id = g_trace_context.parent_span_id;
+}
+
+}  // namespace
+
+TraceContext CurrentTraceContext() { return g_trace_context; }
+
+ScopedTraceContext::ScopedTraceContext(TraceContext context)
+    : saved_(g_trace_context) {
+  g_trace_context = context;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { g_trace_context = saved_; }
 
 TraceRecorder* TraceRecorder::Default() {
   static TraceRecorder* recorder = new TraceRecorder();
@@ -22,6 +44,16 @@ uint32_t TraceRecorder::ThreadId() {
   static std::atomic<uint32_t> next{1};
   thread_local const uint32_t id = next.fetch_add(1);
   return id;
+}
+
+void TraceRecorder::SetProcessLabel(const std::string& label) {
+  std::lock_guard<std::mutex> lock(label_mutex_);
+  process_label_ = label;
+}
+
+std::string TraceRecorder::process_label() const {
+  std::lock_guard<std::mutex> lock(label_mutex_);
+  return process_label_;
 }
 
 TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
@@ -42,11 +74,22 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
 
 void TraceRecorder::Record(const TraceEvent& event) {
   ThreadBuffer* buffer = BufferForThisThread();
-  std::lock_guard<std::mutex> lock(buffer->mutex);
-  if (buffer->events.capacity() == buffer->events.size()) {
-    buffer->events.reserve(buffer->events.size() + 1024);
+  {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    if (buffer->events.size() < kMaxEventsPerThread) {
+      if (buffer->events.capacity() == buffer->events.size()) {
+        buffer->events.reserve(buffer->events.size() + 1024);
+      }
+      buffer->events.push_back(event);
+      return;
+    }
   }
-  buffer->events.push_back(event);
+  // Buffer full: drop the event, but make the loss observable.
+  if (MetricsEnabled()) {
+    MetricsRegistry::Default()
+        ->GetCounter("obs/trace/dropped_events")
+        ->Increment();
+  }
 }
 
 void TraceRecorder::Clear() {
@@ -65,6 +108,38 @@ size_t TraceRecorder::EventCount() const {
     total += buffer->events.size();
   }
   return total;
+}
+
+std::vector<TraceEvent> TraceRecorder::TakeEvents() {
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  std::vector<TraceEvent> taken;
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    for (TraceEvent& event : buffer->events) {
+      taken.push_back(std::move(event));
+    }
+    buffer->events.clear();
+  }
+  return taken;
+}
+
+std::vector<TraceEvent> TraceRecorder::TakeEventsForTrace(uint64_t trace_id) {
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  std::vector<TraceEvent> taken;
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    std::vector<TraceEvent> kept;
+    kept.reserve(buffer->events.size());
+    for (TraceEvent& event : buffer->events) {
+      if (event.trace_id == trace_id) {
+        taken.push_back(std::move(event));
+      } else {
+        kept.push_back(std::move(event));
+      }
+    }
+    buffer->events.swap(kept);
+  }
+  return taken;
 }
 
 void TraceRecorder::ExportChromeTrace(std::ostream& os) const {
@@ -97,11 +172,29 @@ void TraceRecorder::ExportChromeTrace(std::ostream& os) const {
       json.Int(1);
       json.Key("tid");
       json.Int(static_cast<int64_t>(event.tid));
-      if (event.has_arg) {
+      const bool has_args = event.has_arg || !event.detail.empty() ||
+                            event.trace_id != 0 || event.parent_span_id != 0;
+      if (has_args) {
         json.Key("args");
         json.BeginObject();
-        json.Key("v");
-        json.Int(event.arg);
+        if (event.has_arg) {
+          json.Key("v");
+          json.Int(event.arg);
+        }
+        if (!event.detail.empty()) {
+          json.Key("detail");
+          json.String(event.detail);
+        }
+        if (event.trace_id != 0) {
+          // Decimal string: uint64 ids survive readers that treat JSON
+          // numbers as doubles.
+          json.Key("trace_id");
+          json.String(std::to_string(event.trace_id));
+        }
+        if (event.parent_span_id != 0) {
+          json.Key("parent_span_id");
+          json.Int(event.parent_span_id);
+        }
         json.EndObject();
       }
       json.EndObject();
@@ -121,6 +214,11 @@ ScopedSpan::ScopedSpan(const char* name, bool has_arg, int64_t arg)
   if (active_) start_us_ = TraceRecorder::NowMicros();
 }
 
+ScopedSpan::ScopedSpan(const char* name, std::string detail)
+    : ScopedSpan(name, /*has_arg=*/false, 0) {
+  if (active_) detail_ = std::move(detail);
+}
+
 ScopedSpan::~ScopedSpan() {
   if (!active_) return;
   TraceEvent event;
@@ -131,13 +229,15 @@ ScopedSpan::~ScopedSpan() {
   event.tid = TraceRecorder::ThreadId();
   event.has_arg = has_arg_;
   event.arg = arg_;
+  event.detail = std::move(detail_);
+  StampContext(&event);
   TraceRecorder::Default()->Record(event);
 }
 
 namespace {
 
 void TraceInstantImpl(const char* category, const char* name, bool has_arg,
-                      int64_t arg) {
+                      int64_t arg, std::string detail) {
   if (MetricsEnabled()) {
     std::string counter_name("events/");
     counter_name += category;
@@ -155,17 +255,23 @@ void TraceInstantImpl(const char* category, const char* name, bool has_arg,
   event.tid = TraceRecorder::ThreadId();
   event.has_arg = has_arg;
   event.arg = arg;
+  event.detail = std::move(detail);
+  StampContext(&event);
   recorder->Record(event);
 }
 
 }  // namespace
 
 void TraceInstant(const char* category, const char* name) {
-  TraceInstantImpl(category, name, /*has_arg=*/false, 0);
+  TraceInstantImpl(category, name, /*has_arg=*/false, 0, std::string());
 }
 
 void TraceInstant(const char* category, const char* name, int64_t arg) {
-  TraceInstantImpl(category, name, /*has_arg=*/true, arg);
+  TraceInstantImpl(category, name, /*has_arg=*/true, arg, std::string());
+}
+
+void TraceInstant(const char* category, const char* name, std::string detail) {
+  TraceInstantImpl(category, name, /*has_arg=*/false, 0, std::move(detail));
 }
 
 }  // namespace sliceline::obs

@@ -13,7 +13,9 @@ namespace sliceline::obs {
 
 /// One trace event in the Chrome/Perfetto trace-event model. `name` and
 /// `category` are required to be string literals (or otherwise outlive the
-/// recorder) so the hot path never copies or allocates.
+/// recorder) so the hot path never copies or allocates; the optional
+/// `detail` string argument is the one owned field and stays empty on the
+/// engine hot paths.
 struct TraceEvent {
   const char* name = "";
   const char* category = "sliceline";
@@ -23,14 +25,50 @@ struct TraceEvent {
   uint32_t tid = 0;       ///< recording thread
   bool has_arg = false;   ///< emit `args:{"v":arg}`?
   int64_t arg = 0;        ///< span argument (e.g. lattice level)
+  uint64_t trace_id = 0;  ///< distributed-trace correlation id (0 = none)
+  int64_t parent_span_id = 0;  ///< remote parent span (0 = none)
+  std::string detail;     ///< optional string argument (empty = absent)
+};
+
+/// Ambient distributed-trace identity for the calling thread. Spans and
+/// instants recorded while a context is installed are stamped with its
+/// `trace_id`/`parent_span_id`, which is how one job's events are told
+/// apart in a process-wide recorder and correlated across processes.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  int64_t parent_span_id = 0;
+};
+
+/// The calling thread's current context ({0,0} when none installed).
+TraceContext CurrentTraceContext();
+
+/// RAII installer for the thread's trace context; restores the previous
+/// context on destruction so nested jobs/requests compose.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext context);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
 };
 
 /// Process-wide trace-span recorder. Spans append to per-thread buffers
 /// (one short uncontended lock per event); Export serializes everything to
 /// the Chrome tracing / Perfetto JSON format (chrome://tracing loads it
 /// directly). Disabled (the default) it costs one relaxed load per span.
+/// Per-thread buffers are bounded at kMaxEventsPerThread: a long-running
+/// daemon with tracing left on drops the newest events past the cap (and
+/// counts them under "obs/trace/dropped_events") instead of growing without
+/// limit.
 class TraceRecorder {
  public:
+  /// Hard cap per (thread, recorder) buffer; ~6 MiB worst case per thread.
+  static constexpr size_t kMaxEventsPerThread = 1u << 16;
+
   static TraceRecorder* Default();
 
   void SetEnabled(bool enabled) {
@@ -47,11 +85,24 @@ class TraceRecorder {
   /// Small dense id of the calling thread (Chrome traces want integers).
   static uint32_t ThreadId();
 
+  /// Process label used for the exported process_name metadata (worker
+  /// session id, "server", ...). Defaults to "sliceline".
+  void SetProcessLabel(const std::string& label);
+  std::string process_label() const;
+
   /// Drops all recorded events.
   void Clear();
 
   /// Number of buffered events (diagnostics/tests).
   size_t EventCount() const;
+
+  /// Removes and returns every buffered event (worker-side span shipping).
+  std::vector<TraceEvent> TakeEvents();
+
+  /// Removes and returns the buffered events stamped with `trace_id`,
+  /// leaving everything else in place (per-job trace assembly on a shared
+  /// recorder).
+  std::vector<TraceEvent> TakeEventsForTrace(uint64_t trace_id);
 
   /// Writes the full buffered trace as strict Chrome-tracing JSON:
   /// {"traceEvents":[...],"displayTimeUnit":"ms"}.
@@ -68,17 +119,22 @@ class TraceRecorder {
   std::atomic<bool> enabled_{false};
   mutable std::mutex buffers_mutex_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable std::mutex label_mutex_;
+  std::string process_label_ = "sliceline";
 };
 
 /// RAII span: records a complete ('X') event covering its lifetime. The
 /// enabled check happens once, at construction; a span that starts enabled
-/// records even if tracing is flipped off before it ends.
+/// records even if tracing is flipped off before it ends. The thread's
+/// trace context is also captured at construction.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name)
       : ScopedSpan(name, /*has_arg=*/false, 0) {}
   ScopedSpan(const char* name, int64_t arg)
       : ScopedSpan(name, /*has_arg=*/true, arg) {}
+  /// Span with a string argument (exported as args.detail).
+  ScopedSpan(const char* name, std::string detail);
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -92,6 +148,7 @@ class ScopedSpan {
   bool active_;
   bool has_arg_;
   int64_t arg_;
+  std::string detail_;
 };
 
 /// Records an instant event (a point-in-time marker, Perfetto 'i' phase),
@@ -103,6 +160,9 @@ void TraceInstant(const char* category, const char* name);
 /// Instant event with a numeric argument (e.g. the level a degradation
 /// step fired at).
 void TraceInstant(const char* category, const char* name, int64_t arg);
+
+/// Instant event with a string argument (e.g. a worker session id).
+void TraceInstant(const char* category, const char* name, std::string detail);
 
 }  // namespace sliceline::obs
 

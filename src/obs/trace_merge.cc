@@ -1,0 +1,102 @@
+#include "obs/trace_merge.h"
+
+#include "obs/json_writer.h"
+
+namespace sliceline::obs {
+
+RemoteSpan RemoteSpanFromEvent(const TraceEvent& event) {
+  RemoteSpan span;
+  span.name = event.name;
+  span.category = event.category;
+  span.phase = event.phase;
+  span.ts_us = event.ts_us;
+  span.dur_us = event.dur_us;
+  span.tid = static_cast<int64_t>(event.tid);
+  span.has_arg = event.has_arg;
+  span.arg = event.arg;
+  span.trace_id = event.trace_id;
+  span.parent_span_id = event.parent_span_id;
+  span.detail = event.detail;
+  return span;
+}
+
+void WriteMergedChromeTrace(const std::vector<ProcessTrack>& tracks,
+                            std::ostream& os) {
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("traceEvents");
+  json.BeginArray();
+  for (size_t i = 0; i < tracks.size(); ++i) {
+    const ProcessTrack& track = tracks[i];
+    const int64_t pid = static_cast<int64_t>(i) + 1;
+    // Name the lane: Perfetto's track-per-process view keys on this.
+    json.BeginObject();
+    json.Key("name");
+    json.String("process_name");
+    json.Key("ph");
+    json.String("M");
+    json.Key("pid");
+    json.Int(pid);
+    json.Key("tid");
+    json.Int(0);
+    json.Key("args");
+    json.BeginObject();
+    json.Key("name");
+    json.String(track.label);
+    json.EndObject();
+    json.EndObject();
+    for (const RemoteSpan& span : track.spans) {
+      json.BeginObject();
+      json.Key("name");
+      json.String(span.name);
+      json.Key("cat");
+      json.String(span.category);
+      json.Key("ph");
+      json.String(std::string(1, span.phase));
+      json.Key("ts");
+      json.Int(span.ts_us - track.clock_offset_us);
+      if (span.phase == 'X') {
+        json.Key("dur");
+        json.Int(span.dur_us);
+      }
+      if (span.phase == 'i') {
+        json.Key("s");
+        json.String("t");
+      }
+      json.Key("pid");
+      json.Int(pid);
+      json.Key("tid");
+      json.Int(span.tid);
+      const bool has_args = span.has_arg || !span.detail.empty() ||
+                            span.trace_id != 0 || span.parent_span_id != 0;
+      if (has_args) {
+        json.Key("args");
+        json.BeginObject();
+        if (span.has_arg) {
+          json.Key("v");
+          json.Int(span.arg);
+        }
+        if (!span.detail.empty()) {
+          json.Key("detail");
+          json.String(span.detail);
+        }
+        if (span.trace_id != 0) {
+          json.Key("trace_id");
+          json.String(std::to_string(span.trace_id));
+        }
+        if (span.parent_span_id != 0) {
+          json.Key("parent_span_id");
+          json.Int(span.parent_span_id);
+        }
+        json.EndObject();
+      }
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  json.Key("displayTimeUnit");
+  json.String("ms");
+  json.EndObject();
+}
+
+}  // namespace sliceline::obs

@@ -1,0 +1,76 @@
+#ifndef SLICELINE_OBS_TRACE_MERGE_H_
+#define SLICELINE_OBS_TRACE_MERGE_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace sliceline::obs {
+
+/// A span that crossed a process boundary: the same shape as TraceEvent but
+/// with owned strings, because the literal-pointer discipline of the
+/// in-process recorder cannot survive serialization.
+struct RemoteSpan {
+  std::string name;
+  std::string category = "sliceline";
+  char phase = 'X';
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;
+  int64_t tid = 0;
+  bool has_arg = false;
+  int64_t arg = 0;
+  uint64_t trace_id = 0;
+  int64_t parent_span_id = 0;
+  std::string detail;
+};
+
+/// Deep copy of a locally recorded event into the owned-string form.
+RemoteSpan RemoteSpanFromEvent(const TraceEvent& event);
+
+/// One process's lane in a merged fleet trace. `clock_offset_us` is the
+/// remote steady clock minus the local one (estimated from request
+/// round-trips); the merge subtracts it so every lane shares the local
+/// timebase.
+struct ProcessTrack {
+  std::string label;  ///< shown as the Perfetto process name
+  int64_t clock_offset_us = 0;
+  std::vector<RemoteSpan> spans;
+};
+
+/// Observability shipped back from one remote process for one job: its
+/// spans plus counter deltas from its metrics registry, and the clock
+/// offset the coordinator estimated for it.
+struct ProcessObs {
+  std::string label;   ///< e.g. "worker w1234-0"
+  int64_t os_pid = 0;  ///< remote OS pid (report attribution only)
+  int64_t clock_offset_us = 0;
+  std::vector<RemoteSpan> spans;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Everything a distributed engine hands back alongside a result so the
+/// scheduler can assemble one report and one merged timeline per job.
+/// `sections` are flat numeric report sections keyed by section name
+/// (e.g. "dist_cost" -> {"rounds": 3, ...}).
+struct DistObsBundle {
+  uint64_t trace_id = 0;
+  std::vector<ProcessObs> workers;
+  std::map<std::string, std::map<std::string, double>> sections;
+};
+
+/// Writes `tracks` as one strict Chrome-tracing JSON document
+/// ({"traceEvents":[...],"displayTimeUnit":"ms"}). Track i is assigned
+/// pid i+1 and an 'M'-phase process_name metadata record carrying its
+/// label, so Perfetto shows one named lane per process; span timestamps
+/// are shifted by -clock_offset_us onto track 0's timebase.
+void WriteMergedChromeTrace(const std::vector<ProcessTrack>& tracks,
+                            std::ostream& os);
+
+}  // namespace sliceline::obs
+
+#endif  // SLICELINE_OBS_TRACE_MERGE_H_

@@ -164,6 +164,32 @@ StatusOr<obs::JsonValue> Client::Cancel(int64_t job_id) {
   return Call(std::move(request));
 }
 
+StatusOr<std::string> Client::GetReport(int64_t job_id) {
+  Request request;
+  request.type = RequestType::kGetReport;
+  request.job_id = job_id;
+  SLICELINE_ASSIGN_OR_RETURN(const obs::JsonValue response,
+                             Call(std::move(request)));
+  const obs::JsonValue* report = response.Find("report");
+  if (report == nullptr || !report->is_string()) {
+    return Status::Internal("response missing string 'report'");
+  }
+  return report->string_value();
+}
+
+StatusOr<std::string> Client::GetTrace(int64_t job_id) {
+  Request request;
+  request.type = RequestType::kGetTrace;
+  request.job_id = job_id;
+  SLICELINE_ASSIGN_OR_RETURN(const obs::JsonValue response,
+                             Call(std::move(request)));
+  const obs::JsonValue* trace = response.Find("trace");
+  if (trace == nullptr || !trace->is_string()) {
+    return Status::Internal("response missing string 'trace'");
+  }
+  return trace->string_value();
+}
+
 StatusOr<obs::JsonValue> Client::ListDatasets() {
   Request request;
   request.type = RequestType::kListDatasets;

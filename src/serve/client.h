@@ -77,6 +77,11 @@ class Client {
   StatusOr<FindSlicesReply> FindSlices(const FindSlicesRequest& r);
   StatusOr<obs::JsonValue> GetStatus(int64_t job_id);
   StatusOr<obs::JsonValue> Cancel(int64_t job_id);
+  /// The finished job's RunReport document (the exact strict-JSON bytes the
+  /// server persisted; write them straight to a file or pipe).
+  StatusOr<std::string> GetReport(int64_t job_id);
+  /// The finished job's merged Chrome/Perfetto timeline, same convention.
+  StatusOr<std::string> GetTrace(int64_t job_id);
   StatusOr<obs::JsonValue> ListDatasets();
   StatusOr<obs::JsonValue> ServerStats();
 

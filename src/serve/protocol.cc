@@ -106,6 +106,8 @@ const char* RequestTypeName(RequestType type) {
     case RequestType::kCancel: return "cancel";
     case RequestType::kListDatasets: return "list_datasets";
     case RequestType::kServerStats: return "server_stats";
+    case RequestType::kGetReport: return "get_report";
+    case RequestType::kGetTrace: return "get_trace";
   }
   return "unknown";
 }
@@ -114,7 +116,8 @@ StatusOr<RequestType> RequestTypeFromName(const std::string& name) {
   for (RequestType t :
        {RequestType::kRegisterDataset, RequestType::kFindSlices,
         RequestType::kGetStatus, RequestType::kCancel,
-        RequestType::kListDatasets, RequestType::kServerStats}) {
+        RequestType::kListDatasets, RequestType::kServerStats,
+        RequestType::kGetReport, RequestType::kGetTrace}) {
     if (name == RequestTypeName(t)) return t;
   }
   return Status::InvalidArgument("unknown request type '" + name + "'");
@@ -178,7 +181,9 @@ StatusOr<Request> ParseRequest(const std::string& line) {
       break;
     }
     case RequestType::kGetStatus:
-    case RequestType::kCancel: {
+    case RequestType::kCancel:
+    case RequestType::kGetReport:
+    case RequestType::kGetTrace: {
       SLICELINE_ASSIGN_OR_RETURN(request.job_id, root.RequireInt("job"));
       break;
     }
@@ -244,6 +249,8 @@ std::string SerializeRequest(const Request& request) {
     }
     case RequestType::kGetStatus:
     case RequestType::kCancel:
+    case RequestType::kGetReport:
+    case RequestType::kGetTrace:
       writer.Key("job");
       writer.Int(request.job_id);
       break;

@@ -44,6 +44,14 @@ enum class RequestType {
   kCancel,
   kListDatasets,
   kServerStats,
+  /// get_report: the finished job's obs::RunReport document. The payload
+  /// field "report" carries the exact bytes of the strict-JSON report as a
+  /// JSON string (not spliced as an object) so 64-bit ids inside survive
+  /// double-typed re-encoding and clients can dump it verbatim.
+  kGetReport,
+  /// get_trace: the finished job's merged Chrome/Perfetto timeline, carried
+  /// the same way ("trace" is a JSON string holding the trace document).
+  kGetTrace,
 };
 
 const char* RequestTypeName(RequestType type);
@@ -84,7 +92,7 @@ struct Request {
   std::string id;  ///< correlation id echoed in the response ("" allowed)
   RegisterDatasetRequest register_dataset;
   FindSlicesRequest find_slices;
-  int64_t job_id = -1;  ///< get_status / cancel
+  int64_t job_id = -1;  ///< get_status / cancel / get_report / get_trace
 };
 
 /// Validates (strict JSON) and decodes one request line.

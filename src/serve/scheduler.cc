@@ -1,11 +1,15 @@
 #include "serve/scheduler.h"
 
+#include <unistd.h>
+
 #include <chrono>
+#include <sstream>
 #include <utility>
 
 #include "core/sliceline.h"
 #include "core/sliceline_la.h"
 #include "obs/metrics.h"
+#include "obs/run_report.h"
 #include "obs/trace.h"
 
 namespace sliceline::serve {
@@ -16,6 +20,24 @@ double NowSeconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Nonzero fleet-trace id: unique across jobs of one process (the id is in
+/// the mix) and overwhelmingly likely unique across processes (pid + the
+/// steady clock).
+uint64_t NewTraceId(int64_t job_id) {
+  const uint64_t mixed = SplitMix64(
+      static_cast<uint64_t>(obs::TraceRecorder::NowMicros()) ^
+      (static_cast<uint64_t>(::getpid()) << 32) ^
+      static_cast<uint64_t>(job_id));
+  return mixed == 0 ? 1 : mixed;
 }
 
 obs::Histogram* JobSecondsHistogram() {
@@ -85,6 +107,7 @@ StatusOr<std::shared_ptr<Job>> Scheduler::Submit(JobSpec spec) {
     }
     job->id = next_job_id_++;
     job->spec = std::move(spec);
+    if (options_.fleet_tracing) job->trace_id = NewTraceId(job->id);
     ++queued_;
     ++admitted_;
     jobs_.emplace(job->id, job);
@@ -133,7 +156,6 @@ void Scheduler::Execute(const std::shared_ptr<Job>& job) {
     ++running_;
   }
   UpdateQueueDepthGauge();
-  TRACE_SPAN("serve/job", job->id);
 
   // The deadline is measured from execution start, not submission: a job
   // should not burn its whole budget sitting in the queue.
@@ -142,10 +164,31 @@ void Scheduler::Execute(const std::shared_ptr<Job>& job) {
   }
 
   const double start = NowSeconds();
+  obs::DistObsBundle bundle;
+  // The engine runs under the job's trace context so every span it records
+  // on this thread is stamped with the job's trace id; the lambda scope
+  // closes the serve/job span before BuildJobArtifacts drains the recorder,
+  // so the span makes it into the job's own timeline.
   StatusOr<core::SliceLineResult> result =
-      job->spec.engine == "la"
-          ? core::RunSliceLineLA(job->spec.dataset->dataset, job->spec.config)
-          : core::RunSliceLine(job->spec.dataset->dataset, job->spec.config);
+      [&]() -> StatusOr<core::SliceLineResult> {
+    obs::ScopedTraceContext trace_context(
+        obs::TraceContext{job->trace_id, 0});
+    TRACE_SPAN("serve/job", job->id);
+    if (job->spec.engine == "remote") {
+      if (!options_.remote_engine) {
+        return Status::InvalidArgument(
+            "engine 'remote' requested but no remote engine is configured");
+      }
+      bundle.trace_id = job->trace_id;
+      return options_.remote_engine(job->spec.dataset->dataset,
+                                    job->spec.config, job->trace_id, &bundle);
+    }
+    if (job->spec.engine == "la") {
+      return core::RunSliceLineLA(job->spec.dataset->dataset,
+                                  job->spec.config);
+    }
+    return core::RunSliceLine(job->spec.dataset->dataset, job->spec.config);
+  }();
   const double run_seconds = NowSeconds() - start;
   {
     std::lock_guard<std::mutex> lock(job->mutex);
@@ -153,17 +196,112 @@ void Scheduler::Execute(const std::shared_ptr<Job>& job) {
   }
   JobSecondsHistogram()->Observe(run_seconds);
 
+  std::string report_json;
+  std::string trace_json;
   if (result.ok()) {
-    FinishJob(job, JobState::kDone, Status::OK(),
-              std::move(result).value());
+    core::SliceLineResult value = std::move(result).value();
+    BuildJobArtifacts(*job, JobState::kDone, Status::OK(), value,
+                      std::move(bundle), run_seconds, &report_json,
+                      &trace_json);
+    FinishJob(job, JobState::kDone, Status::OK(), std::move(value),
+              std::move(report_json), std::move(trace_json));
   } else {
+    BuildJobArtifacts(*job, JobState::kFailed, result.status(),
+                      core::SliceLineResult{}, std::move(bundle), run_seconds,
+                      &report_json, &trace_json);
     FinishJob(job, JobState::kFailed, result.status(),
-              core::SliceLineResult{});
+              core::SliceLineResult{}, std::move(report_json),
+              std::move(trace_json));
   }
 }
 
+void Scheduler::BuildJobArtifacts(const Job& job, JobState terminal,
+                                  const Status& error,
+                                  const core::SliceLineResult& result,
+                                  obs::DistObsBundle bundle,
+                                  double run_seconds,
+                                  std::string* report_json,
+                                  std::string* trace_json) const {
+  // -- the RunReport ---------------------------------------------------------
+  obs::RunReport report;
+  report.set_tool("sliceline_server");
+  report.set_engine(job.spec.engine);
+  report.set_dataset(job.spec.dataset->name);
+  report.SetConfig(job.spec.config);
+  if (terminal == JobState::kDone) {
+    report.SetResult(result, job.spec.dataset->dataset.feature_names);
+  }
+  report.AddAnnotation("job_id", std::to_string(job.id));
+  report.AddAnnotation("job_state", JobStateName(terminal));
+  // Decimal string: the id must survive JSON's double-typed numbers.
+  report.AddAnnotation("trace_id", std::to_string(job.trace_id));
+  if (terminal == JobState::kFailed) {
+    report.AddAnnotation("error", error.message());
+  }
+  report.AddNumericSection("serve_job", {{"run_seconds", run_seconds}});
+  for (const auto& [name, values] : bundle.sections) {
+    report.AddNumericSection(
+        name, std::vector<std::pair<std::string, double>>(values.begin(),
+                                                          values.end()));
+  }
+
+  // The server's own spans for this job, drained out of the shared
+  // recorder (everything else -- other jobs, requests -- stays buffered).
+  std::vector<obs::RemoteSpan> server_spans;
+  if (job.trace_id != 0) {
+    for (const obs::TraceEvent& event :
+         obs::TraceRecorder::Default()->TakeEventsForTrace(job.trace_id)) {
+      server_spans.push_back(obs::RemoteSpanFromEvent(event));
+    }
+  }
+
+  // Per-worker metrics snapshots (counter deltas attributed to this job by
+  // the coordinator) plus span/clock accounting, one section per worker.
+  int64_t worker_span_count = 0;
+  for (size_t w = 0; w < bundle.workers.size(); ++w) {
+    const obs::ProcessObs& worker = bundle.workers[w];
+    worker_span_count += static_cast<int64_t>(worker.spans.size());
+    std::vector<std::pair<std::string, double>> values = worker.counters;
+    values.emplace_back("os_pid", static_cast<double>(worker.os_pid));
+    values.emplace_back("clock_offset_us",
+                        static_cast<double>(worker.clock_offset_us));
+    values.emplace_back("spans", static_cast<double>(worker.spans.size()));
+    report.AddNumericSection("worker_" + std::to_string(w),
+                             std::move(values));
+    report.AddAnnotation("worker_" + std::to_string(w) + "_label",
+                         worker.label);
+  }
+  report.AddNumericSection(
+      "dist_trace",
+      {{"server_spans", static_cast<double>(server_spans.size())},
+       {"worker_spans", static_cast<double>(worker_span_count)},
+       {"processes", static_cast<double>(1 + bundle.workers.size())}});
+
+  std::ostringstream report_os;
+  report.WriteJson(report_os);
+  *report_json = report_os.str();
+
+  // -- the merged timeline ---------------------------------------------------
+  std::vector<obs::ProcessTrack> tracks;
+  obs::ProcessTrack server_track;
+  server_track.label = obs::TraceRecorder::Default()->process_label();
+  server_track.spans = std::move(server_spans);
+  tracks.push_back(std::move(server_track));
+  for (obs::ProcessObs& worker : bundle.workers) {
+    obs::ProcessTrack track;
+    track.label = worker.label;
+    track.clock_offset_us = worker.clock_offset_us;
+    track.spans = std::move(worker.spans);
+    tracks.push_back(std::move(track));
+  }
+  std::ostringstream trace_os;
+  obs::WriteMergedChromeTrace(tracks, trace_os);
+  *trace_json = trace_os.str();
+}
+
 void Scheduler::FinishJob(const std::shared_ptr<Job>& job, JobState terminal,
-                          Status error, core::SliceLineResult result) {
+                          Status error, core::SliceLineResult result,
+                          std::string report_json, std::string trace_json) {
   {
     // Both locks (scheduler first, then job) so the terminal state and the
     // scheduler counters become visible atomically: a waiter released by
@@ -174,6 +312,8 @@ void Scheduler::FinishJob(const std::shared_ptr<Job>& job, JobState terminal,
     std::lock_guard<std::mutex> job_lock(job->mutex);
     job->error = std::move(error);
     job->result = std::move(result);
+    job->report_json = std::move(report_json);
+    job->trace_json = std::move(trace_json);
     job->state = terminal;
     --running_;
     if (terminal == JobState::kDone) {

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -12,15 +13,26 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/slice.h"
+#include "obs/trace_merge.h"
 #include "serve/dataset_registry.h"
 
 namespace sliceline::serve {
+
+/// The "remote" engine, injected from above: serve cannot depend on the
+/// dist layer (dist links serve), so whoever assembles the process
+/// (sliceline_server, the integration tests) wires the distributed runner
+/// in through this hook. `trace_id` is the job's fleet-trace id (0 = fleet
+/// tracing off) and `obs_out`, when non-null, receives the per-worker
+/// spans / counter deltas / cost sections collected during the run.
+using RemoteEngineFn = std::function<StatusOr<core::SliceLineResult>(
+    const data::EncodedDataset& dataset, const core::SliceLineConfig& config,
+    uint64_t trace_id, obs::DistObsBundle* obs_out)>;
 
 /// What one find_slices job runs: the (immutable, shared) dataset, the
 /// engine, the fully resolved config, and the per-job resource envelope.
 struct JobSpec {
   std::shared_ptr<const RegisteredDataset> dataset;
-  std::string engine = "native";  ///< "native" | "la"
+  std::string engine = "native";  ///< "native" | "la" | "remote"
   core::SliceLineConfig config;
   double deadline_seconds = 0.0;     ///< 0 = none; from execution start
   int64_t memory_budget_bytes = 0;   ///< 0 = the scheduler's shared budget
@@ -44,6 +56,11 @@ const char* JobStateName(JobState state);
 struct Job {
   int64_t id = 0;
   JobSpec spec;
+  /// Fleet-trace id: nonzero when the scheduler runs with tracing enabled.
+  /// Every span the job records (server side and, for the remote engine,
+  /// worker side) carries it, and the merged timeline keys off it.
+  /// Immutable after Submit.
+  uint64_t trace_id = 0;
   RunContext run_context;  ///< cancellation + deadline + budget for the run
   /// Owned per-job budget when the spec overrides the shared one.
   std::unique_ptr<MemoryBudget> own_budget;
@@ -55,6 +72,12 @@ struct Job {
   core::SliceLineResult result;  ///< kDone only
   double queued_seconds = 0.0;  ///< guarded by `mutex` (status polls read it)
   double run_seconds = 0.0;     ///< guarded by `mutex`
+  /// Written once in FinishJob, before the terminal transition (both
+  /// guarded by `mutex`): the job's obs::RunReport as strict JSON, and its
+  /// merged Chrome/Perfetto timeline. Empty for jobs cancelled while
+  /// queued (they never ran) and until the job is terminal.
+  std::string report_json;
+  std::string trace_json;
 
   JobState CurrentState() const;
   bool Terminal() const;
@@ -79,6 +102,12 @@ class Scheduler {
     /// Server-wide memory budget; <= 0 = unlimited (accounting only).
     int64_t memory_budget_bytes = 0;
     double soft_fraction = 0.8;
+    /// Assign every job a nonzero trace id and persist its merged timeline
+    /// at finish. Costs nothing unless the TraceRecorder is enabled, except
+    /// that remote-engine workers start recording when they see the id.
+    bool fleet_tracing = true;
+    /// Backs engine == "remote"; jobs naming it are rejected when unset.
+    RemoteEngineFn remote_engine;
   };
 
   explicit Scheduler(const Options& options);
@@ -117,7 +146,18 @@ class Scheduler {
  private:
   void Execute(const std::shared_ptr<Job>& job);
   void FinishJob(const std::shared_ptr<Job>& job, JobState terminal,
-                 Status error, core::SliceLineResult result);
+                 Status error, core::SliceLineResult result,
+                 std::string report_json, std::string trace_json);
+  /// Renders the job's RunReport (result, dist sections, per-worker
+  /// counter deltas) and its merged Chrome timeline (server track +
+  /// worker tracks from `bundle`). Called outside both mutexes -- it
+  /// snapshots the metrics registry and drains the trace recorder.
+  void BuildJobArtifacts(const Job& job, JobState terminal,
+                         const Status& error,
+                         const core::SliceLineResult& result,
+                         obs::DistObsBundle bundle, double run_seconds,
+                         std::string* report_json,
+                         std::string* trace_json) const;
   void UpdateQueueDepthGauge() const;
 
   const Options options_;

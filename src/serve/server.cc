@@ -64,6 +64,8 @@ Server::Server(const ServerOptions& options)
   scheduler_options.max_queue = options.max_queue;
   scheduler_options.memory_budget_bytes =
       options.memory_budget_mb > 0 ? options.memory_budget_mb * (1 << 20) : 0;
+  scheduler_options.fleet_tracing = options.fleet_tracing;
+  scheduler_options.remote_engine = options.remote_engine;
   scheduler_ = std::make_unique<Scheduler>(scheduler_options);
 }
 
@@ -79,7 +81,8 @@ Status Server::Start() {
   }
   obs::SetMetricsEnabled(true);
   PreregisterServeMetrics();
-  if (!options_.trace_out.empty()) {
+  if (!options_.trace_out.empty() || options_.fleet_tracing) {
+    obs::TraceRecorder::Default()->SetProcessLabel("server");
     obs::TraceRecorder::Default()->SetEnabled(true);
   }
   if (options_.tcp_port >= 0) {
@@ -231,6 +234,12 @@ std::string Server::HandleRequestLine(const std::string& line) {
       case RequestType::kServerStats:
         response = HandleServerStats(request);
         break;
+      case RequestType::kGetReport:
+        response = HandleGetReport(request);
+        break;
+      case RequestType::kGetTrace:
+        response = HandleGetTrace(request);
+        break;
     }
   }
   RequestSecondsHistogram()->Observe(NowSeconds() - start);
@@ -270,11 +279,20 @@ std::string Server::HandleRegisterDataset(const Request& request) {
 
 std::string Server::HandleFindSlices(const Request& request) {
   const FindSlicesRequest& find = request.find_slices;
-  if (find.engine != "native" && find.engine != "la") {
-    return MakeErrorLine(request.id,
-                         Status::InvalidArgument(
-                             "engine must be 'native' or 'la', got '" +
-                             find.engine + "'"));
+  if (find.engine != "native" && find.engine != "la" &&
+      find.engine != "remote") {
+    return MakeErrorLine(
+        request.id,
+        Status::InvalidArgument(
+            "engine must be 'native', 'la', or 'remote', got '" +
+            find.engine + "'"));
+  }
+  if (find.engine == "remote" && !options_.remote_engine) {
+    return MakeErrorLine(
+        request.id,
+        Status::InvalidArgument(
+            "engine 'remote' requires the server to be started with worker "
+            "endpoints"));
   }
   if (find.k < 1) {
     return MakeErrorLine(request.id,
@@ -456,6 +474,17 @@ std::string Server::HandleListDatasets(const Request& request) {
 }
 
 std::string Server::HandleServerStats(const Request& request) {
+  // Flush the server trace on stats requests too (not only at shutdown):
+  // an operator polling server_stats gets an up-to-date trace file without
+  // bouncing the daemon. ExportChromeTrace copies, so nothing is lost.
+  if (!options_.trace_out.empty()) {
+    std::ofstream trace_file(options_.trace_out);
+    if (trace_file) {
+      obs::TraceRecorder::Default()->ExportChromeTrace(trace_file);
+    } else {
+      LOG_WARNING << "serve: cannot write trace to " << options_.trace_out;
+    }
+  }
   std::ostringstream os;
   obs::JsonWriter writer(os);
   BeginOkResponse(&writer, request.id);
@@ -516,6 +545,53 @@ std::string Server::HandleServerStats(const Request& request) {
   return os.str();
 }
 
+std::string Server::HandleJobDocument(const Request& request,
+                                      const char* type_name,
+                                      const char* field,
+                                      std::string Job::*document) {
+  std::shared_ptr<Job> job = scheduler_->Find(request.job_id);
+  if (job == nullptr) {
+    return MakeErrorLine(request.id,
+                         Status::NotFound("unknown job " +
+                                          std::to_string(request.job_id)));
+  }
+  std::lock_guard<std::mutex> lock(job->mutex);
+  const std::string& payload = (*job).*document;
+  if (payload.empty()) {
+    return MakeErrorLine(
+        request.id,
+        Status::InvalidArgument("job " + std::to_string(job->id) + " has no " +
+                                std::string(field) + " (state=" +
+                                JobStateName(job->state) + ")"));
+  }
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  BeginOkResponse(&writer, request.id);
+  writer.Key("type");
+  writer.String(type_name);
+  writer.Key("job");
+  writer.Int(job->id);
+  writer.Key("trace_id");
+  writer.String(std::to_string(job->trace_id));
+  // Carried as a string holding the document's exact bytes: re-encoding
+  // the parsed tree would push 64-bit ids through doubles, and clients
+  // want to dump the document verbatim anyway.
+  writer.Key(field);
+  writer.String(payload);
+  writer.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+std::string Server::HandleGetReport(const Request& request) {
+  return HandleJobDocument(request, "get_report", "report",
+                           &Job::report_json);
+}
+
+std::string Server::HandleGetTrace(const Request& request) {
+  return HandleJobDocument(request, "get_trace", "trace", &Job::trace_json);
+}
+
 std::string Server::MakeResultResponse(
     const std::string& id, int64_t job_id, bool cache_hit,
     const core::SliceLineResult& result,
@@ -566,9 +642,23 @@ void Server::HandleHttp(SocketConnection* connection,
     status_line = "HTTP/1.0 200 OK";
     content_type = "text/plain; version=0.0.4; charset=utf-8";
     body = MetricsText();
+  } else if (path == "/healthz") {
+    // Liveness: the process is up and serving connections.
+    status_line = "HTTP/1.0 200 OK";
+    body = "ok\n";
+  } else if (path == "/readyz") {
+    // Readiness: stops advertising once a drain begins so load balancers
+    // steer new work away while in-flight jobs finish.
+    if (ShutdownRequested()) {
+      status_line = "HTTP/1.0 503 Service Unavailable";
+      body = "draining\n";
+    } else {
+      status_line = "HTTP/1.0 200 OK";
+      body = "ready\n";
+    }
   } else {
     status_line = "HTTP/1.0 404 Not Found";
-    body = "only /metrics is served over HTTP\n";
+    body = "only /metrics, /healthz, /readyz are served over HTTP\n";
   }
   std::ostringstream os;
   os << status_line << "\r\n"

@@ -37,15 +37,24 @@ struct ServerOptions {
   /// Applied to find_slices requests that carry no deadline; 0 = none.
   double default_deadline_seconds = 0.0;
   /// When non-empty, spans are recorded and the Chrome trace is flushed
-  /// here during shutdown.
+  /// here during shutdown and on every server_stats request.
   std::string trace_out;
+  /// Fleet tracing: every job gets a nonzero trace id, the recorder is
+  /// enabled (process label "server"), and each finished job keeps its
+  /// merged per-process timeline for get_trace. Bounded per-thread buffers
+  /// keep the always-on cost flat.
+  bool fleet_tracing = true;
+  /// Backs the "remote" engine (distributed runs over sliceline_worker
+  /// processes); find_slices with engine "remote" is rejected when unset.
+  RemoteEngineFn remote_engine;
 };
 
 /// The slice-finding daemon: accepts newline-delimited JSON requests over
-/// TCP and/or a Unix-domain socket (see protocol.h), plus a minimal
-/// HTTP GET /metrics endpoint exposing the metrics registry in Prometheus
-/// text format on the same listeners. One thread per connection; jobs run
-/// on the scheduler's worker pool.
+/// TCP and/or a Unix-domain socket (see protocol.h), plus minimal HTTP GET
+/// endpoints on the same listeners: /metrics (Prometheus text format),
+/// /healthz (liveness, always 200 while serving), and /readyz (readiness,
+/// 503 once draining). One thread per connection; jobs run on the
+/// scheduler's worker pool.
 ///
 /// Shutdown (SIGTERM path): RequestShutdown() is async-signal-safe (one
 /// atomic store). Wait() then stops accepting, lets every connection finish
@@ -95,6 +104,14 @@ class Server {
   std::string HandleCancel(const Request& request);
   std::string HandleListDatasets(const Request& request);
   std::string HandleServerStats(const Request& request);
+  std::string HandleGetReport(const Request& request);
+  std::string HandleGetTrace(const Request& request);
+  /// Shared by get_report/get_trace: resolves the job and hands back the
+  /// requested persisted document (field "report" or "trace") as a JSON
+  /// string value, or a structured error for unknown / unfinished jobs.
+  std::string HandleJobDocument(const Request& request, const char* type_name,
+                                const char* field,
+                                std::string Job::*document);
   /// Serves "GET <path> HTTP/1.x": drains the header block, writes a full
   /// HTTP/1.0 response, and leaves the connection to be closed.
   void HandleHttp(SocketConnection* connection, const std::string& request_line);

@@ -61,22 +61,29 @@ void WriteDoubleArray(obs::JsonWriter* writer, const char* key,
   writer->EndArray();
 }
 
-/// 64-bit checksums travel as decimal strings: JSON numbers are doubles on
+/// 64-bit values travel as decimal strings: JSON numbers are doubles on
 /// the wire and cannot represent every uint64_t.
-StatusOr<uint64_t> ParseChecksum(const obs::JsonValue& object) {
-  SLICELINE_ASSIGN_OR_RETURN(const std::string text,
-                             object.RequireString("checksum"));
+StatusOr<uint64_t> ParseUint64Text(const std::string& text,
+                                   const char* what) {
   if (text.empty() || text.size() > 20 ||
       text.find_first_not_of("0123456789") != std::string::npos) {
-    return Status::InvalidArgument("malformed checksum '" + text + "'");
+    return Status::InvalidArgument(std::string("malformed ") + what + " '" +
+                                   text + "'");
   }
   errno = 0;
   char* end = nullptr;
   const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
   if (errno != 0 || end == nullptr || *end != '\0') {
-    return Status::InvalidArgument("malformed checksum '" + text + "'");
+    return Status::InvalidArgument(std::string("malformed ") + what + " '" +
+                                   text + "'");
   }
   return static_cast<uint64_t>(value);
+}
+
+StatusOr<uint64_t> ParseChecksum(const obs::JsonValue& object) {
+  SLICELINE_ASSIGN_OR_RETURN(const std::string text,
+                             object.RequireString("checksum"));
+  return ParseUint64Text(text, "checksum");
 }
 
 }  // namespace
@@ -89,6 +96,7 @@ const char* WorkerRequestTypeName(WorkerRequestType type) {
     case WorkerRequestType::kBasicStats: return "basic_stats";
     case WorkerRequestType::kEvalBlock: return "eval_block";
     case WorkerRequestType::kHeartbeat: return "heartbeat";
+    case WorkerRequestType::kGetSpans: return "get_spans";
     case WorkerRequestType::kShutdown: return "shutdown";
   }
   return "unknown";
@@ -100,7 +108,7 @@ StatusOr<WorkerRequestType> WorkerRequestTypeFromName(
        {WorkerRequestType::kEnlist, WorkerRequestType::kHasShard,
         WorkerRequestType::kLoadShard, WorkerRequestType::kBasicStats,
         WorkerRequestType::kEvalBlock, WorkerRequestType::kHeartbeat,
-        WorkerRequestType::kShutdown}) {
+        WorkerRequestType::kGetSpans, WorkerRequestType::kShutdown}) {
     if (name == WorkerRequestTypeName(t)) return t;
   }
   return Status::InvalidArgument("unknown worker request type '" + name +
@@ -123,12 +131,20 @@ StatusOr<WorkerRequest> ParseWorkerRequest(const std::string& line) {
   SLICELINE_ASSIGN_OR_RETURN(request.type,
                              WorkerRequestTypeFromName(type_name));
   request.id = root.GetStringOr("id", "");
+  if (root.Find("trace") != nullptr) {
+    SLICELINE_ASSIGN_OR_RETURN(const std::string trace_text,
+                               root.RequireString("trace"));
+    SLICELINE_ASSIGN_OR_RETURN(request.trace_id,
+                               ParseUint64Text(trace_text, "trace id"));
+  }
+  request.parent_span_id = root.GetIntOr("pspan", 0);
 
   switch (request.type) {
     case WorkerRequestType::kEnlist:
       request.protocol = root.GetIntOr("protocol", 0);
       break;
     case WorkerRequestType::kHeartbeat:
+    case WorkerRequestType::kGetSpans:
     case WorkerRequestType::kShutdown:
       break;
     case WorkerRequestType::kHasShard:
@@ -204,12 +220,21 @@ std::string SerializeWorkerRequest(const WorkerRequest& request) {
     writer.Key("id");
     writer.String(request.id);
   }
+  if (request.trace_id != 0) {
+    writer.Key("trace");
+    writer.String(std::to_string(request.trace_id));
+  }
+  if (request.parent_span_id != 0) {
+    writer.Key("pspan");
+    writer.Int(request.parent_span_id);
+  }
   switch (request.type) {
     case WorkerRequestType::kEnlist:
       writer.Key("protocol");
       writer.Int(request.protocol);
       break;
     case WorkerRequestType::kHeartbeat:
+    case WorkerRequestType::kGetSpans:
     case WorkerRequestType::kShutdown:
       break;
     case WorkerRequestType::kHasShard:
@@ -330,6 +355,110 @@ StatusOr<ShardBasicStats> ParseBasicStatsPayload(
     return Status::InvalidArgument("basic stats arrays disagree on length");
   }
   return stats;
+}
+
+void WriteSpansPayload(
+    obs::JsonWriter* writer, const std::vector<obs::RemoteSpan>& spans,
+    const std::vector<std::pair<std::string, double>>& counters) {
+  writer->Key("spans");
+  writer->BeginArray();
+  for (const obs::RemoteSpan& span : spans) {
+    writer->BeginObject();
+    writer->Key("name");
+    writer->String(span.name);
+    writer->Key("cat");
+    writer->String(span.category);
+    writer->Key("ph");
+    writer->String(std::string(1, span.phase));
+    writer->Key("ts");
+    writer->Int(span.ts_us);
+    writer->Key("dur");
+    writer->Int(span.dur_us);
+    writer->Key("tid");
+    writer->Int(span.tid);
+    if (span.has_arg) {
+      writer->Key("v");
+      writer->Int(span.arg);
+    }
+    if (!span.detail.empty()) {
+      writer->Key("detail");
+      writer->String(span.detail);
+    }
+    if (span.trace_id != 0) {
+      writer->Key("trace");
+      writer->String(std::to_string(span.trace_id));
+    }
+    if (span.parent_span_id != 0) {
+      writer->Key("pspan");
+      writer->Int(span.parent_span_id);
+    }
+    writer->EndObject();
+  }
+  writer->EndArray();
+  writer->Key("counters");
+  writer->BeginArray();
+  for (const auto& [name, value] : counters) {
+    writer->BeginObject();
+    writer->Key("name");
+    writer->String(name);
+    writer->Key("value");
+    writer->Double(value);
+    writer->EndObject();
+  }
+  writer->EndArray();
+}
+
+Status ParseSpansPayload(
+    const obs::JsonValue& response, std::vector<obs::RemoteSpan>* spans,
+    std::vector<std::pair<std::string, double>>* counters) {
+  SLICELINE_ASSIGN_OR_RETURN(const obs::JsonValue* span_array,
+                             RequireArray(response, "spans"));
+  spans->clear();
+  spans->reserve(span_array->array_items().size());
+  for (const obs::JsonValue& item : span_array->array_items()) {
+    if (!item.is_object()) {
+      return Status::InvalidArgument("field 'spans' must contain objects");
+    }
+    obs::RemoteSpan span;
+    SLICELINE_ASSIGN_OR_RETURN(span.name, item.RequireString("name"));
+    span.category = item.GetStringOr("cat", "sliceline");
+    SLICELINE_ASSIGN_OR_RETURN(const std::string phase,
+                               item.RequireString("ph"));
+    if (phase.size() != 1) {
+      return Status::InvalidArgument("span phase must be one character");
+    }
+    span.phase = phase[0];
+    SLICELINE_ASSIGN_OR_RETURN(span.ts_us, item.RequireInt("ts"));
+    span.dur_us = item.GetIntOr("dur", 0);
+    span.tid = item.GetIntOr("tid", 0);
+    if (item.Find("v") != nullptr) {
+      span.has_arg = true;
+      SLICELINE_ASSIGN_OR_RETURN(span.arg, item.RequireInt("v"));
+    }
+    span.detail = item.GetStringOr("detail", "");
+    if (item.Find("trace") != nullptr) {
+      SLICELINE_ASSIGN_OR_RETURN(const std::string trace_text,
+                                 item.RequireString("trace"));
+      SLICELINE_ASSIGN_OR_RETURN(span.trace_id,
+                                 ParseUint64Text(trace_text, "trace id"));
+    }
+    span.parent_span_id = item.GetIntOr("pspan", 0);
+    spans->push_back(std::move(span));
+  }
+  SLICELINE_ASSIGN_OR_RETURN(const obs::JsonValue* counter_array,
+                             RequireArray(response, "counters"));
+  counters->clear();
+  counters->reserve(counter_array->array_items().size());
+  for (const obs::JsonValue& item : counter_array->array_items()) {
+    if (!item.is_object()) {
+      return Status::InvalidArgument("field 'counters' must contain objects");
+    }
+    SLICELINE_ASSIGN_OR_RETURN(std::string name, item.RequireString("name"));
+    SLICELINE_ASSIGN_OR_RETURN(const double value,
+                               item.RequireNumber("value"));
+    counters->emplace_back(std::move(name), value);
+  }
+  return Status::OK();
 }
 
 }  // namespace sliceline::serve

@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "core/evaluator.h"
 #include "obs/json_parse.h"
 #include "obs/json_writer.h"
+#include "obs/trace_merge.h"
 
 namespace sliceline::serve {
 
@@ -53,8 +55,13 @@ enum class WorkerRequestType {
   /// {"sizes", "error_sums", "max_errors", "checksum"} aligned with the
   /// request's slice order.
   kEvalBlock,
-  /// Liveness probe; response is a bare ok.
+  /// Liveness probe; response is a bare ok (plus the worker's steady-clock
+  /// "now_us", which the coordinator uses for clock-offset estimation).
   kHeartbeat,
+  /// Drains the worker's trace-span buffer and metrics-counter deltas for
+  /// the fleet-trace merge. Response: {"now_us", "pid", "spans":[...],
+  /// "counters":[...]} (see WriteSpansPayload).
+  kGetSpans,
   /// Orderly termination; the worker acknowledges, then exits its loop.
   kShutdown,
 };
@@ -81,6 +88,13 @@ struct WorkerRequest {
   WorkerRequestType type = WorkerRequestType::kHeartbeat;
   std::string id;  ///< correlation id echoed in the response
   int64_t protocol = kWorkerProtocolVersion;  ///< enlist only
+
+  /// Distributed-trace context, optional on every request (wire keys
+  /// "trace" -- a decimal string, 64-bit ids do not survive JSON doubles --
+  /// and "pspan"). A worker receiving a nonzero trace id stamps the spans
+  /// it records while handling the request with it.
+  uint64_t trace_id = 0;
+  int64_t parent_span_id = 0;
 
   /// Content fingerprint of the full dataset (decimal string: 64-bit hashes
   /// do not survive JSON's double number representation) + shard index;
@@ -130,6 +144,19 @@ void WriteBasicStatsPayload(obs::JsonWriter* writer,
                             const ShardBasicStats& stats);
 StatusOr<ShardBasicStats> ParseBasicStatsPayload(
     const obs::JsonValue& response);
+
+/// Writes the get_spans payload keys at the current writer position:
+/// "spans" (array of span objects: name/cat/ph/ts/dur/tid, optional
+/// v/detail/trace/pspan) and "counters" (array of {"name","value"} metric
+/// deltas).
+void WriteSpansPayload(
+    obs::JsonWriter* writer, const std::vector<obs::RemoteSpan>& spans,
+    const std::vector<std::pair<std::string, double>>& counters);
+
+/// Inverse of WriteSpansPayload (coordinator side).
+Status ParseSpansPayload(const obs::JsonValue& response,
+                         std::vector<obs::RemoteSpan>* spans,
+                         std::vector<std::pair<std::string, double>>* counters);
 
 }  // namespace sliceline::serve
 

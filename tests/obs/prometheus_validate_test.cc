@@ -1,0 +1,128 @@
+// Prometheus exposition correctness under adversarial metric names: the
+// registry accepts any string as a metric name, the writer must sanitize
+// every one of them into valid exposition text, and ValidatePrometheusText
+// is the shared definition of "valid". Also pins the validator itself
+// against hand-written invalid documents, so a validator that rubber-stamps
+// everything cannot make these tests pass.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/prometheus_validate.h"
+#include "obs/run_report.h"
+
+namespace sliceline::obs {
+namespace {
+
+class PrometheusValidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = MetricsEnabled();
+    SetMetricsEnabled(true);
+  }
+  void TearDown() override { SetMetricsEnabled(was_enabled_); }
+
+  /// Renders a registry through the production writer.
+  static std::string Exposition(const MetricsRegistry& registry) {
+    std::ostringstream os;
+    RunReport::WritePrometheus(os, &registry);
+    return os.str();
+  }
+
+  bool was_enabled_ = false;
+};
+
+TEST_F(PrometheusValidateTest, AcceptsWellFormedText) {
+  const std::string text =
+      "# TYPE sliceline_jobs counter\n"
+      "sliceline_jobs 3\n"
+      "# TYPE sliceline_queue_depth gauge\n"
+      "sliceline_queue_depth 1.5\n"
+      "# TYPE sliceline_latency histogram\n"
+      "sliceline_latency_bucket{le=\"0.1\"} 2\n"
+      "sliceline_latency_bucket{le=\"1\"} 5\n"
+      "sliceline_latency_bucket{le=\"+Inf\"} 7\n"
+      "sliceline_latency_sum 4.25\n"
+      "sliceline_latency_count 7\n";
+  EXPECT_EQ(ValidatePrometheusText(text), "");
+}
+
+TEST_F(PrometheusValidateTest, RejectsInvalidDocuments) {
+  // (document, reason it must fail) — each exercises one validator rule.
+  const struct {
+    const char* text;
+    const char* what;
+  } kCases[] = {
+      {"# TYPE 9bad counter\n9bad 1\n", "name starting with a digit"},
+      {"# TYPE sliceline_x widget\nsliceline_x 1\n", "unknown type"},
+      {"sliceline_x 1\n", "sample before any TYPE line"},
+      {"# TYPE sliceline_x counter\nsliceline_x banana\n",
+       "non-numeric value"},
+      {"# TYPE sliceline_x counter\nsliceline_x -2\n", "negative counter"},
+      {"# TYPE sliceline_x counter\nsliceline_y 1\n",
+       "sample outside its family"},
+      {"# TYPE sliceline_x counter\nsliceline_x 1\n"
+       "# TYPE sliceline_x counter\nsliceline_x 2\n",
+       "duplicate TYPE for one family"},
+      {"# TYPE sliceline_h histogram\n"
+       "sliceline_h_bucket{le=\"1\"} 5\n"
+       "sliceline_h_bucket{le=\"2\"} 3\n"
+       "sliceline_h_bucket{le=\"+Inf\"} 5\n"
+       "sliceline_h_sum 1\nsliceline_h_count 5\n",
+       "non-cumulative buckets"},
+      {"# TYPE sliceline_h histogram\n"
+       "sliceline_h_bucket{le=\"+Inf\"} 5\n"
+       "sliceline_h_sum 1\nsliceline_h_count 4\n",
+       "_count differing from the +Inf bucket"},
+      {"# TYPE sliceline_h histogram\n"
+       "sliceline_h_bucket{le=\"1\"} 5\n"
+       "sliceline_h_sum 1\nsliceline_h_count 5\n",
+       "histogram without an +Inf bucket"},
+  };
+  for (const auto& test_case : kCases) {
+    EXPECT_NE(ValidatePrometheusText(test_case.text), "")
+        << "validator accepted a document with " << test_case.what << ":\n"
+        << test_case.text;
+  }
+}
+
+TEST_F(PrometheusValidateTest, AdversarialNamesRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("spaces in name")->Add(1);
+  registry.GetCounter("quo\"te'd")->Add(2);
+  registry.GetCounter("9starts_with_digit")->Add(3);
+  registry.GetCounter("bra{ce}s{le=\"0\"}")->Add(4);
+  registry.GetCounter("newline\nin\nname")->Add(5);
+  registry.GetCounter("unicode_\xc3\xa9\xe2\x82\xac")->Add(6);
+  registry.GetCounter("")->Add(7);
+  registry.GetCounter("# TYPE fake counter")->Add(8);
+  registry.GetGauge("tab\tgauge")->Set(-1.25);
+  registry.GetHistogram("histo gram")->Observe(0.5);
+
+  const std::string text = Exposition(registry);
+  EXPECT_EQ(ValidatePrometheusText(text), "") << text;
+  // The sanitized families are all present (prefix + '_' substitution).
+  EXPECT_NE(text.find("sliceline_spaces_in_name 1"), std::string::npos);
+  EXPECT_NE(text.find("sliceline_newline_in_name 5"), std::string::npos);
+  EXPECT_NE(text.find("sliceline_histo_gram_count 1"), std::string::npos);
+}
+
+TEST_F(PrometheusValidateTest, SanitizationCollisionsStayDistinct) {
+  // All three sanitize to sliceline_eval_time; the writer must keep three
+  // distinct families or the exposition has duplicate TYPE lines.
+  MetricsRegistry registry;
+  registry.GetCounter("eval time")->Add(1);
+  registry.GetCounter("eval.time")->Add(2);
+  registry.GetCounter("eval/time")->Add(3);
+
+  const std::string text = Exposition(registry);
+  EXPECT_EQ(ValidatePrometheusText(text), "") << text;
+  EXPECT_NE(text.find("sliceline_eval_time "), std::string::npos);
+  EXPECT_NE(text.find("sliceline_eval_time_2 "), std::string::npos);
+  EXPECT_NE(text.find("sliceline_eval_time_3 "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sliceline::obs

@@ -111,6 +111,90 @@ TEST_F(TraceTest, ClearDropsEverything) {
   EXPECT_EQ(TraceRecorder::Default()->EventCount(), 0u);
 }
 
+TEST_F(TraceTest, BoundedBuffersDropPastCapAndCountDrops) {
+  // A long-running daemon with tracing left on must not grow without
+  // limit: events past kMaxEventsPerThread are dropped, and the loss is
+  // visible on the dropped-events counter. Flood from a dedicated thread
+  // so only that thread's buffer fills.
+  constexpr size_t kOverflow = 100;
+  std::thread([&] {
+    for (size_t i = 0;
+         i < TraceRecorder::kMaxEventsPerThread + kOverflow; ++i) {
+      TRACE_SPAN("test/flood");
+    }
+  }).join();
+  EXPECT_EQ(TraceRecorder::Default()->EventCount(),
+            TraceRecorder::kMaxEventsPerThread);
+  EXPECT_EQ(MetricsRegistry::Default()
+                ->GetCounter("obs/trace/dropped_events")
+                ->Value(),
+            static_cast<double>(kOverflow));
+}
+
+TEST_F(TraceTest, ScopedTraceContextStampsEventsAndNests) {
+  EXPECT_EQ(CurrentTraceContext().trace_id, 0u);
+  {
+    ScopedTraceContext outer({/*trace_id=*/42, /*parent_span_id=*/7});
+    EXPECT_EQ(CurrentTraceContext().trace_id, 42u);
+    EXPECT_EQ(CurrentTraceContext().parent_span_id, 7);
+    { TRACE_SPAN("test/outer_ctx"); }
+    {
+      ScopedTraceContext inner({/*trace_id=*/43, /*parent_span_id=*/0});
+      { TRACE_SPAN("test/inner_ctx"); }
+    }
+    // Nested contexts restore: back on the outer identity.
+    EXPECT_EQ(CurrentTraceContext().trace_id, 42u);
+    TraceInstant("test", "outer_instant");
+  }
+  EXPECT_EQ(CurrentTraceContext().trace_id, 0u);
+
+  const std::vector<TraceEvent> events =
+      TraceRecorder::Default()->TakeEvents();
+  ASSERT_EQ(events.size(), 3u);
+  size_t stamped_42 = 0;
+  size_t stamped_43 = 0;
+  for (const TraceEvent& event : events) {
+    if (event.trace_id == 42u) {
+      EXPECT_EQ(event.parent_span_id, 7);
+      ++stamped_42;
+    } else if (event.trace_id == 43u) {
+      EXPECT_EQ(event.parent_span_id, 0);
+      ++stamped_43;
+    }
+  }
+  EXPECT_EQ(stamped_42, 2u);  // outer span + instant
+  EXPECT_EQ(stamped_43, 1u);
+}
+
+TEST_F(TraceTest, TakeEventsForTraceDrainsOnlyThatJob) {
+  // Two jobs and ambient (untraced) activity share one process-wide
+  // recorder; draining one job's id must not disturb the others.
+  {
+    ScopedTraceContext job_a({/*trace_id=*/0xA11CE, /*parent_span_id=*/0});
+    { TRACE_SPAN("test/job_a_1"); }
+    { TRACE_SPAN("test/job_a_2"); }
+  }
+  {
+    ScopedTraceContext job_b({/*trace_id=*/0xB0B, /*parent_span_id=*/0});
+    { TRACE_SPAN("test/job_b"); }
+  }
+  { TRACE_SPAN("test/ambient"); }
+  ASSERT_EQ(TraceRecorder::Default()->EventCount(), 4u);
+
+  std::vector<TraceEvent> job_a_events =
+      TraceRecorder::Default()->TakeEventsForTrace(0xA11CE);
+  ASSERT_EQ(job_a_events.size(), 2u);
+  for (const TraceEvent& event : job_a_events) {
+    EXPECT_EQ(event.trace_id, 0xA11CEu);
+  }
+  // Job B's span and the ambient span are still buffered.
+  EXPECT_EQ(TraceRecorder::Default()->EventCount(), 2u);
+  // A second drain of the same id comes back empty.
+  EXPECT_TRUE(TraceRecorder::Default()->TakeEventsForTrace(0xA11CE).empty());
+  EXPECT_EQ(TraceRecorder::Default()->TakeEventsForTrace(0xB0B).size(), 1u);
+  EXPECT_EQ(TraceRecorder::Default()->EventCount(), 1u);
+}
+
 TEST_F(TraceTest, SpanStartedWhileEnabledRecordsAfterDisable) {
   // The enabled check is at construction: a span that begins enabled must
   // not vanish because tracing flipped off before it ended.

@@ -21,6 +21,7 @@ TEST(ServeProtocolTest, RequestTypeNamesRoundTrip) {
   for (RequestType type :
        {RequestType::kRegisterDataset, RequestType::kFindSlices,
         RequestType::kGetStatus, RequestType::kCancel,
+        RequestType::kGetReport, RequestType::kGetTrace,
         RequestType::kListDatasets, RequestType::kServerStats}) {
     auto parsed = RequestTypeFromName(RequestTypeName(type));
     ASSERT_TRUE(parsed.ok()) << RequestTypeName(type);
@@ -97,16 +98,30 @@ TEST(ServeProtocolTest, FindSlicesDefaultsApply) {
   EXPECT_TRUE(parsed->find_slices.wait);
 }
 
-TEST(ServeProtocolTest, StatusAndCancelRoundTrip) {
-  for (RequestType type : {RequestType::kGetStatus, RequestType::kCancel}) {
+TEST(ServeProtocolTest, JobAddressedRequestsRoundTrip) {
+  // status/cancel/report/trace all carry exactly {type, id, job}.
+  for (RequestType type :
+       {RequestType::kGetStatus, RequestType::kCancel,
+        RequestType::kGetReport, RequestType::kGetTrace}) {
     Request request;
     request.type = type;
     request.id = "s3";
     request.job_id = 42;
-    auto parsed = ParseRequest(SerializeRequest(request));
+    const std::string line = SerializeRequest(request);
+    EXPECT_TRUE(obs::ValidateStrictJson(line).empty()) << line;
+    auto parsed = ParseRequest(line);
     ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
     EXPECT_EQ(parsed->type, type);
+    EXPECT_EQ(parsed->id, "s3");
     EXPECT_EQ(parsed->job_id, 42);
+  }
+}
+
+TEST(ServeProtocolTest, ReportAndTraceRequireJobId) {
+  for (const char* type : {"get_report", "get_trace"}) {
+    EXPECT_FALSE(
+        ParseRequest(std::string("{\"type\":\"") + type + "\"}\n").ok())
+        << type;
   }
 }
 

@@ -18,6 +18,8 @@
 
 #include "core/sliceline.h"
 #include "obs/json_parse.h"
+#include "obs/json_validate.h"
+#include "obs/metrics.h"
 #include "obs/prometheus_validate.h"
 #include "serve/client.h"
 #include "serve_test_util.h"
@@ -429,6 +431,89 @@ TEST(ServeServerTest, MetricsEndpointServesValidPrometheusText) {
         "sliceline_serve_jobs_admitted"}) {
     EXPECT_NE(text.find(series), std::string::npos) << series;
   }
+}
+
+/// Raw HTTP/1.0 GET over the server's Unix listener; returns the full
+/// response (status line + headers + body).
+std::string HttpGet(const std::string& socket_path, const std::string& path) {
+  auto connection = ConnectUnix(socket_path, /*timeout_ms=*/5000);
+  EXPECT_TRUE(connection.ok()) << connection.status().ToString();
+  if (!connection.ok()) return "";
+  EXPECT_TRUE(
+      connection->WriteAll("GET " + path + " HTTP/1.0\r\n\r\n").ok());
+  auto response = connection->ReadAll(1 << 20);
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+  return response.ok() ? response.value() : "";
+}
+
+TEST(ServeServerTest, HealthAndReadinessEndpoints) {
+  ServerOptions options = UnixOptions("serve_health.sock");
+  ServerGuard guard(options);
+
+  const std::string healthz = HttpGet(options.unix_socket, "/healthz");
+  EXPECT_EQ(healthz.rfind("HTTP/1.0 200", 0), 0u) << healthz;
+  EXPECT_NE(healthz.find("ok"), std::string::npos) << healthz;
+
+  const std::string readyz = HttpGet(options.unix_socket, "/readyz");
+  EXPECT_EQ(readyz.rfind("HTTP/1.0 200", 0), 0u) << readyz;
+  EXPECT_NE(readyz.find("ready"), std::string::npos) << readyz;
+
+  const std::string other = HttpGet(options.unix_socket, "/nonsense");
+  EXPECT_EQ(other.rfind("HTTP/1.0 404", 0), 0u) << other;
+}
+
+TEST(ServeServerTest, ReportAndTraceServeFinishedJobs) {
+  ServerOptions options = UnixOptions("serve_report.sock");
+  ServerGuard guard(options);
+  auto client = Client::Connect(Endpoint::Unix(options.unix_socket));
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->RegisterDataset(RegisterRequestFor(CsvB())).ok());
+  auto reply = client->FindSlices(FindVariant(CsvB().name, 1));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  const int64_t job_id = reply->job_id;
+
+  auto report = client->GetReport(job_id);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(obs::ValidateStrictJson(report.value()).empty())
+      << obs::ValidateStrictJson(report.value());
+  // The persisted RunReport carries the job identity, the serve_job timing
+  // section, and the distributed-trace summary section.
+  EXPECT_NE(report->find("\"serve_job\""), std::string::npos);
+  EXPECT_NE(report->find("\"dist_trace\""), std::string::npos);
+  EXPECT_NE(report->find("\"trace_id\""), std::string::npos);
+
+  auto trace = client->GetTrace(job_id);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_TRUE(obs::ValidateStrictJson(trace.value()).empty())
+      << obs::ValidateStrictJson(trace.value());
+  // Chrome/Perfetto shape with the job's root span on the server track.
+  EXPECT_NE(trace->find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace->find("serve/job"), std::string::npos);
+
+  // Unknown jobs are NotFound, matching get_status semantics.
+  EXPECT_FALSE(client->GetReport(job_id + 999).ok());
+  EXPECT_FALSE(client->GetTrace(job_id + 999).ok());
+}
+
+TEST(ServeServerTest, MetricsTextSurvivesAdversarialMetricNames) {
+  // Anything in the process-wide registry ends up on /metrics; names are
+  // not restricted at registration time, so exposition validity must hold
+  // for hostile ones. The entries stay registered for the rest of the
+  // binary (the registry never unregisters), which also proves later
+  // /metrics fetches stay valid with them present.
+  auto* registry = obs::MetricsRegistry::Default();
+  registry->GetCounter("serve test: spaces & sym\"bols")->Add(1);
+  registry->GetCounter("serve_test/9/starts{le=\"0\"}")->Add(2);
+  registry->GetCounter("serve test: spaces & sym'bols")->Add(3);
+  registry->GetHistogram("serve test histo\ngram")->Observe(0.25);
+
+  const std::string text = Server::MetricsText();
+  EXPECT_TRUE(obs::ValidatePrometheusText(text).empty())
+      << obs::ValidatePrometheusText(text) << "\n"
+      << text;
+  // ':' is a legal exposition name char, so it survives sanitization.
+  EXPECT_NE(text.find("sliceline_serve_test:_spaces___sym_bols"),
+            std::string::npos);
 }
 
 TEST(ServeServerTest, ShutdownDrainsInFlightJobsAndExitsCleanly) {

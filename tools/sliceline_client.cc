@@ -10,8 +10,10 @@
 //   find     --dataset N [--engine native|la] [--k K] [--alpha A]
 //            [--sigma S] [--max-level L] [--deadline-ms MS]
 //            [--memory-budget-mb MB] [--no-wait]
-//   status   --job ID
-//   cancel   --job ID
+//   status   --job ID   (or: status ID)
+//   cancel   --job ID   (or: cancel ID)
+//   report   --job ID   (or: report ID)
+//   trace    --job ID   (or: trace ID)
 //   list
 //   stats
 //   metrics
@@ -19,8 +21,11 @@
 // `find` prints the top-K report in exactly the sliceline_cli format (the
 // wire protocol round-trips doubles bit-exactly), with the cache-hit flag
 // on stderr; the other commands print the server's JSON response verbatim.
-// `metrics` fetches GET /metrics and prints the Prometheus text -- a
-// curl-free scrape. Exit code 0 on success, 1 on any error.
+// `report` / `trace` print the finished job's RunReport document / merged
+// Chrome-trace timeline exactly as the server persisted them (redirect
+// `trace` to a file and open it in Perfetto). `metrics` fetches GET
+// /metrics and prints the Prometheus text -- a curl-free scrape. Exit code
+// 0 on success, 1 on any error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,8 +60,11 @@ void PrintUsage() {
       "  find     --dataset N [--engine native|la] [--k K] [--alpha A]\n"
       "           [--sigma S] [--max-level L] [--deadline-ms MS]\n"
       "           [--memory-budget-mb MB] [--no-wait]\n"
-      "  status   --job ID\n"
-      "  cancel   --job ID\n"
+      "  status   --job ID | status ID\n"
+      "  cancel   --job ID | cancel ID\n"
+      "  report   --job ID | report ID   print the job's RunReport JSON\n"
+      "  trace    --job ID | trace ID    print the job's merged Chrome\n"
+      "                                  trace (load it in Perfetto)\n"
       "  list\n"
       "  stats\n"
       "  metrics\n"
@@ -73,12 +81,22 @@ bool ParseArgs(int argc, char** argv, ClientCliOptions* options) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.compare(0, 2, "--") != 0) {
-      if (!options->command.empty()) {
-        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
-        return false;
+      if (options->command.empty()) {
+        options->command = arg;
+        continue;
       }
-      options->command = arg;
-      continue;
+      // Job-addressed commands take the id positionally ("status 3",
+      // "report 3", "trace 3") as well as via --job.
+      const bool job_command =
+          options->command == "status" || options->command == "cancel" ||
+          options->command == "report" || options->command == "trace";
+      if (job_command && options->job_id < 0 && !arg.empty() &&
+          arg.find_first_not_of("0123456789") == std::string::npos) {
+        options->job_id = std::atoll(arg.c_str());
+        continue;
+      }
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return false;
     }
     std::string inline_value;
     bool has_inline = false;
@@ -278,6 +296,23 @@ int main(int argc, char** argv) {
                                     : "");
       return 1;
     }
+    return 0;
+  }
+  if (options.command == "report" || options.command == "trace") {
+    if (options.job_id < 0) {
+      std::fprintf(stderr, "%s needs a job id (--job ID or positional)\n",
+                   options.command.c_str());
+      return 1;
+    }
+    auto document = options.command == "report"
+                        ? client.value().GetReport(options.job_id)
+                        : client.value().GetTrace(options.job_id);
+    if (!document.ok()) return Fail(document.status());
+    // The document is emitted verbatim: `sliceline_client trace 3 >
+    // job3.json` produces a file Perfetto/chrome://tracing loads directly.
+    std::fputs(document.value().c_str(), stdout);
+    const std::string& text = document.value();
+    if (text.empty() || text.back() != '\n') std::fputc('\n', stdout);
     return 0;
   }
   if (options.command == "list" || options.command == "stats") {

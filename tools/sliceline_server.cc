@@ -9,12 +9,20 @@
 //                    [--max-queue N] [--memory-budget-mb MB]
 //                    [--cache-capacity N] [--max-connections N]
 //                    [--default-deadline-ms MS] [--trace-out PATH]
+//                    [--worker-socket PATH]... [--worker-port N]...
+//                    [--no-fleet-trace]
 //                    [--log-level debug|info|warn|error]
 //
 // At least one of --socket / --port is required; --port 0 binds a
 // kernel-assigned port. Once listening, one line per endpoint is printed to
 // stdout ("READY port=N" / "READY socket=PATH") so wrapper scripts can wait
 // for startup and discover the bound port.
+//
+// --worker-socket / --worker-port (repeatable) name running
+// sliceline_worker processes; when at least one is given, find_slices
+// accepts engine "remote" and runs the distributed coordinator against that
+// fleet, with per-job distributed traces retrievable via the client's
+// `trace <job>` subcommand.
 #include <csignal>
 
 #include <atomic>
@@ -22,14 +30,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
+#include "dist/coordinator.h"
 #include "serve/server.h"
 
 namespace {
 
 struct ServerCliOptions {
   sliceline::serve::ServerOptions server;
+  std::vector<sliceline::dist::WorkerEndpoint> worker_endpoints;
   std::string log_level = "info";
 };
 
@@ -54,7 +65,13 @@ void PrintUsage() {
       "  --cache-capacity N     result-cache entries (128; 0 disables)\n"
       "  --max-connections N    concurrent connections (64)\n"
       "  --default-deadline-ms MS  deadline for requests without one (0)\n"
-      "  --trace-out PATH       flush a Chrome trace on shutdown\n"
+      "  --trace-out PATH       flush a Chrome trace on shutdown and on\n"
+      "                         every server_stats request\n"
+      "  --worker-socket PATH   sliceline_worker Unix socket (repeatable;\n"
+      "                         enables engine 'remote')\n"
+      "  --worker-port N        sliceline_worker loopback TCP port\n"
+      "                         (repeatable; enables engine 'remote')\n"
+      "  --no-fleet-trace       disable per-job distributed tracing\n"
       "  --log-level LEVEL      debug|info|warn|error (default info)\n"
       "Every flag also accepts --flag=value.\n");
 }
@@ -116,6 +133,24 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* options) {
       const char* v = next("--trace-out");
       if (v == nullptr) return false;
       options->server.trace_out = v;
+    } else if (arg == "--worker-socket") {
+      const char* v = next("--worker-socket");
+      if (v == nullptr) return false;
+      sliceline::dist::WorkerEndpoint endpoint;
+      endpoint.unix_socket = v;
+      options->worker_endpoints.push_back(std::move(endpoint));
+    } else if (arg == "--worker-port") {
+      const char* v = next("--worker-port");
+      if (v == nullptr) return false;
+      sliceline::dist::WorkerEndpoint endpoint;
+      endpoint.tcp_port = std::atoi(v);
+      if (endpoint.tcp_port <= 0) {
+        std::fprintf(stderr, "--worker-port needs a positive port\n");
+        return false;
+      }
+      options->worker_endpoints.push_back(std::move(endpoint));
+    } else if (arg == "--no-fleet-trace") {
+      options->server.fleet_tracing = false;
     } else if (arg == "--log-level") {
       const char* v = next("--log-level");
       if (v == nullptr) return false;
@@ -158,6 +193,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--workers, --max-queue, --max-connections must be >= 1\n");
     return 1;
+  }
+
+  if (!options.worker_endpoints.empty()) {
+    // Wire the distributed coordinator in as the "remote" engine. The hook
+    // runs on scheduler worker threads; RunSliceLineRemote builds a fresh
+    // coordinator (connections and all) per job, so jobs do not share
+    // mutable cluster state.
+    const std::vector<sliceline::dist::WorkerEndpoint> endpoints =
+        options.worker_endpoints;
+    options.server.remote_engine =
+        [endpoints](const sliceline::data::EncodedDataset& dataset,
+                    const sliceline::core::SliceLineConfig& config,
+                    uint64_t trace_id, sliceline::obs::DistObsBundle* obs_out)
+        -> sliceline::StatusOr<sliceline::core::SliceLineResult> {
+      sliceline::dist::RemoteDistOptions remote;
+      remote.endpoints = endpoints;
+      remote.trace_id = trace_id;
+      return sliceline::dist::RunSliceLineRemote(
+          dataset.x0, dataset.errors, config, remote,
+          /*cost_out=*/nullptr, /*faults_out=*/nullptr, obs_out);
+    };
   }
 
   sliceline::serve::Server server(options.server);
