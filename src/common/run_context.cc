@@ -234,7 +234,15 @@ bool RunOutcome::WellFormed() const {
   if (partial != (termination != Termination::kCompleted)) return false;
   if (degradation_steps < 0 || sigma_raised_to < 0 ||
       candidates_capped < 0 || stopped_at_level < 0 ||
-      peak_memory_bytes < 0) {
+      peak_memory_bytes < 0 || stream_candidates_cached < 0 ||
+      stream_candidates_delta < 0 || stream_candidates_full < 0) {
+    return false;
+  }
+  // A run that fell back to the plain engine never made per-candidate
+  // incremental decisions.
+  if (stream_full_fallback &&
+      (stream_candidates_cached > 0 || stream_candidates_delta > 0 ||
+       stream_candidates_full > 0)) {
     return false;
   }
   if (degradation_steps == 0 &&

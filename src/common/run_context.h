@@ -206,6 +206,18 @@ struct RunOutcome {
   /// the cluster, not the search, degraded.
   bool dist_fallback_local = false;
 
+  /// Streaming re-evaluation decisions (all zero for non-streaming runs).
+  /// Per candidate the incremental evaluator either reused a fully
+  /// up-to-date cached statistic, continued a cached statistic over just
+  /// the appended rows, or recomputed from row 0.
+  int64_t stream_candidates_cached = 0;
+  int64_t stream_candidates_delta = 0;
+  int64_t stream_candidates_full = 0;
+  /// True when the streaming finder declined incremental re-evaluation
+  /// because the delta fraction exceeded its threshold and ran the plain
+  /// engine over the concatenated data instead.
+  bool stream_full_fallback = false;
+
   static const char* TerminationName(Termination t);
 
   /// One-line summary ("degraded: sigma raised to 64, 120 candidates

@@ -45,6 +45,15 @@ class IntMatrix {
     return out;
   }
 
+  /// Appends the rows of `delta` after the existing rows. The delta must
+  /// have the same column count; existing rows keep their indices, so code
+  /// referring to rows [0, rows()) before the append stays valid after it.
+  void AppendRows(const IntMatrix& delta) {
+    SLICELINE_CHECK_EQ(delta.cols(), cols_);
+    data_.insert(data_.end(), delta.data_.begin(), delta.data_.end());
+    rows_ += delta.rows_;
+  }
+
   /// Row-wise replication (used by the Figure 7(a) scalability experiment).
   IntMatrix ReplicateRows(int64_t times) const {
     IntMatrix out(rows_ * times, cols_);

@@ -2,14 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "common/string_util.h"
 #include "data/binning.h"
 #include "data/recode.h"
 
 namespace sliceline::data {
 
+std::vector<int32_t> DatasetEncoders::Domains() const {
+  std::vector<int32_t> out;
+  out.reserve(features.size());
+  for (const FeatureEncoder& f : features) out.push_back(f.domain());
+  return out;
+}
+
 StatusOr<EncodedDataset> Preprocess(const Frame& frame,
                                     const PreprocessOptions& options) {
+  return PreprocessWithEncoders(frame, options, nullptr);
+}
+
+StatusOr<EncodedDataset> PreprocessWithEncoders(
+    const Frame& frame, const PreprocessOptions& options,
+    DatasetEncoders* encoders) {
   if (options.label_column.empty()) {
     return Status::InvalidArgument("label_column must be set");
   }
@@ -34,6 +49,7 @@ StatusOr<EncodedDataset> Preprocess(const Frame& frame,
   EncodedDataset ds;
   ds.task = options.task;
   ds.x0 = IntMatrix(n, static_cast<int64_t>(feature_cols.size()));
+  if (encoders != nullptr) encoders->features.clear();
 
   for (size_t fj = 0; fj < feature_cols.size(); ++fj) {
     const Column& col = frame.column(feature_cols[fj]);
@@ -44,11 +60,25 @@ StatusOr<EncodedDataset> Preprocess(const Frame& frame,
           EquiWidthBinner::Fit(col.numeric(), options.num_bins));
       const std::vector<int32_t> codes = binner.EncodeAll(col.numeric());
       for (int64_t i = 0; i < n; ++i) ds.x0.At(i, fj) = codes[i];
+      if (encoders != nullptr) {
+        FeatureEncoder enc;
+        enc.name = col.name();
+        enc.numeric = true;
+        enc.binner = binner;
+        encoders->features.push_back(std::move(enc));
+      }
     } else {
       const RecodeMap map = RecodeMap::Fit(col.categorical());
       SLICELINE_ASSIGN_OR_RETURN(std::vector<int32_t> codes,
                                  map.EncodeAll(col.categorical()));
       for (int64_t i = 0; i < n; ++i) ds.x0.At(i, fj) = codes[i];
+      if (encoders != nullptr) {
+        FeatureEncoder enc;
+        enc.name = col.name();
+        enc.numeric = false;
+        enc.recode = map;
+        encoders->features.push_back(std::move(enc));
+      }
     }
   }
 
@@ -83,6 +113,51 @@ StatusOr<EncodedDataset> Preprocess(const Frame& frame,
     }
   }
   return ds;
+}
+
+StatusOr<IntMatrix> EncodeRawRows(
+    const DatasetEncoders& encoders,
+    const std::vector<std::vector<std::string>>& rows) {
+  const size_t m = encoders.features.size();
+  if (m == 0) return Status::InvalidArgument("no encoders fitted");
+  IntMatrix out(static_cast<int64_t>(rows.size()), static_cast<int64_t>(m));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const std::vector<std::string>& row = rows[i];
+    if (row.size() != m) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(i) + " has " + std::to_string(row.size()) +
+          " cells, expected " + std::to_string(m));
+    }
+    for (size_t j = 0; j < m; ++j) {
+      const FeatureEncoder& enc = encoders.features[j];
+      if (enc.numeric) {
+        double v = std::numeric_limits<double>::quiet_NaN();
+        if (!Trim(row[j]).empty()) {
+          auto parsed = ParseDouble(row[j]);
+          if (!parsed.ok()) {
+            return Status::InvalidArgument(
+                "row " + std::to_string(i) + ", feature '" + enc.name +
+                "': " + parsed.status().message());
+          }
+          v = parsed.value();
+        }
+        out.At(static_cast<int64_t>(i), static_cast<int64_t>(j)) =
+            enc.binner->Encode(v);
+      } else {
+        auto code = enc.recode->Encode(row[j]);
+        if (!code.ok()) {
+          // Unseen categories are rejected rather than assigned new codes:
+          // the dictionary is frozen once the base dataset is registered.
+          return Status::InvalidArgument(
+              "row " + std::to_string(i) + ", feature '" + enc.name +
+              "': category '" + row[j] + "' not in frozen dictionary");
+        }
+        out.At(static_cast<int64_t>(i), static_cast<int64_t>(j)) =
+            code.value();
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace sliceline::data

@@ -1,12 +1,15 @@
 #ifndef SLICELINE_DATA_PREPROCESS_H_
 #define SLICELINE_DATA_PREPROCESS_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "data/binning.h"
 #include "data/encoded_dataset.h"
 #include "data/frame.h"
+#include "data/recode.h"
 
 namespace sliceline::data {
 
@@ -26,6 +29,41 @@ struct PreprocessOptions {
 /// use a generator's simulated errors).
 StatusOr<EncodedDataset> Preprocess(const Frame& frame,
                                     const PreprocessOptions& options);
+
+/// The frozen encoder of one feature, retained from preprocessing so that
+/// rows arriving later (streaming appends) are recoded against the same
+/// dictionary / bin edges as the base dataset. Exactly one of `binner`
+/// (numeric features) and `recode` (categorical features) is engaged.
+struct FeatureEncoder {
+  std::string name;
+  bool numeric = false;
+  std::optional<EquiWidthBinner> binner;
+  std::optional<RecodeMap> recode;
+
+  int32_t domain() const { return numeric ? binner->domain() : recode->domain(); }
+};
+
+/// Per-feature frozen encoders, in `EncodedDataset::feature_names` order.
+struct DatasetEncoders {
+  std::vector<FeatureEncoder> features;
+
+  std::vector<int32_t> Domains() const;
+};
+
+/// As Preprocess, but additionally fills `encoders` with the fitted
+/// per-feature encoders (the frozen dictionary for later appends).
+StatusOr<EncodedDataset> PreprocessWithEncoders(const Frame& frame,
+                                                const PreprocessOptions& options,
+                                                DatasetEncoders* encoders);
+
+/// Recodes raw rows against frozen encoders. Each row carries one string
+/// cell per feature, in encoder order. Numeric cells must parse as doubles
+/// ("" and "nan" map to the missing-value bin); categorical cells must be
+/// categories the dictionary has already seen — an unseen category is an
+/// error, never a new code, so appended rows stay comparable to the base.
+StatusOr<IntMatrix> EncodeRawRows(
+    const DatasetEncoders& encoders,
+    const std::vector<std::vector<std::string>>& rows);
 
 }  // namespace sliceline::data
 

@@ -1,5 +1,6 @@
 #include "serve/client.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -82,10 +83,12 @@ StatusOr<obs::JsonValue> Client::Call(Request request) {
   if (request.id.empty()) {
     request.id = "c" + std::to_string(next_id_++);
   }
-  // find_slices may enqueue (or synchronously run) a job: once the request
-  // line has hit the wire, a blind resend could run it twice, so only its
-  // connect-phase failures are retried. Everything else is idempotent.
-  const bool idempotent = request.type != RequestType::kFindSlices;
+  // find_slices may enqueue (or synchronously run) a job and append_rows
+  // mutates the dataset (a blind resend would double-append the rows):
+  // once either request line has hit the wire, only connect-phase failures
+  // are retried. Everything else is idempotent.
+  const bool idempotent = request.type != RequestType::kFindSlices &&
+                          request.type != RequestType::kAppendRows;
   double backoff = options_.backoff_base_seconds;
   Status last = Status::OK();
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
@@ -188,6 +191,72 @@ StatusOr<std::string> Client::GetTrace(int64_t job_id) {
     return Status::Internal("response missing string 'trace'");
   }
   return trace->string_value();
+}
+
+StatusOr<obs::JsonValue> Client::AppendRows(const AppendRowsRequest& r) {
+  Request request;
+  request.type = RequestType::kAppendRows;
+  request.append_rows = r;
+  return Call(std::move(request));
+}
+
+StatusOr<obs::JsonValue> Client::AppendRowsChunked(
+    const std::string& dataset,
+    const std::vector<std::vector<std::string>>& rows,
+    const std::vector<double>& errors, int64_t rows_per_chunk) {
+  if (rows_per_chunk < 1) {
+    return Status::InvalidArgument("rows_per_chunk must be >= 1");
+  }
+  if (errors.size() != rows.size()) {
+    return Status::InvalidArgument("append needs one error per row");
+  }
+  const int64_t total = static_cast<int64_t>(rows.size());
+  const int64_t chunks =
+      total == 0 ? 1 : (total + rows_per_chunk - 1) / rows_per_chunk;
+  const std::string xfer = "x" + std::to_string(next_id_);
+  StatusOr<obs::JsonValue> last = Status::Internal("no chunk sent");
+  for (int64_t chunk = 0; chunk < chunks; ++chunk) {
+    AppendRowsRequest r;
+    r.dataset = dataset;
+    r.xfer = xfer;
+    r.chunk = chunk;
+    r.chunks = chunks;
+    const int64_t begin = chunk * rows_per_chunk;
+    const int64_t end = std::min(total, begin + rows_per_chunk);
+    r.rows.assign(rows.begin() + begin, rows.begin() + end);
+    r.errors.assign(errors.begin() + begin, errors.begin() + end);
+    last = AppendRows(r);
+    if (!last.ok()) return last;
+  }
+  return last;
+}
+
+StatusOr<obs::JsonValue> Client::Watch(const WatchRequest& r) {
+  Request request;
+  request.type = RequestType::kWatchDataset;
+  request.watch = r;
+  return Call(std::move(request));
+}
+
+StatusOr<obs::JsonValue> Client::Unwatch(const std::string& dataset) {
+  Request request;
+  request.type = RequestType::kUnwatchDataset;
+  request.dataset = dataset;
+  return Call(std::move(request));
+}
+
+StatusOr<obs::JsonValue> Client::UnregisterDataset(const std::string& dataset) {
+  Request request;
+  request.type = RequestType::kUnregisterDataset;
+  request.dataset = dataset;
+  return Call(std::move(request));
+}
+
+StatusOr<obs::JsonValue> Client::WatchStatus(const std::string& dataset) {
+  Request request;
+  request.type = RequestType::kGetStatus;
+  request.dataset = dataset;
+  return Call(std::move(request));
 }
 
 StatusOr<obs::JsonValue> Client::ListDatasets() {

@@ -85,6 +85,22 @@ class Client {
   StatusOr<obs::JsonValue> ListDatasets();
   StatusOr<obs::JsonValue> ServerStats();
 
+  /// One append_rows request (a single chunk); see AppendRowsChunked for
+  /// transfers larger than one line.
+  StatusOr<obs::JsonValue> AppendRows(const AppendRowsRequest& r);
+  /// Splits `rows`/`errors` into chunks of `rows_per_chunk` under one
+  /// auto-generated transfer id and sends them in order; returns the final
+  /// (apply) response.
+  StatusOr<obs::JsonValue> AppendRowsChunked(
+      const std::string& dataset,
+      const std::vector<std::vector<std::string>>& rows,
+      const std::vector<double>& errors, int64_t rows_per_chunk);
+  StatusOr<obs::JsonValue> Watch(const WatchRequest& r);
+  StatusOr<obs::JsonValue> Unwatch(const std::string& dataset);
+  StatusOr<obs::JsonValue> UnregisterDataset(const std::string& dataset);
+  /// Watch-status form of get_status (keyed by dataset, not job).
+  StatusOr<obs::JsonValue> WatchStatus(const std::string& dataset);
+
   /// Raw response line of the last Call (tooling that wants to print the
   /// server's JSON verbatim instead of re-serializing the parse tree).
   const std::string& last_response_line() const { return last_response_line_; }

@@ -1,6 +1,7 @@
 #include "serve/dataset_registry.h"
 
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "common/hashing.h"
@@ -8,6 +9,7 @@
 #include "data/preprocess.h"
 #include "ml/pipeline.h"
 #include "obs/trace.h"
+#include "stream/segment.h"
 
 namespace sliceline::serve {
 
@@ -51,8 +53,10 @@ StatusOr<DatasetRegistry::RegisterOutcome> DatasetRegistry::Register(
   options.task = task;
   options.num_bins = static_cast<int>(request.bins);
   options.drop_columns = request.drop;
-  SLICELINE_ASSIGN_OR_RETURN(data::EncodedDataset encoded,
-                             data::Preprocess(frame, options));
+  auto encoders = std::make_shared<data::DatasetEncoders>();
+  SLICELINE_ASSIGN_OR_RETURN(
+      data::EncodedDataset encoded,
+      data::PreprocessWithEncoders(frame, options, encoders.get()));
   encoded.name = request.name;
   SLICELINE_ASSIGN_OR_RETURN(const double mean_error,
                              ml::TrainAndMaterializeErrors(&encoded));
@@ -62,6 +66,8 @@ StatusOr<DatasetRegistry::RegisterOutcome> DatasetRegistry::Register(
   registered->csv_path = request.csv_path;
   registered->dataset = std::move(encoded);
   registered->data_hash = HashEncodedDataset(registered->dataset);
+  registered->encoders = std::move(encoders);
+  registered->base_hash = registered->data_hash;
   registered->mean_error = mean_error;
   registered->load_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -78,6 +84,70 @@ StatusOr<DatasetRegistry::RegisterOutcome> DatasetRegistry::Register(
   return Status::InvalidArgument(
       "dataset '" + request.name +
       "' is already registered with different content");
+}
+
+StatusOr<DatasetRegistry::AppendOutcome> DatasetRegistry::AppendRows(
+    const std::string& name, const std::vector<std::vector<std::string>>& rows,
+    const std::vector<double>& errors) {
+  TRACE_SPAN("serve/append_rows");
+  if (rows.empty()) {
+    return Status::InvalidArgument("append carries no rows");
+  }
+  if (errors.size() != rows.size()) {
+    return Status::InvalidArgument(
+        "append needs one error per row (" + std::to_string(rows.size()) +
+        " rows, " + std::to_string(errors.size()) + " errors)");
+  }
+  for (double error : errors) {
+    if (!(error >= 0.0) || !std::isfinite(error)) {
+      return Status::InvalidArgument("errors must be finite and >= 0");
+    }
+  }
+
+  // Serialized end to end: two concurrent appends must chain, not race for
+  // the same parent snapshot.
+  std::lock_guard<std::mutex> append_lock(append_mutex_);
+  std::shared_ptr<const RegisteredDataset> parent = Find(name);
+  if (parent == nullptr) {
+    return Status::NotFound("unknown dataset '" + name + "'");
+  }
+  if (parent->encoders == nullptr) {
+    return Status::InvalidArgument(
+        "dataset '" + name + "' was registered without frozen encoders");
+  }
+  SLICELINE_ASSIGN_OR_RETURN(data::IntMatrix delta,
+                             data::EncodeRawRows(*parent->encoders, rows));
+
+  // Copy-on-append: the parent snapshot stays immutable for the readers
+  // holding it; the new snapshot extends codes/errors and chains the hash.
+  auto next = std::make_shared<RegisteredDataset>(*parent);
+  next->dataset.x0.AppendRows(delta);
+  next->dataset.errors.insert(next->dataset.errors.end(), errors.begin(),
+                              errors.end());
+  // Labels are not carried on the append path (the caller's model already
+  // scored the rows); pad y so row-aligned vectors stay row-aligned.
+  next->dataset.y.resize(static_cast<size_t>(next->dataset.n()), 0.0);
+  next->data_hash = stream::ChainFingerprint(parent->data_hash, delta, errors);
+  next->version = parent->version + 1;
+
+  AppendOutcome outcome;
+  outcome.previous_hash = parent->data_hash;
+  outcome.delta_x0 = std::move(delta);
+  outcome.delta_errors = errors;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    datasets_[name] = next;
+  }
+  outcome.dataset = std::move(next);
+  return outcome;
+}
+
+Status DatasetRegistry::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (datasets_.erase(name) == 0) {
+    return Status::NotFound("unknown dataset '" + name + "'");
+  }
+  return Status::OK();
 }
 
 std::shared_ptr<const RegisteredDataset> DatasetRegistry::Find(

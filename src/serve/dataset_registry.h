@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "data/encoded_dataset.h"
+#include "data/preprocess.h"
 #include "serve/protocol.h"
 
 namespace sliceline::serve {
@@ -26,6 +27,15 @@ struct RegisteredDataset {
   uint64_t data_hash = 0;
   double mean_error = 0.0;  ///< training-error mean from the ml pipeline
   double load_seconds = 0.0;
+  /// Frozen per-feature encoders fitted at registration; appended rows are
+  /// recoded against this dictionary (unseen categories are errors, never
+  /// new codes). Shared across every snapshot of the dataset.
+  std::shared_ptr<const data::DatasetEncoders> encoders;
+  /// data_hash at registration: head of the append fingerprint chain.
+  uint64_t base_hash = 0;
+  /// Appends applied since registration (snapshots are immutable; each
+  /// append publishes a new snapshot with version + 1).
+  int64_t version = 0;
 };
 
 /// Fingerprint of an encoded dataset's slice-finding-relevant content:
@@ -46,9 +56,36 @@ class DatasetRegistry {
     bool already_registered = false;  ///< idempotent re-registration
   };
 
+  /// One applied append: the new immutable snapshot, the hash it replaced
+  /// (cache-invalidation key), and the encoded delta so callers (the watch
+  /// manager) can feed the same rows into incremental consumers.
+  struct AppendOutcome {
+    std::shared_ptr<const RegisteredDataset> dataset;
+    uint64_t previous_hash = 0;
+    data::IntMatrix delta_x0;
+    std::vector<double> delta_errors;
+  };
+
   /// Loads `request.csv_path`, preprocesses (recode/bin/drop), trains the
   /// task's model to materialize errors, and publishes the result.
   StatusOr<RegisterOutcome> Register(const RegisterDatasetRequest& request);
+
+  /// Recodes `rows` (raw string cells, encoder order) against the frozen
+  /// dictionary, appends them with their caller-provided model errors, and
+  /// publishes a new snapshot whose data_hash is chained FNV-style onto the
+  /// previous hash. Appends serialize on a dedicated mutex; readers keep
+  /// whatever snapshot they already hold. Errors come from the caller
+  /// because the server never retrains -- re-materializing errors here would
+  /// rewrite history and break incremental re-evaluation.
+  StatusOr<AppendOutcome> AppendRows(
+      const std::string& name,
+      const std::vector<std::vector<std::string>>& rows,
+      const std::vector<double>& errors);
+
+  /// Drops the dataset. Snapshots held by in-flight jobs stay alive until
+  /// released; the caller (the server) refuses while jobs or watches
+  /// reference the name. NotFound for unknown names.
+  Status Unregister(const std::string& name);
 
   /// nullptr when unknown.
   std::shared_ptr<const RegisteredDataset> Find(const std::string& name) const;
@@ -60,6 +97,10 @@ class DatasetRegistry {
 
  private:
   mutable std::mutex mutex_;
+  /// Serializes AppendRows end to end (encode + copy + publish) so two
+  /// appends cannot both build on the same parent snapshot. Ordered before
+  /// mutex_ -- AppendRows takes append_mutex_ first, then mutex_ briefly.
+  std::mutex append_mutex_;
   std::map<std::string, std::shared_ptr<const RegisteredDataset>> datasets_;
 };
 

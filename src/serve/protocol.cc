@@ -108,6 +108,10 @@ const char* RequestTypeName(RequestType type) {
     case RequestType::kServerStats: return "server_stats";
     case RequestType::kGetReport: return "get_report";
     case RequestType::kGetTrace: return "get_trace";
+    case RequestType::kAppendRows: return "append_rows";
+    case RequestType::kWatchDataset: return "watch";
+    case RequestType::kUnwatchDataset: return "unwatch";
+    case RequestType::kUnregisterDataset: return "unregister_dataset";
   }
   return "unknown";
 }
@@ -117,7 +121,9 @@ StatusOr<RequestType> RequestTypeFromName(const std::string& name) {
        {RequestType::kRegisterDataset, RequestType::kFindSlices,
         RequestType::kGetStatus, RequestType::kCancel,
         RequestType::kListDatasets, RequestType::kServerStats,
-        RequestType::kGetReport, RequestType::kGetTrace}) {
+        RequestType::kGetReport, RequestType::kGetTrace,
+        RequestType::kAppendRows, RequestType::kWatchDataset,
+        RequestType::kUnwatchDataset, RequestType::kUnregisterDataset}) {
     if (name == RequestTypeName(t)) return t;
   }
   return Status::InvalidArgument("unknown request type '" + name + "'");
@@ -180,7 +186,75 @@ StatusOr<Request> ParseRequest(const std::string& line) {
       SLICELINE_ASSIGN_OR_RETURN(f.wait, OptionalBool(root, "wait", true));
       break;
     }
-    case RequestType::kGetStatus:
+    case RequestType::kAppendRows: {
+      AppendRowsRequest& a = request.append_rows;
+      SLICELINE_ASSIGN_OR_RETURN(a.dataset, root.RequireString("dataset"));
+      SLICELINE_ASSIGN_OR_RETURN(a.xfer, OptionalString(root, "xfer", ""));
+      SLICELINE_ASSIGN_OR_RETURN(a.chunk, OptionalInt(root, "chunk", 0));
+      SLICELINE_ASSIGN_OR_RETURN(a.chunks, OptionalInt(root, "chunks", 1));
+      const obs::JsonValue* rows = root.Find("rows");
+      if (rows == nullptr || !rows->is_array()) {
+        return Status::InvalidArgument("append_rows needs a 'rows' array");
+      }
+      for (const obs::JsonValue& row : rows->array_items()) {
+        if (!row.is_array()) {
+          return Status::InvalidArgument("'rows' entries must be arrays");
+        }
+        std::vector<std::string> cells;
+        cells.reserve(row.array_items().size());
+        for (const obs::JsonValue& cell : row.array_items()) {
+          if (!cell.is_string()) {
+            return Status::InvalidArgument("row cells must be strings");
+          }
+          cells.push_back(cell.string_value());
+        }
+        a.rows.push_back(std::move(cells));
+      }
+      const obs::JsonValue* errors = root.Find("errors");
+      if (errors == nullptr || !errors->is_array()) {
+        return Status::InvalidArgument("append_rows needs an 'errors' array");
+      }
+      for (const obs::JsonValue& error : errors->array_items()) {
+        if (!error.is_number()) {
+          return Status::InvalidArgument("'errors' entries must be numbers");
+        }
+        a.errors.push_back(error.number_value());
+      }
+      break;
+    }
+    case RequestType::kWatchDataset: {
+      WatchRequest& w = request.watch;
+      SLICELINE_ASSIGN_OR_RETURN(w.dataset, root.RequireString("dataset"));
+      SLICELINE_ASSIGN_OR_RETURN(w.tau, OptionalDouble(root, "tau", 1.0));
+      SLICELINE_ASSIGN_OR_RETURN(w.hysteresis,
+                                 OptionalDouble(root, "hysteresis", 0.0));
+      SLICELINE_ASSIGN_OR_RETURN(w.window_rows,
+                                 OptionalInt(root, "window_rows", 0));
+      SLICELINE_ASSIGN_OR_RETURN(w.window_seconds,
+                                 OptionalDouble(root, "window_seconds", 0.0));
+      SLICELINE_ASSIGN_OR_RETURN(w.k, OptionalInt(root, "k", 4));
+      SLICELINE_ASSIGN_OR_RETURN(w.alpha, OptionalDouble(root, "alpha", 0.95));
+      SLICELINE_ASSIGN_OR_RETURN(w.sigma, OptionalInt(root, "sigma", 0));
+      SLICELINE_ASSIGN_OR_RETURN(w.max_level,
+                                 OptionalInt(root, "max_level", 0));
+      break;
+    }
+    case RequestType::kUnwatchDataset:
+    case RequestType::kUnregisterDataset: {
+      SLICELINE_ASSIGN_OR_RETURN(request.dataset,
+                                 root.RequireString("dataset"));
+      break;
+    }
+    case RequestType::kGetStatus: {
+      // Two forms: job status ("job") and watch status ("dataset").
+      if (root.Find("dataset") != nullptr) {
+        SLICELINE_ASSIGN_OR_RETURN(request.dataset,
+                                   root.RequireString("dataset"));
+      } else {
+        SLICELINE_ASSIGN_OR_RETURN(request.job_id, root.RequireInt("job"));
+      }
+      break;
+    }
     case RequestType::kCancel:
     case RequestType::kGetReport:
     case RequestType::kGetTrace: {
@@ -247,7 +321,68 @@ std::string SerializeRequest(const Request& request) {
       writer.Bool(f.wait);
       break;
     }
+    case RequestType::kAppendRows: {
+      const AppendRowsRequest& a = request.append_rows;
+      writer.Key("dataset");
+      writer.String(a.dataset);
+      if (!a.xfer.empty()) {
+        writer.Key("xfer");
+        writer.String(a.xfer);
+      }
+      writer.Key("chunk");
+      writer.Int(a.chunk);
+      writer.Key("chunks");
+      writer.Int(a.chunks);
+      writer.Key("rows");
+      writer.BeginArray();
+      for (const std::vector<std::string>& row : a.rows) {
+        writer.BeginArray();
+        for (const std::string& cell : row) writer.String(cell);
+        writer.EndArray();
+      }
+      writer.EndArray();
+      writer.Key("errors");
+      writer.BeginArray();
+      for (double error : a.errors) writer.Double(error);
+      writer.EndArray();
+      break;
+    }
+    case RequestType::kWatchDataset: {
+      const WatchRequest& w = request.watch;
+      writer.Key("dataset");
+      writer.String(w.dataset);
+      writer.Key("tau");
+      writer.Double(w.tau);
+      writer.Key("hysteresis");
+      writer.Double(w.hysteresis);
+      writer.Key("window_rows");
+      writer.Int(w.window_rows);
+      writer.Key("window_seconds");
+      writer.Double(w.window_seconds);
+      writer.Key("k");
+      writer.Int(w.k);
+      writer.Key("alpha");
+      writer.Double(w.alpha);
+      writer.Key("sigma");
+      writer.Int(w.sigma);
+      writer.Key("max_level");
+      writer.Int(w.max_level);
+      break;
+    }
+    case RequestType::kUnwatchDataset:
+    case RequestType::kUnregisterDataset:
+      writer.Key("dataset");
+      writer.String(request.dataset);
+      break;
     case RequestType::kGetStatus:
+      if (!request.dataset.empty()) {
+        writer.Key("dataset");
+        writer.String(request.dataset);
+        break;
+      }
+      writer.Key("job");
+      writer.Int(request.job_id);
+      break;
     case RequestType::kCancel:
     case RequestType::kGetReport:
     case RequestType::kGetTrace:
@@ -375,6 +510,14 @@ void WriteResultJson(obs::JsonWriter* writer,
   writer->Int(outcome.peak_memory_bytes);
   writer->Key("dist_fallback_local");
   writer->Bool(outcome.dist_fallback_local);
+  writer->Key("stream_candidates_cached");
+  writer->Int(outcome.stream_candidates_cached);
+  writer->Key("stream_candidates_delta");
+  writer->Int(outcome.stream_candidates_delta);
+  writer->Key("stream_candidates_full");
+  writer->Int(outcome.stream_candidates_full);
+  writer->Key("stream_full_fallback");
+  writer->Bool(outcome.stream_full_fallback);
   writer->EndObject();
 
   writer->EndObject();
@@ -483,6 +626,12 @@ StatusOr<core::SliceLineResult> ParseResultJson(
       outcome->GetBoolOr("resumed_from_checkpoint", false);
   out.peak_memory_bytes = outcome->GetIntOr("peak_memory_bytes", 0);
   out.dist_fallback_local = outcome->GetBoolOr("dist_fallback_local", false);
+  out.stream_candidates_cached =
+      outcome->GetIntOr("stream_candidates_cached", 0);
+  out.stream_candidates_delta =
+      outcome->GetIntOr("stream_candidates_delta", 0);
+  out.stream_candidates_full = outcome->GetIntOr("stream_candidates_full", 0);
+  out.stream_full_fallback = outcome->GetBoolOr("stream_full_fallback", false);
 
   return result;
 }

@@ -52,6 +52,22 @@ enum class RequestType {
   /// get_trace: the finished job's merged Chrome/Perfetto timeline, carried
   /// the same way ("trace" is a JSON string holding the trace document).
   kGetTrace,
+  /// append_rows: stream raw rows (plus their model errors) into a
+  /// registered dataset. Rows are recoded against the dictionary frozen at
+  /// registration; the dataset hash advances along an FNV fingerprint chain
+  /// and cached results for the previous hash are invalidated. Chunked like
+  /// the distributed load_shard transfer: chunks 0..chunks-1 under one
+  /// transfer id, applied atomically on the last chunk.
+  kAppendRows,
+  /// watch: attach (or replace) a sliding-window monitor on a dataset.
+  /// Every subsequent append re-runs incremental slice finding over the
+  /// window and fires an alert once per upward tau-crossing.
+  kWatchDataset,
+  /// unwatch: detach a dataset's monitor.
+  kUnwatchDataset,
+  /// unregister_dataset: drop a dataset so a long-lived streaming server
+  /// can reclaim memory. Refused while jobs or watches reference it.
+  kUnregisterDataset,
 };
 
 const char* RequestTypeName(RequestType type);
@@ -85,6 +101,36 @@ struct FindSlicesRequest {
   bool wait = true;
 };
 
+/// append_rows: one chunk of a streaming append. Each row carries one raw
+/// string cell per feature (encoder order, the feature_names order minus
+/// dropped/label columns) plus its model error -- the caller's model scores
+/// new rows, the server recodes them against the frozen dictionary. The
+/// whole transfer is applied atomically when the final chunk arrives; a
+/// chunk arriving out of order voids the transfer.
+struct AppendRowsRequest {
+  std::string dataset;
+  std::string xfer;    ///< transfer id correlating chunks ("" fine for 1 chunk)
+  int64_t chunk = 0;   ///< 0-based index of this chunk
+  int64_t chunks = 1;  ///< total chunks in the transfer
+  std::vector<std::vector<std::string>> rows;  ///< raw cells, encoder order
+  std::vector<double> errors;                  ///< per-row model errors
+};
+
+/// watch: sliding-window monitoring parameters for one dataset. The slice
+/// config mirrors find_slices; window_rows/window_seconds bound the
+/// evaluated window (0 = unbounded) and hysteresis debounces re-arming.
+struct WatchRequest {
+  std::string dataset;
+  double tau = 1.0;
+  double hysteresis = 0.0;
+  int64_t window_rows = 0;
+  double window_seconds = 0.0;
+  int64_t k = 4;
+  double alpha = 0.95;
+  int64_t sigma = 0;      ///< 0 = paper default max(32, ceil(n/100))
+  int64_t max_level = 0;  ///< 0 = unbounded
+};
+
 /// One parsed request line. `type` selects which payload fields are
 /// meaningful; unknown JSON fields are ignored for forward compatibility.
 struct Request {
@@ -92,7 +138,12 @@ struct Request {
   std::string id;  ///< correlation id echoed in the response ("" allowed)
   RegisterDatasetRequest register_dataset;
   FindSlicesRequest find_slices;
+  AppendRowsRequest append_rows;
+  WatchRequest watch;
   int64_t job_id = -1;  ///< get_status / cancel / get_report / get_trace
+  /// unwatch / unregister_dataset target; also selects the watch-status
+  /// form of get_status (dataset instead of job).
+  std::string dataset;
 };
 
 /// Validates (strict JSON) and decodes one request line.

@@ -12,6 +12,12 @@ void CountCacheEvent(const char* name) {
   obs::MetricsRegistry::Default()->GetCounter(name)->Increment();
 }
 
+void SetEntriesGauge(size_t entries) {
+  obs::MetricsRegistry::Default()
+      ->GetGauge("serve/result_cache/entries")
+      ->Set(static_cast<double>(entries));
+}
+
 }  // namespace
 
 ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {}
@@ -49,7 +55,27 @@ void ResultCache::Insert(uint64_t data_hash, uint64_t config_hash,
     lru_.pop_back();
     ++evictions_;
     CountCacheEvent("serve/cache/evictions");
+    CountCacheEvent("serve/result_cache/evictions");
   }
+  SetEntriesGauge(entries_.size());
+}
+
+int64_t ResultCache::InvalidateDataset(uint64_t data_hash) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.first == data_hash) {
+      lru_.erase(it->second.lru_position);
+      it = entries_.erase(it);
+      ++dropped;
+      ++invalidations_;
+      CountCacheEvent("serve/result_cache/invalidations");
+    } else {
+      ++it;
+    }
+  }
+  if (dropped > 0) SetEntriesGauge(entries_.size());
+  return dropped;
 }
 
 size_t ResultCache::size() const {
@@ -70,6 +96,11 @@ int64_t ResultCache::misses() const {
 int64_t ResultCache::evictions() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return evictions_;
+}
+
+int64_t ResultCache::invalidations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return invalidations_;
 }
 
 }  // namespace sliceline::serve

@@ -42,10 +42,16 @@ class ResultCache {
   void Insert(uint64_t data_hash, uint64_t config_hash,
               std::shared_ptr<const CachedResult> result);
 
+  /// Drops every entry keyed on `data_hash` -- the hash a dataset carried
+  /// *before* an append advanced its fingerprint chain (or before it was
+  /// unregistered). Returns the number of entries dropped.
+  int64_t InvalidateDataset(uint64_t data_hash);
+
   size_t size() const;
   int64_t hits() const;
   int64_t misses() const;
   int64_t evictions() const;
+  int64_t invalidations() const;
 
  private:
   using Key = std::pair<uint64_t, uint64_t>;  ///< (data_hash, config_hash)
@@ -71,6 +77,7 @@ class ResultCache {
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
+  int64_t invalidations_ = 0;
 };
 
 }  // namespace sliceline::serve

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "core/sliceline.h"
 #include "core/sliceline_la.h"
@@ -376,6 +377,24 @@ void Scheduler::DrainAndStop() {
   std::unique_lock<std::mutex> lock(mutex_);
   draining_ = true;
   drain_cv_.wait(lock, [this] { return queued_ + running_ == 0; });
+}
+
+bool Scheduler::HasActiveJobsForDataset(const std::string& name) const {
+  // Snapshot under the scheduler lock, inspect job state outside it: the
+  // per-job mutex inside Terminal() must never nest under mutex_.
+  std::vector<std::shared_ptr<Job>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_) snapshot.push_back(job);
+  }
+  for (const std::shared_ptr<Job>& job : snapshot) {
+    if (job->spec.dataset != nullptr && job->spec.dataset->name == name &&
+        !job->Terminal()) {
+      return true;
+    }
+  }
+  return false;
 }
 
 int64_t Scheduler::queue_depth() const {

@@ -133,6 +133,12 @@ class Scheduler {
   /// state (the SIGTERM drain path). Idempotent.
   void DrainAndStop();
 
+  /// True while any non-terminal job references the named dataset. Used to
+  /// refuse unregister_dataset; a job submitted concurrently with the check
+  /// is benign (it holds its own snapshot, which outlives the registry
+  /// entry).
+  bool HasActiveJobsForDataset(const std::string& name) const;
+
   int64_t queue_depth() const;  ///< admitted, not yet running
   int64_t running() const;
   int64_t jobs_admitted() const;

@@ -40,18 +40,45 @@ void PreregisterServeMetrics() {
        {"serve/jobs_admitted", "serve/jobs_rejected", "serve/jobs_completed",
         "serve/jobs_failed", "serve/jobs_cancelled", "serve/cache/hits",
         "serve/cache/misses", "serve/cache/evictions",
+        "serve/result_cache/evictions", "serve/result_cache/invalidations",
         "serve/connections_total", "serve/connections_rejected",
-        "serve/requests_total", "serve/requests_malformed"}) {
+        "serve/requests_total", "serve/requests_malformed",
+        "stream/appends_total", "stream/alerts_total",
+        "stream/candidates_cached", "stream/candidates_delta",
+        "stream/candidates_full"}) {
     registry->GetCounter(name);
   }
   registry->GetGauge("serve/queue_depth")->Set(0.0);
   registry->GetGauge("serve/open_connections")->Set(0.0);
+  registry->GetGauge("serve/result_cache/entries")->Set(0.0);
   RequestSecondsHistogram();
 }
 
 void CountRequest(const char* name) {
   obs::MetricsRegistry::Default()->GetCounter(name)->Increment();
 }
+
+/// One fired alert as a JSON object (shared by append_rows responses,
+/// watch status, and server_stats).
+void WriteAlertJson(obs::JsonWriter* writer, const stream::StreamAlert& alert) {
+  writer->BeginObject();
+  writer->Key("dataset");
+  writer->String(alert.dataset);
+  writer->Key("slice");
+  writer->String(alert.slice_display);
+  writer->Key("score");
+  writer->Double(alert.score);
+  writer->Key("at_rows");
+  writer->Int(alert.at_rows);
+  writer->Key("at_seconds");
+  writer->Double(alert.at_seconds);
+  writer->Key("fingerprint");
+  writer->String(std::to_string(alert.fingerprint));
+  writer->EndObject();
+}
+
+/// Alerts kept for server_stats / watch status; old ones fall off.
+constexpr size_t kMaxRecentAlerts = 32;
 
 }  // namespace
 
@@ -223,7 +250,8 @@ std::string Server::HandleRequestLine(const std::string& line) {
         response = HandleFindSlices(request);
         break;
       case RequestType::kGetStatus:
-        response = HandleGetStatus(request);
+        response = request.dataset.empty() ? HandleGetStatus(request)
+                                           : HandleWatchStatus(request);
         break;
       case RequestType::kCancel:
         response = HandleCancel(request);
@@ -239,6 +267,18 @@ std::string Server::HandleRequestLine(const std::string& line) {
         break;
       case RequestType::kGetTrace:
         response = HandleGetTrace(request);
+        break;
+      case RequestType::kAppendRows:
+        response = HandleAppendRows(request);
+        break;
+      case RequestType::kWatchDataset:
+        response = HandleWatch(request);
+        break;
+      case RequestType::kUnwatchDataset:
+        response = HandleUnwatch(request);
+        break;
+      case RequestType::kUnregisterDataset:
+        response = HandleUnregisterDataset(request);
         break;
     }
   }
@@ -527,9 +567,29 @@ std::string Server::HandleServerStats(const Request& request) {
   writer.Int(cache_.misses());
   writer.Key("evictions");
   writer.Int(cache_.evictions());
+  writer.Key("invalidations");
+  writer.Int(cache_.invalidations());
   writer.EndObject();
   writer.Key("datasets");
   writer.Int(registry_.size());
+  {
+    std::lock_guard<std::mutex> lock(stream_mutex_);
+    writer.Key("stream");
+    writer.BeginObject();
+    writer.Key("watches");
+    writer.Int(static_cast<int64_t>(watches_.size()));
+    writer.Key("appends_total");
+    writer.Int(appends_total_);
+    writer.Key("alerts_total");
+    writer.Int(alerts_total_);
+    writer.Key("recent_alerts");
+    writer.BeginArray();
+    for (const stream::StreamAlert& alert : recent_alerts_) {
+      WriteAlertJson(&writer, alert);
+    }
+    writer.EndArray();
+    writer.EndObject();
+  }
   const MemoryBudget* budget = scheduler_->shared_budget();
   writer.Key("memory");
   writer.BeginObject();
@@ -590,6 +650,309 @@ std::string Server::HandleGetReport(const Request& request) {
 
 std::string Server::HandleGetTrace(const Request& request) {
   return HandleJobDocument(request, "get_trace", "trace", &Job::trace_json);
+}
+
+std::string Server::HandleAppendRows(const Request& request) {
+  TRACE_SPAN("serve/append_rows");
+  const AppendRowsRequest& append = request.append_rows;
+  if (append.chunks < 1) {
+    return MakeErrorLine(request.id,
+                         Status::InvalidArgument("chunks must be >= 1"));
+  }
+  if (append.chunk < 0 || append.chunk >= append.chunks) {
+    return MakeErrorLine(
+        request.id,
+        Status::InvalidArgument("chunk must be in [0, chunks)"));
+  }
+  if (append.errors.size() != append.rows.size()) {
+    return MakeErrorLine(
+        request.id,
+        Status::InvalidArgument("append needs one error per row"));
+  }
+
+  // The whole streaming surface serializes here: buffer the chunk, apply
+  // the transfer, invalidate the cache, and run the watch evaluation before
+  // returning. A drain (SIGTERM) waits for in-flight requests, so an
+  // accepted append is always fully applied and its alert recorded.
+  std::lock_guard<std::mutex> lock(stream_mutex_);
+  const std::string transfer_key = append.dataset + '\0' + append.xfer;
+  std::vector<std::vector<std::string>> rows;
+  std::vector<double> errors;
+  if (append.chunks == 1) {
+    rows = append.rows;
+    errors = append.errors;
+  } else {
+    if (append.chunk == 0) pending_appends_.erase(transfer_key);
+    PendingAppend& pending = pending_appends_[transfer_key];
+    if (append.chunk == 0) pending.chunks = append.chunks;
+    if (append.chunk != pending.received ||
+        append.chunks != pending.chunks) {
+      pending_appends_.erase(transfer_key);
+      return MakeErrorLine(
+          request.id,
+          Status::InvalidArgument(
+              "append chunk out of order; transfer voided"));
+    }
+    pending.rows.insert(pending.rows.end(), append.rows.begin(),
+                        append.rows.end());
+    pending.errors.insert(pending.errors.end(), append.errors.begin(),
+                          append.errors.end());
+    ++pending.received;
+    if (pending.received < pending.chunks) {
+      std::ostringstream os;
+      obs::JsonWriter writer(os);
+      BeginOkResponse(&writer, request.id);
+      writer.Key("type");
+      writer.String("append_rows");
+      writer.Key("dataset");
+      writer.String(append.dataset);
+      writer.Key("chunk");
+      writer.Int(append.chunk);
+      writer.Key("buffered_rows");
+      writer.Int(static_cast<int64_t>(pending.rows.size()));
+      writer.EndObject();
+      os << '\n';
+      return os.str();
+    }
+    rows = std::move(pending.rows);
+    errors = std::move(pending.errors);
+    pending_appends_.erase(transfer_key);
+  }
+
+  StatusOr<DatasetRegistry::AppendOutcome> outcome =
+      registry_.AppendRows(append.dataset, rows, errors);
+  if (!outcome.ok()) return MakeErrorLine(request.id, outcome.status());
+  const int64_t invalidated =
+      cache_.InvalidateDataset(outcome.value().previous_hash);
+  ++appends_total_;
+  CountRequest("stream/appends_total");
+
+  std::optional<stream::StreamAlert> alert;
+  const auto watch_it = watches_.find(append.dataset);
+  if (watch_it != watches_.end()) {
+    StatusOr<std::optional<stream::StreamAlert>> fired =
+        watch_it->second->OnAppend(outcome.value().delta_x0,
+                                   outcome.value().delta_errors);
+    if (!fired.ok()) return MakeErrorLine(request.id, fired.status());
+    alert = std::move(fired).value();
+    if (alert.has_value()) {
+      ++alerts_total_;
+      CountRequest("stream/alerts_total");
+      recent_alerts_.push_front(*alert);
+      while (recent_alerts_.size() > kMaxRecentAlerts) {
+        recent_alerts_.pop_back();
+      }
+      LOG_INFO << "serve: stream alert on '" << alert->dataset
+               << "': " << alert->slice_display << " score=" << alert->score;
+    }
+  }
+
+  const RegisteredDataset& dataset = *outcome.value().dataset;
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  BeginOkResponse(&writer, request.id);
+  writer.Key("type");
+  writer.String("append_rows");
+  writer.Key("dataset");
+  writer.String(dataset.name);
+  writer.Key("rows_appended");
+  writer.Int(static_cast<int64_t>(rows.size()));
+  writer.Key("n");
+  writer.Int(dataset.dataset.n());
+  writer.Key("version");
+  writer.Int(dataset.version);
+  writer.Key("data_hash");
+  writer.String(std::to_string(dataset.data_hash));
+  writer.Key("cache_invalidated");
+  writer.Int(invalidated);
+  if (alert.has_value()) {
+    writer.Key("alert");
+    WriteAlertJson(&writer, *alert);
+  }
+  writer.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+std::string Server::HandleWatch(const Request& request) {
+  const WatchRequest& watch = request.watch;
+  if (watch.k < 1) {
+    return MakeErrorLine(request.id,
+                         Status::InvalidArgument("k must be >= 1"));
+  }
+  if (!(watch.alpha > 0.0 && watch.alpha <= 1.0)) {
+    return MakeErrorLine(
+        request.id, Status::InvalidArgument("alpha must be in (0, 1]"));
+  }
+  std::shared_ptr<const RegisteredDataset> dataset =
+      registry_.Find(watch.dataset);
+  if (dataset == nullptr) {
+    return MakeErrorLine(request.id, Status::NotFound("unknown dataset '" +
+                                                      watch.dataset + "'"));
+  }
+
+  stream::WatchOptions options;
+  options.tau = watch.tau;
+  options.hysteresis = watch.hysteresis;
+  options.window_rows = watch.window_rows;
+  options.window_seconds = watch.window_seconds;
+  options.config.k = static_cast<int>(watch.k);
+  options.config.alpha = watch.alpha;
+  options.config.min_support = watch.sigma;
+  options.config.max_level = static_cast<int>(watch.max_level);
+  // Frozen encoder domains keep the one-hot layout stable across appends
+  // and window rebuilds; a dataset registered without encoders (in-process
+  // test fixtures) falls back to its observed column maxima.
+  options.stream.domains = dataset->encoders != nullptr
+                               ? dataset->encoders->Domains()
+                               : dataset->dataset.x0.ColMaxs();
+
+  StatusOr<std::unique_ptr<stream::SliceWatcher>> watcher =
+      stream::SliceWatcher::Create(
+          dataset->name, dataset->dataset.x0, dataset->dataset.errors,
+          dataset->dataset.feature_names, std::move(options), options_.clock);
+  if (!watcher.ok()) return MakeErrorLine(request.id, watcher.status());
+
+  std::lock_guard<std::mutex> lock(stream_mutex_);
+  const bool replaced = watches_.count(watch.dataset) > 0;
+  watches_[watch.dataset] = std::move(watcher).value();
+
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  BeginOkResponse(&writer, request.id);
+  writer.Key("type");
+  writer.String("watch");
+  writer.Key("dataset");
+  writer.String(watch.dataset);
+  writer.Key("replaced");
+  writer.Bool(replaced);
+  writer.Key("window_rows");
+  writer.Int(watches_[watch.dataset]->window_rows());
+  writer.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+std::string Server::HandleUnwatch(const Request& request) {
+  std::lock_guard<std::mutex> lock(stream_mutex_);
+  const bool existed = watches_.erase(request.dataset) > 0;
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  BeginOkResponse(&writer, request.id);
+  writer.Key("type");
+  writer.String("unwatch");
+  writer.Key("dataset");
+  writer.String(request.dataset);
+  writer.Key("existed");
+  writer.Bool(existed);
+  writer.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+std::string Server::HandleUnregisterDataset(const Request& request) {
+  std::shared_ptr<const RegisteredDataset> dataset =
+      registry_.Find(request.dataset);
+  if (dataset == nullptr) {
+    return MakeErrorLine(request.id, Status::NotFound("unknown dataset '" +
+                                                      request.dataset + "'"));
+  }
+  if (scheduler_->HasActiveJobsForDataset(request.dataset)) {
+    return MakeErrorLine(
+        request.id,
+        Status::InvalidArgument("dataset '" + request.dataset +
+                                "' has active jobs; wait or cancel first"));
+  }
+  int64_t invalidated = 0;
+  {
+    std::lock_guard<std::mutex> lock(stream_mutex_);
+    if (watches_.count(request.dataset) > 0) {
+      return MakeErrorLine(
+          request.id,
+          Status::InvalidArgument("dataset '" + request.dataset +
+                                  "' is being watched; unwatch first"));
+    }
+    // Void any half-received append transfers targeting the dataset.
+    const std::string prefix = request.dataset + '\0';
+    for (auto it = pending_appends_.begin(); it != pending_appends_.end();) {
+      it = it->first.rfind(prefix, 0) == 0 ? pending_appends_.erase(it)
+                                           : ++it;
+    }
+    Status dropped = registry_.Unregister(request.dataset);
+    if (!dropped.ok()) return MakeErrorLine(request.id, dropped);
+    invalidated = cache_.InvalidateDataset(dataset->data_hash);
+  }
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  BeginOkResponse(&writer, request.id);
+  writer.Key("type");
+  writer.String("unregister_dataset");
+  writer.Key("dataset");
+  writer.String(request.dataset);
+  writer.Key("cache_invalidated");
+  writer.Int(invalidated);
+  writer.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+std::string Server::HandleWatchStatus(const Request& request) {
+  std::lock_guard<std::mutex> lock(stream_mutex_);
+  const auto it = watches_.find(request.dataset);
+  if (it == watches_.end()) {
+    return MakeErrorLine(request.id,
+                         Status::NotFound("no watch on dataset '" +
+                                          request.dataset + "'"));
+  }
+  const stream::SliceWatcher& watcher = *it->second;
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  BeginOkResponse(&writer, request.id);
+  writer.Key("type");
+  writer.String("get_status");
+  writer.Key("dataset");
+  writer.String(request.dataset);
+  writer.Key("watching");
+  writer.Bool(true);
+  writer.Key("tau");
+  writer.Double(watcher.options().tau);
+  writer.Key("hysteresis");
+  writer.Double(watcher.options().hysteresis);
+  writer.Key("armed");
+  writer.Bool(watcher.armed());
+  writer.Key("last_score");
+  writer.Double(watcher.last_score());
+  writer.Key("alerts_fired");
+  writer.Int(watcher.alerts_fired());
+  writer.Key("evaluations");
+  writer.Int(watcher.evaluations());
+  writer.Key("window_rows");
+  writer.Int(watcher.window_rows());
+  writer.Key("window_rebuilds");
+  writer.Int(watcher.window_rebuilds());
+  writer.Key("total_rows");
+  writer.Int(watcher.total_rows());
+  writer.Key("fingerprint");
+  writer.String(std::to_string(watcher.finder().fingerprint()));
+  writer.Key("recent_alerts");
+  writer.BeginArray();
+  for (const stream::StreamAlert& alert : recent_alerts_) {
+    if (alert.dataset == request.dataset) WriteAlertJson(&writer, alert);
+  }
+  writer.EndArray();
+  writer.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+int64_t Server::watch_count() const {
+  std::lock_guard<std::mutex> lock(stream_mutex_);
+  return static_cast<int64_t>(watches_.size());
+}
+
+int64_t Server::stream_alerts_total() const {
+  std::lock_guard<std::mutex> lock(stream_mutex_);
+  return alerts_total_;
 }
 
 std::string Server::MakeResultResponse(

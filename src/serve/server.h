@@ -3,18 +3,22 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/socket.h"
 #include "common/status.h"
 #include "serve/dataset_registry.h"
 #include "serve/protocol.h"
 #include "serve/result_cache.h"
 #include "serve/scheduler.h"
+#include "stream/watcher.h"
 
 namespace sliceline::serve {
 
@@ -47,6 +51,10 @@ struct ServerOptions {
   /// Backs the "remote" engine (distributed runs over sliceline_worker
   /// processes); find_slices with engine "remote" is rejected when unset.
   RemoteEngineFn remote_engine;
+  /// Clock driving watch sliding windows and alert timestamps; borrowed,
+  /// must outlive the server. nullptr uses the steady clock. Tests inject
+  /// a SimulatedClock to make wall-clock windows deterministic.
+  const Clock* clock = nullptr;
 };
 
 /// The slice-finding daemon: accepts newline-delimited JSON requests over
@@ -89,6 +97,8 @@ class Server {
   Scheduler& scheduler() { return *scheduler_; }
   DatasetRegistry& registry() { return registry_; }
   ResultCache& cache() { return cache_; }
+  int64_t watch_count() const;
+  int64_t stream_alerts_total() const;
 
   /// The /metrics payload (Prometheus text exposition of the registry).
   static std::string MetricsText();
@@ -106,6 +116,12 @@ class Server {
   std::string HandleServerStats(const Request& request);
   std::string HandleGetReport(const Request& request);
   std::string HandleGetTrace(const Request& request);
+  std::string HandleAppendRows(const Request& request);
+  std::string HandleWatch(const Request& request);
+  std::string HandleUnwatch(const Request& request);
+  std::string HandleUnregisterDataset(const Request& request);
+  /// get_status with a "dataset" field: the watch's monitoring state.
+  std::string HandleWatchStatus(const Request& request);
   /// Shared by get_report/get_trace: resolves the job and hands back the
   /// requested persisted document (field "report" or "trace") as a JSON
   /// string value, or a structured error for unknown / unfinished jobs.
@@ -121,10 +137,30 @@ class Server {
                                  const core::SliceLineResult& result,
                                  const std::vector<std::string>& feature_names);
 
+  /// One in-flight chunked append transfer, keyed by (dataset, xfer).
+  struct PendingAppend {
+    int64_t chunks = 0;    ///< total expected
+    int64_t received = 0;  ///< chunks buffered so far
+    std::vector<std::vector<std::string>> rows;
+    std::vector<double> errors;
+  };
+
   const ServerOptions options_;
   DatasetRegistry registry_;
   ResultCache cache_;
   std::unique_ptr<Scheduler> scheduler_;
+
+  /// Serializes the streaming surface: appends, watch attach/detach,
+  /// unregister, chunk buffers, and the alert ring. Watch evaluation runs
+  /// under it too -- an append's find completes before the handler returns,
+  /// which is what makes alerts survive the drain/SIGTERM path (connections
+  /// finish their current request before Wait() proceeds).
+  mutable std::mutex stream_mutex_;
+  std::map<std::string, std::unique_ptr<stream::SliceWatcher>> watches_;
+  std::map<std::string, PendingAppend> pending_appends_;
+  std::deque<stream::StreamAlert> recent_alerts_;  ///< newest first, bounded
+  int64_t appends_total_ = 0;
+  int64_t alerts_total_ = 0;
 
   ListenSocket tcp_listener_;
   ListenSocket unix_listener_;

@@ -1,0 +1,183 @@
+#include "stream/segment.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/hashing.h"
+
+namespace sliceline::stream {
+
+uint64_t ChainFingerprint(uint64_t parent, const data::IntMatrix& delta,
+                          const std::vector<double>& errors) {
+  Fnv1a h;
+  h.Add64(parent);
+  h.Add64(static_cast<uint64_t>(delta.rows()));
+  h.Add64(static_cast<uint64_t>(delta.cols()));
+  if (!delta.data().empty()) {
+    h.AddBytes(delta.data().data(),
+               delta.data().size() * sizeof(delta.data()[0]));
+  }
+  for (double e : errors) h.AddDouble(e);
+  return h.hash();
+}
+
+uint64_t BaseFingerprint(const data::IntMatrix& x0,
+                         const std::vector<double>& errors) {
+  return ChainFingerprint(0, x0, errors);
+}
+
+data::FeatureOffsets OffsetsFromDomains(const std::vector<int32_t>& domains) {
+  data::FeatureOffsets offsets;
+  offsets.fdom = domains;
+  offsets.fb.reserve(domains.size());
+  offsets.fe.reserve(domains.size());
+  int64_t at = 0;
+  for (int32_t d : domains) {
+    offsets.fb.push_back(at);
+    at += d;
+    offsets.fe.push_back(at);
+  }
+  offsets.total = at;
+  return offsets;
+}
+
+StatusOr<SegmentStore> SegmentStore::Create(data::IntMatrix base_x0,
+                                            std::vector<double> base_errors,
+                                            std::vector<int32_t> domains) {
+  if (base_x0.rows() < 1) {
+    return Status::InvalidArgument("segment store needs a non-empty base");
+  }
+  if (domains.empty()) {
+    domains = base_x0.ColMaxs();
+  } else if (domains.size() != static_cast<size_t>(base_x0.cols())) {
+    return Status::InvalidArgument("domains size does not match columns");
+  }
+  SegmentStore store;
+  store.offsets_ = OffsetsFromDomains(domains);
+  store.x0_ = data::IntMatrix(0, base_x0.cols());
+  store.basic_sizes_.assign(static_cast<size_t>(store.offsets_.total), 0);
+  store.basic_error_sums_.assign(static_cast<size_t>(store.offsets_.total),
+                                 0.0);
+  store.basic_max_errors_.assign(static_cast<size_t>(store.offsets_.total),
+                                 0.0);
+  store.col_words_.resize(static_cast<size_t>(store.offsets_.total));
+  store.boundary_counts_[0] = store.basic_sizes_;
+  SLICELINE_RETURN_NOT_OK(store.Validate(base_x0, base_errors));
+  store.Ingest(base_x0, base_errors);
+  store.fingerprint_ = BaseFingerprint(base_x0, base_errors);
+  store.base_rows_ = base_x0.rows();
+  return store;
+}
+
+Status SegmentStore::Validate(const data::IntMatrix& delta,
+                              const std::vector<double>& errors) const {
+  if (delta.rows() < 1) {
+    return Status::InvalidArgument("append must carry at least one row");
+  }
+  if (delta.cols() != x0_.cols()) {
+    return Status::InvalidArgument("append column count mismatch");
+  }
+  if (errors.size() != static_cast<size_t>(delta.rows())) {
+    return Status::InvalidArgument("append errors size mismatch");
+  }
+  for (double e : errors) {
+    if (!std::isfinite(e) || e < 0.0) {
+      return Status::InvalidArgument(
+          "errors must be non-negative finite values");
+    }
+  }
+  for (int64_t r = 0; r < delta.rows(); ++r) {
+    const int32_t* row = delta.row(r);
+    for (int64_t j = 0; j < delta.cols(); ++j) {
+      if (row[j] < 1 || row[j] > offsets_.fdom[static_cast<size_t>(j)]) {
+        return Status::InvalidArgument(
+            "code " + std::to_string(row[j]) + " outside frozen domain [1, " +
+            std::to_string(offsets_.fdom[static_cast<size_t>(j)]) +
+            "] for feature " + std::to_string(j));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void SegmentStore::Ingest(const data::IntMatrix& delta,
+                          const std::vector<double>& delta_errors) {
+  const int64_t row_begin = x0_.rows();
+  const int64_t new_n = row_begin + delta.rows();
+  const int64_t new_words = linalg::BitmapWords(new_n);
+  if (new_words != words_) {
+    // Padded word counts only grow, and prefix words keep their values, so
+    // segment bitmaps concatenate without repacking.
+    for (auto& words : col_words_) {
+      words.resize(static_cast<size_t>(new_words), 0);
+    }
+    words_ = new_words;
+  }
+  // One ascending-row pass extends every per-column float chain in order:
+  // the continuation of the exact chain a from-scratch build would run.
+  for (int64_t r = 0; r < delta.rows(); ++r) {
+    const int64_t row = row_begin + r;
+    const double e = delta_errors[static_cast<size_t>(r)];
+    const int32_t* codes = delta.row(r);
+    for (int64_t j = 0; j < delta.cols(); ++j) {
+      const size_t col = static_cast<size_t>(
+          offsets_.fb[static_cast<size_t>(j)] + codes[j] - 1);
+      col_words_[col][static_cast<size_t>(row >> 6)] |= 1ULL
+                                                        << (row & 63);
+      basic_sizes_[col] += 1;
+      basic_error_sums_[col] += e;
+      if (e > basic_max_errors_[col]) basic_max_errors_[col] = e;
+    }
+    total_error_ += e;
+    errors_.push_back(e);
+  }
+  x0_.AppendRows(delta);
+}
+
+Status SegmentStore::Append(const data::IntMatrix& delta_x0,
+                            const std::vector<double>& delta_errors,
+                            double ingest_seconds) {
+  SLICELINE_RETURN_NOT_OK(Validate(delta_x0, delta_errors));
+  const int64_t row_begin = x0_.rows();
+  // Snapshot cumulative counts at the boundary *before* ingesting, so the
+  // untouched-column fast path can ask "did any rows in [P, n) hit column
+  // c" by differencing against the current counts.
+  boundary_counts_[row_begin] = basic_sizes_;
+  Ingest(delta_x0, delta_errors);
+  fingerprint_ = ChainFingerprint(fingerprint_, delta_x0, delta_errors);
+  DeltaSegment segment;
+  segment.row_begin = row_begin;
+  segment.row_end = x0_.rows();
+  segment.fingerprint = fingerprint_;
+  segment.ingest_seconds = ingest_seconds;
+  segments_.push_back(segment);
+  return Status::OK();
+}
+
+void SegmentStore::Compact() {
+  if (segments_.empty()) return;
+  base_rows_ = x0_.rows();
+  segments_.clear();
+  boundary_counts_.clear();
+  boundary_counts_[0].assign(static_cast<size_t>(offsets_.total), 0);
+  ++compactions_;
+}
+
+bool SegmentStore::MaybeCompact(double ratio) {
+  if (segments_.empty() || ratio <= 0.0) return false;
+  const int64_t delta_rows = x0_.rows() - base_rows_;
+  if (static_cast<double>(delta_rows) <=
+      ratio * static_cast<double>(base_rows_)) {
+    return false;
+  }
+  Compact();
+  return true;
+}
+
+const std::vector<int64_t>* SegmentStore::BoundaryCounts(int64_t row) const {
+  auto it = boundary_counts_.find(row);
+  if (it == boundary_counts_.end()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace sliceline::stream

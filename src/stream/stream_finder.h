@@ -1,0 +1,135 @@
+#ifndef SLICELINE_STREAM_STREAM_FINDER_H_
+#define SLICELINE_STREAM_STREAM_FINDER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "core/evaluator.h"
+#include "core/slice.h"
+#include "data/int_matrix.h"
+#include "stream/segment.h"
+
+namespace sliceline::stream {
+
+struct StreamOptions {
+  /// Frozen per-feature domains; empty derives them from the base data, in
+  /// which case appends must not exercise unseen codes.
+  std::vector<int32_t> domains;
+  /// Delta segments compact into the base once delta rows exceed this
+  /// fraction of the base rows (checked after every append; <= 0 disables).
+  double compact_ratio = 0.25;
+  /// Find() falls back to a plain full run (recorded in
+  /// RunOutcome::stream_full_fallback) when the rows appended since the
+  /// last Find exceed this fraction of the dataset (<= 0 disables).
+  double full_rerun_fraction = 0.2;
+  /// Per-candidate statistics cached across finds; inserts stop (updates
+  /// continue) once the cache holds this many slices.
+  size_t max_cached_slices = 1 << 20;
+};
+
+/// Per-Find incremental decision counters, mirrored into
+/// RunOutcome::stream_candidates_{cached,delta,full}.
+struct StreamFindStats {
+  int64_t candidates_cached = 0;  ///< cached statistic already at prefix n
+  int64_t candidates_delta = 0;   ///< cached statistic continued over delta
+  int64_t candidates_full = 0;    ///< computed from row 0
+  bool full_fallback = false;     ///< took the plain-engine fallback
+};
+
+/// Incremental slice finder over an append-only dataset.
+///
+/// Wraps a SegmentStore and an EvaluatorBackend whose per-candidate
+/// statistics (sc, se, sm) are cached together with the row prefix they
+/// cover. On the next Find after an append, a candidate is re-scored by
+/// *continuing* its cached statistic over just the appended rows — or
+/// skipped entirely when no appended row touches its predicate columns —
+/// rather than recomputed from scratch. Because every statistic is a single
+/// ascending-row float chain (see SegmentStore), the incremental top-K is
+/// bit-identical to a from-scratch run on the concatenated data.
+///
+/// Thread-safe: Append and Find serialize on an internal mutex.
+class StreamingSliceFinder {
+ public:
+  static StatusOr<std::unique_ptr<StreamingSliceFinder>> Create(
+      const data::IntMatrix& base_x0, const std::vector<double>& base_errors,
+      StreamOptions options = {});
+
+  /// Appends encoded rows with their model errors; compacts segments when
+  /// the configured size ratio trips.
+  Status Append(const data::IntMatrix& delta_x0,
+                const std::vector<double>& delta_errors,
+                double ingest_seconds = 0.0);
+
+  /// Runs slice finding over the current dataset. Incremental whenever the
+  /// delta since the last Find is small enough; the decision and the
+  /// per-candidate re-scoring choices are recorded in the result's
+  /// RunOutcome stream fields.
+  StatusOr<core::SliceLineResult> Find(const core::SliceLineConfig& config);
+
+  int64_t n() const;
+  uint64_t fingerprint() const;
+  int64_t compactions() const;
+  StreamFindStats last_find_stats() const;
+
+ private:
+  struct CachedStats {
+    int64_t prefix = 0;  ///< rows [0, prefix) are folded into the chain
+    int64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+  };
+
+  /// EvaluatorBackend that continues cached per-candidate chains over the
+  /// appended suffix using the bit-packed SIMD kernels. All strategies of
+  /// the plain evaluator produce the same float chains, so this backend is
+  /// bit-compatible with every eval_strategy.
+  class StreamEvaluator : public core::EvaluatorBackend {
+   public:
+    explicit StreamEvaluator(StreamingSliceFinder* owner) : owner_(owner) {}
+
+    StatusOr<core::EvalResult> Evaluate(
+        const core::SliceSet& set,
+        const core::SliceLineConfig& config) const override;
+
+    const std::vector<int64_t>& basic_sizes() const override {
+      return owner_->store_->basic_sizes();
+    }
+    const std::vector<double>& basic_error_sums() const override {
+      return owner_->store_->basic_error_sums();
+    }
+    const std::vector<double>& basic_max_errors() const override {
+      return owner_->store_->basic_max_errors();
+    }
+    int64_t n() const override { return owner_->store_->n(); }
+    double total_error() const override { return owner_->store_->total_error(); }
+    const data::FeatureOffsets& offsets() const override {
+      return owner_->store_->offsets();
+    }
+
+   private:
+    StreamingSliceFinder* owner_;
+  };
+
+  explicit StreamingSliceFinder(StreamOptions options)
+      : options_(options), evaluator_(this) {}
+
+  StreamOptions options_;
+  mutable std::mutex mutex_;
+  std::unique_ptr<SegmentStore> store_;
+  StreamEvaluator evaluator_;
+  std::map<std::vector<int64_t>, CachedStats> stats_cache_;
+  int64_t rows_at_last_find_ = 0;
+  // Scratch for candidate intersections; reused across Evaluate calls.
+  mutable std::vector<uint64_t> scratch_;
+  mutable std::vector<const uint64_t*> column_arena_;
+  mutable StreamFindStats find_stats_;
+  StreamFindStats last_find_stats_;
+};
+
+}  // namespace sliceline::stream
+
+#endif  // SLICELINE_STREAM_STREAM_FINDER_H_

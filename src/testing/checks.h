@@ -65,6 +65,15 @@ std::string CheckDeterminism(const FuzzCase& fuzz_case);
 /// run (scores, error sums, max errors, predicates).
 std::string CheckSimdDifferential(const FuzzCase& fuzz_case);
 
+/// Stream equivalence: the case's dataset split into a base plus a seeded
+/// append sequence, run through the incremental StreamingSliceFinder with
+/// finds interleaved between appends, must be bit-identical (top-K
+/// predicates, scores, error sums, max errors, and level accounting) to a
+/// one-shot run on the concatenated data — at every prefix, for every
+/// available ISA, with compaction on and off, and through the full-rerun
+/// fallback. A repeat find without an append must answer fully from cache.
+std::string CheckStreamEquivalence(const FuzzCase& fuzz_case);
+
 /// Governance robustness on the case's dataset: every engine is run
 /// pre-cancelled, under a randomized simulated-time deadline, and under a
 /// randomized memory budget. Each run must return gracefully (no error

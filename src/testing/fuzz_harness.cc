@@ -25,6 +25,7 @@ std::string RunDatasetCheck(const std::string& check, const FuzzCase& fuzz_case,
   if (check == "determinism") return CheckDeterminism(fuzz_case);
   if (check == "governance") return CheckGovernance(fuzz_case);
   if (check == "kernels-simd") return CheckSimdDifferential(fuzz_case);
+  if (check == "stream-equivalence") return CheckStreamEquivalence(fuzz_case);
   return "unknown check: " + check;
 }
 
@@ -100,8 +101,8 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
                    static_cast<long long>(fuzz_case.x0.cols()));
     }
 
-    for (const char* check :
-         {"oracle", "metamorphic", "governance", "kernels-simd"}) {
+    for (const char* check : {"oracle", "metamorphic", "governance",
+                              "kernels-simd", "stream-equivalence"}) {
       if (!CheckSelected(options, check)) continue;
       ++report.checks_run;
       std::string failure = RunDatasetCheck(check, fuzz_case, options.inject);

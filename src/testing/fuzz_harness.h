@@ -11,10 +11,10 @@
 
 namespace sliceline::testing {
 
-/// Names of the six checks, in execution order.
+/// Names of the seven checks, in execution order.
 inline constexpr const char* kCheckNames[] = {
-    "oracle",      "kernel",     "metamorphic",
-    "determinism", "governance", "kernels-simd"};
+    "oracle",     "kernel",       "metamorphic",       "determinism",
+    "governance", "kernels-simd", "stream-equivalence"};
 
 struct FuzzOptions {
   uint64_t seed = 1;

@@ -1,0 +1,281 @@
+// Stream-equivalence metamorphic check: splitting a dataset into a base
+// plus appends and running the incremental StreamingSliceFinder
+// (append* -> find, with finds interleaved to prime and continue the
+// per-candidate statistic chains) must be BIT-identical to a one-shot run
+// on the concatenated data — at every prefix, at every available ISA, with
+// and without segment compaction, and through the full-rerun fallback.
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/sliceline.h"
+#include "linalg/kernels_simd.h"
+#include "stream/stream_finder.h"
+#include "testing/checks.h"
+
+namespace sliceline::testing {
+namespace {
+
+using linalg::SimdIsa;
+
+std::string DescribeCase(const FuzzCase& fuzz_case) {
+  std::ostringstream os;
+  os << "[profile=" << fuzz_case.profile << " seed=" << fuzz_case.seed
+     << " n=" << fuzz_case.x0.rows() << " m=" << fuzz_case.x0.cols() << "]";
+  return os.str();
+}
+
+bool BitEqual(double a, double b) {
+  uint64_t ab = 0;
+  uint64_t bb = 0;
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ab == bb;
+}
+
+std::string CompareBitIdentical(const core::SliceLineResult& want,
+                                const core::SliceLineResult& got,
+                                const std::string& label) {
+  std::ostringstream os;
+  if (want.top_k.size() != got.top_k.size()) {
+    os << label << ": top-K size " << got.top_k.size() << " vs "
+       << want.top_k.size();
+    return os.str();
+  }
+  for (size_t i = 0; i < want.top_k.size(); ++i) {
+    const core::Slice& a = want.top_k[i];
+    const core::Slice& b = got.top_k[i];
+    if (a.predicates != b.predicates) {
+      os << label << ": rank " << i << " predicates differ";
+      return os.str();
+    }
+    if (a.stats.size != b.stats.size ||
+        !BitEqual(a.stats.score, b.stats.score) ||
+        !BitEqual(a.stats.error_sum, b.stats.error_sum) ||
+        !BitEqual(a.stats.max_error, b.stats.max_error)) {
+      os << label << ": rank " << i << " stats not bit-identical (score "
+         << a.stats.score << " vs " << b.stats.score << ", error_sum "
+         << a.stats.error_sum << " vs " << b.stats.error_sum << ")";
+      return os.str();
+    }
+  }
+  if (want.total_evaluated != got.total_evaluated ||
+      want.levels.size() != got.levels.size()) {
+    os << label << ": level accounting differs (evaluated "
+       << got.total_evaluated << " vs " << want.total_evaluated << ")";
+    return os.str();
+  }
+  return "";
+}
+
+data::IntMatrix RowSlice(const data::IntMatrix& x0, int64_t begin,
+                         int64_t end) {
+  data::IntMatrix out(end - begin, x0.cols());
+  for (int64_t r = begin; r < end; ++r) {
+    const int32_t* src = x0.row(r);
+    std::copy(src, src + x0.cols(), out.row(r - begin));
+  }
+  return out;
+}
+
+struct ScopedIsaReset {
+  ~ScopedIsaReset() { linalg::ClearForcedIsa(); }
+};
+
+/// From-scratch reference at a row prefix, with the same frozen offsets the
+/// streaming finder uses (so the comparison covers level accounting too).
+StatusOr<core::SliceLineResult> ReferenceRun(
+    const FuzzCase& fuzz_case, const data::FeatureOffsets& offsets,
+    int64_t prefix, const core::SliceLineConfig& config) {
+  const data::IntMatrix x0 = RowSlice(fuzz_case.x0, 0, prefix);
+  const std::vector<double> errors(
+      fuzz_case.errors.begin(),
+      fuzz_case.errors.begin() + static_cast<size_t>(prefix));
+  const core::SliceEvaluator evaluator(x0, offsets, errors);
+  return core::RunSliceLineWithBackend(evaluator, config);
+}
+
+std::string RunEquivalenceRound(const FuzzCase& fuzz_case,
+                                const core::SliceLineConfig& config,
+                                Rng& rng, double compact_ratio) {
+  const int64_t n = fuzz_case.x0.rows();
+  // Base takes 40-80% of the rows; the rest arrives as 1-4 appends.
+  const int64_t base_rows = std::max<int64_t>(
+      1, (n * (40 + static_cast<int64_t>(rng.NextUint64(41)))) / 100);
+  std::vector<int64_t> cuts{base_rows};
+  const int num_appends = 1 + static_cast<int>(rng.NextUint64(4));
+  for (int a = 0; a < num_appends; ++a) {
+    cuts.push_back(base_rows +
+                   static_cast<int64_t>(rng.NextUint64(
+                       static_cast<uint64_t>(n - base_rows + 1))));
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.push_back(n);
+
+  stream::StreamOptions options;
+  options.domains = fuzz_case.x0.ColMaxs();
+  options.compact_ratio = compact_ratio;
+  options.full_rerun_fraction = 0.0;  // force the incremental path
+  const data::FeatureOffsets offsets =
+      stream::OffsetsFromDomains(options.domains);
+
+  auto finder_or = stream::StreamingSliceFinder::Create(
+      RowSlice(fuzz_case.x0, 0, cuts[0]),
+      std::vector<double>(
+          fuzz_case.errors.begin(),
+          fuzz_case.errors.begin() + static_cast<size_t>(cuts[0])),
+      options);
+  if (!finder_or.ok()) {
+    return "streaming create failed: " + finder_or.status().ToString();
+  }
+  std::unique_ptr<stream::StreamingSliceFinder> finder =
+      std::move(finder_or.value());
+
+  int64_t prefix = cuts[0];
+  for (size_t c = 0; c + 1 < cuts.size(); ++c) {
+    // Find at this prefix (primes / continues the statistic cache), then
+    // append the next chunk.
+    auto got = finder->Find(config);
+    if (!got.ok()) return "streaming find failed: " + got.status().ToString();
+    auto want = ReferenceRun(fuzz_case, offsets, prefix, config);
+    if (!want.ok()) return "reference run failed: " + want.status().ToString();
+    std::ostringstream label;
+    label << "prefix=" << prefix << " compact_ratio=" << compact_ratio;
+    std::string diff = CompareBitIdentical(*want, *got, label.str());
+    if (!diff.empty()) return diff;
+
+    const int64_t next = cuts[c + 1];
+    if (next > prefix) {
+      Status appended = finder->Append(
+          RowSlice(fuzz_case.x0, prefix, next),
+          std::vector<double>(
+              fuzz_case.errors.begin() + static_cast<size_t>(prefix),
+              fuzz_case.errors.begin() + static_cast<size_t>(next)));
+      if (!appended.ok()) {
+        return "streaming append failed: " + appended.ToString();
+      }
+      prefix = next;
+    }
+  }
+
+  // Final prefix covers the whole dataset.
+  auto got = finder->Find(config);
+  if (!got.ok()) return "streaming find failed: " + got.status().ToString();
+  auto want = ReferenceRun(fuzz_case, offsets, n, config);
+  if (!want.ok()) return "reference run failed: " + want.status().ToString();
+  std::string diff = CompareBitIdentical(*want, *got, "final");
+  if (!diff.empty()) return diff;
+
+  // A repeat find with no intervening append must answer entirely from the
+  // cache: no delta continuations, no from-scratch evaluations.
+  auto again = finder->Find(config);
+  if (!again.ok()) {
+    return "repeat find failed: " + again.status().ToString();
+  }
+  if (again.value().outcome.stream_candidates_delta != 0 ||
+      again.value().outcome.stream_candidates_full != 0) {
+    std::ostringstream os;
+    os << "repeat find re-evaluated candidates (delta="
+       << again.value().outcome.stream_candidates_delta
+       << " full=" << again.value().outcome.stream_candidates_full << ")";
+    return os.str();
+  }
+  diff = CompareBitIdentical(*want, *again, "repeat");
+  if (!diff.empty()) return diff;
+  return "";
+}
+
+}  // namespace
+
+std::string CheckStreamEquivalence(const FuzzCase& fuzz_case) {
+  if (fuzz_case.x0.rows() < 4) return "";
+  // Bound enumeration the same way the SIMD differential does: the subject
+  // here is incremental re-evaluation, not the pruning ablation.
+  core::SliceLineConfig config = fuzz_case.config;
+  config.eval_strategy = core::SliceLineConfig::EvalStrategy::kBitset;
+  config.prune_size = true;
+  config.prune_score = true;
+  config.prune_parents = true;
+  config.deduplicate = true;
+  config.max_level = config.max_level == 0 ? 3 : std::min(config.max_level, 3);
+
+  // Invalid inputs (non-finite or negative errors) are the oracle check's
+  // domain; mirror its bail-out.
+  {
+    auto probe = core::RunSliceLine(fuzz_case.x0, fuzz_case.errors, config);
+    if (!probe.ok()) return "";
+  }
+
+  Rng rng(fuzz_case.seed * 0x9e3779b97f4a7c15ULL + 2);
+  ScopedIsaReset reset;
+  for (SimdIsa isa : linalg::AvailableIsas()) {
+    linalg::ForceIsa(isa);
+    // One round without compaction, one that compacts aggressively: both
+    // must be bit-identical to the one-shot run.
+    for (double compact_ratio : {0.0, 0.1}) {
+      std::string failure =
+          RunEquivalenceRound(fuzz_case, config, rng, compact_ratio);
+      if (!failure.empty()) {
+        return DescribeCase(fuzz_case) + " isa=" + linalg::IsaName(isa) +
+               " " + failure;
+      }
+    }
+  }
+  linalg::ClearForcedIsa();
+
+  // Fallback path: a finder whose threshold always trips must agree with
+  // the one-shot run and record the fallback in the outcome.
+  stream::StreamOptions fallback_options;
+  fallback_options.domains = fuzz_case.x0.ColMaxs();
+  fallback_options.full_rerun_fraction = 1e-9;
+  const int64_t half = std::max<int64_t>(1, fuzz_case.x0.rows() / 2);
+  auto finder_or = stream::StreamingSliceFinder::Create(
+      RowSlice(fuzz_case.x0, 0, half),
+      std::vector<double>(
+          fuzz_case.errors.begin(),
+          fuzz_case.errors.begin() + static_cast<size_t>(half)),
+      fallback_options);
+  if (!finder_or.ok()) {
+    return DescribeCase(fuzz_case) +
+           " fallback create failed: " + finder_or.status().ToString();
+  }
+  auto& finder = *finder_or.value();
+  auto primed = finder.Find(config);
+  if (!primed.ok()) {
+    return DescribeCase(fuzz_case) +
+           " fallback prime failed: " + primed.status().ToString();
+  }
+  Status appended = finder.Append(
+      RowSlice(fuzz_case.x0, half, fuzz_case.x0.rows()),
+      std::vector<double>(
+          fuzz_case.errors.begin() + static_cast<size_t>(half),
+          fuzz_case.errors.end()));
+  if (!appended.ok()) {
+    return DescribeCase(fuzz_case) +
+           " fallback append failed: " + appended.ToString();
+  }
+  auto got = finder.Find(config);
+  if (!got.ok()) {
+    return DescribeCase(fuzz_case) +
+           " fallback find failed: " + got.status().ToString();
+  }
+  if (!got.value().outcome.stream_full_fallback) {
+    return DescribeCase(fuzz_case) + " fallback was not taken";
+  }
+  const data::FeatureOffsets offsets =
+      stream::OffsetsFromDomains(fallback_options.domains);
+  auto want = ReferenceRun(fuzz_case, offsets, fuzz_case.x0.rows(), config);
+  if (!want.ok()) {
+    return DescribeCase(fuzz_case) +
+           " fallback reference failed: " + want.status().ToString();
+  }
+  std::string diff = CompareBitIdentical(*want, *got, "fallback");
+  if (!diff.empty()) return DescribeCase(fuzz_case) + " " + diff;
+  return "";
+}
+
+}  // namespace sliceline::testing

@@ -1,0 +1,505 @@
+// Incremental & streaming slice finding: SegmentStore append/compaction
+// bit-determinism, StreamingSliceFinder incremental-vs-from-scratch
+// equivalence (including the full-rerun fallback and the per-candidate
+// decision counters), and SliceWatcher sliding windows with exactly-once
+// tau-crossing alerts under a simulated clock. Suites are named Stream* so
+// the TSan preset's filter picks them up.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/run_context.h"
+#include "core/evaluator.h"
+#include "core/sliceline.h"
+#include "data/int_matrix.h"
+#include "stream/segment.h"
+#include "stream/stream_finder.h"
+#include "stream/watcher.h"
+
+namespace sliceline::stream {
+namespace {
+
+bool BitEqual(double a, double b) {
+  uint64_t ab = 0;
+  uint64_t bb = 0;
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ab == bb;
+}
+
+struct StreamData {
+  data::IntMatrix x0;
+  std::vector<double> errors;
+};
+
+/// Deterministic codes in 1..domain over `features` columns; rows in the
+/// (c0=1, c1=1) cell carry much larger errors, so slice finding has a
+/// planted signal.
+StreamData MakeData(int64_t rows, int64_t features, int32_t domain,
+                    uint64_t seed) {
+  Rng rng(seed);
+  StreamData data{data::IntMatrix(rows, features), std::vector<double>(rows)};
+  for (int64_t r = 0; r < rows; ++r) {
+    int32_t* row = data.x0.row(r);
+    for (int64_t j = 0; j < features; ++j) {
+      row[j] = 1 + static_cast<int32_t>(rng.NextUint64(domain));
+    }
+    const double noise = std::abs(rng.NextGaussian());
+    data.errors[static_cast<size_t>(r)] =
+        row[0] == 1 && row[1] == 1 ? 4.0 + noise : 0.3 * noise;
+  }
+  return data;
+}
+
+data::IntMatrix RowSlice(const data::IntMatrix& x0, int64_t begin,
+                         int64_t end) {
+  data::IntMatrix out(end - begin, x0.cols());
+  for (int64_t r = begin; r < end; ++r) {
+    const int32_t* src = x0.row(r);
+    std::copy(src, src + x0.cols(), out.row(r - begin));
+  }
+  return out;
+}
+
+std::vector<double> ErrorSlice(const std::vector<double>& errors,
+                               int64_t begin, int64_t end) {
+  return std::vector<double>(errors.begin() + static_cast<size_t>(begin),
+                             errors.begin() + static_cast<size_t>(end));
+}
+
+core::SliceLineConfig TestConfig() {
+  core::SliceLineConfig config;
+  config.k = 4;
+  config.alpha = 0.95;
+  config.max_level = 3;
+  return config;
+}
+
+/// From-scratch reference over the row prefix, with the same frozen
+/// offsets the streaming finder uses.
+core::SliceLineResult ReferenceRun(const StreamData& data,
+                                   const std::vector<int32_t>& domains,
+                                   int64_t prefix,
+                                   const core::SliceLineConfig& config) {
+  const data::IntMatrix x0 = RowSlice(data.x0, 0, prefix);
+  const std::vector<double> errors = ErrorSlice(data.errors, 0, prefix);
+  const data::FeatureOffsets offsets = OffsetsFromDomains(domains);
+  const core::SliceEvaluator evaluator(x0, offsets, errors);
+  auto result = core::RunSliceLineWithBackend(evaluator, config);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+void ExpectBitIdentical(const core::SliceLineResult& want,
+                        const core::SliceLineResult& got) {
+  ASSERT_EQ(want.top_k.size(), got.top_k.size());
+  for (size_t i = 0; i < want.top_k.size(); ++i) {
+    EXPECT_EQ(want.top_k[i].predicates, got.top_k[i].predicates) << i;
+    EXPECT_EQ(want.top_k[i].stats.size, got.top_k[i].stats.size) << i;
+    EXPECT_TRUE(
+        BitEqual(want.top_k[i].stats.score, got.top_k[i].stats.score))
+        << i << ": " << want.top_k[i].stats.score << " vs "
+        << got.top_k[i].stats.score;
+    EXPECT_TRUE(BitEqual(want.top_k[i].stats.error_sum,
+                         got.top_k[i].stats.error_sum))
+        << i;
+    EXPECT_TRUE(BitEqual(want.top_k[i].stats.max_error,
+                         got.top_k[i].stats.max_error))
+        << i;
+  }
+  EXPECT_EQ(want.total_evaluated, got.total_evaluated);
+  EXPECT_EQ(want.levels.size(), got.levels.size());
+}
+
+TEST(StreamSegmentTest, AppendsMatchOneShotBuildBitIdentically) {
+  const StreamData data = MakeData(240, 4, 3, 101);
+  const std::vector<int32_t> domains = data.x0.ColMaxs();
+
+  auto one_shot = SegmentStore::Create(data.x0, data.errors, domains);
+  ASSERT_TRUE(one_shot.ok()) << one_shot.status().ToString();
+
+  auto chained = SegmentStore::Create(RowSlice(data.x0, 0, 100),
+                                      ErrorSlice(data.errors, 0, 100),
+                                      domains);
+  ASSERT_TRUE(chained.ok()) << chained.status().ToString();
+  SegmentStore& store = chained.value();
+  ASSERT_TRUE(store
+                  .Append(RowSlice(data.x0, 100, 180),
+                          ErrorSlice(data.errors, 100, 180))
+                  .ok());
+  ASSERT_TRUE(store
+                  .Append(RowSlice(data.x0, 180, 240),
+                          ErrorSlice(data.errors, 180, 240))
+                  .ok());
+
+  const SegmentStore& ref = one_shot.value();
+  ASSERT_EQ(store.n(), ref.n());
+  EXPECT_TRUE(BitEqual(store.total_error(), ref.total_error()));
+  ASSERT_EQ(store.basic_sizes(), ref.basic_sizes());
+  ASSERT_EQ(store.basic_error_sums().size(), ref.basic_error_sums().size());
+  for (size_t c = 0; c < store.basic_error_sums().size(); ++c) {
+    EXPECT_TRUE(
+        BitEqual(store.basic_error_sums()[c], ref.basic_error_sums()[c]))
+        << c;
+    EXPECT_TRUE(
+        BitEqual(store.basic_max_errors()[c], ref.basic_max_errors()[c]))
+        << c;
+  }
+  // Column bitmaps share the global word layout, so the append-built words
+  // equal the one-shot words exactly.
+  ASSERT_EQ(store.words(), ref.words());
+  for (int64_t c = 0; c < store.offsets().total; ++c) {
+    EXPECT_EQ(std::memcmp(store.column_words(c), ref.column_words(c),
+                          static_cast<size_t>(store.words()) *
+                              sizeof(uint64_t)),
+              0)
+        << c;
+  }
+
+  // The fingerprint chains per append: fp_k = Chain(fp_{k-1}, delta_k).
+  uint64_t expected = BaseFingerprint(RowSlice(data.x0, 0, 100),
+                                      ErrorSlice(data.errors, 0, 100));
+  expected = ChainFingerprint(expected, RowSlice(data.x0, 100, 180),
+                              ErrorSlice(data.errors, 100, 180));
+  expected = ChainFingerprint(expected, RowSlice(data.x0, 180, 240),
+                              ErrorSlice(data.errors, 180, 240));
+  EXPECT_EQ(store.fingerprint(), expected);
+  // A different split of the same rows yields a different chain.
+  EXPECT_NE(store.fingerprint(), ref.fingerprint());
+
+  // Segment boundaries are live until compaction; the counts at a boundary
+  // are the cumulative per-column counts over the prefix.
+  ASSERT_EQ(store.segments().size(), 2u);
+  ASSERT_NE(store.BoundaryCounts(0), nullptr);
+  const std::vector<int64_t>* at_100 = store.BoundaryCounts(100);
+  ASSERT_NE(at_100, nullptr);
+  auto prefix_store = SegmentStore::Create(RowSlice(data.x0, 0, 100),
+                                           ErrorSlice(data.errors, 0, 100),
+                                           domains);
+  ASSERT_TRUE(prefix_store.ok());
+  EXPECT_EQ(*at_100, prefix_store.value().basic_sizes());
+}
+
+TEST(StreamSegmentTest, CompactionIsPureMetadata) {
+  const StreamData data = MakeData(160, 4, 3, 102);
+  const std::vector<int32_t> domains = data.x0.ColMaxs();
+  auto created = SegmentStore::Create(RowSlice(data.x0, 0, 100),
+                                      ErrorSlice(data.errors, 0, 100),
+                                      domains);
+  ASSERT_TRUE(created.ok());
+  SegmentStore& store = created.value();
+  ASSERT_TRUE(store
+                  .Append(RowSlice(data.x0, 100, 160),
+                          ErrorSlice(data.errors, 100, 160))
+                  .ok());
+
+  // Below the ratio: no compaction.
+  EXPECT_FALSE(store.MaybeCompact(10.0));
+  EXPECT_EQ(store.compactions(), 0);
+  ASSERT_EQ(store.segments().size(), 1u);
+
+  const uint64_t fingerprint = store.fingerprint();
+  const std::vector<double> sums = store.basic_error_sums();
+  const double total = store.total_error();
+
+  // 60 delta rows > 0.1 * 100 base rows: compaction folds the segment.
+  EXPECT_TRUE(store.MaybeCompact(0.1));
+  EXPECT_EQ(store.compactions(), 1);
+  EXPECT_TRUE(store.segments().empty());
+  EXPECT_EQ(store.base_rows(), 160);
+  EXPECT_EQ(store.BoundaryCounts(100), nullptr);
+
+  // Pure metadata: no float chain was reordered, no fingerprint advanced.
+  EXPECT_EQ(store.fingerprint(), fingerprint);
+  EXPECT_TRUE(BitEqual(store.total_error(), total));
+  for (size_t c = 0; c < sums.size(); ++c) {
+    EXPECT_TRUE(BitEqual(store.basic_error_sums()[c], sums[c])) << c;
+  }
+}
+
+TEST(StreamSegmentTest, RejectsMalformedAppendsLeavingStoreUnchanged) {
+  const StreamData data = MakeData(80, 4, 3, 103);
+  auto created =
+      SegmentStore::Create(data.x0, data.errors, data.x0.ColMaxs());
+  ASSERT_TRUE(created.ok());
+  SegmentStore& store = created.value();
+  const uint64_t fingerprint = store.fingerprint();
+
+  // Column-count mismatch.
+  EXPECT_FALSE(store.Append(data::IntMatrix(1, 3), {1.0}).ok());
+  // Code outside the frozen domain (and the 1-based floor).
+  data::IntMatrix high(1, 4);
+  for (int j = 0; j < 4; ++j) high.row(0)[j] = 1;
+  high.row(0)[2] = 4;
+  EXPECT_FALSE(store.Append(high, {1.0}).ok());
+  data::IntMatrix zero(1, 4);
+  for (int j = 0; j < 4; ++j) zero.row(0)[j] = 1;
+  zero.row(0)[0] = 0;
+  EXPECT_FALSE(store.Append(zero, {1.0}).ok());
+  // Error vector shape and value violations.
+  data::IntMatrix good(1, 4);
+  for (int j = 0; j < 4; ++j) good.row(0)[j] = 1;
+  EXPECT_FALSE(store.Append(good, {}).ok());
+  EXPECT_FALSE(store.Append(good, {-1.0}).ok());
+  EXPECT_FALSE(store.Append(good, {std::nan("")}).ok());
+
+  EXPECT_EQ(store.n(), 80);
+  EXPECT_EQ(store.fingerprint(), fingerprint);
+  EXPECT_TRUE(store.segments().empty());
+}
+
+TEST(StreamFinderTest, IncrementalFindBitIdenticalToFromScratch) {
+  const StreamData data = MakeData(260, 4, 3, 104);
+  const core::SliceLineConfig config = TestConfig();
+  StreamOptions options;
+  options.domains = data.x0.ColMaxs();
+  options.full_rerun_fraction = 0.0;  // force the incremental path
+
+  auto created = StreamingSliceFinder::Create(
+      RowSlice(data.x0, 0, 150), ErrorSlice(data.errors, 0, 150), options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  StreamingSliceFinder& finder = *created.value();
+
+  // First find computes every candidate from scratch and seeds the cache.
+  auto first = finder.Find(config);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ExpectBitIdentical(ReferenceRun(data, options.domains, 150, config),
+                     first.value());
+  EXPECT_GT(finder.last_find_stats().candidates_full, 0);
+  EXPECT_FALSE(first.value().outcome.stream_full_fallback);
+
+  // Append, then find: cached statistic chains are continued over just the
+  // delta, and the result stays bit-identical to a from-scratch run.
+  ASSERT_TRUE(finder
+                  .Append(RowSlice(data.x0, 150, 260),
+                          ErrorSlice(data.errors, 150, 260))
+                  .ok());
+  auto second = finder.Find(config);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ExpectBitIdentical(ReferenceRun(data, options.domains, 260, config),
+                     second.value());
+  const StreamFindStats stats = finder.last_find_stats();
+  EXPECT_GT(stats.candidates_delta + stats.candidates_cached, 0);
+  EXPECT_EQ(second.value().outcome.stream_candidates_delta,
+            stats.candidates_delta);
+  EXPECT_EQ(second.value().outcome.stream_candidates_cached,
+            stats.candidates_cached);
+
+  // A repeat find with no intervening append answers from the cache alone.
+  auto repeat = finder.Find(config);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(finder.last_find_stats().candidates_delta, 0);
+  EXPECT_EQ(finder.last_find_stats().candidates_full, 0);
+  ExpectBitIdentical(second.value(), repeat.value());
+}
+
+TEST(StreamFinderTest, FullRerunFallbackRecordsOutcomeAndMatches) {
+  const StreamData data = MakeData(200, 4, 3, 105);
+  const core::SliceLineConfig config = TestConfig();
+  StreamOptions options;
+  options.domains = data.x0.ColMaxs();
+  options.full_rerun_fraction = 1e-9;  // any delta trips the fallback
+
+  auto created = StreamingSliceFinder::Create(
+      RowSlice(data.x0, 0, 100), ErrorSlice(data.errors, 0, 100), options);
+  ASSERT_TRUE(created.ok());
+  StreamingSliceFinder& finder = *created.value();
+  ASSERT_TRUE(finder.Find(config).ok());
+  ASSERT_TRUE(finder
+                  .Append(RowSlice(data.x0, 100, 200),
+                          ErrorSlice(data.errors, 100, 200))
+                  .ok());
+
+  auto result = finder.Find(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().outcome.stream_full_fallback);
+  EXPECT_TRUE(finder.last_find_stats().full_fallback);
+  ExpectBitIdentical(ReferenceRun(data, options.domains, 200, config),
+                     result.value());
+}
+
+TEST(StreamFinderTest, FrozenDomainsRejectUnseenCodes) {
+  const StreamData data = MakeData(60, 4, 3, 106);
+  StreamOptions options;
+  options.domains = {3, 3, 3, 3};
+  auto created =
+      StreamingSliceFinder::Create(data.x0, data.errors, options);
+  ASSERT_TRUE(created.ok());
+  StreamingSliceFinder& finder = *created.value();
+
+  data::IntMatrix unseen(1, 4);
+  for (int j = 0; j < 4; ++j) unseen.row(0)[j] = 1;
+  unseen.row(0)[3] = 4;
+  EXPECT_FALSE(finder.Append(unseen, {1.0}).ok());
+  EXPECT_EQ(finder.n(), 60);
+}
+
+/// Benign rows: codes over the full domain, every error exactly 1.0, so no
+/// slice scores above zero.
+StreamData MakeBenign(int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  StreamData data{data::IntMatrix(rows, 4), std::vector<double>(rows, 1.0)};
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t j = 0; j < 4; ++j) {
+      data.x0.row(r)[j] = 1 + static_cast<int32_t>(rng.NextUint64(3));
+    }
+  }
+  return data;
+}
+
+/// Rows concentrated in the (c0=1, c1=1) cell with large errors: the
+/// regression the watcher is supposed to flag.
+StreamData MakeRegression(int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  StreamData data{data::IntMatrix(rows, 4), std::vector<double>(rows, 50.0)};
+  for (int64_t r = 0; r < rows; ++r) {
+    data.x0.row(r)[0] = 1;
+    data.x0.row(r)[1] = 1;
+    data.x0.row(r)[2] = 1 + static_cast<int32_t>(rng.NextUint64(3));
+    data.x0.row(r)[3] = 1 + static_cast<int32_t>(rng.NextUint64(3));
+  }
+  return data;
+}
+
+WatchOptions BenignWatchOptions() {
+  WatchOptions options;
+  options.tau = 1.0;
+  options.hysteresis = 0.4;
+  options.config = TestConfig();
+  // Small windows must still resolve small regressed subgroups; the default
+  // sigma (max(32, n/100)) would hide them.
+  options.config.min_support = 4;
+  options.stream.domains = {3, 3, 3, 3};
+  return options;
+}
+
+TEST(StreamWatcherTest, FiresExactlyOncePerUpwardCrossing) {
+  const StreamData base = MakeBenign(120, 107);
+  WatchOptions options = BenignWatchOptions();
+  options.window_rows = 200;
+  SimulatedClock clock(10.0);
+
+  auto created = SliceWatcher::Create("prod", base.x0, base.errors,
+                                      {"c0", "c1", "c2", "c3"}, options,
+                                      &clock);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  SliceWatcher& watcher = *created.value();
+  EXPECT_TRUE(watcher.armed());
+
+  // Benign appends never fire.
+  const StreamData benign = MakeBenign(20, 108);
+  auto quiet = watcher.OnAppend(benign.x0, benign.errors);
+  ASSERT_TRUE(quiet.ok()) << quiet.status().ToString();
+  EXPECT_FALSE(quiet.value().has_value());
+  EXPECT_LT(watcher.last_score(), options.tau);
+
+  // The regression batch crosses tau: exactly one alert, then disarmed.
+  const StreamData bad = MakeRegression(40, 109);
+  clock.Advance(5.0);
+  auto fired = watcher.OnAppend(bad.x0, bad.errors);
+  ASSERT_TRUE(fired.ok()) << fired.status().ToString();
+  ASSERT_TRUE(fired.value().has_value());
+  const StreamAlert& alert = *fired.value();
+  EXPECT_EQ(alert.dataset, "prod");
+  EXPECT_GE(alert.score, options.tau);
+  EXPECT_EQ(alert.at_rows, 180);
+  EXPECT_EQ(alert.at_seconds, 15.0);
+  EXPECT_EQ(alert.fingerprint, watcher.finder().fingerprint());
+  EXPECT_NE(alert.slice_display.find("c0"), std::string::npos)
+      << alert.slice_display;
+  EXPECT_FALSE(watcher.armed());
+  EXPECT_EQ(watcher.alerts_fired(), 1);
+
+  // Still above tau: no re-fire while disarmed.
+  const StreamData more_bad = MakeRegression(20, 110);
+  auto silent = watcher.OnAppend(more_bad.x0, more_bad.errors);
+  ASSERT_TRUE(silent.ok());
+  EXPECT_FALSE(silent.value().has_value());
+  EXPECT_EQ(watcher.alerts_fired(), 1);
+
+  // A benign flood pushes the regression rows out of the row window; the
+  // score falls below tau - hysteresis and the watcher re-arms.
+  const StreamData flood = MakeBenign(210, 111);
+  auto rearm = watcher.OnAppend(flood.x0, flood.errors);
+  ASSERT_TRUE(rearm.ok()) << rearm.status().ToString();
+  EXPECT_FALSE(rearm.value().has_value());
+  EXPECT_GE(watcher.window_rebuilds(), 1);
+  EXPECT_LE(watcher.window_rows(), 2 * options.window_rows);
+  EXPECT_LT(watcher.last_score(), options.tau - options.hysteresis);
+  EXPECT_TRUE(watcher.armed());
+
+  // The next upward crossing fires again -- exactly once per crossing.
+  const StreamData again = MakeRegression(40, 112);
+  auto second = watcher.OnAppend(again.x0, again.errors);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second.value().has_value());
+  EXPECT_EQ(watcher.alerts_fired(), 2);
+  EXPECT_EQ(watcher.total_rows(), 120 + 20 + 40 + 20 + 210 + 40);
+}
+
+TEST(StreamWatcherTest, WallClockWindowEvictsExpiredRows) {
+  const StreamData base = MakeBenign(100, 113);
+  WatchOptions options = BenignWatchOptions();
+  options.window_seconds = 10.0;
+  SimulatedClock clock(0.0);
+
+  auto created = SliceWatcher::Create("clocked", base.x0, base.errors,
+                                      {"c0", "c1", "c2", "c3"}, options,
+                                      &clock);
+  ASSERT_TRUE(created.ok());
+  SliceWatcher& watcher = *created.value();
+
+  // Within the window: nothing expires.
+  const StreamData fresh = MakeBenign(30, 114);
+  clock.Advance(5.0);
+  ASSERT_TRUE(watcher.OnAppend(fresh.x0, fresh.errors).ok());
+  EXPECT_EQ(watcher.window_rows(), 130);
+  EXPECT_EQ(watcher.window_rebuilds(), 0);
+
+  // 100 seconds later every old row is expired; the append triggers the
+  // batched eviction and only the new rows remain.
+  const StreamData late = MakeBenign(25, 115);
+  clock.Advance(100.0);
+  ASSERT_TRUE(watcher.OnAppend(late.x0, late.errors).ok());
+  EXPECT_EQ(watcher.window_rows(), 25);
+  EXPECT_EQ(watcher.window_rebuilds(), 1);
+  EXPECT_EQ(watcher.total_rows(), 155);
+
+  // Alerts still work on the shrunken window.
+  const StreamData bad = MakeRegression(5, 116);
+  auto fired = watcher.OnAppend(bad.x0, bad.errors);
+  ASSERT_TRUE(fired.ok());
+  ASSERT_TRUE(fired.value().has_value());
+  EXPECT_EQ(fired.value()->at_seconds, 105.0);
+}
+
+TEST(StreamWatcherTest, RejectsInvalidOptions) {
+  const StreamData base = MakeBenign(10, 117);
+  const std::vector<std::string> names = {"c0", "c1", "c2", "c3"};
+
+  WatchOptions bad_tau = BenignWatchOptions();
+  bad_tau.tau = 0.0;
+  EXPECT_FALSE(
+      SliceWatcher::Create("d", base.x0, base.errors, names, bad_tau).ok());
+
+  WatchOptions bad_hysteresis = BenignWatchOptions();
+  bad_hysteresis.hysteresis = 1.0;  // must stay below tau
+  EXPECT_FALSE(SliceWatcher::Create("d", base.x0, base.errors, names,
+                                    bad_hysteresis)
+                   .ok());
+
+  WatchOptions bad_window = BenignWatchOptions();
+  bad_window.window_rows = -1;
+  EXPECT_FALSE(SliceWatcher::Create("d", base.x0, base.errors, names,
+                                    bad_window)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace sliceline::stream

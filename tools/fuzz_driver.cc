@@ -29,8 +29,8 @@ void PrintUsage() {
       "  --seed=N             base seed of the case stream (default 1)\n"
       "  --cases=N            number of generated cases (default 100)\n"
       "  --checks=a,b,...     subset of oracle,kernel,metamorphic,\n"
-      "                       determinism,governance,kernels-simd\n"
-      "                       (default: all)\n"
+      "                       determinism,governance,kernels-simd,\n"
+      "                       stream-equivalence (default: all)\n"
       "  --kernel-rounds=N    matrix draws per kernel case (default 2)\n"
       "  --determinism-stride=N  run the determinism check every N-th case\n"
       "                       (default 8; it swaps thread pools, so it is\n"

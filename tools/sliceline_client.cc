@@ -29,6 +29,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -47,7 +48,9 @@ struct ClientCliOptions {
   sliceline::serve::ClientOptions client;
   sliceline::serve::RegisterDatasetRequest register_request;
   sliceline::serve::FindSlicesRequest find_request;
+  sliceline::serve::WatchRequest watch_request;
   int64_t job_id = -1;
+  int64_t chunk_rows = 0;  ///< append: rows per chunk (0 = one request)
 };
 
 void PrintUsage() {
@@ -65,6 +68,16 @@ void PrintUsage() {
       "  report   --job ID | report ID   print the job's RunReport JSON\n"
       "  trace    --job ID | trace ID    print the job's merged Chrome\n"
       "                                  trace (load it in Perfetto)\n"
+      "  append   --dataset N --csv F [--chunk-rows R]\n"
+      "           stream rows into a dataset; F is a headerless CSV whose\n"
+      "           last column is the row's model error and the preceding\n"
+      "           columns are the feature cells in encoder order\n"
+      "  watch    --dataset N [--tau T] [--hysteresis H] [--window-rows R]\n"
+      "           [--window-seconds S] [--k K] [--alpha A] [--sigma S]\n"
+      "           [--max-level L]\n"
+      "  watch-status --dataset N\n"
+      "  unwatch  --dataset N\n"
+      "  unregister --dataset N\n"
       "  list\n"
       "  stats\n"
       "  metrics\n"
@@ -150,6 +163,27 @@ bool ParseArgs(int argc, char** argv, ClientCliOptions* options) {
       const char* v = next("--dataset");
       if (v == nullptr) return false;
       options->find_request.dataset = v;
+      options->watch_request.dataset = v;
+    } else if (arg == "--tau") {
+      const char* v = next("--tau");
+      if (v == nullptr) return false;
+      options->watch_request.tau = std::atof(v);
+    } else if (arg == "--hysteresis") {
+      const char* v = next("--hysteresis");
+      if (v == nullptr) return false;
+      options->watch_request.hysteresis = std::atof(v);
+    } else if (arg == "--window-rows") {
+      const char* v = next("--window-rows");
+      if (v == nullptr) return false;
+      options->watch_request.window_rows = std::atoll(v);
+    } else if (arg == "--window-seconds") {
+      const char* v = next("--window-seconds");
+      if (v == nullptr) return false;
+      options->watch_request.window_seconds = std::atof(v);
+    } else if (arg == "--chunk-rows") {
+      const char* v = next("--chunk-rows");
+      if (v == nullptr) return false;
+      options->chunk_rows = std::atoll(v);
     } else if (arg == "--engine") {
       const char* v = next("--engine");
       if (v == nullptr) return false;
@@ -158,18 +192,22 @@ bool ParseArgs(int argc, char** argv, ClientCliOptions* options) {
       const char* v = next("--k");
       if (v == nullptr) return false;
       options->find_request.k = std::atoll(v);
+      options->watch_request.k = options->find_request.k;
     } else if (arg == "--alpha") {
       const char* v = next("--alpha");
       if (v == nullptr) return false;
       options->find_request.alpha = std::atof(v);
+      options->watch_request.alpha = options->find_request.alpha;
     } else if (arg == "--sigma") {
       const char* v = next("--sigma");
       if (v == nullptr) return false;
       options->find_request.sigma = std::atoll(v);
+      options->watch_request.sigma = options->find_request.sigma;
     } else if (arg == "--max-level") {
       const char* v = next("--max-level");
       if (v == nullptr) return false;
       options->find_request.max_level = std::atoll(v);
+      options->watch_request.max_level = options->find_request.max_level;
     } else if (arg == "--deadline-ms") {
       const char* v = next("--deadline-ms");
       if (v == nullptr) return false;
@@ -313,6 +351,88 @@ int main(int argc, char** argv) {
     std::fputs(document.value().c_str(), stdout);
     const std::string& text = document.value();
     if (text.empty() || text.back() != '\n') std::fputc('\n', stdout);
+    return 0;
+  }
+  if (options.command == "append") {
+    if (options.find_request.dataset.empty() ||
+        options.register_request.csv_path.empty()) {
+      std::fprintf(stderr, "append needs --dataset and --csv\n");
+      return 1;
+    }
+    // Headerless CSV, no quoting: feature cells in encoder order, then the
+    // row's model error as the last column.
+    std::ifstream in(options.register_request.csv_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n",
+                   options.register_request.csv_path.c_str());
+      return 1;
+    }
+    std::vector<std::vector<std::string>> rows;
+    std::vector<double> errors;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::vector<std::string> cells = sliceline::Split(line, ',');
+      if (cells.size() < 2) {
+        std::fprintf(stderr, "append row needs >= 1 feature cell + error\n");
+        return 1;
+      }
+      auto error = sliceline::ParseDouble(cells.back());
+      if (!error.ok()) {
+        std::fprintf(stderr, "bad error value '%s'\n", cells.back().c_str());
+        return 1;
+      }
+      errors.push_back(error.value());
+      cells.pop_back();
+      rows.push_back(std::move(cells));
+    }
+    if (rows.empty()) {
+      std::fprintf(stderr, "append file %s holds no rows\n",
+                   options.register_request.csv_path.c_str());
+      return 1;
+    }
+    sliceline::StatusOr<sliceline::obs::JsonValue> response =
+        sliceline::Status::OK();
+    if (options.chunk_rows > 0) {
+      response = client.value().AppendRowsChunked(
+          options.find_request.dataset, rows, errors, options.chunk_rows);
+    } else {
+      sliceline::serve::AppendRowsRequest request;
+      request.dataset = options.find_request.dataset;
+      request.rows = std::move(rows);
+      request.errors = std::move(errors);
+      response = client.value().AppendRows(request);
+    }
+    if (!response.ok()) return Fail(response.status());
+    std::printf("%s\n", client.value().last_response_line().c_str());
+    return 0;
+  }
+  if (options.command == "watch") {
+    if (options.watch_request.dataset.empty()) {
+      std::fprintf(stderr, "watch needs --dataset\n");
+      return 1;
+    }
+    auto response = client.value().Watch(options.watch_request);
+    if (!response.ok()) return Fail(response.status());
+    std::printf("%s\n", client.value().last_response_line().c_str());
+    return 0;
+  }
+  if (options.command == "watch-status" || options.command == "unwatch" ||
+      options.command == "unregister") {
+    if (options.watch_request.dataset.empty()) {
+      std::fprintf(stderr, "%s needs --dataset\n", options.command.c_str());
+      return 1;
+    }
+    auto response =
+        options.command == "watch-status"
+            ? client.value().WatchStatus(options.watch_request.dataset)
+            : options.command == "unwatch"
+                  ? client.value().Unwatch(options.watch_request.dataset)
+                  : client.value().UnregisterDataset(
+                        options.watch_request.dataset);
+    if (!response.ok()) return Fail(response.status());
+    std::printf("%s\n", client.value().last_response_line().c_str());
     return 0;
   }
   if (options.command == "list" || options.command == "stats") {
